@@ -1,0 +1,26 @@
+//! # sirup-atm
+//!
+//! Alternating Turing machines and the 01-tree encodings of §3.3 of
+//! *“Deciding Boundedness of Monadic Sirups”*.
+//!
+//! The 2ExpTime-hardness proof (Theorem 3) encodes the computation space of
+//! an ATM `M` on input `w` as annotated binary trees and connects them to
+//! the cactus skeletons of a crafted 1-CQ. This crate is the *executable
+//! reference* for that encoding:
+//!
+//! * [`machine`]: ATMs with `g : Q → {∧, ∨}`, configurations over a
+//!   `2^p`-cell tape (small `p` at laptop scale), the full computation space
+//!   `T_{M,w}`, computation trees, and acceptance;
+//! * [`trees`]: 01-trees; configuration 01-sequences of length `2^d`; the
+//!   configuration-trees `γ_c` (with the `111`-stretch), the trees `β_T`,
+//!   and desired-tree prefixes via `M`-cuts;
+//! * [`correct`]: the per-node correctness predicates of §3.3.2 — *good*,
+//!   *properly branching* (pb1)–(pb4), *properly initialising*, *properly
+//!   computing* — which characterise desired trees (Claim 4.1).
+
+pub mod correct;
+pub mod machine;
+pub mod trees;
+
+pub use machine::{Atm, Config, Mode};
+pub use trees::BinTree;

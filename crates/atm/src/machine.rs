@@ -1,0 +1,281 @@
+//! Alternating Turing machines (§3.3.1 normal form).
+//!
+//! The paper's normal form: binary branching everywhere, `∧`/`∨` modes
+//! alternating along branches, `q_init`, `q_accept`, `q_reject` are
+//! `∨`-states, the tape has `2^p(|w|)` cells, the computation space has
+//! depth `2^p(|w|)`, and halting configurations repeat forever. At laptop
+//! scale we run tiny machines (`p` small) — the construction is the same.
+
+use std::collections::HashMap;
+
+/// State mode under `g : Q → {∧, ∨}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Universal state.
+    And,
+    /// Existential state.
+    Or,
+}
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left (clamped at the left end).
+    Left,
+    /// One cell right (clamped at the tape end).
+    Right,
+    /// Stay.
+    Stay,
+}
+
+/// One branch of the transition function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Successor state.
+    pub state: usize,
+    /// Symbol written.
+    pub write: usize,
+    /// Head movement.
+    pub mv: Move,
+}
+
+/// An alternating Turing machine with binary branching.
+#[derive(Debug, Clone)]
+pub struct Atm {
+    /// Number of states `|Q|`.
+    pub states: usize,
+    /// `g : Q → {∧, ∨}`.
+    pub mode: Vec<Mode>,
+    /// Initial state (an `∨`-state).
+    pub init: usize,
+    /// Accepting state (halting, `∨`).
+    pub accept: usize,
+    /// Rejecting state (halting, `∨`).
+    pub reject: usize,
+    /// Alphabet size `|Γ|` (symbol 0 is blank).
+    pub alphabet: usize,
+    /// Transitions: `delta[q][a]` = the two successor branches.
+    pub delta: Vec<Vec<[Step; 2]>>,
+    /// Tape has `2^tape_bits` cells.
+    pub tape_bits: u32,
+}
+
+/// A configuration: state, head position, full tape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Current state.
+    pub state: usize,
+    /// Head position.
+    pub head: usize,
+    /// Tape contents (length `2^tape_bits`).
+    pub tape: Vec<usize>,
+}
+
+impl Atm {
+    /// Number of tape cells.
+    pub fn tape_len(&self) -> usize {
+        1usize << self.tape_bits
+    }
+
+    /// The initial configuration on input `w` (symbols of `Γ`).
+    pub fn initial_config(&self, w: &[usize]) -> Config {
+        let mut tape = vec![0; self.tape_len()];
+        for (i, &a) in w.iter().enumerate().take(self.tape_len()) {
+            tape[i] = a;
+        }
+        Config {
+            state: self.init,
+            head: 0,
+            tape,
+        }
+    }
+
+    /// Is `c` halting?
+    pub fn is_halting(&self, c: &Config) -> bool {
+        c.state == self.accept || c.state == self.reject
+    }
+
+    /// The two successor configurations of a non-halting `c`; a halting `c`
+    /// repeats itself on both branches (the paper's convention).
+    pub fn successors(&self, c: &Config) -> [Config; 2] {
+        if self.is_halting(c) {
+            return [c.clone(), c.clone()];
+        }
+        let steps = self.delta[c.state][c.tape[c.head]];
+        [self.apply(c, steps[0]), self.apply(c, steps[1])]
+    }
+
+    fn apply(&self, c: &Config, s: Step) -> Config {
+        let mut tape = c.tape.clone();
+        tape[c.head] = s.write;
+        let head = match s.mv {
+            Move::Left => c.head.saturating_sub(1),
+            Move::Right => (c.head + 1).min(self.tape_len() - 1),
+            Move::Stay => c.head,
+        };
+        Config {
+            state: s.state,
+            head,
+            tape,
+        }
+    }
+
+    /// Does `M` accept `w` within `depth` alternating steps? (Memoised
+    /// AND/OR recursion over the computation space; halting states are
+    /// absorbing.)
+    pub fn accepts(&self, w: &[usize], depth: usize) -> bool {
+        let mut memo: HashMap<(Config, usize), bool> = HashMap::new();
+        self.accepts_from(&self.initial_config(w), depth, &mut memo)
+    }
+
+    fn accepts_from(
+        &self,
+        c: &Config,
+        depth: usize,
+        memo: &mut HashMap<(Config, usize), bool>,
+    ) -> bool {
+        if c.state == self.accept {
+            return true;
+        }
+        if c.state == self.reject {
+            return false;
+        }
+        if depth == 0 {
+            // Out of budget: treat as rejecting (the paper's machines halt
+            // within the computation-space depth).
+            return false;
+        }
+        if let Some(&v) = memo.get(&(c.clone(), depth)) {
+            return v;
+        }
+        let [c0, c1] = self.successors(c);
+        let r = match self.mode[c.state] {
+            Mode::Or => {
+                self.accepts_from(&c0, depth - 1, memo) || self.accepts_from(&c1, depth - 1, memo)
+            }
+            Mode::And => {
+                self.accepts_from(&c0, depth - 1, memo) && self.accepts_from(&c1, depth - 1, memo)
+            }
+        };
+        memo.insert((c.clone(), depth), r);
+        r
+    }
+
+    /// A tiny machine that immediately accepts (∨-init stepping into
+    /// `q_accept` on both branches). Alphabet `{blank, 1}`.
+    pub fn trivially_accepting() -> Atm {
+        Atm::immediate(true)
+    }
+
+    /// A tiny machine that immediately rejects.
+    pub fn trivially_rejecting() -> Atm {
+        Atm::immediate(false)
+    }
+
+    fn immediate(accept: bool) -> Atm {
+        // states: 0 = init(∨), 1 = intermediate (∧), 2 = accept, 3 = reject.
+        let target = if accept { 2 } else { 3 };
+        let go = |state| Step {
+            state,
+            write: 0,
+            mv: Move::Stay,
+        };
+        let row = |state: usize| vec![[go(state), go(state)]; 2];
+        Atm {
+            states: 4,
+            mode: vec![Mode::Or, Mode::And, Mode::Or, Mode::Or],
+            init: 0,
+            accept: 2,
+            reject: 3,
+            alphabet: 2,
+            delta: vec![row(1), row(target), row(2), row(3)],
+            tape_bits: 1,
+        }
+    }
+
+    /// A machine that accepts iff the first input symbol is `1`, using a
+    /// genuine ∧-branch: from the init ∨-state it moves into an ∧-state
+    /// whose both branches must accept; one branch re-reads the first cell,
+    /// the other loops through a second ∨-state.
+    pub fn first_symbol_machine() -> Atm {
+        // states: 0 init(∨), 1 check(∧), 2 relay(∨), 3 accept, 4 reject.
+        let s = |state, write, mv| Step { state, write, mv };
+        Atm {
+            states: 5,
+            mode: vec![Mode::Or, Mode::And, Mode::Or, Mode::Or, Mode::Or],
+            init: 0,
+            accept: 3,
+            reject: 4,
+            alphabet: 2,
+            delta: vec![
+                // init: branch into the checker regardless of symbol.
+                vec![
+                    [s(1, 0, Move::Stay), s(1, 0, Move::Stay)],
+                    [s(1, 1, Move::Stay), s(1, 1, Move::Stay)],
+                ],
+                // check(∧): on blank both branches reject; on 1 both accept
+                // via the relay.
+                vec![
+                    [s(2, 0, Move::Stay), s(4, 0, Move::Stay)],
+                    [s(2, 1, Move::Stay), s(3, 1, Move::Stay)],
+                ],
+                // relay(∨): follow the symbol.
+                vec![
+                    [s(4, 0, Move::Stay), s(4, 0, Move::Stay)],
+                    [s(3, 1, Move::Stay), s(3, 1, Move::Stay)],
+                ],
+                // accept / reject absorbing (handled by is_halting).
+                vec![[s(3, 0, Move::Stay), s(3, 0, Move::Stay)]; 2],
+                vec![[s(4, 0, Move::Stay), s(4, 0, Move::Stay)]; 2],
+            ],
+            tape_bits: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_machines() {
+        assert!(Atm::trivially_accepting().accepts(&[0], 8));
+        assert!(!Atm::trivially_rejecting().accepts(&[0], 8));
+    }
+
+    #[test]
+    fn first_symbol_machine_reads_input() {
+        let m = Atm::first_symbol_machine();
+        assert!(m.accepts(&[1], 8));
+        assert!(!m.accepts(&[0], 8));
+    }
+
+    #[test]
+    fn halting_configs_repeat() {
+        let m = Atm::trivially_accepting();
+        let c = Config {
+            state: m.accept,
+            head: 0,
+            tape: vec![0, 0],
+        };
+        let [a, b] = m.successors(&c);
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn successors_write_and_move() {
+        let m = Atm::first_symbol_machine();
+        let c = m.initial_config(&[1]);
+        assert_eq!(c.tape, vec![1, 0]);
+        let [a, _] = m.successors(&c);
+        assert_eq!(a.state, 1);
+        assert_eq!(a.tape[0], 1);
+    }
+
+    #[test]
+    fn depth_zero_rejects_nonhalting() {
+        let m = Atm::trivially_accepting();
+        assert!(!m.accepts(&[0], 0));
+    }
+}

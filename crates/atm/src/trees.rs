@@ -1,0 +1,435 @@
+//! 01-trees and the configuration encodings of §3.3.1.
+//!
+//! A **01-tree** is a binary ditree with edges labelled `0`/`1` and siblings
+//! carrying different labels. Configurations are encoded as 01-sequences
+//!
+//! ```text
+//! state (n_q bits) | cell_1 content+marker | … | cell_k … | parent bit
+//! ```
+//!
+//! padded to `2^L` bits, and realised as **configuration trees** `γ_c`:
+//! `L` *index levels* that branch, one *digit level* carrying the encoded
+//! bit for each index path, every edge stretched to the pattern `1,1,1,b`.
+//! With the paper's parameter `d = L + 1` this matches the branching
+//! conditions (pb1)–(pb4) of §3.3.2 exactly: branching while `ℓ < d − 1`,
+//! the single digit child at `ℓ = d − 1`, and the `0,0,1,∗` attachment
+//! chains after the digit (below `γ`-leaves) and below each main node
+//! (towards the two successor configurations).
+
+use crate::machine::{Atm, Config};
+
+/// A rooted binary tree with 0/1-labelled edges.
+#[derive(Debug, Clone, Default)]
+pub struct BinTree {
+    /// For each node: `(parent, edge bit)`; `None` for the root.
+    pub parent: Vec<Option<(usize, bool)>>,
+    /// For each node: the 0-child and the 1-child.
+    pub children: Vec<[Option<usize>; 2]>,
+    /// Depth of each node.
+    pub depth: Vec<u32>,
+}
+
+impl BinTree {
+    /// A tree with only a root (node 0).
+    pub fn new() -> BinTree {
+        BinTree {
+            parent: vec![None],
+            children: vec![[None, None]],
+            depth: vec![0],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Is the tree empty? (Never: there is always a root.)
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Add a `bit`-child under `v`; panics if it already exists.
+    pub fn add_child(&mut self, v: usize, bit: bool) -> usize {
+        assert!(self.children[v][bit as usize].is_none(), "child exists");
+        let id = self.parent.len();
+        self.parent.push(Some((v, bit)));
+        self.children.push([None, None]);
+        self.depth.push(self.depth[v] + 1);
+        self.children[v][bit as usize] = Some(id);
+        id
+    }
+
+    /// Add a chain of bits under `v`, returning the last node.
+    pub fn add_chain(&mut self, v: usize, bits: &[bool]) -> usize {
+        bits.iter().fold(v, |cur, &b| self.add_child(cur, b))
+    }
+
+    /// The `k`-long suffix of the path from the root to `v` (oldest bit
+    /// first); `None` if the depth of `v` is `< k`.
+    pub fn suffix(&self, v: usize, k: usize) -> Option<Vec<bool>> {
+        if (self.depth[v] as usize) < k {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(k);
+        let mut cur = v;
+        for _ in 0..k {
+            let (p, b) = self.parent[cur].expect("depth checked");
+            bits.push(b);
+            cur = p;
+        }
+        bits.reverse();
+        Some(bits)
+    }
+
+    /// All nodes (0-based ids).
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        0..self.parent.len()
+    }
+
+    /// Leaves.
+    pub fn leaves(&self) -> Vec<usize> {
+        self.nodes()
+            .filter(|&v| self.children[v] == [None, None])
+            .collect()
+    }
+
+    /// Child count of `v`.
+    pub fn child_count(&self, v: usize) -> usize {
+        self.children[v].iter().flatten().count()
+    }
+}
+
+/// The configuration encoding parameters for an ATM.
+#[derive(Debug, Clone, Copy)]
+pub struct Encoding {
+    /// State field width (after padding).
+    pub n_q: usize,
+    /// Bits per tape cell: content bits + 1 marker bit.
+    pub n_gamma: usize,
+    /// Content bits per cell.
+    pub content_bits: usize,
+    /// Number of tape cells.
+    pub cells: usize,
+    /// Index levels `L`: the encoded sequence has `2^L` bits.
+    pub index_levels: u32,
+}
+
+impl Encoding {
+    /// Derive the encoding for a machine: pad the state field so the total
+    /// length `n_q + cells·n_gamma + 1` is a power of two.
+    pub fn for_atm(m: &Atm) -> Encoding {
+        let content_bits = usize::max(1, (m.alphabet as f64).log2().ceil() as usize);
+        let n_gamma = content_bits + 1;
+        let state_bits = usize::max(1, (m.states as f64).log2().ceil() as usize);
+        let cells = m.tape_len();
+        let raw = state_bits + cells * n_gamma + 1;
+        let total = raw.next_power_of_two();
+        let n_q = state_bits + (total - raw);
+        Encoding {
+            n_q,
+            n_gamma,
+            content_bits,
+            cells,
+            index_levels: total.trailing_zeros(),
+        }
+    }
+
+    /// Total encoded length `2^L`.
+    pub fn total_bits(&self) -> usize {
+        1usize << self.index_levels
+    }
+
+    /// The paper's parameter `d` (`= L + 1` in our realisation).
+    pub fn d(&self) -> u32 {
+        self.index_levels + 1
+    }
+
+    /// Encode a configuration plus the parent-branch bit.
+    pub fn encode(&self, c: &Config, parent_bit: bool) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(self.total_bits());
+        for i in (0..self.n_q).rev() {
+            bits.push(c.state >> i & 1 == 1);
+        }
+        for (cell, &sym) in c.tape.iter().enumerate() {
+            for i in (0..self.content_bits).rev() {
+                bits.push(sym >> i & 1 == 1);
+            }
+            bits.push(cell == c.head); // active-cell marker
+        }
+        bits.push(parent_bit);
+        debug_assert_eq!(bits.len(), self.total_bits());
+        bits
+    }
+
+    /// Decode; `None` if the bit pattern is not a valid configuration
+    /// (state out of range, symbol out of range, or not exactly one marker).
+    pub fn decode(&self, m: &Atm, bits: &[bool]) -> Option<(Config, bool)> {
+        if bits.len() != self.total_bits() {
+            return None;
+        }
+        let mut it = bits.iter().copied();
+        let mut state = 0usize;
+        for _ in 0..self.n_q {
+            state = state << 1 | it.next()? as usize;
+        }
+        if state >= m.states {
+            return None;
+        }
+        let mut tape = Vec::with_capacity(self.cells);
+        let mut head = None;
+        for cell in 0..self.cells {
+            let mut sym = 0usize;
+            for _ in 0..self.content_bits {
+                sym = sym << 1 | it.next()? as usize;
+            }
+            if sym >= m.alphabet {
+                return None;
+            }
+            tape.push(sym);
+            if it.next()? && head.replace(cell).is_some() {
+                return None;
+            }
+        }
+        let parent_bit = it.next()?;
+        Some((
+            Config {
+                state,
+                head: head?,
+                tape,
+            },
+            parent_bit,
+        ))
+    }
+}
+
+/// Attach the stretched configuration tree `γ_c` below `main` (the main
+/// node is the root of `γ_c`). Returns the `γ`-leaf nodes (after the digit),
+/// in index order.
+pub fn attach_gamma(tree: &mut BinTree, main: usize, bits: &[bool]) -> Vec<usize> {
+    let levels = bits.len().trailing_zeros();
+    assert_eq!(1usize << levels, bits.len(), "encoded length must be 2^L");
+    let mut leaves = Vec::with_capacity(bits.len());
+    // Recursive descent over index levels, then the digit level.
+    fn descend(
+        tree: &mut BinTree,
+        node: usize,
+        level: u32,
+        levels: u32,
+        index: usize,
+        bits: &[bool],
+        leaves: &mut Vec<usize>,
+    ) {
+        // One shared 1,1,1 stretch, then the branch/digit bit(s) — per
+        // (pb1)/(pb4) the node after `111` is where branching happens.
+        let pre = tree.add_chain(node, &[true, true, true]);
+        if level == levels {
+            // Digit level: a single child carrying the encoded bit.
+            let leaf = tree.add_child(pre, bits[index]);
+            leaves.push(leaf);
+            return;
+        }
+        for b in [false, true] {
+            let child = tree.add_child(pre, b);
+            descend(
+                tree,
+                child,
+                level + 1,
+                levels,
+                index << 1 | b as usize,
+                bits,
+                leaves,
+            );
+        }
+    }
+    descend(tree, main, 0, levels, 0, bits, &mut leaves);
+    leaves
+}
+
+/// A built β-tree plus bookkeeping for tests.
+#[derive(Debug, Clone)]
+pub struct BetaTree {
+    /// The 01-tree.
+    pub tree: BinTree,
+    /// Main nodes with their configurations and parent bits.
+    pub mains: Vec<(usize, Config, bool)>,
+}
+
+/// Build a finite prefix of an *ideal tree* for machine `m` on input `w`:
+///
+/// * an incoming `0,0,1,0` chain above the root main node of `c_init(w)`;
+/// * every main node of depth ≤ `budget` is **fully expanded**: its
+///   configuration tree `γ_c`, the `0,0,1,{0,1}` chain to the two successor
+///   ∨-configuration mains (the ∨-choice is `or_choice`), and — below every
+///   `γ`-leaf — the `0,0,1,{0,1}` attachment chains to two fresh
+///   `c_init(w)` mains;
+/// * mains of depth > `budget` stay bare (they become cut leaves).
+///
+/// Every node of depth `< M` (with `M` the minimum leaf depth) is then a
+/// complete, correct ideal-tree node — the finite substrate for Claim 4.1.
+pub fn build_beta(m: &Atm, enc: &Encoding, w: &[usize], or_choice: usize, budget: u32) -> BetaTree {
+    let mut tree = BinTree::new();
+    let top = tree.add_chain(0, &[false, false, true, false]);
+    let mut beta = BetaTree {
+        tree,
+        mains: Vec::new(),
+    };
+    let c0 = m.initial_config(w);
+    expand_main(m, enc, w, &mut beta, top, c0, false, or_choice, budget);
+    beta
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_main(
+    m: &Atm,
+    enc: &Encoding,
+    w: &[usize],
+    beta: &mut BetaTree,
+    main: usize,
+    c: Config,
+    parent_bit: bool,
+    or_choice: usize,
+    budget: u32,
+) {
+    beta.mains.push((main, c.clone(), parent_bit));
+    if beta.tree.depth[main] > budget {
+        return; // bare cut leaf
+    }
+    let bits = enc.encode(&c, parent_bit);
+    let leaves = attach_gamma(&mut beta.tree, main, &bits);
+    // Ideal-tree attachments below γ-leaves: the node after the `0,0,1`
+    // chain must branch both ways (pb1 with w = 001), so two fresh
+    // `c_init(w)` trees are attached per leaf.
+    for leaf in leaves {
+        let branch = beta.tree.add_chain(leaf, &[false, false, true]);
+        for bit in [false, true] {
+            let nm = beta.tree.add_child(branch, bit);
+            expand_main(
+                m,
+                enc,
+                w,
+                beta,
+                nm,
+                m.initial_config(w),
+                false,
+                or_choice,
+                budget,
+            );
+        }
+    }
+    // Successor mains.
+    let branch = beta.tree.add_chain(main, &[false, false, true]);
+    let (z, [c0, c1]) = if m.is_halting(&c) {
+        (false, [c.clone(), c.clone()])
+    } else {
+        let and_conf = &m.successors(&c)[or_choice.min(1)];
+        (or_choice.min(1) == 1, m.successors(and_conf))
+    };
+    for (bit, child) in [(false, c0), (true, c1)] {
+        let nm = beta.tree.add_child(branch, bit);
+        expand_main(m, enc, w, beta, nm, child, z, or_choice, budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Atm;
+
+    #[test]
+    fn bintree_basics() {
+        let mut t = BinTree::new();
+        let a = t.add_child(0, true);
+        let b = t.add_child(a, false);
+        assert_eq!(t.depth[b], 2);
+        assert_eq!(t.suffix(b, 2), Some(vec![true, false]));
+        assert_eq!(t.suffix(b, 3), None);
+        assert_eq!(t.child_count(0), 1);
+        assert_eq!(t.leaves(), vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "child exists")]
+    fn duplicate_child_panics() {
+        let mut t = BinTree::new();
+        t.add_child(0, true);
+        t.add_child(0, true);
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let m = Atm::first_symbol_machine();
+        let enc = Encoding::for_atm(&m);
+        assert!(enc.total_bits().is_power_of_two());
+        let c = m.initial_config(&[1]);
+        for pb in [false, true] {
+            let bits = enc.encode(&c, pb);
+            let (c2, pb2) = enc.decode(&m, &bits).expect("roundtrip");
+            assert_eq!(c2, c);
+            assert_eq!(pb2, pb);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let m = Atm::first_symbol_machine();
+        let enc = Encoding::for_atm(&m);
+        // No marker bit set at all.
+        let bits = vec![false; enc.total_bits()];
+        assert!(enc.decode(&m, &bits).is_none());
+        // Wrong length.
+        assert!(enc.decode(&m, &vec![false; 3]).is_none());
+    }
+
+    #[test]
+    fn gamma_has_stretched_depth() {
+        let m = Atm::first_symbol_machine();
+        let enc = Encoding::for_atm(&m);
+        let bits = enc.encode(&m.initial_config(&[1]), false);
+        let mut t = BinTree::new();
+        let leaves = attach_gamma(&mut t, 0, &bits);
+        assert_eq!(leaves.len(), enc.total_bits());
+        // Every γ-leaf sits at depth 4·(L+1) = 4·d below the main node.
+        for &l in &leaves {
+            assert_eq!(t.depth[l], 4 * enc.d());
+        }
+    }
+
+    #[test]
+    fn beta_tree_main_structure() {
+        let m = Atm::trivially_rejecting();
+        let enc = Encoding::for_atm(&m);
+        // Budget 4: only the root main expands; its chain and attachment
+        // mains are bare.
+        let beta = build_beta(&m, &enc, &[0], 0, 4);
+        // Root main + 2·(γ-leaves) attachment mains + 2 successor mains.
+        assert_eq!(beta.mains.len(), 1 + 2 * enc.total_bits() + 2);
+        // The root main is at depth 4 (below the 0010 chain) and its path
+        // suffix is 0,0,1,0.
+        let (root_main, _, _) = beta.mains[0];
+        assert_eq!(
+            beta.tree.suffix(root_main, 4),
+            Some(vec![false, false, true, false])
+        );
+        // Sibling mains' suffixes end with 001∗.
+        for &(mn, _, _) in &beta.mains[1..] {
+            let s = beta.tree.suffix(mn, 4).unwrap();
+            assert_eq!(&s[..3], &[false, false, true]);
+        }
+    }
+
+    #[test]
+    fn ideal_attachments_hang_under_gamma_leaves() {
+        let m = Atm::trivially_rejecting();
+        let enc = Encoding::for_atm(&m);
+        let beta = build_beta(&m, &enc, &[0], 0, 4);
+        // Attachment mains sit at depth (root main) + 4·d + 4.
+        let attach_depth = 4 + 4 * enc.d() + 4;
+        let n_attach = beta
+            .mains
+            .iter()
+            .filter(|&&(v, _, _)| beta.tree.depth[v] == attach_depth)
+            .count();
+        assert_eq!(n_attach, 2 * enc.total_bits());
+    }
+}

@@ -1,0 +1,34 @@
+//! F2 — cactus growth with depth: the span-1 chain vs. the
+//! doubly-exponential span-2 tree (Example 3 / §3.2's 01-tree view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_cactus::enumerate::enumerate_cactuses;
+use sirup_workloads::paper;
+
+fn cactus_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cactus_growth");
+    bench_opts(&mut g);
+    let span1 = paper::q5();
+    let span2 = paper::q2_cq();
+    for depth in [2u32, 3] {
+        g.bench_with_input(
+            BenchmarkId::new("span1_enumerate", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| enumerate_cactuses(&span1, d, 100_000).0.len());
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("span2_enumerate", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| enumerate_cactuses(&span2, d, 100_000).0.len());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cactus_growth);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! T9 / T11 — the paper's polynomial-time and FPT deciders.
+//!
+//! Theorem 11's trichotomy is polynomial in `|q|`; Theorem 9's Λ-CQ
+//! dichotomy is `p(|q|)·2^{p′(k)}` — polynomial at each fixed span `k`.
+//! The sweep grows `|q|` at fixed span (polynomial shape) and grows the
+//! span at fixed `|q|`-per-branch (the exponential-in-`k` factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_classifier::{classify_trichotomy, lambda_fo_rewritable};
+use sirup_core::{OneCq, Pred, Structure};
+use sirup_workloads::paper;
+
+/// A span-`k` Λ-CQ: a root with one `F`-branch of length 2 and `k`
+/// `T`-branches of length `len` over per-branch edge labels.
+fn lambda_cq(k: usize, len: usize) -> OneCq {
+    let mut s = Structure::new();
+    let root = s.add_node();
+    let f1 = s.add_node();
+    let f2 = s.add_node();
+    s.add_edge(Pred::R, root, f1);
+    s.add_edge(Pred::S, f1, f2);
+    s.add_label(f2, Pred::F);
+    for i in 0..k {
+        let p = Pred::new(&format!("Br{i}"));
+        let mut cur = root;
+        for _ in 0..len {
+            let nxt = s.add_node();
+            s.add_edge(p, cur, nxt);
+            cur = nxt;
+        }
+        s.add_label(cur, Pred::T);
+    }
+    OneCq::new(s).expect("constructed Λ-CQ is a 1-CQ")
+}
+
+fn trichotomy_decider(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trichotomy_decider");
+    bench_opts(&mut g);
+    for (name, q) in [
+        ("q4", paper::q4()),
+        ("q5", paper::q5().structure().clone()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| classify_trichotomy(&q));
+        });
+    }
+    // Polynomial growth in |q| at span 1.
+    for len in [2usize, 4, 8] {
+        let q = lambda_cq(1, len);
+        g.bench_with_input(
+            BenchmarkId::new("span1_branch_len", len),
+            q.structure(),
+            |b, s| {
+                b.iter(|| classify_trichotomy(s));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn lambda_fpt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lambda_fpt");
+    bench_opts(&mut g);
+    for (name, q) in [("q4_span1", paper::q4_cq()), ("q8_span1", paper::q8())] {
+        g.bench_function(name, |b| {
+            b.iter(|| lambda_fo_rewritable(&q));
+        });
+    }
+    // |q| sweep at fixed span (polynomial factor p(|q|)).
+    for len in [2usize, 4, 8] {
+        let q = lambda_cq(1, len);
+        g.bench_with_input(BenchmarkId::new("size_sweep_span1", len), &q, |b, q| {
+            b.iter(|| lambda_fo_rewritable(q));
+        });
+    }
+    // Span sweep at fixed branch length (the 2^{p′(k)} factor).
+    for k in [1usize, 2, 3] {
+        let q = lambda_cq(k, 2);
+        g.bench_with_input(BenchmarkId::new("span_sweep", k), &q, |b, q| {
+            b.iter(|| lambda_fo_rewritable(q));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, trichotomy_decider, lambda_fpt);
+criterion_main!(benches);

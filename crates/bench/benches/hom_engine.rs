@@ -1,0 +1,37 @@
+//! Substrate — the homomorphism engine every layer sits on: pattern-into-
+//! cactus searches at growing sizes, existence vs. pinned vs. enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_cactus::enumerate::full_cactus;
+use sirup_hom::{all_homs, HomFinder};
+use sirup_workloads::paper;
+
+fn hom_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hom_engine");
+    bench_opts(&mut g);
+    let q = paper::q8();
+    for depth in [2u32, 4, 6] {
+        let small = full_cactus(&q, 2);
+        let big = full_cactus(&q, depth);
+        g.bench_with_input(BenchmarkId::new("exists", depth), &depth, |b, _| {
+            b.iter(|| HomFinder::new(small.structure(), big.structure()).exists());
+        });
+        g.bench_with_input(BenchmarkId::new("pinned_root", depth), &depth, |b, _| {
+            b.iter(|| {
+                HomFinder::new(small.structure(), big.structure())
+                    .fix(small.root_focus(), big.root_focus())
+                    .exists()
+            });
+        });
+    }
+    let c0 = full_cactus(&q, 1);
+    let c3 = full_cactus(&q, 3);
+    g.bench_function("all_homs_capped", |b| {
+        b.iter(|| all_homs(c0.structure(), c3.structure(), 256).len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hom_engine);
+criterion_main!(benches);

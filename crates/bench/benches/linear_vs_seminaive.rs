@@ -1,0 +1,53 @@
+//! Ablation — evaluating linear sirups: the NL-style fact-graph
+//! reachability evaluator (`sirup-engine::linear`) against the general
+//! semi-naive engine on growing chain instances. The shape: both are
+//! polynomial; the fact-graph evaluator pays an O(n²) edge-materialisation
+//! once, the semi-naive engine re-runs pinned hom checks per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_core::program::sigma_q;
+use sirup_core::{OneCq, Pred, Structure};
+use sirup_engine::eval::certain_answers_unary;
+use sirup_engine::linear::LinearEvaluator;
+
+/// A derivation chain of `n` q4-patterns glued through `A`-nodes.
+fn chain(n: usize) -> Structure {
+    let mut s = Structure::new();
+    let mut cur = s.add_node();
+    s.add_label(cur, Pred::T);
+    for _ in 0..n {
+        let m = s.add_node();
+        let nxt = s.add_node();
+        s.add_label(nxt, Pred::A);
+        s.add_edge(Pred::R, m, nxt);
+        s.add_edge(Pred::R, m, cur);
+        cur = nxt;
+    }
+    s
+}
+
+fn linear_vs_seminaive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_vs_seminaive");
+    bench_opts(&mut g);
+    let q4 = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+    let sig = sigma_q(&q4);
+    for n in [4usize, 8, 16] {
+        let d = chain(n);
+        g.bench_with_input(BenchmarkId::new("fact_graph_nl", n), &d, |b, d| {
+            b.iter(|| LinearEvaluator::new(&sig, d).goal_nodes(Pred::P).len());
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &d, |b, d| {
+            b.iter(|| certain_answers_unary(&sig, d).len());
+        });
+    }
+    // Sanity: both agree on the largest instance (checked once, not timed).
+    let d = chain(16);
+    let fast = LinearEvaluator::new(&sig, &d).goal_nodes(Pred::P);
+    let slow = certain_answers_unary(&sig, &d);
+    assert_eq!(fast, slow);
+    g.finish();
+}
+
+criterion_group!(benches, linear_vs_seminaive);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! T7 / G / Claim 9.3 — the reachability reductions: the Theorem 7
+//! directed-dag instance, the Appendix G undirected instance, and the
+//! Appendix E periodic blow-up, each built and evaluated at growing graph
+//! sizes. The shape to observe: instance construction is linear in `|G|`
+//! (the reductions are FO/logspace-like) while the evaluation cost tracks
+//! the instance size polynomially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_classifier::theorem7::reduction_pair;
+use sirup_classifier::DitreeCqAnalysis;
+use sirup_core::program::DSirup;
+use sirup_engine::disjunctive::certain_answer_dsirup;
+use sirup_workloads::appendix_e::appendix_e_instance;
+use sirup_workloads::paper;
+use sirup_workloads::reach::{
+    dag_reduction_instance, undirected_reduction_instance, Digraph,
+};
+
+fn reachability_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reachability_reduction");
+    bench_opts(&mut g);
+    // Theorem 7: directed reachability through q3.
+    let q3 = paper::q3();
+    let a3 = DitreeCqAnalysis::new(&q3).unwrap();
+    let (t3, f3) = reduction_pair(&a3).unwrap();
+    for n in [6usize, 10, 14] {
+        let gr = Digraph::random_dag(n, 0.3, 7);
+        g.bench_with_input(BenchmarkId::new("t7_dag_q3", n), &gr, |b, gr| {
+            b.iter(|| {
+                let d = dag_reduction_instance(&q3, t3, f3, gr, 0, gr.n - 1);
+                certain_answer_dsirup(&DSirup::new(q3.clone()), &d)
+            });
+        });
+    }
+    // Appendix G: undirected reachability through the quasi-symmetric q4.
+    let q4 = paper::q4();
+    let a4 = DitreeCqAnalysis::new(&q4).unwrap();
+    let (t4, f4) = (a4.solitary_t[0], a4.solitary_f[0]);
+    for n in [6usize, 10, 14] {
+        let gr = Digraph::random_dag(n, 0.3, 11);
+        g.bench_with_input(BenchmarkId::new("g_undirected_q4", n), &gr, |b, gr| {
+            b.iter(|| {
+                let d = undirected_reduction_instance(&q4, t4, f4, gr, 0, gr.n - 1);
+                certain_answer_dsirup(&DSirup::new(q4.clone()), &d)
+            });
+        });
+    }
+    // Appendix E / Claim 9.3: the periodic blow-up for the span-1 q4.
+    let q4cq = paper::q4_cq();
+    for n in [6usize, 10, 14] {
+        let gr = Digraph::random_dag(n, 0.3, 13);
+        g.bench_with_input(BenchmarkId::new("e_periodic_q4", n), &gr, |b, gr| {
+            b.iter(|| {
+                let d = appendix_e_instance(&q4cq, gr, 0, gr.n - 1);
+                certain_answer_dsirup(&DSirup::new(q4cq.structure().clone()), &d)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, reachability_reduction);
+criterion_main!(benches);

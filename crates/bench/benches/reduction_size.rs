@@ -1,0 +1,27 @@
+//! T3 — hardness-construction sizes: Theorem 3's query `q` is polynomial
+//! in `|w|`, `|Q|`, `|Γ|`. The sweep grows the input and the machine and
+//! reports construction time; the polynomial *size* numbers per point are
+//! recorded in EXPERIMENTS.md (printed by `examples/hardness_construction`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirup_atm::machine::Atm;
+use sirup_bench::bench_opts;
+use sirup_reduction::measure;
+
+fn reduction_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_size");
+    bench_opts(&mut g);
+    for (name, m, w) in [
+        ("reject_w1", Atm::trivially_rejecting(), vec![0usize]),
+        ("first_w1", Atm::first_symbol_machine(), vec![1]),
+        ("first_w2", Atm::first_symbol_machine(), vec![1, 0]),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| measure(&m, &w).atoms);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, reduction_size);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Rewriting pipeline — the OBDA story of §1 end-to-end: extract the
+//! Prop. 2 UCQ rewriting from cactuses, translate to FO, render SQL, and
+//! evaluate through both the hom-based and the FO evaluation paths.
+//! The shape: extraction and rendering are cheap and depth-bounded;
+//! evaluating the rewriting beats re-running the recursive engine on
+//! bounded CQs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::{bench_opts, q4_ladder};
+use sirup_cactus::pi_rewriting;
+use sirup_core::program::pi_q;
+use sirup_core::OneCq;
+use sirup_engine::eval::certain_answer_goal;
+use sirup_fo::{render_sql, ucq_to_fo, SqlDialect};
+
+/// The bounded q5-phenomenon CQ (depth-1 rewriting exists).
+fn bounded_cq() -> OneCq {
+    OneCq::parse("T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)")
+}
+
+fn rewriting_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rewriting_pipeline");
+    bench_opts(&mut g);
+    let q = bounded_cq();
+    g.bench_function("extract_depth1", |b| {
+        b.iter(|| pi_rewriting(&q, 1, 10_000).unwrap().size());
+    });
+    let ucq = pi_rewriting(&q, 1, 10_000).unwrap();
+    g.bench_function("to_fo", |b| {
+        b.iter(|| ucq_to_fo(&ucq).size());
+    });
+    g.bench_function("to_sql", |b| {
+        b.iter(|| render_sql(&ucq, SqlDialect::Ansi).len());
+    });
+    let phi = ucq_to_fo(&ucq);
+    let pi = pi_q(&q);
+    for layers in [4usize, 8] {
+        let d = q4_ladder(layers);
+        g.bench_with_input(BenchmarkId::new("eval_ucq_hom", layers), &d, |b, d| {
+            b.iter(|| ucq.eval_boolean(d));
+        });
+        g.bench_with_input(BenchmarkId::new("eval_fo_naive", layers), &d, |b, d| {
+            b.iter(|| phi.eval_sentence(d));
+        });
+        g.bench_with_input(BenchmarkId::new("eval_engine", layers), &d, |b, d| {
+            b.iter(|| certain_answer_goal(&pi, d));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rewriting_pipeline);
+criterion_main!(benches);

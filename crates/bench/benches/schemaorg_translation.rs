@@ -1,0 +1,30 @@
+//! T6/P5 — the Schema.org presentation: translating instances between the
+//! `Δ_q` (A-labels) and `Δ'_q` (∃R⁻ range) presentations and evaluating,
+//! confirming the translation overhead is linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::{a_chain, bench_opts};
+use sirup_schemaorg::{certain_answer_schemaorg, to_schemaorg_instance, SchemaOrgQuery};
+use sirup_workloads::paper;
+
+fn schemaorg_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schemaorg_translation");
+    bench_opts(&mut g);
+    let q = paper::q3();
+    for n in [6usize, 10, 14] {
+        let d = a_chain(n);
+        g.bench_with_input(BenchmarkId::new("translate_and_eval", n), &d, |b, d| {
+            b.iter(|| {
+                let dp = to_schemaorg_instance(d);
+                certain_answer_schemaorg(&SchemaOrgQuery::new(q.clone()), &dp)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("translate_only", n), &d, |b, d| {
+            b.iter(|| to_schemaorg_instance(d).node_count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, schemaorg_translation);
+criterion_main!(benches);

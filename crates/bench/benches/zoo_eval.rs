@@ -1,0 +1,64 @@
+//! F1 — the Example 1 data-complexity ladder as measured shapes.
+//!
+//! The paper classifies evaluating `(Δ_qi, G)` as coNP/P/NL/L/AC0-complete
+//! for `i = 1…5`. The reproducible *shape*: the coNP-complete `q1` needs a
+//! labelling search that blows up with instance size, the datalog-evaluable
+//! `q2`–`q4` scale polynomially, and the FO-rewritable `q5` is answered by
+//! a constant-size UCQ whose cost barely moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::{a_chain, bench_opts, q4_ladder};
+use sirup_cactus::enumerate::full_cactus;
+use sirup_core::program::{pi_q, DSirup};
+use sirup_core::OneCq;
+use sirup_engine::disjunctive::certain_answer_dsirup;
+use sirup_engine::eval::certain_answer_goal;
+use sirup_engine::ucq::Ucq;
+use sirup_workloads::paper;
+
+fn zoo_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zoo_eval");
+    bench_opts(&mut g);
+    // q1 (coNP): labelling search over growing A-chains.
+    let q1 = paper::q1();
+    for n in [6usize, 10, 14] {
+        let d = a_chain(n);
+        g.bench_with_input(BenchmarkId::new("q1_conp_labelling", n), &d, |b, d| {
+            b.iter(|| certain_answer_dsirup(&DSirup::new(q1.clone()), d));
+        });
+    }
+    // q2 (P): datalog evaluation of the equivalent Π_q2 over chains.
+    let q2 = paper::q2_cq();
+    let pi2 = pi_q(&q2);
+    for n in [6usize, 10, 14] {
+        let d = a_chain(n);
+        g.bench_with_input(BenchmarkId::new("q2_datalog", n), &d, |b, d| {
+            b.iter(|| certain_answer_goal(&pi2, d));
+        });
+    }
+    // q4 (L, via Π_q datalog evaluation) over growing ladders.
+    let q4 = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+    let pi4 = pi_q(&q4);
+    for layers in [4usize, 8, 16] {
+        let d = q4_ladder(layers);
+        g.bench_with_input(BenchmarkId::new("q4_datalog", layers), &d, |b, d| {
+            b.iter(|| certain_answer_goal(&pi4, d));
+        });
+    }
+    // q5 (AC0): evaluate the fixed UCQ rewriting C0 ∨ C1.
+    let q5 = paper::q5();
+    let rewriting = Ucq::boolean([
+        full_cactus(&q5, 0).structure().clone(),
+        full_cactus(&q5, 1).structure().clone(),
+    ]);
+    for layers in [4usize, 8, 16] {
+        let d = q4_ladder(layers);
+        g.bench_with_input(BenchmarkId::new("q5_ucq_rewriting", layers), &d, |b, d| {
+            b.iter(|| rewriting.eval_boolean(d));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, zoo_eval);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! # sirup-bench
+//!
+//! Criterion benchmark harness for the monadic-sirups reproduction.
+//!
+//! One benchmark group per experiment id (see `DESIGN.md` and
+//! `EXPERIMENTS.md`): the Example 1 zoo evaluation shapes (`zoo_eval`,
+//! experiment F1), cactus growth (`cactus_growth`, F2), the reachability
+//! reduction (`reachability_reduction`, T7), the trichotomy and Λ-CQ
+//! deciders (`trichotomy_decider` / `lambda_fpt`, T11 / T9), the hardness
+//! construction size sweep (`reduction_size`, T3), and the Schema.org
+//! translation (`schemaorg_translation`, T6/P5). Helper workload builders
+//! live here so the bench target stays declarative.
+
+use criterion::measurement::WallTime;
+use criterion::BenchmarkGroup;
+use sirup_core::{Node, Pred, Structure};
+use std::time::Duration;
+
+/// Uniform, short bench settings so the full `cargo bench` sweep stays
+/// laptop-scale: small sample count, sub-second measurement windows.
+pub fn bench_opts(g: &mut BenchmarkGroup<'_, WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(700));
+}
+
+/// A chain instance `T(s) → A … A → F(t)` with branching factor 1 that
+/// scales the disjunctive labelling search (coNP shape for q1-style CQs).
+pub fn a_chain(n: usize) -> Structure {
+    let mut s = Structure::with_nodes(n.max(2));
+    s.add_label(Node(0), Pred::T);
+    for i in 0..s.node_count() - 1 {
+        s.add_edge(Pred::R, Node(i as u32), Node(i as u32 + 1));
+        if i > 0 {
+            s.add_label(Node(i as u32), Pred::A);
+        }
+    }
+    let last = Node(s.node_count() as u32 - 1);
+    s.add_label(last, Pred::F);
+    s
+}
+
+/// Layered instance for datalog evaluation scaling: `layers` layers of q4
+/// patterns chained through `A`-nodes, seeded with a `T` at the deep end.
+pub fn q4_ladder(layers: usize) -> Structure {
+    let mut s = Structure::new();
+    let f = s.add_node();
+    s.add_label(f, Pred::F);
+    let mut lower = f;
+    for i in 0..layers {
+        let mid = s.add_node();
+        let upper = s.add_node();
+        s.add_edge(Pred::R, mid, lower);
+        s.add_edge(Pred::R, mid, upper);
+        if i + 1 == layers {
+            s.add_label(upper, Pred::T);
+        } else {
+            s.add_label(upper, Pred::A);
+        }
+        lower = upper;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_chain_shape() {
+        let s = a_chain(6);
+        assert_eq!(s.nodes_with_label(Pred::A).len(), 4);
+        assert_eq!(s.nodes_with_label(Pred::T).len(), 1);
+        assert_eq!(s.nodes_with_label(Pred::F).len(), 1);
+    }
+
+    #[test]
+    fn ladder_derives_goal() {
+        use sirup_core::program::pi_q;
+        use sirup_core::OneCq;
+        let q4 = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+        let d = q4_ladder(4);
+        assert!(sirup_engine::eval::certain_answer_goal(&pi_q(&q4), &d));
+    }
+}

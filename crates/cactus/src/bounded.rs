@@ -1,0 +1,279 @@
+//! The Prop. 2 boundedness criterion with a finite horizon, and (foc).
+//!
+//! Prop. 2: for a 1-CQ `q`, `(Π_q, G)` is bounded iff there is `d < ω` such
+//! that every `C ∈ 𝔎_q` contains a homomorphic image of some `C′ ∈ 𝔎_q` of
+//! depth ≤ d; `(Σ_q, P)` is bounded iff additionally `h(r′) = r` can be
+//! required (automatic when `q` is *focused*).
+//!
+//! `𝔎_q` is infinite, so a terminating check explores it to a finite
+//! *horizon*: [`find_bound`] certifies “bounded with depth `d`, verified on
+//! all cactuses of depth ≤ horizon”, or produces a concrete witness cactus
+//! into which no small cactus maps — evidence of unboundedness at this
+//! horizon. (The genuine decision problem is 2ExpTime-complete — Theorem 3 —
+//! so a horizon is the honest laptop-scale substitute; for the classes where
+//! the paper gives exact deciders, `sirup-classifier` implements those.)
+
+use crate::cactus::Cactus;
+use crate::enumerate::enumerate_cactuses;
+use sirup_core::OneCq;
+use sirup_hom::HomFinder;
+
+/// Parameters for the bounded-horizon Prop. 2 check.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundSearch {
+    /// Largest candidate depth bound `d` to try.
+    pub max_d: u32,
+    /// Check all cactuses up to this depth (must be > `max_d`).
+    pub horizon: u32,
+    /// Cap on the number of enumerated cactus shapes.
+    pub cap: usize,
+    /// Require `h(r′) = r` (the `(Σ_q, P)` variant of Prop. 2).
+    pub sigma: bool,
+}
+
+impl Default for BoundSearch {
+    fn default() -> Self {
+        BoundSearch {
+            max_d: 2,
+            horizon: 4,
+            cap: 4096,
+            sigma: false,
+        }
+    }
+}
+
+/// Outcome of a bounded-horizon Prop. 2 check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Boundedness {
+    /// Every enumerated cactus of depth ≤ horizon contains a homomorphic
+    /// image of some cactus of depth ≤ `d` (and `d` is minimal with this
+    /// property among those tried).
+    BoundedEvidence {
+        /// The depth bound.
+        d: u32,
+        /// How deep the evidence goes.
+        horizon: u32,
+    },
+    /// For every `d ≤ max_d` some cactus of depth ≤ horizon admits no
+    /// homomorphism from any cactus of depth ≤ d; `witness_depth` is the
+    /// depth of the witness found for `d = max_d`.
+    UnboundedEvidence {
+        /// Depth of the witness cactus for the largest `d` tried.
+        witness_depth: u32,
+    },
+    /// The shape cap was hit before the horizon; no verdict.
+    Inconclusive,
+}
+
+/// Run the bounded-horizon Prop. 2 check for `(Π_q, G)` (or `(Σ_q, P)` with
+/// `sigma = true`).
+pub fn find_bound(q: &OneCq, params: BoundSearch) -> Boundedness {
+    assert!(params.horizon > params.max_d, "horizon must exceed max_d");
+    let (cactuses, complete) = enumerate_cactuses(q, params.horizon, params.cap);
+    if !complete {
+        return Boundedness::Inconclusive;
+    }
+    'next_d: for d in 0..=params.max_d {
+        let smalls: Vec<&Cactus> = cactuses.iter().filter(|c| c.depth() <= d).collect();
+        let mut witness_depth = None;
+        for big in cactuses.iter().filter(|c| c.depth() > d) {
+            let image_found = smalls.iter().any(|small| embeds(small, big, params.sigma));
+            if !image_found {
+                witness_depth = Some(big.depth());
+                if d == params.max_d {
+                    return Boundedness::UnboundedEvidence {
+                        witness_depth: witness_depth.unwrap(),
+                    };
+                }
+                continue 'next_d;
+            }
+        }
+        if witness_depth.is_none() {
+            return Boundedness::BoundedEvidence {
+                d,
+                horizon: params.horizon,
+            };
+        }
+    }
+    unreachable!("loop returns for d = max_d")
+}
+
+/// Does `small` map homomorphically into `big` (optionally with root-focus
+/// fixed to root-focus)?
+pub fn embeds(small: &Cactus, big: &Cactus, fix_root: bool) -> bool {
+    let finder = HomFinder::new(small.structure(), big.structure());
+    if fix_root {
+        finder.fix(small.root_focus(), big.root_focus()).exists()
+    } else {
+        finder.exists()
+    }
+}
+
+/// Check condition (foc) up to a horizon: for all enumerated cactuses
+/// `C, C′` of depth ≤ horizon, every homomorphism `h : C → C′` maps
+/// root-focus to root-focus. Returns `Some(true/false)` on a verdict, `None`
+/// if the cap was hit.
+pub fn is_focused_up_to(q: &OneCq, horizon: u32, cap: usize) -> Option<bool> {
+    let (cactuses, complete) = enumerate_cactuses(q, horizon, cap);
+    if !complete {
+        return None;
+    }
+    for c in &cactuses {
+        for c2 in &cactuses {
+            // A focus-violating hom exists iff one exists with h(r) ≠ r′.
+            let violating = HomFinder::new(c.structure(), c2.structure())
+                .forbid(c.root_focus(), c2.root_focus())
+                .exists();
+            if violating {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A focused, bounded span-1 Λ-CQ exhibiting the q5 phenomenon of
+    /// Example 4 (both (Π,G) and (Σ,P) bounded): the root focus has a twin
+    /// sibling `w`, so the budded `T`-node's replacement always folds onto
+    /// `w`. (The paper's exact q5 is reconstructed in `sirup-workloads`.)
+    fn bounded_twin_cq() -> OneCq {
+        OneCq::parse("F(x), R(x,y), T(y), R(x,w), T(w), F(w)")
+    }
+
+    /// An unfocused 1-CQ exhibiting the q6 phenomenon of Example 4:
+    /// the twin `w` has the same out-pattern as the root focus `r` (both
+    /// point at `t`), so homs between cactuses may send `r` to a twin —
+    /// (Π,G) stays bounded while (Σ,P) is unbounded.
+    fn unfocused_cq() -> OneCq {
+        OneCq::parse("F(r), R(r,t), T(t), R(w,t), F(w), T(w)")
+    }
+
+    #[test]
+    fn twin_sibling_cq_is_focused_and_bounded_both_ways() {
+        let q = bounded_twin_cq();
+        assert_eq!(q.span(), 1);
+        assert_eq!(is_focused_up_to(&q, 3, 1000), Some(true));
+        let pi = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 4096,
+                sigma: false,
+            },
+        );
+        // Every cactus contains a hom image of C0 = q itself (the budded
+        // T-node folds onto the twin w), so the bound is d = 0.
+        assert_eq!(pi, Boundedness::BoundedEvidence { d: 0, horizon: 5 });
+        let sigma = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 4096,
+                sigma: true,
+            },
+        );
+        assert_eq!(sigma, Boundedness::BoundedEvidence { d: 0, horizon: 5 });
+    }
+
+    #[test]
+    fn unfocused_gap_between_pi_and_sigma() {
+        let q = unfocused_cq();
+        // A hom C0 → C1 sending r to the child twin exists: not focused.
+        assert_eq!(is_focused_up_to(&q, 2, 1000), Some(false));
+        // (Π, G) is bounded: q itself maps into every cactus.
+        let pi = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 4096,
+                sigma: false,
+            },
+        );
+        assert_eq!(pi, Boundedness::BoundedEvidence { d: 0, horizon: 5 });
+        // (Σ, P) is not: fixing the root focus blocks every small image.
+        let sigma = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 4096,
+                sigma: true,
+            },
+        );
+        assert!(
+            matches!(sigma, Boundedness::UnboundedEvidence { .. }),
+            "{sigma:?}"
+        );
+    }
+
+    #[test]
+    fn span0_is_trivially_bounded() {
+        let q = OneCq::parse("F(x), R(x,y)");
+        let b = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 0,
+                horizon: 1,
+                cap: 16,
+                sigma: false,
+            },
+        );
+        assert_eq!(b, Boundedness::BoundedEvidence { d: 0, horizon: 1 });
+    }
+
+    #[test]
+    fn plain_path_is_unbounded() {
+        // q3-like 1-CQ: T(x), R(x,y), F(y) reversed into a 1-CQ with one
+        // solitary F and one solitary T: F(x), R(x,y), T(y). Budding builds
+        // ever longer A-chains with no short hom images: the classic
+        // transitive-closure-style unbounded sirup.
+        let q = OneCq::parse("F(x), R(x,y), T(y)");
+        let b = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 4,
+                cap: 4096,
+                sigma: false,
+            },
+        );
+        assert!(matches!(b, Boundedness::UnboundedEvidence { .. }), "{b:?}");
+    }
+
+    #[test]
+    fn cap_yields_inconclusive() {
+        let q = OneCq::parse("F(x), R(x,y1), T(y1), S(x,y2), T(y2)");
+        let b = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 1,
+                horizon: 3,
+                cap: 10,
+                sigma: false,
+            },
+        );
+        assert_eq!(b, Boundedness::Inconclusive);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must exceed max_d")]
+    fn horizon_must_exceed_max_d() {
+        let q = OneCq::parse("F(x), R(x,y), T(y)");
+        let _ = find_bound(
+            &q,
+            BoundSearch {
+                max_d: 2,
+                horizon: 2,
+                cap: 10,
+                sigma: false,
+            },
+        );
+    }
+}

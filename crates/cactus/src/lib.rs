@@ -1,0 +1,25 @@
+//! # sirup-cactus
+//!
+//! The cactus machinery of §2 of *“Deciding Boundedness of Monadic Sirups”*.
+//!
+//! Cactuses are the `G`-expansions of the program `Π_q`: starting from
+//! `C_G = {q}`, the rule **(bud)** replaces a solitary `T(y)` by a fresh copy
+//! of `q⁻` whose focus is renamed to `y` and labelled `A`. The set `𝔎_q` of
+//! all cactuses characterises certain answers (Prop. 1) and boundedness
+//! (Prop. 2).
+//!
+//! * [`cactus`]: the [`Cactus`] type — segments, skeleton, root focus,
+//!   budding, and the `C◦` variant;
+//! * [`enumerate`]: canonical enumeration of cactus shapes up to a depth;
+//! * [`bounded`]: the Prop. 2 criterion with a finite horizon — boundedness
+//!   evidence for `(Π_q, G)` and `(Σ_q, P)`, plus the (foc) condition.
+
+pub mod bounded;
+pub mod cactus;
+pub mod enumerate;
+pub mod rewriting;
+
+pub use bounded::{find_bound, is_focused_up_to, BoundSearch, Boundedness};
+pub use cactus::{Cactus, Segment};
+pub use enumerate::{enumerate_cactuses, enumerate_shapes, Shape};
+pub use rewriting::{pi_rewriting, sigma_rewriting};

@@ -1,0 +1,130 @@
+//! UCQ rewritings from the Prop. 2 proof, (c) ⇒ (a)/(b).
+//!
+//! If every cactus contains a homomorphic image of some cactus of depth
+//! ≤ `d`, then
+//!
+//! * `∃r̄ (C_1 ∨ … ∨ C_m)` — the cactuses of depth ≤ `d` read as Boolean
+//!   CQs — is an FO-rewriting of `(Π_q, G)`, and
+//! * `Φ(r) = T(r) ∨ ∃ȳ (C◦_1 ∨ … ∨ C◦_m)` — with the root focus free and
+//!   relabelled `A` — is an FO-rewriting of `(Σ_q, P)` when `q` is focused.
+//!
+//! These constructors extract the candidate rewritings; whether they *are*
+//! rewritings is exactly the boundedness question, so the test-suite checks
+//! them against the engine on bounded CQs (agreement on random instances)
+//! and exhibits the failure witness on unbounded ones.
+
+use crate::enumerate::enumerate_cactuses;
+use sirup_core::{OneCq, Pred};
+use sirup_engine::ucq::Ucq;
+
+/// The candidate Boolean rewriting of `(Π_q, G)` at depth `d`:
+/// the disjunction of all cactuses of depth ≤ `d`. `None` if the shape cap
+/// was hit.
+pub fn pi_rewriting(q: &OneCq, d: u32, cap: usize) -> Option<Ucq> {
+    let (cactuses, complete) = enumerate_cactuses(q, d, cap);
+    complete.then(|| Ucq::boolean(cactuses.iter().map(|c| c.structure().clone())))
+}
+
+/// The candidate unary rewriting `Φ(r)` of `(Σ_q, P)` at depth `d`:
+/// `T(r)` plus all `C◦` of depth ≤ `d` with the root focus free.
+pub fn sigma_rewriting(q: &OneCq, d: u32, cap: usize) -> Option<Ucq> {
+    let (cactuses, complete) = enumerate_cactuses(q, d, cap);
+    if !complete {
+        return None;
+    }
+    let mut disjuncts = Vec::with_capacity(cactuses.len() + 1);
+    // T(r) disjunct: a single free node labelled T.
+    let mut t = sirup_core::Structure::new();
+    let r = t.add_node();
+    t.add_label(r, Pred::T);
+    disjuncts.push((t, r));
+    for c in &cactuses {
+        disjuncts.push((c.degree_structure(), c.root_focus()));
+    }
+    Some(Ucq::unary(disjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+    use sirup_core::program::{pi_q, sigma_q};
+    use sirup_engine::eval::{certain_answer_goal, certain_answers_unary};
+
+    /// A bounded, focused 1-CQ (the q5 phenomenon): rewriting depth 1.
+    fn bounded_cq() -> OneCq {
+        // Verified bounded (d = 1) in sirup-workloads::paper::q5; reproduce
+        // the same CQ literally to avoid a cyclic dev-dependency.
+        OneCq::parse("T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)")
+    }
+
+    #[test]
+    fn pi_rewriting_matches_engine_on_bounded_cq() {
+        let q = bounded_cq();
+        let rewriting = pi_rewriting(&q, 1, 1000).unwrap();
+        let pi = pi_q(&q);
+        // Check agreement on assorted instances, including cactuses (which
+        // must answer 'yes') and near-misses.
+        let (cactuses, _) = enumerate_cactuses(&q, 3, 1000);
+        for c in &cactuses {
+            assert!(certain_answer_goal(&pi, c.structure()));
+            assert!(rewriting.eval_boolean(c.structure()));
+        }
+        let negative = st("F(x), R(x,y), T(y)");
+        assert_eq!(
+            certain_answer_goal(&pi, &negative),
+            rewriting.eval_boolean(&negative)
+        );
+    }
+
+    #[test]
+    fn sigma_rewriting_matches_engine_on_bounded_cq() {
+        let q = bounded_cq();
+        let rewriting = sigma_rewriting(&q, 1, 1000).unwrap();
+        let sigma = sigma_q(&q);
+        let (cactuses, _) = enumerate_cactuses(&q, 2, 1000);
+        for c in &cactuses {
+            let data = c.degree_structure();
+            let engine_answers = certain_answers_unary(&sigma, &data);
+            for a in data.nodes() {
+                let in_rewriting = rewriting.eval_at(&data, a);
+                let in_engine = engine_answers.contains(&a);
+                assert_eq!(in_rewriting, in_engine, "node {a:?} of {data}");
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_fails_for_unbounded_cq() {
+        // q4 is unbounded: the depth-1 candidate rewriting must miss the
+        // deep cactus C_3 (which the engine answers 'yes' on).
+        let q = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+        let rewriting = pi_rewriting(&q, 1, 1000).unwrap();
+        let deep = crate::enumerate::full_cactus(&q, 3);
+        assert!(certain_answer_goal(&pi_q(&q), deep.structure()));
+        assert!(
+            !rewriting.eval_boolean(deep.structure()),
+            "depth-1 rewriting must fail on C_3 for the unbounded q4"
+        );
+    }
+
+    #[test]
+    fn rewriting_sizes() {
+        let q = bounded_cq();
+        let r0 = pi_rewriting(&q, 0, 100).unwrap();
+        let r1 = pi_rewriting(&q, 1, 100).unwrap();
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r1.len(), 2); // span 1: C0 and C1
+        assert!(r1.size() > r0.size());
+        // The Σ-rewriting has the extra T(r) disjunct.
+        let s1 = sigma_rewriting(&q, 1, 100).unwrap();
+        assert_eq!(s1.len(), 3);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let q = sirup_core::OneCq::parse("F(x), R(x,y1), T(y1), S(x,y2), T(y2)");
+        assert!(pi_rewriting(&q, 3, 10).is_none());
+        assert!(sigma_rewriting(&q, 3, 10).is_none());
+    }
+}

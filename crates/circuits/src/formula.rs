@@ -1,0 +1,202 @@
+//! Boolean formulas as `{AND, NOT, VAR}` ditrees.
+//!
+//! §3.5.2 encodes each formula gate-by-gate into the main block of a gadget;
+//! the formula is a *tree* (a variable may label many leaves). OR and other
+//! connectives are derived via De Morgan.
+
+/// A Boolean formula over variables `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// A variable leaf.
+    Var(usize),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Binary conjunction.
+    And(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Literal: the variable or its negation.
+    pub fn lit(var: usize, positive: bool) -> Formula {
+        if positive {
+            Formula::Var(var)
+        } else {
+            Formula::Not(Box::new(Formula::Var(var)))
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Binary conjunction.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Binary disjunction (De Morgan).
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::not(Formula::and(Formula::not(a), Formula::not(b)))
+    }
+
+    /// Conjunction of a non-empty list (balanced).
+    pub fn all(mut fs: Vec<Formula>) -> Formula {
+        assert!(!fs.is_empty(), "empty conjunction");
+        while fs.len() > 1 {
+            let mut next = Vec::with_capacity(fs.len().div_ceil(2));
+            let mut it = fs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(Formula::and(a, b)),
+                    None => next.push(a),
+                }
+            }
+            fs = next;
+        }
+        fs.pop().unwrap()
+    }
+
+    /// Disjunction of a non-empty list (balanced, via De Morgan).
+    pub fn any(fs: Vec<Formula>) -> Formula {
+        assert!(!fs.is_empty(), "empty disjunction");
+        Formula::not(Formula::all(fs.into_iter().map(Formula::not).collect()))
+    }
+
+    /// `⋀_i (x_{vars[i]} = bits[i])` for fixed bit patterns.
+    pub fn eq_const(vars: &[usize], bits: &[bool]) -> Formula {
+        assert_eq!(vars.len(), bits.len());
+        assert!(!vars.is_empty());
+        Formula::all(
+            vars.iter()
+                .zip(bits)
+                .map(|(&v, &b)| Formula::lit(v, b))
+                .collect(),
+        )
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::Var(v) => assignment[*v],
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(a, b) => a.eval(assignment) && b.eval(assignment),
+        }
+    }
+
+    /// Three-valued evaluation under a partial assignment: `Some(b)` if the
+    /// formula's value is already forced, `None` if it still depends on
+    /// unassigned variables. Used to prune the input-gathering search in
+    /// `TypedFormula` (a `Some(false)` after assigning a prefix of the
+    /// downpath groups rules out every extension).
+    pub fn eval_partial(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        match self {
+            Formula::Var(v) => assignment[*v],
+            Formula::Not(f) => f.eval_partial(assignment).map(|b| !b),
+            Formula::And(a, b) => match a.eval_partial(assignment) {
+                Some(false) => Some(false),
+                av => match (av, b.eval_partial(assignment)) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+            },
+        }
+    }
+
+    /// Number of gates (internal nodes).
+    pub fn gate_count(&self) -> usize {
+        match self {
+            Formula::Var(_) => 0,
+            Formula::Not(f) => 1 + f.gate_count(),
+            Formula::And(a, b) => 1 + a.gate_count() + b.gate_count(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Formula::Var(_) => 1,
+            Formula::Not(f) => f.leaf_count(),
+            Formula::And(a, b) => a.leaf_count() + b.leaf_count(),
+        }
+    }
+
+    /// Largest variable index + 1 mentioned.
+    pub fn var_count(&self) -> usize {
+        match self {
+            Formula::Var(v) => v + 1,
+            Formula::Not(f) => f.var_count(),
+            Formula::And(a, b) => a.var_count().max(b.var_count()),
+        }
+    }
+
+    /// Is the formula satisfiable? (Brute force; only for small variable
+    /// counts in tests.)
+    pub fn satisfiable_brute(&self) -> Option<Vec<bool>> {
+        let n = self.var_count();
+        assert!(n <= 24, "brute-force satisfiability is for tests only");
+        for m in 0u64..(1 << n) {
+            let a: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            if self.eval(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let f = Formula::or(Formula::lit(0, true), Formula::lit(1, false));
+        assert!(f.eval(&[true, true]));
+        assert!(f.eval(&[false, false]));
+        assert!(!f.eval(&[false, true]));
+    }
+
+    #[test]
+    fn all_and_any_are_nary() {
+        let f = Formula::all((0..5).map(|i| Formula::lit(i, true)).collect());
+        assert!(f.eval(&[true; 5]));
+        assert!(!f.eval(&[true, true, false, true, true]));
+        let g = Formula::any((0..5).map(|i| Formula::lit(i, true)).collect());
+        assert!(g.eval(&[false, false, false, true, false]));
+        assert!(!g.eval(&[false; 5]));
+    }
+
+    #[test]
+    fn eq_const_matches_exactly() {
+        let f = Formula::eq_const(&[0, 1, 2], &[true, false, true]);
+        assert!(f.eval(&[true, false, true]));
+        assert!(!f.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn sizes_are_tracked() {
+        let f = Formula::and(Formula::lit(0, true), Formula::lit(1, false));
+        assert_eq!(f.gate_count(), 2); // and + not
+        assert_eq!(f.leaf_count(), 2);
+        assert_eq!(f.var_count(), 2);
+    }
+
+    #[test]
+    fn balanced_all_has_linear_size() {
+        let n = 64;
+        let f = Formula::all((0..n).map(|i| Formula::lit(i, true)).collect());
+        assert_eq!(f.leaf_count(), n);
+        assert_eq!(f.gate_count(), n - 1);
+    }
+
+    #[test]
+    fn brute_sat() {
+        let f = Formula::and(Formula::lit(0, true), Formula::lit(0, false));
+        assert!(f.satisfiable_brute().is_none());
+        let g = Formula::eq_const(&[0, 1], &[false, true]);
+        assert_eq!(g.satisfiable_brute(), Some(vec![false, true]));
+    }
+}

@@ -1,0 +1,25 @@
+//! # sirup-circuits
+//!
+//! The Boolean formulas of §3.4 of *“Deciding Boundedness of Monadic
+//! Sirups”* — the local-property checkers that the §3.5 gadgets implement.
+//!
+//! * [`formula`]: Boolean formulas as `{AND, NOT, VAR}` ditrees (the shape
+//!   the gadget encoding of §3.5.2 consumes), with evaluation, size
+//!   accounting, and combinators (or/any/all/eq-const);
+//! * [`typed`]: *typed* formulas — each variable is declared to be gathered
+//!   from the `k`-long **uppath** or from a shared **downpath** group
+//!   (§3.4's input-types), with gathering/evaluation against 01-trees;
+//! * [`families`]: the §3.4 families — `Good`, `MustBranch_k`,
+//!   `NoBranch_k^0`, `NoBranch_k^1`, `NoBranch_k` (faithful), `Reject`
+//!   (faithful), `Init` (faithful; inconsistency detection enumerates the
+//!   `|w|` input cells, which is polynomial), and `Step` (a *sound* state-
+//!   transition-level inconsistency detector — see the module docs for the
+//!   documented difference from the paper's full Cook–Levin window check;
+//!   the complete semantic reference lives in `sirup-atm::correct`).
+
+pub mod families;
+pub mod formula;
+pub mod typed;
+
+pub use formula::Formula;
+pub use typed::{InputSource, TypedFormula};

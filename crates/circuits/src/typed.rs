@@ -1,0 +1,284 @@
+//! Typed formulas: variables with gathering input-types (§3.4).
+//!
+//! Each variable of a formula is gathered from the tested node's
+//! neighbourhood in a 01-tree: either from the unique `k`-long **uppath**
+//! (the reverse of the path suffix), or from a **downpath** — a path
+//! starting at the node. Variables sharing a downpath *group* must be
+//! gathered from the *same* downpath (the `W`-node trick of §3.5.3).
+
+use crate::formula::Formula;
+use sirup_atm::trees::BinTree;
+
+/// Where one variable's bit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputSource {
+    /// Bit `pos` (0 = edge into the node, 1 = one above, …) of the uppath.
+    Up {
+        /// Position above the node.
+        pos: usize,
+    },
+    /// Bit `pos` (0 = first edge below the node) of downpath group `group`.
+    Down {
+        /// Downpath group id.
+        group: usize,
+        /// Position along the downpath.
+        pos: usize,
+    },
+}
+
+/// A formula with declared input sources per variable.
+#[derive(Debug, Clone)]
+pub struct TypedFormula {
+    /// The formula.
+    pub formula: Formula,
+    /// `inputs[i]` is where variable `i` is gathered from.
+    pub inputs: Vec<InputSource>,
+    /// Human-readable family name (for reports).
+    pub name: String,
+}
+
+impl TypedFormula {
+    /// Validate variable counts.
+    pub fn new(name: impl Into<String>, formula: Formula, inputs: Vec<InputSource>) -> Self {
+        assert!(formula.var_count() <= inputs.len());
+        TypedFormula {
+            formula,
+            inputs,
+            name: name.into(),
+        }
+    }
+
+    /// Number of downpath groups.
+    pub fn group_count(&self) -> usize {
+        self.inputs
+            .iter()
+            .filter_map(|s| match s {
+                InputSource::Down { group, .. } => Some(group + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Length needed for downpath group `g`.
+    pub fn group_len(&self, g: usize) -> usize {
+        self.inputs
+            .iter()
+            .filter_map(|s| match s {
+                InputSource::Down { group, pos } if *group == g => Some(pos + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Length needed from the uppath.
+    pub fn up_len(&self) -> usize {
+        self.inputs
+            .iter()
+            .filter_map(|s| match s {
+                InputSource::Up { pos } => Some(pos + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Does some gathering around `v` in `tree` satisfy the formula?
+    /// (Downpaths are chosen existentially, independently per group;
+    /// the uppath is unique. Mirrors §3.4: “property P fails at 𝔞 iff there
+    /// is some b gathered … with φ_P[b] = 1”.)
+    ///
+    /// The search assigns groups one at a time and prunes with three-valued
+    /// partial evaluation — without this, formulas with many downpath groups
+    /// (`Step` has `2·n_Q + 6·n_Γ + 2` of them) would enumerate the full
+    /// cartesian product of candidate paths.
+    pub fn satisfied_somewhere_at(&self, tree: &BinTree, v: usize) -> bool {
+        // Gather the uppath (reversed suffix).
+        let up_len = self.up_len();
+        let up: Vec<bool> = match tree.suffix(v, up_len) {
+            Some(mut s) => {
+                s.reverse();
+                s
+            }
+            None if up_len == 0 => Vec::new(),
+            None => return false, // not enough path above: nothing to gather
+        };
+        // Candidate downpaths per group, deduplicated (distinct tree paths
+        // with equal bit sequences are interchangeable).
+        let groups = self.group_count();
+        let candidates: Vec<Vec<Vec<bool>>> = (0..groups)
+            .map(|g| {
+                let mut paths = Vec::new();
+                collect_downpaths(tree, v, self.group_len(g), &mut Vec::new(), &mut paths);
+                paths.sort_unstable();
+                paths.dedup();
+                paths
+            })
+            .collect();
+        // Partial assignment: uppath bits are fixed, downpath bits filled in
+        // group by group.
+        let mut assignment: Vec<Option<bool>> = self
+            .inputs
+            .iter()
+            .map(|s| match s {
+                InputSource::Up { pos } => Some(up[*pos]),
+                InputSource::Down { .. } => None,
+            })
+            .collect();
+        self.search_groups(0, &candidates, &mut assignment)
+    }
+
+    fn search_groups(
+        &self,
+        g: usize,
+        candidates: &[Vec<Vec<bool>>],
+        assignment: &mut Vec<Option<bool>>,
+    ) -> bool {
+        match self.formula.eval_partial(assignment) {
+            Some(true) => return true,
+            Some(false) => return false,
+            None => {}
+        }
+        if g == candidates.len() {
+            // All groups assigned but the value is still open — only
+            // possible if some variable index is unused by the formula;
+            // eval_partial then never returns None for it, so this is
+            // unreachable in practice, but fall back to strict evaluation.
+            let full: Vec<bool> = assignment.iter().map(|b| b.unwrap_or(false)).collect();
+            return self.formula.eval(&full);
+        }
+        for p in &candidates[g] {
+            for (i, s) in self.inputs.iter().enumerate() {
+                if let InputSource::Down { group, pos } = s {
+                    if *group == g {
+                        assignment[i] = Some(p[*pos]);
+                    }
+                }
+            }
+            if self.search_groups(g + 1, candidates, assignment) {
+                return true;
+            }
+        }
+        // Undo this group's bits before returning to the caller's loop.
+        for (i, s) in self.inputs.iter().enumerate() {
+            if let InputSource::Down { group, .. } = s {
+                if *group == g {
+                    assignment[i] = None;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// All `len`-long downpaths (bit sequences) starting at `v`.
+fn collect_downpaths(
+    tree: &BinTree,
+    v: usize,
+    len: usize,
+    cur: &mut Vec<bool>,
+    out: &mut Vec<Vec<bool>>,
+) {
+    if cur.len() == len {
+        out.push(cur.clone());
+        return;
+    }
+    for b in [false, true] {
+        if let Some(c) = tree.children[v][b as usize] {
+            cur.push(b);
+            collect_downpaths(tree, c, len, cur, out);
+            cur.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A formula true iff the edge into the node is 1 and some 2-long
+    /// downpath reads 0,1.
+    fn demo() -> TypedFormula {
+        let f = Formula::all(vec![
+            Formula::lit(0, true),
+            Formula::lit(1, false),
+            Formula::lit(2, true),
+        ]);
+        TypedFormula::new(
+            "demo",
+            f,
+            vec![
+                InputSource::Up { pos: 0 },
+                InputSource::Down { group: 0, pos: 0 },
+                InputSource::Down { group: 0, pos: 1 },
+            ],
+        )
+    }
+
+    #[test]
+    fn gathering_finds_a_witness() {
+        let mut t = BinTree::new();
+        let v = t.add_child(0, true); // uppath bit = 1
+        let a = t.add_child(v, false);
+        t.add_child(a, true); // downpath 0,1 exists
+        t.add_child(v, true); // irrelevant sibling
+        assert!(demo().satisfied_somewhere_at(&t, v));
+    }
+
+    #[test]
+    fn gathering_fails_without_witness() {
+        let mut t = BinTree::new();
+        let v = t.add_child(0, true);
+        let a = t.add_child(v, false);
+        t.add_child(a, false); // downpath 0,0 only
+        assert!(!demo().satisfied_somewhere_at(&t, v));
+        // Wrong uppath bit.
+        let mut t2 = BinTree::new();
+        let v2 = t2.add_child(0, false);
+        let a2 = t2.add_child(v2, false);
+        t2.add_child(a2, true);
+        assert!(!demo().satisfied_somewhere_at(&t2, v2));
+    }
+
+    #[test]
+    fn same_group_shares_one_downpath() {
+        // Variables 0 and 1 in the same group at positions 0 and 1 must be
+        // read off a single path: 0-then-1 under the SAME branch.
+        let f = Formula::and(Formula::lit(0, false), Formula::lit(1, true));
+        let tf = TypedFormula::new(
+            "shared",
+            f,
+            vec![
+                InputSource::Down { group: 0, pos: 0 },
+                InputSource::Down { group: 0, pos: 1 },
+            ],
+        );
+        // Tree where 0-branch continues with 0 only, but a different branch
+        // has the 1: no single path reads 0,1.
+        let mut t = BinTree::new();
+        let a = t.add_child(0, false);
+        t.add_child(a, false);
+        let b = t.add_child(0, true);
+        t.add_child(b, true);
+        assert!(!tf.satisfied_somewhere_at(&t, 0));
+        // Now give the 0-branch a 1-continuation.
+        t.add_child(a, true);
+        assert!(tf.satisfied_somewhere_at(&t, 0));
+    }
+
+    #[test]
+    fn group_metadata() {
+        let tf = demo();
+        assert_eq!(tf.group_count(), 1);
+        assert_eq!(tf.group_len(0), 2);
+        assert_eq!(tf.up_len(), 1);
+    }
+
+    #[test]
+    fn missing_uppath_means_unsatisfied() {
+        let tf = demo();
+        let t = BinTree::new();
+        assert!(!tf.satisfied_somewhere_at(&t, 0)); // root has no uppath
+    }
+}

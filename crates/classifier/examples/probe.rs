@@ -1,0 +1,20 @@
+use std::time::Instant;
+use sirup_classifier::theorem7::reduction_pair;
+use sirup_classifier::DitreeCqAnalysis;
+use sirup_core::program::DSirup;
+use sirup_engine::disjunctive::certain_answer_dsirup_stats;
+use sirup_workloads::reach::{dag_reduction_instance, Digraph};
+
+fn main() {
+    let q = sirup_workloads::q3();
+    let a = DitreeCqAnalysis::new(&q).unwrap();
+    let (t, f) = reduction_pair(&a).unwrap();
+    for seed in 0..6 {
+        let g = Digraph::random_dag(6, 0.3, seed);
+        let ti = Instant::now();
+        let d = dag_reduction_instance(&q, t, f, &g, 0, 5);
+        let (ans, stats) = certain_answer_dsirup_stats(&DSirup::new(q.clone()), &d);
+        println!("seed {seed}: edges={} ans={ans} reach={} branches={} homs={} in {:?}",
+            g.edges.len(), g.reachable(0,5), stats.branches, stats.hom_checks, ti.elapsed());
+    }
+}

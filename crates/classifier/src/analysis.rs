@@ -1,0 +1,207 @@
+//! Structural analysis of ditree CQs (§4 vocabulary).
+//!
+//! For a ditree CQ `q` with root `𝔯`: a *solitary pair* is a pair
+//! `(t, f)` of a solitary `T`-node and a solitary `F`-node; it is of
+//! *minimal distance* if no solitary pair is closer w.r.t. the tree metric
+//! `∂_q`; a `≺`-incomparable pair `(t, f)` is *symmetric* if the CQ obtained
+//! by removing the `F`/`T` labels from `f`/`t` and cutting the branches
+//! below them admits an automorphism swapping `t` and `f`. `q` is
+//! *quasi-symmetric* if it has no `≺`-comparable solitary pairs and every
+//! minimal-distance solitary pair is symmetric.
+
+use sirup_core::cq::{solitary_f, solitary_t, twins};
+use sirup_core::shape::DitreeView;
+use sirup_core::{Node, Pred, Structure};
+use sirup_hom::iso::find_automorphism_fixing;
+
+/// Precomputed §4 analysis of a ditree CQ.
+#[derive(Debug, Clone)]
+pub struct DitreeCqAnalysis {
+    /// The CQ.
+    pub q: Structure,
+    /// The tree view (root, order, distances).
+    pub tree: DitreeView,
+    /// Solitary `F`-nodes.
+    pub solitary_f: Vec<Node>,
+    /// Solitary `T`-nodes.
+    pub solitary_t: Vec<Node>,
+    /// FT-twin nodes.
+    pub twins: Vec<Node>,
+}
+
+impl DitreeCqAnalysis {
+    /// Analyse `q`; `None` if `q` is not a ditree.
+    pub fn new(q: &Structure) -> Option<DitreeCqAnalysis> {
+        let tree = DitreeView::of(q)?;
+        Some(DitreeCqAnalysis {
+            q: q.clone(),
+            solitary_f: solitary_f(q),
+            solitary_t: solitary_t(q),
+            twins: twins(q),
+            tree,
+        })
+    }
+
+    /// All solitary pairs `(t, f)`.
+    pub fn solitary_pairs(&self) -> Vec<(Node, Node)> {
+        let mut out = Vec::new();
+        for &t in &self.solitary_t {
+            for &f in &self.solitary_f {
+                out.push((t, f));
+            }
+        }
+        out
+    }
+
+    /// Is some solitary pair `≺`-comparable?
+    pub fn has_comparable_pair(&self) -> bool {
+        self.solitary_pairs()
+            .iter()
+            .any(|&(t, f)| self.tree.comparable(t, f))
+    }
+
+    /// The minimal `∂`-distance among solitary pairs (`None` if no pair).
+    pub fn min_pair_distance(&self) -> Option<u32> {
+        self.solitary_pairs()
+            .iter()
+            .map(|&(t, f)| self.tree.distance(t, f))
+            .min()
+    }
+
+    /// The solitary pairs of minimal distance.
+    pub fn minimal_distance_pairs(&self) -> Vec<(Node, Node)> {
+        match self.min_pair_distance() {
+            None => Vec::new(),
+            Some(d) => self
+                .solitary_pairs()
+                .into_iter()
+                .filter(|&(t, f)| self.tree.distance(t, f) == d)
+                .collect(),
+        }
+    }
+
+    /// The pruned CQ for the symmetry test: labels `T`/`F` removed from
+    /// `t`/`f` and the branches strictly below `t` and `f` cut.
+    pub fn pruned_for_symmetry(&self, t: Node, f: Node) -> (Structure, Node, Node) {
+        let keep: Vec<bool> = self
+            .q
+            .nodes()
+            .map(|v| !(self.tree.lt(t, v) || self.tree.lt(f, v)))
+            .collect();
+        let (mut s, map) = self.q.induced(&keep);
+        let nt = map[t.index()].expect("t kept");
+        let nf = map[f.index()].expect("f kept");
+        s.remove_label(nt, Pred::T);
+        s.remove_label(nf, Pred::F);
+        (s, nt, nf)
+    }
+
+    /// Is the `≺`-incomparable solitary pair `(t, f)` *symmetric*? (An
+    /// automorphism of the pruned CQ swaps `t` and `f`; such an
+    /// automorphism necessarily fixes the root.)
+    pub fn is_symmetric_pair(&self, t: Node, f: Node) -> bool {
+        if self.tree.comparable(t, f) {
+            return false;
+        }
+        let (s, nt, nf) = self.pruned_for_symmetry(t, f);
+        find_automorphism_fixing(&s, &[(nt, nf), (nf, nt)]).is_some()
+    }
+
+    /// Is `q` quasi-symmetric: no `≺`-comparable solitary pairs, and every
+    /// minimal-distance solitary pair symmetric?
+    pub fn is_quasi_symmetric(&self) -> bool {
+        if self.solitary_pairs().is_empty() {
+            // No pairs: vacuously quasi-symmetric per the definition.
+            return true;
+        }
+        if self.has_comparable_pair() {
+            return false;
+        }
+        self.minimal_distance_pairs()
+            .iter()
+            .all(|&(t, f)| self.is_symmetric_pair(t, f))
+    }
+
+    /// Is the CQ minimal (a core)? Polynomial for trees in principle; we use
+    /// the generic core test, which is fast at these sizes.
+    pub fn is_minimal(&self) -> bool {
+        sirup_hom::is_minimal(&self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    fn q4_analysis() -> (DitreeCqAnalysis, Node, Node) {
+        let (q, n) = parse_structure("F(x), R(y,x), R(y,z), T(z)").unwrap();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        (a, n["z"], n["x"])
+    }
+
+    #[test]
+    fn q4_is_quasi_symmetric() {
+        let (a, t, f) = q4_analysis();
+        assert_eq!(a.solitary_pairs(), vec![(t, f)]);
+        assert!(!a.has_comparable_pair());
+        assert_eq!(a.min_pair_distance(), Some(2));
+        assert!(a.is_symmetric_pair(t, f));
+        assert!(a.is_quasi_symmetric());
+        assert!(a.is_minimal());
+    }
+
+    #[test]
+    fn comparable_pair_detected() {
+        // q3-shaped tree: T(x) → T(y) → F(z): pairs (x,z), (y,z) comparable.
+        let q = st("T(x), R(x,y), T(y), R(y,z), F(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert!(a.has_comparable_pair());
+        assert!(!a.is_quasi_symmetric());
+    }
+
+    #[test]
+    fn asymmetric_branches_are_not_symmetric() {
+        // y → x(F), y → z' → z(T): distances differ ⇒ pair not symmetric;
+        // also not of equal shape after pruning.
+        let (q, n) = parse_structure("F(x), R(y,x), R(y,w), R(w,z), T(z)").unwrap();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert!(!a.is_symmetric_pair(n["z"], n["x"]));
+        assert!(!a.is_quasi_symmetric());
+    }
+
+    #[test]
+    fn edge_labels_break_symmetry() {
+        // Same shape as q4 but the branches use different predicates.
+        let (q, n) = parse_structure("F(x), R(y,x), S(y,z), T(z)").unwrap();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert!(!a.is_symmetric_pair(n["z"], n["x"]));
+    }
+
+    #[test]
+    fn branches_below_are_cut() {
+        // Subtrees below t and f differ, but pruning removes them, so the
+        // pair is symmetric.
+        let (q, n) =
+            parse_structure("F(x), R(y,x), R(y,z), T(z), R(x,u), R(u,v), R(z,w)").unwrap();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        let (pruned, _, _) = a.pruned_for_symmetry(n["z"], n["x"]);
+        assert_eq!(pruned.node_count(), 3);
+        assert!(a.is_symmetric_pair(n["z"], n["x"]));
+    }
+
+    #[test]
+    fn twins_do_not_form_pairs() {
+        let q = st("F(x), T(x), R(x,y)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert!(a.solitary_pairs().is_empty());
+        assert_eq!(a.twins.len(), 1);
+        assert!(a.is_quasi_symmetric()); // vacuously
+    }
+
+    #[test]
+    fn non_ditree_rejected() {
+        let q = st("R(a,b), R(c,b)");
+        assert!(DitreeCqAnalysis::new(&q).is_none());
+    }
+}

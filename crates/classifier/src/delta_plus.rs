@@ -1,0 +1,71 @@
+//! Corollary 8: the `Δ⁺` trichotomy for ditree CQs.
+//!
+//! With the disjointness constraint `⊥ ← T(x), F(x)` added (rule (3)),
+//! every d-sirup `(Δ⁺_q, G)` with a ditree `q` is either
+//!
+//! * **FO-rewritable** — if `q` contains FT-twins (then `q` is unsatisfiable
+//!   in consistent models, so the query reduces to the FO-expressible
+//!   consistency check), or
+//! * **L-hard** — if `q` is quasi-symmetric without twins, or
+//! * **NL-hard** — otherwise (via Theorem 7).
+
+use crate::analysis::DitreeCqAnalysis;
+
+/// The Corollary 8 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaPlusClass {
+    /// `q` contains FT-twins: FO-rewritable.
+    FoRewritable,
+    /// Quasi-symmetric, twin-free: L-hard (and in L when it has exactly one
+    /// solitary `F` and one solitary `T`, by §4 item (d)).
+    LHard,
+    /// Otherwise: NL-hard.
+    NlHard,
+}
+
+/// Classify `(Δ⁺_q, G)` per Corollary 8. The input must be a minimal ditree
+/// CQ with at least one solitary `F` and at least one solitary `T`
+/// (the corollary's ambient assumptions for the hard cases).
+pub fn classify_delta_plus(a: &DitreeCqAnalysis) -> DeltaPlusClass {
+    if !a.twins.is_empty() {
+        return DeltaPlusClass::FoRewritable;
+    }
+    if a.is_quasi_symmetric() {
+        return DeltaPlusClass::LHard;
+    }
+    DeltaPlusClass::NlHard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    #[test]
+    fn twins_mean_fo() {
+        let q = st("F(x), R(x,y), F(y), T(y), R(y,z), T(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::FoRewritable);
+    }
+
+    #[test]
+    fn q4_is_l_hard() {
+        let q = st("F(x), R(y,x), R(y,z), T(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::LHard);
+    }
+
+    #[test]
+    fn q3_is_nl_hard() {
+        let q = st("T(x), R(x,y), T(y), R(y,z), F(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::NlHard);
+    }
+
+    #[test]
+    fn asymmetric_twin_free_is_nl_hard() {
+        let q = st("F(x), R(y,x), R(y,w), R(w,z), T(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::NlHard);
+    }
+}

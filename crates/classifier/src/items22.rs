@@ -1,0 +1,173 @@
+//! The rewritability *upper bounds* from [22] that §4 builds on (the list
+//! (a)–(d) on p. 12 of the paper):
+//!
+//! * (a) no solitary `F` ⇒ `(Δ_q, G)` is FO-rewritable;
+//! * (b) one solitary `F` ⇒ datalog-rewritable (via `Π_q`, so in P);
+//! * (c) one solitary `F` and one solitary `T` ⇒ linear-datalog-rewritable
+//!   (so in NL) — witnessed here by `Π_q` literally being a *linear*
+//!   program, evaluable by the fact-graph engine of `sirup-engine`;
+//! * (d) additionally quasi-symmetric ⇒ symmetric-linear-datalog-rewritable
+//!   (so in L).
+//!
+//! This module computes the strongest applicable upper bound from the CQ's
+//! syntax and, where the witness is executable (b, c), exposes it.
+
+use crate::analysis::DitreeCqAnalysis;
+use sirup_core::cq::{solitary_f, solitary_t};
+use sirup_core::program::{pi_q, Program};
+use sirup_core::{OneCq, Structure};
+
+/// The strongest syntactic rewritability upper bound from [22].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RewritabilityBound {
+    /// (a) — FO-rewritable, in AC0.
+    Fo,
+    /// (d) — symmetric-linear-datalog-rewritable, in L.
+    SymmetricLinearDatalog,
+    /// (c) — linear-datalog-rewritable, in NL.
+    LinearDatalog,
+    /// (b) — datalog-rewritable, in P.
+    Datalog,
+    /// None of (a)–(d) applies (multiple solitary `F`s): only the generic
+    /// disjunctive-datalog / coNP bound remains.
+    DisjunctiveDatalog,
+}
+
+impl RewritabilityBound {
+    /// The data-complexity class the bound places evaluation in.
+    pub fn complexity_class(self) -> &'static str {
+        match self {
+            RewritabilityBound::Fo => "AC0",
+            RewritabilityBound::SymmetricLinearDatalog => "L",
+            RewritabilityBound::LinearDatalog => "NL",
+            RewritabilityBound::Datalog => "P",
+            RewritabilityBound::DisjunctiveDatalog => "coNP",
+        }
+    }
+}
+
+/// Compute the strongest applicable upper bound for `(Δ_q, G)`.
+///
+/// Quasi-symmetry (for item (d)) is only defined for ditree CQs; for
+/// non-ditree CQs with one solitary `F` and `T` the bound stays at (c).
+///
+/// ```
+/// use sirup_classifier::{rewritability_bound, RewritabilityBound};
+/// use sirup_core::parse::st;
+/// let q4 = st("F(x), R(y,x), R(y,z), T(z)");
+/// assert_eq!(
+///     rewritability_bound(&q4),
+///     RewritabilityBound::SymmetricLinearDatalog,
+/// );
+/// ```
+pub fn rewritability_bound(q: &Structure) -> RewritabilityBound {
+    let fs = solitary_f(q);
+    let ts = solitary_t(q);
+    match (fs.len(), ts.len()) {
+        (0, _) => RewritabilityBound::Fo,
+        (1, 0) => RewritabilityBound::Fo, // Π_q is non-recursive: also FO
+        (1, 1) => {
+            let quasi = DitreeCqAnalysis::new(q).is_some_and(|a| a.is_quasi_symmetric());
+            if quasi {
+                RewritabilityBound::SymmetricLinearDatalog
+            } else {
+                RewritabilityBound::LinearDatalog
+            }
+        }
+        (1, _) => RewritabilityBound::Datalog,
+        _ => RewritabilityBound::DisjunctiveDatalog,
+    }
+}
+
+/// The executable witness for items (b)/(c): the datalog rewriting `Π_q`
+/// of `(Δ_q, G)` (which is a *linear* program exactly in case (c)).
+/// `None` when `q` is not a 1-CQ (item (a) or the generic case).
+pub fn datalog_rewriting(q: &Structure) -> Option<Program> {
+    OneCq::new(q.clone()).ok().map(|q| pi_q(&q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+    use sirup_engine::linear::{linearity, Linearity};
+
+    #[test]
+    fn bound_per_zoo_cq() {
+        // q1: two solitary Fs — only the generic bound.
+        let q1 = st("F(x), F(y), R(x,y), R(y,z), T(z), R(z,w), T(w)");
+        assert_eq!(
+            rewritability_bound(&q1),
+            RewritabilityBound::DisjunctiveDatalog
+        );
+        // q2-like: one F, two Ts — datalog.
+        let q2 = st("T(x), S(x,y), T(y), R(y,z), F(z)");
+        assert_eq!(rewritability_bound(&q2), RewritabilityBound::Datalog);
+        // q3-like: one F, one T comparable, not quasi-symmetric — NL.
+        let q3 = st("T(x), R(x,y), F(y)");
+        assert_eq!(rewritability_bound(&q3), RewritabilityBound::LinearDatalog);
+        // q4: quasi-symmetric — L.
+        let q4 = st("F(x), R(y,x), R(y,z), T(z)");
+        assert_eq!(
+            rewritability_bound(&q4),
+            RewritabilityBound::SymmetricLinearDatalog
+        );
+        // No solitary F at all — FO.
+        let qa = st("T(x), R(x,y), F(y), T(y)");
+        assert_eq!(rewritability_bound(&qa), RewritabilityBound::Fo);
+    }
+
+    #[test]
+    fn case_c_witness_is_a_linear_program() {
+        for text in ["T(x), R(x,y), F(y)", "F(x), R(y,x), R(y,z), T(z)"] {
+            let q = st(text);
+            assert!(matches!(
+                rewritability_bound(&q),
+                RewritabilityBound::LinearDatalog | RewritabilityBound::SymmetricLinearDatalog
+            ));
+            let pi = datalog_rewriting(&q).unwrap();
+            assert_eq!(linearity(&pi), Linearity::Linear, "{text}");
+        }
+    }
+
+    #[test]
+    fn case_b_witness_may_be_nonlinear() {
+        let q = st("T(x), S(x,y), T(y), R(y,z), F(z)");
+        assert_eq!(rewritability_bound(&q), RewritabilityBound::Datalog);
+        let pi = datalog_rewriting(&q).unwrap();
+        assert_eq!(linearity(&pi), Linearity::NonLinear);
+    }
+
+    #[test]
+    fn span0_is_fo_and_nonrecursive() {
+        let q = st("F(x), R(x,y)");
+        assert_eq!(rewritability_bound(&q), RewritabilityBound::Fo);
+        let pi = datalog_rewriting(&q).unwrap();
+        assert_eq!(linearity(&pi), Linearity::NonRecursive);
+    }
+
+    #[test]
+    fn complexity_class_names() {
+        assert_eq!(RewritabilityBound::Fo.complexity_class(), "AC0");
+        assert_eq!(
+            RewritabilityBound::SymmetricLinearDatalog.complexity_class(),
+            "L"
+        );
+        assert_eq!(RewritabilityBound::LinearDatalog.complexity_class(), "NL");
+        assert_eq!(RewritabilityBound::Datalog.complexity_class(), "P");
+        assert_eq!(
+            RewritabilityBound::DisjunctiveDatalog.complexity_class(),
+            "coNP"
+        );
+    }
+
+    #[test]
+    fn bounds_are_ordered_by_strength() {
+        assert!(RewritabilityBound::Fo < RewritabilityBound::SymmetricLinearDatalog);
+        assert!(
+            RewritabilityBound::SymmetricLinearDatalog < RewritabilityBound::LinearDatalog
+        );
+        assert!(RewritabilityBound::LinearDatalog < RewritabilityBound::Datalog);
+        assert!(RewritabilityBound::Datalog < RewritabilityBound::DisjunctiveDatalog);
+    }
+}

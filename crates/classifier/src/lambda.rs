@@ -1,0 +1,616 @@
+//! Theorem 9 / Appendix F: the FO/L-hardness dichotomy for Λ-CQs.
+//!
+//! A **Λ-CQ of span k** is a ditree 1-CQ whose `k` solitary `T`-nodes are
+//! all `≺`-incomparable with the solitary `F`-node. Theorem 9: `(Δ_q, G)` is
+//! either FO-rewritable or L-hard, decidable in time `p(|q|)·2^{p′(k)}`.
+//!
+//! The decider follows Claim 9.2 / Appendix F:
+//!
+//! * segments of a cactus are classified by **types** `(P, i, C)` — which
+//!   slots the parent budded, which slot spawned this segment, which slots
+//!   this segment buds;
+//! * the **type digraph 𝔊** has an edge `t →_j t′` iff `j ∈ C_t`,
+//!   `i_{t′} = j` and `P_{t′} = C_t`;
+//! * a **realisable subgraph** ℌ picks a root-type source and exactly one
+//!   outgoing edge per budded slot per node; its **periodic part** `P`
+//!   consists of the nodes occurring at unbounded depth (on or after a
+//!   cycle);
+//! * a type is **black** if some root segment maps homomorphically into its
+//!   blow-up (a fold that makes deep cactuses redundant); **blue** types are
+//!   those from which the budding player cannot avoid black descendants
+//!   (an AND/OR game, solved by a least fixpoint);
+//! * `(Δ_q, G)` is FO-rewritable iff every realisable ℌ with non-empty
+//!   periodic part is *discharged*: it contains a deep black/blue node, or
+//!   some cactus maps into the blow-up of its acyclic version (checked by
+//!   evaluating `Π_q`, per Prop. 1), or some root segment maps into the
+//!   blow-up of its periodic part. A surviving ℌ is an L-hardness witness
+//!   (Claim 9.3's reduction pumps through its periodic part).
+//!
+//! The enumeration of realisable subgraphs is capped; the decider reports
+//! `Inconclusive` if a cap is hit (cross-validated against bounded-horizon
+//! Prop. 2 evidence in the test-suite).
+
+use sirup_core::builder::GlueBuilder;
+use sirup_core::shape::DitreeView;
+use sirup_core::{Node, OneCq, Pred, Structure};
+use sirup_engine::eval::certain_answer_goal;
+use sirup_hom::{core_of, hom_exists};
+
+/// A segment type `(P, i, C)`: `P`, `C` are bitmasks over slots `0..k`;
+/// `i` is the spawning slot plus one (`0` = root type, so `P = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegType {
+    /// Parent's budded slots (bitmask); `0` for root types.
+    pub p: u32,
+    /// Spawning slot + 1; `0` for root types.
+    pub i: u8,
+    /// This segment's budded slots (bitmask).
+    pub c: u32,
+}
+
+impl SegType {
+    /// Is this a root type?
+    pub fn is_root(&self) -> bool {
+        self.i == 0
+    }
+    /// Is this a leaf type (nothing budded)?
+    pub fn is_leaf(&self) -> bool {
+        self.c == 0
+    }
+}
+
+/// Verdict of the Λ-CQ dichotomy decider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LambdaVerdict {
+    /// `(Δ_q, G)` is FO-rewritable.
+    FoRewritable,
+    /// Evaluating `(Δ_q, G)` is L-hard (an undischarged periodic structure
+    /// exists).
+    LHard,
+    /// The (core of the) CQ is not a Λ-CQ; Theorem 9 does not apply.
+    NotLambda,
+    /// An enumeration cap was hit before a verdict.
+    Inconclusive,
+}
+
+/// The Theorem 9 decision machine for one Λ-CQ.
+pub struct LambdaMachine {
+    q: OneCq,
+    k: usize,
+    /// All types, root types first.
+    pub types: Vec<SegType>,
+    /// Root-segment patterns `q_S` for every budded subset `S`.
+    root_segments: Vec<Structure>,
+    /// Per-type segment structure (the blow-up of the single type).
+    seg_structs: Vec<Structure>,
+    /// black\[t\]: some root segment maps into the blow-up of `t`.
+    pub black: Vec<bool>,
+    /// blue\[t\]: the budding player cannot reach only non-black leaves.
+    pub blue: Vec<bool>,
+    /// Cap on the number of realisable subgraphs explored.
+    pub subgraph_cap: usize,
+}
+
+fn bits(mask: u32, k: usize) -> impl Iterator<Item = usize> {
+    (0..k).filter(move |&j| mask >> j & 1 == 1)
+}
+
+fn mask_to_bools(mask: u32, k: usize) -> Vec<bool> {
+    (0..k).map(|j| mask >> j & 1 == 1).collect()
+}
+
+impl LambdaMachine {
+    /// Build the machine for (the core of) `q`; `None` if not a Λ-CQ.
+    /// Span is limited to `k ≤ 5` (the type space is `2^{O(k)}`).
+    pub fn new(q: &OneCq) -> Option<LambdaMachine> {
+        let (core, _) = core_of(q.structure());
+        let q = OneCq::new(core).ok()?;
+        let tv = DitreeView::of(q.structure())?;
+        let f = q.focus();
+        if q.solitary_t().iter().any(|&t| tv.comparable(t, f)) {
+            return None;
+        }
+        let k = q.span();
+        if k > 5 {
+            return None;
+        }
+        let full = (1u32 << k) - 1;
+        let mut types = Vec::new();
+        for c in 0..=full {
+            types.push(SegType { p: 0, i: 0, c });
+        }
+        for i in 1..=k as u8 {
+            for p in 0..=full {
+                if p >> (i - 1) & 1 == 0 {
+                    continue; // the spawning slot must have been budded
+                }
+                for c in 0..=full {
+                    types.push(SegType { p, i, c });
+                }
+            }
+        }
+        let root_segments: Vec<Structure> = (0..=full)
+            .map(|s| q.segment(Pred::F, &mask_to_bools(s, k)))
+            .collect();
+        let seg_structs: Vec<Structure> = types
+            .iter()
+            .map(|t| {
+                let label = if t.is_root() { Pred::F } else { Pred::A };
+                q.segment(label, &mask_to_bools(t.c, k))
+            })
+            .collect();
+        let mut m = LambdaMachine {
+            q,
+            k,
+            types,
+            root_segments,
+            seg_structs,
+            black: Vec::new(),
+            blue: Vec::new(),
+            subgraph_cap: 20_000,
+        };
+        m.compute_black();
+        m.compute_blue();
+        Some(m)
+    }
+
+    /// The analysed (core) query.
+    pub fn query(&self) -> &OneCq {
+        &self.q
+    }
+
+    /// Span `k`.
+    pub fn span(&self) -> usize {
+        self.k
+    }
+
+    /// 𝔊-successors of type `t` along slot `j` (0-based).
+    pub fn successors(&self, t: usize, j: usize) -> Vec<usize> {
+        let ct = self.types[t].c;
+        debug_assert!(ct >> j & 1 == 1);
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.i == j as u8 + 1 && u.p == ct)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn compute_black(&mut self) {
+        self.black = self
+            .types
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| {
+                if t.is_root() {
+                    return false; // anchored folds do not count
+                }
+                let target = &self.seg_structs[ti];
+                self.root_segments.iter().any(|rs| hom_exists(rs, target))
+            })
+            .collect();
+    }
+
+    /// Least fixpoint of the budding game: `W1(v)` iff `v` is non-black and
+    /// for every budded slot there exists a successor in `W1` (the budding
+    /// player can steer every branch towards non-black leaves). Blue is the
+    /// complement (restricted to non-root types).
+    fn compute_blue(&mut self) {
+        let n = self.types.len();
+        let mut w1 = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if w1[v] || self.black[v] {
+                    continue;
+                }
+                let ok = bits(self.types[v].c, self.k)
+                    .all(|j| self.successors(v, j).iter().any(|&u| w1[u]));
+                if ok {
+                    w1[v] = true;
+                    changed = true;
+                }
+            }
+        }
+        self.blue = (0..n)
+            .map(|v| !self.types[v].is_root() && !w1[v] )
+            .collect();
+    }
+
+    /// Build the blow-up of a node/edge set: `nodes[i]` is a type index;
+    /// `edges` are `(parent node, slot, child node)`. Returns the structure
+    /// and, per node, the segment's node map.
+    pub fn blow_up(&self, nodes: &[usize], edges: &[(usize, usize, usize)]) -> Structure {
+        let mut b = GlueBuilder::new();
+        let offsets: Vec<u32> = nodes
+            .iter()
+            .map(|&ti| b.add(&self.seg_structs[ti]))
+            .collect();
+        let focus = self.q.focus();
+        for &(pa, j, ch) in edges {
+            let y = self.q.solitary_t()[j];
+            b.glue(
+                Node(offsets[ch] + focus.0),
+                Node(offsets[pa] + y.0),
+            );
+        }
+        let (s, _) = b.finish();
+        s
+    }
+
+    /// Run the dichotomy decision.
+    pub fn decide(&self) -> LambdaVerdict {
+        if self.k == 0 {
+            return LambdaVerdict::FoRewritable;
+        }
+        // Enumerate realisable subgraphs from every root-type source.
+        let mut count = 0usize;
+        for (src, t) in self.types.iter().enumerate() {
+            if !t.is_root() || t.is_leaf() {
+                continue;
+            }
+            let mut succ: Vec<Vec<Option<usize>>> = vec![vec![None; self.k]; self.types.len()];
+            let mut included = vec![false; self.types.len()];
+            included[src] = true;
+            match self.explore(src, &mut succ, &mut included, &mut count) {
+                Verdict::AllDischarged => {}
+                Verdict::Witness(_) => return LambdaVerdict::LHard,
+                Verdict::CapHit => return LambdaVerdict::Inconclusive,
+            }
+        }
+        LambdaVerdict::FoRewritable
+    }
+
+    /// Like [`Self::decide`], but on an `LHard` verdict return the
+    /// undischarged realisable subgraph (the Claim 9.3 witness).
+    pub fn find_witness(&self) -> Option<PeriodicWitness> {
+        if self.k == 0 {
+            return None;
+        }
+        let mut count = 0usize;
+        for (src, t) in self.types.iter().enumerate() {
+            if !t.is_root() || t.is_leaf() {
+                continue;
+            }
+            let mut succ: Vec<Vec<Option<usize>>> = vec![vec![None; self.k]; self.types.len()];
+            let mut included = vec![false; self.types.len()];
+            included[src] = true;
+            if let Verdict::Witness(w) = self.explore(src, &mut succ, &mut included, &mut count)
+            {
+                return Some(*w);
+            }
+        }
+        None
+    }
+
+    /// DFS over successor assignments. Returns whether all completed
+    /// realisable subgraphs below this state are discharged.
+    fn explore(
+        &self,
+        src: usize,
+        succ: &mut Vec<Vec<Option<usize>>>,
+        included: &mut Vec<bool>,
+        count: &mut usize,
+    ) -> Verdict {
+        // Find an included node with an unassigned budded slot.
+        let mut pending = None;
+        'outer: for v in 0..self.types.len() {
+            if !included[v] {
+                continue;
+            }
+            for j in bits(self.types[v].c, self.k) {
+                if succ[v][j].is_none() {
+                    pending = Some((v, j));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((v, j)) = pending else {
+            // Complete realisable subgraph.
+            *count += 1;
+            if *count > self.subgraph_cap {
+                return Verdict::CapHit;
+            }
+            return if self.discharged(src, succ, included) {
+                Verdict::AllDischarged
+            } else {
+                let nodes: Vec<usize> =
+                    (0..self.types.len()).filter(|&v| included[v]).collect();
+                let index_of = |v: usize| nodes.iter().position(|&x| x == v).unwrap();
+                let succ_ref: &[Vec<Option<usize>>] = succ;
+                let edges: Vec<(usize, usize, usize)> = nodes
+                    .iter()
+                    .flat_map(|&v| {
+                        bits(self.types[v].c, self.k)
+                            .filter_map(move |j| succ_ref[v][j].map(|u| (v, j, u)))
+                    })
+                    .map(|(v, j, u)| (index_of(v), j, index_of(u)))
+                    .collect();
+                Verdict::Witness(Box::new(PeriodicWitness {
+                    nodes: nodes.iter().map(|&v| self.types[v]).collect(),
+                    edges,
+                    source: index_of(src),
+                }))
+            };
+        };
+        for u in self.successors(v, j) {
+            succ[v][j] = Some(u);
+            let was_included = included[u];
+            included[u] = true;
+            let r = self.explore(src, succ, included, count);
+            succ[v][j] = None;
+            included[u] = was_included;
+            match r {
+                Verdict::AllDischarged => {}
+                other => return other,
+            }
+        }
+        Verdict::AllDischarged
+    }
+
+    /// Is the completed realisable subgraph discharged (FO-side)?
+    fn discharged(
+        &self,
+        src: usize,
+        succ: &[Vec<Option<usize>>],
+        included: &[bool],
+    ) -> bool {
+        let nodes: Vec<usize> = (0..self.types.len()).filter(|&v| included[v]).collect();
+        let index_of = |v: usize| nodes.iter().position(|&x| x == v).unwrap();
+        let edges: Vec<(usize, usize, usize)> = nodes
+            .iter()
+            .flat_map(|&v| {
+                bits(self.types[v].c, self.k)
+                    .filter_map(move |j| succ[v][j].map(|u| (v, j, u)))
+            })
+            .map(|(v, j, u)| (index_of(v), j, index_of(u)))
+            .collect();
+        let n = nodes.len();
+        // Reachability closure.
+        let mut reach = vec![vec![false; n]; n];
+        for &(a, _, b) in &edges {
+            reach[a][b] = true;
+        }
+        for m in 0..n {
+            for a in 0..n {
+                if reach[a][m] {
+                    let via: Vec<usize> =
+                        (0..n).filter(|&b| reach[m][b]).collect();
+                    for b in via {
+                        reach[a][b] = true;
+                    }
+                }
+            }
+        }
+        let on_cycle: Vec<bool> = (0..n).map(|v| reach[v][v]).collect();
+        // Periodic part: on or after a cycle.
+        let periodic: Vec<bool> = (0..n)
+            .map(|v| on_cycle[v] || (0..n).any(|c| on_cycle[c] && reach[c][v]))
+            .collect();
+        if !periodic.iter().any(|&b| b) {
+            return true; // P = ∅: not a periodic structure, nothing to check
+        }
+        let s = index_of(src);
+        // Deep nodes: at unfolding depth ≥ 2 (graph distance ≥ 2 from the
+        // source, or in the periodic part — those recur arbitrarily deep).
+        let mut dist = vec![usize::MAX; n];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(a) = queue.pop_front() {
+            for &(x, _, b) in &edges {
+                if x == a && dist[b] == usize::MAX {
+                    dist[b] = dist[a] + 1;
+                    queue.push_back(b);
+                }
+            }
+        }
+        let deep = |v: usize| dist[v] >= 2 || periodic[v];
+        // Discharge 1: a deep black or blue node.
+        if (0..n).any(|v| deep(v) && (self.black[nodes[v]] || self.blue[nodes[v]])) {
+            return true;
+        }
+        // Discharge 2 (h1): some cactus maps into the blow-up of the
+        // acyclic version — by Prop. 1 this is `G ∈ Π_q(blow-up)`.
+        let (av_nodes, av_edges) = acyclic_version(&nodes, &edges, s);
+        let blow = self.blow_up(&av_nodes, &av_edges);
+        if certain_answer_goal(&sirup_core::program::pi_q(&self.q), &blow) {
+            return true;
+        }
+        // Discharge 3 (h2): some root segment maps into the blow-up of the
+        // periodic part.
+        let p_nodes: Vec<usize> = (0..n).filter(|&v| periodic[v]).map(|v| nodes[v]).collect();
+        let p_index = |v: usize| p_nodes.iter().position(|&x| x == nodes[v]).unwrap();
+        let p_edges: Vec<(usize, usize, usize)> = edges
+            .iter()
+            .filter(|&&(a, _, b)| periodic[a] && periodic[b])
+            .map(|&(a, j, b)| (p_index(a), j, p_index(b)))
+            .collect();
+        let p_blow = self.blow_up(&p_nodes, &p_edges);
+        if self
+            .root_segments
+            .iter()
+            .any(|rs| hom_exists(rs, &p_blow))
+        {
+            return true;
+        }
+        false
+    }
+}
+
+enum Verdict {
+    AllDischarged,
+    Witness(Box<PeriodicWitness>),
+    CapHit,
+}
+
+/// An undischarged realisable subgraph — the L-hardness witness of
+/// Claim 9.3. Its periodic part is what the Appendix E reduction pumps
+/// through (`sirup-workloads::appendix_e`).
+#[derive(Debug, Clone)]
+pub struct PeriodicWitness {
+    /// Types of the subgraph's nodes.
+    pub nodes: Vec<SegType>,
+    /// Edges `(parent index, slot, child index)` into `nodes`.
+    pub edges: Vec<(usize, usize, usize)>,
+    /// Index of the source (root-type) node in `nodes`.
+    pub source: usize,
+}
+
+/// Unroll back-edges once: DFS from `src`; an edge closing a cycle (target
+/// on the current stack) is redirected to a fresh childless copy.
+fn acyclic_version(
+    nodes: &[usize],
+    edges: &[(usize, usize, usize)],
+    src: usize,
+) -> (Vec<usize>, Vec<(usize, usize, usize)>) {
+    let mut out_nodes: Vec<usize> = nodes.to_vec();
+    let mut out_edges: Vec<(usize, usize, usize)> = Vec::new();
+    let mut on_stack = vec![false; nodes.len()];
+    let mut visited = vec![false; nodes.len()];
+    // Iterative DFS with explicit edge processing.
+    fn dfs(
+        v: usize,
+        nodes: &[usize],
+        edges: &[(usize, usize, usize)],
+        on_stack: &mut Vec<bool>,
+        visited: &mut Vec<bool>,
+        out_nodes: &mut Vec<usize>,
+        out_edges: &mut Vec<(usize, usize, usize)>,
+    ) {
+        visited[v] = true;
+        on_stack[v] = true;
+        for &(a, j, b) in edges {
+            if a != v {
+                continue;
+            }
+            if on_stack[b] {
+                // Back edge: fresh childless copy of b's type.
+                let fresh = out_nodes.len();
+                out_nodes.push(nodes[b]);
+                out_edges.push((a, j, fresh));
+            } else {
+                out_edges.push((a, j, b));
+                if !visited[b] {
+                    dfs(b, nodes, edges, on_stack, visited, out_nodes, out_edges);
+                }
+            }
+        }
+        on_stack[v] = false;
+    }
+    dfs(
+        src,
+        nodes,
+        edges,
+        &mut on_stack,
+        &mut visited,
+        &mut out_nodes,
+        &mut out_edges,
+    );
+    (out_nodes, out_edges)
+}
+
+/// Decide the Theorem 9 dichotomy for `q`.
+pub fn lambda_fo_rewritable(q: &OneCq) -> LambdaVerdict {
+    match LambdaMachine::new(q) {
+        None => LambdaVerdict::NotLambda,
+        Some(m) => m.decide(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q4() -> OneCq {
+        OneCq::parse("F(x), R(y,x), R(y,z), T(z)")
+    }
+
+    #[test]
+    fn type_space_counts() {
+        let m = LambdaMachine::new(&q4()).unwrap();
+        assert_eq!(m.span(), 1);
+        // k = 1: 2 root types + 1·1·2 non-root types = 4.
+        assert_eq!(m.types.len(), 4);
+    }
+
+    #[test]
+    fn q4_has_no_black_or_blue_nodes() {
+        let m = LambdaMachine::new(&q4()).unwrap();
+        assert!(m.black.iter().all(|&b| !b));
+        assert!(m.blue.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn q4_is_l_hard() {
+        assert_eq!(lambda_fo_rewritable(&q4()), LambdaVerdict::LHard);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn q4_witness_has_a_cycle_through_the_periodic_type() {
+        let m = LambdaMachine::new(&q4()).unwrap();
+        let w = m.find_witness().expect("q4 is L-hard, a witness must exist");
+        assert!(w.nodes[w.source].is_root());
+        // Some node lies on a cycle (the periodic part is non-empty).
+        let n = w.nodes.len();
+        let mut reach = vec![vec![false; n]; n];
+        for &(a, _, b) in &w.edges {
+            reach[a][b] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!((0..n).any(|v| reach[v][v]), "no cycle in witness: {w:?}");
+    }
+
+    #[test]
+    fn fo_rewritable_cqs_have_no_witness() {
+        let q = OneCq::parse("F(x), R(x,y), T(y), R(x,w), T(w), F(w)");
+        if let Some(m) = LambdaMachine::new(&q) {
+            assert!(m.find_witness().is_none());
+        }
+    }
+
+    #[test]
+    fn comparable_cq_is_not_lambda() {
+        let q = OneCq::parse("F(x), R(x,y), T(y)");
+        assert_eq!(lambda_fo_rewritable(&q), LambdaVerdict::NotLambda);
+    }
+
+    #[test]
+    fn span0_is_fo() {
+        let q = OneCq::parse("F(x), R(y,x)");
+        assert_eq!(lambda_fo_rewritable(&q), LambdaVerdict::FoRewritable);
+    }
+
+    #[test]
+    fn degenerate_core_is_fo() {
+        // Cores to span 0.
+        let q = OneCq::parse("F(x), R(x,y), T(y), R(x,w), T(w), F(w)");
+        assert_eq!(lambda_fo_rewritable(&q), LambdaVerdict::FoRewritable);
+    }
+
+    #[test]
+    fn blow_up_of_self_loop_glues_focus_to_slot() {
+        let m = LambdaMachine::new(&q4()).unwrap();
+        // Find the non-root all-budded type.
+        let l = m
+            .types
+            .iter()
+            .position(|t| !t.is_root() && t.c == 1)
+            .unwrap();
+        let s = m.blow_up(&[l], &[(0, 0, 0)]);
+        // q4's segment has 3 nodes; gluing focus onto its own T-slot leaves 2.
+        assert_eq!(s.node_count(), 2);
+        assert!(s.nodes().any(|v| s.has_label(v, Pred::A)));
+    }
+}

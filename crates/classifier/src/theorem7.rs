@@ -1,0 +1,136 @@
+//! Theorem 7: syntactic NL-hardness conditions for ditree d-sirups.
+//!
+//! For a **minimal** ditree CQ `q` with at least one solitary `F` and at
+//! least one solitary `T`, evaluating `(Δ_q, G)` is NL-hard if either
+//!
+//! * (i) some solitary pair is `≺`-comparable, or
+//! * (ii) `q` is not quasi-symmetric and has no FT-twins.
+//!
+//! The hardness proof reduces dag reachability via the `D_G` instances of
+//! `sirup-workloads::reach`; [`reduction_pair`] picks the gluing pair the
+//! proof prescribes: in case (i) a comparable pair with no solitary node
+//! strictly between; in case (ii) a minimal-distance, incomparable,
+//! non-symmetric pair.
+
+use crate::analysis::DitreeCqAnalysis;
+use sirup_core::Node;
+
+/// Which Theorem 7 condition applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlHardness {
+    /// Case (i): a `≺`-comparable solitary pair exists.
+    ComparablePair,
+    /// Case (ii): not quasi-symmetric and twin-free.
+    AsymmetricTwinFree,
+    /// Neither condition applies (Theorem 7 is silent).
+    NotCovered,
+}
+
+/// Decide which Theorem 7 condition (if any) applies to the ditree CQ.
+/// Requires at least one solitary `F` and one solitary `T` (else
+/// `NotCovered`).
+pub fn nl_hardness_condition(a: &DitreeCqAnalysis) -> NlHardness {
+    if a.solitary_f.is_empty() || a.solitary_t.is_empty() {
+        return NlHardness::NotCovered;
+    }
+    if a.has_comparable_pair() {
+        return NlHardness::ComparablePair;
+    }
+    if a.twins.is_empty() && !a.is_quasi_symmetric() {
+        return NlHardness::AsymmetricTwinFree;
+    }
+    NlHardness::NotCovered
+}
+
+/// The gluing pair `(t, f)` for the Theorem 7 reduction, per the proof:
+///
+/// * case (i): a `≺`-comparable pair with no solitary `T`/`F`-node strictly
+///   between `t` and `f`;
+/// * case (ii): a minimal-distance, `≺`-incomparable, non-symmetric pair.
+///
+/// Returns `None` when Theorem 7 does not apply.
+pub fn reduction_pair(a: &DitreeCqAnalysis) -> Option<(Node, Node)> {
+    match nl_hardness_condition(a) {
+        NlHardness::ComparablePair => {
+            // Find a comparable pair with nothing solitary strictly between.
+            for &(t, f) in &a.solitary_pairs() {
+                if !a.tree.comparable(t, f) {
+                    continue;
+                }
+                let (top, bot) = if a.tree.le(t, f) { (t, f) } else { (f, t) };
+                let clean = a
+                    .q
+                    .nodes()
+                    .filter(|&v| a.tree.lt(top, v) && a.tree.lt(v, bot))
+                    .all(|v| {
+                        !(a.solitary_t.contains(&v) || a.solitary_f.contains(&v))
+                    });
+                if clean {
+                    return Some((t, f));
+                }
+            }
+            // Some comparable pair exists; shrink to an adjacent-in-order
+            // pair: take the comparable pair minimising δ(top, bot).
+            a.solitary_pairs()
+                .into_iter()
+                .filter(|&(t, f)| a.tree.comparable(t, f))
+                .min_by_key(|&(t, f)| a.tree.distance(t, f))
+        }
+        NlHardness::AsymmetricTwinFree => a
+            .minimal_distance_pairs()
+            .into_iter()
+            .find(|&(t, f)| !a.is_symmetric_pair(t, f)),
+        NlHardness::NotCovered => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    #[test]
+    fn q3_is_case_i() {
+        let q = st("T(x), R(x,y), T(y), R(y,z), F(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::ComparablePair);
+        let (t, f) = reduction_pair(&a).unwrap();
+        // The pair should be (y, z): comparable with nothing in between.
+        assert!(a.tree.comparable(t, f));
+        assert_eq!(a.tree.distance(t, f), 1);
+    }
+
+    #[test]
+    fn q4_is_not_covered() {
+        let q = st("F(x), R(y,x), R(y,z), T(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::NotCovered);
+        assert!(reduction_pair(&a).is_none());
+    }
+
+    #[test]
+    fn asymmetric_twin_free_is_case_ii() {
+        // y → x(F), y → w → z(T): incomparable, distances 1 vs 2 from root:
+        // not symmetric, twin-free.
+        let (q, n) = parse_structure("F(x), R(y,x), R(y,w), R(w,z), T(z)").unwrap();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::AsymmetricTwinFree);
+        let (t, f) = reduction_pair(&a).unwrap();
+        assert_eq!((t, f), (n["z"], n["x"]));
+    }
+
+    #[test]
+    fn twins_block_case_ii() {
+        // Same shape plus a twin: condition (ii) no longer applies.
+        let q = st("F(x), R(y,x), R(y,w), R(w,z), T(z), F(w), T(w)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::NotCovered);
+    }
+
+    #[test]
+    fn no_solitary_nodes_not_covered() {
+        let q = st("F(x), T(x), R(x,y)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::NotCovered);
+    }
+}

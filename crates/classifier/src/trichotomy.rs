@@ -1,0 +1,180 @@
+//! Theorem 11: the FO / L-complete / NL-complete trichotomy for ditree CQs
+//! with one solitary `F` and one solitary `T`, decided in polynomial time.
+//!
+//! Decision procedure (following the proof):
+//!
+//! 1. Replace `q` by its core (certain answers are invariant under
+//!    homomorphic equivalence); degenerate cores (no solitary `T`, or no
+//!    solitary `F`) are FO-rewritable by §4 items (a)/(b) with empty
+//!    recursion.
+//! 2. If the solitary pair `(t, f)` is `≺`-comparable: **NL-complete**
+//!    (upper bound by §4 item (c), hardness by Theorem 7 (i)).
+//! 3. If `q` is quasi-symmetric: **L-complete** (§4 item (d) + Appendix G).
+//! 4. Otherwise build the three-copy structure `H(t,f)` and its two models
+//!    `I_F` / `I_T` (both contacts labelled `F`, resp. `T`): if `q` maps
+//!    homomorphically into either, **FO-rewritable** (Prop. 2 via the
+//!    depth-≤2 cactus constructions of Appendix G); if neither,
+//!    **NL-complete** (Theorem 7 (ii) machinery / Claim 7.1).
+
+use crate::analysis::DitreeCqAnalysis;
+use sirup_core::builder::GlueBuilder;
+use sirup_core::{Node, Pred, Structure};
+use sirup_hom::{core_of, hom_exists};
+
+/// The Theorem 11 classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrichotomyClass {
+    /// FO-rewritable (AC0 data complexity).
+    FoRewritable,
+    /// L-complete.
+    LComplete,
+    /// NL-complete.
+    NlComplete,
+}
+
+/// Why classification was not applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrichotomyError {
+    /// The (core of the) CQ is not a ditree.
+    NotDitree,
+    /// The core does not have exactly one solitary `F` and one solitary `T`
+    /// (counts returned) — Theorem 11 does not apply. Note: cores with no
+    /// solitary `T` or no solitary `F` are reported as FO by
+    /// [`classify_trichotomy`] before this error can arise.
+    WrongSolitaryCounts(usize, usize),
+}
+
+/// Classify `(Δ_q, G)` for a ditree CQ with one solitary `F` and one
+/// solitary `T` per Theorem 11.
+pub fn classify_trichotomy(q: &Structure) -> Result<TrichotomyClass, TrichotomyError> {
+    // Step 1: core.
+    let (core, _) = core_of(q);
+    let a = DitreeCqAnalysis::new(&core).ok_or(TrichotomyError::NotDitree)?;
+    // Degenerate cores are FO (items (a)/(b) of §4 with no recursion).
+    if a.solitary_f.is_empty() || a.solitary_t.is_empty() {
+        return Ok(TrichotomyClass::FoRewritable);
+    }
+    if a.solitary_f.len() != 1 || a.solitary_t.len() != 1 {
+        return Err(TrichotomyError::WrongSolitaryCounts(
+            a.solitary_t.len(),
+            a.solitary_f.len(),
+        ));
+    }
+    let t = a.solitary_t[0];
+    let f = a.solitary_f[0];
+    // Step 2: comparable pair.
+    if a.tree.comparable(t, f) {
+        return Ok(TrichotomyClass::NlComplete);
+    }
+    // Step 3: quasi-symmetric.
+    if a.is_quasi_symmetric() {
+        return Ok(TrichotomyClass::LComplete);
+    }
+    // Step 4: the two-model H(t,f) test.
+    if h_tf_test(&core, t, f) {
+        Ok(TrichotomyClass::FoRewritable)
+    } else {
+        Ok(TrichotomyClass::NlComplete)
+    }
+}
+
+/// Does `q` map into one of the two canonical models over `H(t,f)`?
+pub fn h_tf_test(q: &Structure, t: Node, f: Node) -> bool {
+    hom_exists(q, &h_tf_model(q, t, f, Pred::F)) || hom_exists(q, &h_tf_model(q, t, f, Pred::T))
+}
+
+/// Build the model `I` over `H(t,f)`: three copies of `q` with the `T`/`F`
+/// labels stripped from `t`/`f`, glued contact-wise
+/// (`f_{a−1} = t_a`, `f_a = t_{a+1}`), with both contacts carrying
+/// `contact_label`. Outer endpoints are left unlabeled — by Claim 7.1 the
+/// solitary images never land there, so their labels cannot affect the test.
+pub fn h_tf_model(q: &Structure, t: Node, f: Node, contact_label: Pred) -> Structure {
+    let mut stripped = q.clone();
+    stripped.remove_label(t, Pred::T);
+    stripped.remove_label(f, Pred::F);
+    let mut b = GlueBuilder::new();
+    let o1 = b.add(&stripped);
+    let o2 = b.add(&stripped);
+    let o3 = b.add(&stripped);
+    // contact1: f of copy 1 = t of copy 2; contact2: f of copy 2 = t of copy 3.
+    b.glue(Node(o1 + f.0), Node(o2 + t.0));
+    b.glue(Node(o2 + f.0), Node(o3 + t.0));
+    let (mut s, map) = b.finish();
+    s.add_label(map[(o1 + f.0) as usize], contact_label);
+    s.add_label(map[(o2 + f.0) as usize], contact_label);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    #[test]
+    fn q4_is_l_complete() {
+        assert_eq!(
+            classify_trichotomy(&st("F(x), R(y,x), R(y,z), T(z)")),
+            Ok(TrichotomyClass::LComplete)
+        );
+    }
+
+    #[test]
+    fn comparable_pair_is_nl_complete() {
+        // One solitary F and one solitary T on a path: comparable.
+        assert_eq!(
+            classify_trichotomy(&st("T(x), R(x,y), F(y)")),
+            Ok(TrichotomyClass::NlComplete)
+        );
+    }
+
+    #[test]
+    fn asymmetric_twin_free_is_nl_complete() {
+        let q = st("F(x), R(y,x), R(y,w), R(w,z), T(z)");
+        assert_eq!(classify_trichotomy(&q), Ok(TrichotomyClass::NlComplete));
+    }
+
+    #[test]
+    fn degenerate_core_is_fo() {
+        // The twin-sibling CQ cores to F(x) → FT(w): no solitary T left.
+        let q = st("F(x), R(x,y), T(y), R(x,w), T(w), F(w)");
+        assert_eq!(classify_trichotomy(&q), Ok(TrichotomyClass::FoRewritable));
+    }
+
+    #[test]
+    fn non_ditree_rejected() {
+        // The S-edge prevents folding z away, so the core keeps in-degree 2
+        // at y and is not a ditree.
+        let q = st("F(x), R(x,y), T(y), S(z,y)");
+        assert_eq!(classify_trichotomy(&q), Err(TrichotomyError::NotDitree));
+    }
+
+    #[test]
+    fn non_core_dag_classifies_via_its_tree_core() {
+        // R(z,y) folds onto R(x,y), so the core is the path F(x)→T(y):
+        // a comparable pair ⇒ NL-complete.
+        let q = st("F(x), R(x,y), T(y), R(z,y)");
+        assert_eq!(classify_trichotomy(&q), Ok(TrichotomyClass::NlComplete));
+    }
+
+    #[test]
+    fn h_tf_model_shape() {
+        let (q, n) = parse_structure("F(x), R(y,x), R(y,z), T(z)").unwrap();
+        let m = h_tf_model(&q, n["z"], n["x"], Pred::T);
+        // 3 copies × 3 nodes − 2 gluings = 7 nodes.
+        assert_eq!(m.node_count(), 7);
+        assert_eq!(m.edge_count(), 6);
+        // Exactly the two contacts carry T; no F anywhere.
+        assert_eq!(m.nodes_with_label(Pred::T).len(), 2);
+        assert_eq!(m.nodes_with_label(Pred::F).len(), 0);
+    }
+
+    #[test]
+    fn wrong_counts_rejected() {
+        // Two incomparable solitary Ts and one F, minimal: not Theorem 11.
+        let q = st("F(x), R(y,x), R(y,z), T(z), S(y,w), T(w)");
+        assert!(matches!(
+            classify_trichotomy(&q),
+            Err(TrichotomyError::WrongSolitaryCounts(2, 1))
+        ));
+    }
+}

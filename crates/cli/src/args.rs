@@ -1,0 +1,152 @@
+//! Minimal command-line argument parsing.
+//!
+//! Grammar: `sirupctl <subcommand> [positional…] [--flag [value]]…`.
+//! Flags may appear anywhere after the subcommand; a flag followed by
+//! another flag (or end of input) is Boolean.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` and Boolean `--key` flags (keys without dashes).
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Argument parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    NoCommand,
+    /// The same flag appeared twice.
+    DuplicateFlag(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::NoCommand => write!(f, "no subcommand given (try `sirupctl help`)"),
+            ArgsError::DuplicateFlag(k) => write!(f, "flag --{k} given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parse a raw argument list (without the program name).
+pub fn parse_args<I, S>(raw: I) -> Result<Args, ArgsError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut it = raw.into_iter().map(Into::into).peekable();
+    let command = it.next().ok_or(ArgsError::NoCommand)?;
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                _ => String::from("true"),
+            };
+            if flags.insert(key.to_owned(), value).is_some() {
+                return Err(ArgsError::DuplicateFlag(key.to_owned()));
+            }
+        } else {
+            positional.push(tok);
+        }
+    }
+    Ok(Args {
+        command,
+        positional,
+        flags,
+    })
+}
+
+impl Args {
+    /// The value of flag `key`, if present.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag: present (with any value other than `"false"`).
+    pub fn flag_bool(&self, key: &str) -> bool {
+        self.flags.get(key).is_some_and(|v| v != "false")
+    }
+
+    /// Numeric flag with a default; `Err` carries a usage message.
+    pub fn flag_u32(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Numeric usize flag with a default.
+    pub fn flag_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcommand_and_positionals() {
+        let a = parse_args(["classify", "F(x), T(y)"]).unwrap();
+        assert_eq!(a.command, "classify");
+        assert_eq!(a.positional, vec!["F(x), T(y)"]);
+        assert!(a.flags.is_empty());
+    }
+
+    #[test]
+    fn flags_with_values_and_booleans() {
+        let a =
+            parse_args(["bound", "F(x)", "--max-d", "3", "--sigma", "--cap", "100"]).unwrap();
+        assert_eq!(a.flag("max-d"), Some("3"));
+        assert_eq!(a.flag("cap"), Some("100"));
+        assert!(a.flag_bool("sigma"));
+        assert!(!a.flag_bool("absent"));
+        assert_eq!(a.flag_u32("max-d", 1).unwrap(), 3);
+        assert_eq!(a.flag_u32("horizon", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse_args(["x", "--a", "--b", "v"]).unwrap();
+        assert_eq!(a.flag("a"), Some("true"));
+        assert_eq!(a.flag("b"), Some("v"));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse_args(Vec::<String>::new()).unwrap_err(), ArgsError::NoCommand);
+        assert_eq!(
+            parse_args(["x", "--k", "1", "--k", "2"]).unwrap_err(),
+            ArgsError::DuplicateFlag("k".into())
+        );
+        let a = parse_args(["x", "--n", "abc"]).unwrap();
+        assert!(a.flag_u32("n", 0).is_err());
+    }
+
+    #[test]
+    fn positionals_after_flags() {
+        let a = parse_args(["x", "--sigma", "F(x)"]).unwrap();
+        // `--sigma F(x)` binds F(x) as the flag value (documented grammar):
+        assert_eq!(a.flag("sigma"), Some("F(x)"));
+        assert!(a.positional.is_empty());
+    }
+}

@@ -1,0 +1,575 @@
+//! Subcommand implementations. Every command takes parsed [`Args`] and
+//! returns the report it would print, so the whole CLI is unit-testable.
+
+use crate::args::Args;
+use crate::dot::{skeleton_to_dot, structure_to_dot};
+use sirup_cactus::{
+    enumerate_cactuses, find_bound, is_focused_up_to, pi_rewriting, sigma_rewriting,
+    BoundSearch, Boundedness, Cactus,
+};
+use sirup_classifier::{
+    classify_delta_plus, classify_path_dsirup, classify_trichotomy, lambda_fo_rewritable,
+    nl_hardness_condition, rewritability_bound, DitreeCqAnalysis, LambdaVerdict,
+};
+use sirup_core::cq::{solitary_f, solitary_t, twins};
+use sirup_core::parse::parse_structure;
+use sirup_core::shape::{is_dag, DitreeView};
+use sirup_core::{OneCq, Structure};
+use sirup_fo::{render_sql, ucq_to_fo, SqlDialect};
+use sirup_schemaorg::SchemaOrgQuery;
+use std::fmt;
+use std::fmt::Write;
+
+/// Errors surfaced to the user (exit code 1 with the message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required positional argument is missing.
+    MissingArgument(&'static str),
+    /// The CQ/instance text did not parse or validate.
+    BadInput(String),
+    /// A flag value is malformed.
+    BadFlag(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try `sirupctl help`)")
+            }
+            CliError::MissingArgument(what) => write!(f, "missing argument: {what}"),
+            CliError::BadInput(m) => write!(f, "bad input: {m}"),
+            CliError::BadFlag(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(help_text()),
+        "parse" => cmd_parse(args),
+        "classify" => cmd_classify(args),
+        "bound" => cmd_bound(args),
+        "rewrite" => cmd_rewrite(args),
+        "cactus" => cmd_cactus(args),
+        "dot" => cmd_dot(args),
+        "schemaorg" => cmd_schemaorg(args),
+        "program" => cmd_program(args),
+        "zoo" => Ok(cmd_zoo()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+/// The `help` text.
+pub fn help_text() -> String {
+    "\
+sirupctl — analyse monadic (disjunctive) sirups  [PODS'21 reproduction]
+
+USAGE: sirupctl <command> [args] [--flags]
+
+COMMANDS
+  parse <cq>                    validate a CQ; report shape, solitary nodes, twins
+  classify <cq>                 run the §4 deciders (Cor. 8, Thm. 9, Thm. 11)
+  bound <cq> [--max-d N] [--horizon N] [--cap N] [--sigma]
+                                Prop. 2 boundedness evidence at a finite horizon
+  rewrite <cq> --depth N [--format ucq|fo|sql] [--sigma] [--minimise]
+                                extract the candidate UCQ rewriting
+  cactus <cq> [--depth N] [--dot] [--cap N]
+                                enumerate cactuses; --dot prints the full
+                                cactus skeleton of the given depth
+  dot <structure>               Graphviz DOT of a structure
+  program <cq>                  print the programs Π_q and Σ_q (rules (5)–(7))
+  schemaorg <cq>                the Δ'_q presentation (Prop. 5) in DL-Lite syntax
+  zoo                           classify the paper's Example-1 CQs q1…q5
+  help                          this text
+
+CQs and instances are comma-separated atom lists, e.g. 'F(x), R(x,y), T(y)'.
+"
+    .to_owned()
+}
+
+fn structure_arg(args: &Args) -> Result<Structure, CliError> {
+    let text = args
+        .positional
+        .first()
+        .ok_or(CliError::MissingArgument("a CQ/structure as atom text"))?;
+    parse_structure(text)
+        .map(|(s, _)| s)
+        .map_err(|e| CliError::BadInput(e.to_string()))
+}
+
+fn one_cq_arg(args: &Args) -> Result<OneCq, CliError> {
+    let s = structure_arg(args)?;
+    OneCq::new(s).map_err(|e| CliError::BadInput(e.to_string()))
+}
+
+fn bound_params(args: &Args) -> Result<BoundSearch, CliError> {
+    let max_d = args.flag_u32("max-d", 2).map_err(CliError::BadFlag)?;
+    let horizon = args
+        .flag_u32("horizon", max_d + 2)
+        .map_err(CliError::BadFlag)?;
+    let cap = args.flag_usize("cap", 10_000).map_err(CliError::BadFlag)?;
+    if horizon <= max_d {
+        return Err(CliError::BadFlag(format!(
+            "--horizon ({horizon}) must exceed --max-d ({max_d})"
+        )));
+    }
+    Ok(BoundSearch {
+        max_d,
+        horizon,
+        cap,
+        sigma: args.flag_bool("sigma"),
+    })
+}
+
+fn cmd_parse(args: &Args) -> Result<String, CliError> {
+    let s = structure_arg(args)?;
+    let mut out = String::new();
+    writeln!(out, "atoms     : {s}").unwrap();
+    writeln!(
+        out,
+        "size      : {} nodes, {} unary + {} binary atoms",
+        s.node_count(),
+        s.label_count(),
+        s.edge_count()
+    )
+    .unwrap();
+    let shape = if DitreeView::of(&s).is_some() {
+        "ditree"
+    } else if is_dag(&s) {
+        "dag"
+    } else {
+        "cyclic digraph"
+    };
+    writeln!(out, "shape     : {shape}").unwrap();
+    writeln!(
+        out,
+        "solitary F: {:?}",
+        solitary_f(&s).iter().map(|v| v.0).collect::<Vec<_>>()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "solitary T: {:?}",
+        solitary_t(&s).iter().map(|v| v.0).collect::<Vec<_>>()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "FT-twins  : {:?}",
+        twins(&s).iter().map(|v| v.0).collect::<Vec<_>>()
+    )
+    .unwrap();
+    match OneCq::new(s) {
+        Ok(q) => writeln!(out, "1-CQ      : yes (span {})", q.span()).unwrap(),
+        Err(e) => writeln!(out, "1-CQ      : no ({e})").unwrap(),
+    }
+    Ok(out)
+}
+
+fn cmd_classify(args: &Args) -> Result<String, CliError> {
+    let s = structure_arg(args)?;
+    let mut out = String::new();
+    let bound = rewritability_bound(&s);
+    writeln!(
+        out,
+        "[22] upper bound    : {bound:?} (data complexity in {})",
+        bound.complexity_class()
+    )
+    .unwrap();
+    match DitreeCqAnalysis::new(&s) {
+        None => {
+            writeln!(
+                out,
+                "not a ditree CQ with ≥1 solitary F and ≥1 solitary T; the §4 deciders need one"
+            )
+            .unwrap();
+            writeln!(out, "(§3 applies to dag CQs, but deciding those is 2ExpTime-hard)").unwrap();
+        }
+        Some(a) => {
+            writeln!(out, "quasi-symmetric    : {}", a.is_quasi_symmetric()).unwrap();
+            writeln!(out, "minimal (core)     : {}", a.is_minimal()).unwrap();
+            writeln!(out, "Theorem 7 condition: {:?}", nl_hardness_condition(&a)).unwrap();
+            writeln!(out, "Corollary 8 (Δ⁺_q) : {:?}", classify_delta_plus(&a)).unwrap();
+            match classify_trichotomy(&s) {
+                Ok(c) => writeln!(out, "Theorem 11 (Δ_q)   : {c:?}").unwrap(),
+                Err(e) => writeln!(out, "Theorem 11 (Δ_q)   : n/a ({e:?})").unwrap(),
+            }
+        }
+    }
+    if let Ok(path_class) = classify_path_dsirup(&s) {
+        writeln!(out, "path classification: {path_class:?}").unwrap();
+    }
+    if let Ok(q) = OneCq::new(s) {
+        let v = lambda_fo_rewritable(&q);
+        if v != LambdaVerdict::NotLambda {
+            writeln!(out, "Theorem 9 (Λ-CQ)   : {v:?}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_bound(args: &Args) -> Result<String, CliError> {
+    let q = one_cq_arg(args)?;
+    let params = bound_params(args)?;
+    let mut out = String::new();
+    let query_name = if params.sigma { "(Σ_q, P)" } else { "(Π_q, G)" };
+    match is_focused_up_to(&q, params.horizon.min(3), params.cap) {
+        Some(focused) => writeln!(out, "(foc) up to depth {}: {focused}", params.horizon.min(3))
+            .unwrap(),
+        None => writeln!(out, "(foc): inconclusive (cap hit)").unwrap(),
+    }
+    match find_bound(&q, params) {
+        Boundedness::BoundedEvidence { d, horizon } => writeln!(
+            out,
+            "{query_name}: bounded evidence — every cactus of depth ≤ {horizon} \
+             contains a hom image of one of depth ≤ {d}"
+        )
+        .unwrap(),
+        Boundedness::UnboundedEvidence { witness_depth } => writeln!(
+            out,
+            "{query_name}: UNBOUNDED evidence — a depth-{witness_depth} cactus admits no \
+             hom from any cactus of depth ≤ {}",
+            params.max_d
+        )
+        .unwrap(),
+        Boundedness::Inconclusive => {
+            writeln!(out, "{query_name}: inconclusive (shape cap hit)").unwrap()
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_rewrite(args: &Args) -> Result<String, CliError> {
+    let q = one_cq_arg(args)?;
+    let depth = args.flag_u32("depth", 1).map_err(CliError::BadFlag)?;
+    let cap = args.flag_usize("cap", 10_000).map_err(CliError::BadFlag)?;
+    let sigma = args.flag_bool("sigma");
+    let raw = if sigma {
+        sigma_rewriting(&q, depth, cap)
+    } else {
+        pi_rewriting(&q, depth, cap)
+    }
+    .ok_or_else(|| CliError::BadInput(format!("cactus cap {cap} hit at depth {depth}")))?;
+    let minimised = args.flag_bool("minimise");
+    let ucq = if minimised {
+        sirup_engine::containment::minimise_ucq(&raw)
+    } else {
+        raw.clone()
+    };
+    let mut out = String::new();
+    if minimised && ucq.len() < raw.len() {
+        writeln!(
+            out,
+            "minimised: {} redundant disjunct(s) removed",
+            raw.len() - ucq.len()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "candidate {} rewriting at depth {depth}: {} disjuncts, {} atoms",
+        if sigma { "Σ" } else { "Π" },
+        ucq.len(),
+        ucq.size()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(a candidate is a genuine rewriting iff the query is bounded at this depth — \
+         check with `sirupctl bound`)"
+    )
+    .unwrap();
+    match args.flag("format").unwrap_or("ucq") {
+        "ucq" => {
+            for (i, (s, free)) in ucq.disjuncts.iter().enumerate() {
+                match free {
+                    Some(r) => writeln!(out, "  C{i} [answer n{}]: {s}", r.0).unwrap(),
+                    None => writeln!(out, "  C{i}: {s}").unwrap(),
+                }
+            }
+        }
+        "fo" => {
+            writeln!(out, "{}", ucq_to_fo(&ucq)).unwrap();
+        }
+        "sql" => {
+            writeln!(out, "{}", render_sql(&ucq, SqlDialect::Ansi)).unwrap();
+        }
+        other => {
+            return Err(CliError::BadFlag(format!(
+                "--format expects ucq|fo|sql, got {other:?}"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_cactus(args: &Args) -> Result<String, CliError> {
+    let q = one_cq_arg(args)?;
+    let depth = args.flag_u32("depth", 2).map_err(CliError::BadFlag)?;
+    let cap = args.flag_usize("cap", 10_000).map_err(CliError::BadFlag)?;
+    if args.flag_bool("dot") {
+        let c = sirup_cactus::enumerate::full_cactus(&q, depth);
+        return Ok(skeleton_to_dot(&c, &format!("full cactus depth {depth}")));
+    }
+    let (cs, complete) = enumerate_cactuses(&q, depth, cap);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "cactuses of depth ≤ {depth}: {}{}",
+        cs.len(),
+        if complete { "" } else { " (cap hit, incomplete)" }
+    )
+    .unwrap();
+    for d in 0..=depth {
+        let at: Vec<&Cactus> = cs.iter().filter(|c| c.depth() == d).collect();
+        let max_nodes = at
+            .iter()
+            .map(|c| c.structure().node_count())
+            .max()
+            .unwrap_or(0);
+        writeln!(
+            out,
+            "  depth {d}: {} shapes, largest has {max_nodes} nodes",
+            at.len()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_dot(args: &Args) -> Result<String, CliError> {
+    let s = structure_arg(args)?;
+    Ok(structure_to_dot(&s, "structure"))
+}
+
+fn cmd_program(args: &Args) -> Result<String, CliError> {
+    let q = one_cq_arg(args)?;
+    let pi = sirup_core::program::pi_q(&q);
+    let sigma = sirup_core::program::sigma_q(&q);
+    let mut out = String::new();
+    writeln!(out, "Π_q (rules (5)–(7)):").unwrap();
+    writeln!(out, "{pi}").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "Σ_q (rules (6)–(7)):").unwrap();
+    writeln!(out, "{sigma}").unwrap();
+    writeln!(
+        out,
+        "\nlinearity of Σ_q: {:?}",
+        sirup_engine::linear::linearity(&sigma)
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn cmd_schemaorg(args: &Args) -> Result<String, CliError> {
+    let s = structure_arg(args)?;
+    let q = SchemaOrgQuery::new(s);
+    let mut out = String::new();
+    writeln!(out, "Δ'_q presentation (Prop. 5), DL-Lite_bool syntax:").unwrap();
+    writeln!(out, "{}", q.dl_lite_syntax()).unwrap();
+    Ok(out)
+}
+
+fn cmd_zoo() -> String {
+    use sirup_workloads::paper;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Example 1 zoo (paper's data-complexity classification in brackets):"
+    )
+    .unwrap();
+    let entries: [(&str, Structure, &str); 5] = [
+        ("q1", paper::q1(), "coNP-complete"),
+        ("q2", paper::q2(), "P-complete"),
+        ("q3", paper::q3(), "NL-complete"),
+        ("q4", paper::q4(), "L-complete"),
+        ("q5", paper::q5().structure().clone(), "in AC0 (FO-rewritable)"),
+    ];
+    for (name, s, paper_class) in entries {
+        writeln!(out, "\n{name} [{paper_class}]: {s}").unwrap();
+        match DitreeCqAnalysis::new(&s) {
+            Some(a) => {
+                writeln!(
+                    out,
+                    "  Thm 7: {:?}; Cor 8: {:?}; Thm 11: {}",
+                    nl_hardness_condition(&a),
+                    classify_delta_plus(&a),
+                    match classify_trichotomy(&s) {
+                        Ok(c) => format!("{c:?}"),
+                        Err(e) => format!("n/a ({e:?})"),
+                    }
+                )
+                .unwrap();
+            }
+            None => writeln!(out, "  (outside the ditree/solitary-pair fragment of §4)").unwrap(),
+        }
+        if let Ok(q) = OneCq::new(s) {
+            let v = lambda_fo_rewritable(&q);
+            if v != LambdaVerdict::NotLambda {
+                writeln!(out, "  Thm 9 (Λ): {v:?}").unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(&parse_args(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = run_line(&["help"]).unwrap();
+        for c in [
+            "parse",
+            "classify",
+            "bound",
+            "rewrite",
+            "cactus",
+            "dot",
+            "program",
+            "schemaorg",
+            "zoo",
+        ] {
+            assert!(h.contains(c), "help missing {c}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            run_line(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn parse_reports_shape_and_span() {
+        let out = run_line(&["parse", "F(x), R(y,x), R(y,z), T(z)"]).unwrap();
+        assert!(out.contains("shape     : ditree"));
+        assert!(out.contains("1-CQ      : yes (span 1)"));
+        let out = run_line(&["parse", "R(x,y), R(y,x)"]).unwrap();
+        assert!(out.contains("cyclic digraph"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            run_line(&["parse", "F(x,"]),
+            Err(CliError::BadInput(_))
+        ));
+        assert!(matches!(
+            run_line(&["parse"]),
+            Err(CliError::MissingArgument(_))
+        ));
+    }
+
+    #[test]
+    fn classify_q4_is_l_complete() {
+        let out = run_line(&["classify", "F(x), R(y,x), R(y,z), T(z)"]).unwrap();
+        assert!(out.contains("quasi-symmetric    : true"));
+        assert!(out.contains("LComplete"));
+        assert!(out.contains("Theorem 9"));
+    }
+
+    #[test]
+    fn bound_detects_unbounded_chain() {
+        let out = run_line(&["bound", "F(x), R(x,y), T(y)", "--max-d", "1", "--horizon", "3"])
+            .unwrap();
+        assert!(out.contains("UNBOUNDED evidence"), "{out}");
+    }
+
+    #[test]
+    fn bound_flag_validation() {
+        assert!(matches!(
+            run_line(&["bound", "F(x), R(x,y), T(y)", "--max-d", "3", "--horizon", "2"]),
+            Err(CliError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn rewrite_formats() {
+        let q = "T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)";
+        let ucq = run_line(&["rewrite", q, "--depth", "1"]).unwrap();
+        assert!(ucq.contains("2 disjuncts"));
+        let fo = run_line(&["rewrite", q, "--depth", "1", "--format", "fo"]).unwrap();
+        assert!(fo.contains('∃'));
+        let sql = run_line(&["rewrite", q, "--depth", "1", "--format", "sql"]).unwrap();
+        assert!(sql.contains("EXISTS"));
+        assert!(matches!(
+            run_line(&["rewrite", q, "--depth", "1", "--format", "xml"]),
+            Err(CliError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn rewrite_minimise_drops_redundant_disjuncts() {
+        let q = "T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)";
+        let out = run_line(&["rewrite", q, "--depth", "2", "--minimise", "true"]).unwrap();
+        assert!(out.contains("minimised:"), "{out}");
+    }
+
+    #[test]
+    fn classify_reports_path_class_on_paths() {
+        let out = run_line(&["classify", "T(a), R(a,b), F(b)"]).unwrap();
+        assert!(out.contains("path classification: NlComplete"), "{out}");
+    }
+
+    #[test]
+    fn cactus_counts_and_dot() {
+        let q = "F(x), R(y,x), R(y,z), T(z)";
+        let out = run_line(&["cactus", q, "--depth", "3"]).unwrap();
+        assert!(out.contains("cactuses of depth ≤ 3: 4"));
+        let dot = run_line(&["cactus", q, "--depth", "2", "--dot", "true"]).unwrap();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("s0 -> s1"));
+    }
+
+    #[test]
+    fn dot_command_renders() {
+        let out = run_line(&["dot", "F(x), R(x,y), T(y)"]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn schemaorg_renders_dl_lite() {
+        let out = run_line(&["schemaorg", "T(x), R(x,y), F(y)"]).unwrap();
+        assert!(out.contains("DL-Lite"));
+    }
+
+    #[test]
+    fn program_prints_the_paper_rules() {
+        let out = run_line(&["program", "F(x), R(y,x), R(y,z), T(z)"]).unwrap();
+        assert!(out.contains("Π_q"));
+        assert!(out.contains("Σ_q"));
+        assert!(out.contains("P(x0) ← T(x0)"));
+        assert!(out.contains("linearity of Σ_q: Linear"));
+    }
+
+    #[test]
+    fn classify_reports_rewritability_bound() {
+        let out = run_line(&["classify", "F(x), R(y,x), R(y,z), T(z)"]).unwrap();
+        assert!(out.contains("[22] upper bound"), "{out}");
+        assert!(out.contains("SymmetricLinearDatalog"));
+    }
+
+    #[test]
+    fn zoo_covers_q1_to_q5() {
+        let out = run_line(&["zoo"]).unwrap();
+        for n in ["q1", "q2", "q3", "q4", "q5"] {
+            assert!(out.contains(n), "zoo missing {n}");
+        }
+        assert!(out.contains("coNP-complete"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Graphviz DOT rendering of structures, cactus skeletons and type graphs.
+//!
+//! The paper communicates almost everything through labelled-digraph
+//! pictures (Examples 1–5, Fig. 1, Fig. 2); this module lets a user
+//! regenerate such pictures from any [`Structure`] or cactus with
+//! `sirupctl dot … | dot -Tsvg`.
+
+use sirup_cactus::Cactus;
+use sirup_core::{Pred, Structure};
+use std::fmt::Write;
+
+/// Escape a string for a DOT quoted identifier.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a structure as a DOT digraph. Unary predicates become node
+/// labels (`F`, `T`, `FT` for twins, `A`, …); binary predicates become
+/// labelled edges.
+pub fn structure_to_dot(s: &Structure, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", esc(name)).unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=10];").unwrap();
+    for v in s.nodes() {
+        let labels: Vec<String> = s.labels(v).iter().map(|p| p.name()).collect();
+        let label = if labels.is_empty() {
+            String::new()
+        } else {
+            labels.join("")
+        };
+        let shape_attr = if s.has_label(v, Pred::F) && s.has_label(v, Pred::T) {
+            ", shape=doublecircle"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\"{shape_attr}];",
+            v.0,
+            esc(&label)
+        )
+        .unwrap();
+    }
+    for (p, u, v) in s.edges() {
+        let pname = p.name();
+        if pname == "R" {
+            writeln!(out, "  n{} -> n{};", u.0, v.0).unwrap();
+        } else {
+            writeln!(out, "  n{} -> n{} [label=\"{}\"];", u.0, v.0, esc(&pname)).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Render a cactus *skeleton* (§2) as a DOT ditree: one box per segment,
+/// edges labelled with the budded solitary-`T` slot.
+pub fn skeleton_to_dot(c: &Cactus, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", esc(name)).unwrap();
+    writeln!(out, "  node [shape=box, fontsize=10];").unwrap();
+    for (i, seg) in c.segments().iter().enumerate() {
+        let role = if i == 0 { "root" } else { "seg" };
+        writeln!(out, "  s{i} [label=\"{role} {i}\\ndepth {}\"];", seg.depth).unwrap();
+    }
+    for (i, seg) in c.segments().iter().enumerate() {
+        if let Some((parent, slot)) = seg.parent {
+            writeln!(out, "  s{parent} -> s{i} [label=\"{slot}\"];").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+    use sirup_core::OneCq;
+
+    #[test]
+    fn structure_dot_contains_all_atoms() {
+        let s = st("F(x), R(x,y), T(y), S(y,z), F(z), T(z)");
+        let d = structure_to_dot(&s, "demo");
+        assert!(d.starts_with("digraph \"demo\""));
+        assert!(d.contains("label=\"F\""));
+        assert!(d.contains("label=\"FT\"") || d.contains("label=\"TF\""));
+        assert!(d.contains("doublecircle")); // the twin
+        assert!(d.contains("label=\"S\"")); // non-R edges labelled
+        assert_eq!(d.matches(" -> ").count(), 2);
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn r_edges_are_unlabelled() {
+        let s = st("R(x,y)");
+        let d = structure_to_dot(&s, "r");
+        assert!(d.contains("n0 -> n1;"));
+        assert!(!d.contains("label=\"R\""));
+    }
+
+    #[test]
+    fn skeleton_dot_shows_budding() {
+        let q = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+        let c = Cactus::root(&q).bud(0, 0).bud(1, 0);
+        let d = skeleton_to_dot(&c, "skel");
+        assert_eq!(d.matches("shape=box").count(), 1);
+        assert!(d.contains("s0 -> s1 [label=\"0\"]"));
+        assert!(d.contains("s1 -> s2 [label=\"0\"]"));
+        assert!(d.contains("root 0"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let s = Structure::new();
+        let d = structure_to_dot(&s, "a\"b");
+        assert!(d.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # sirup-cli
+//!
+//! The `sirupctl` command-line tool: the workspace's functionality packaged
+//! for a downstream user who wants to analyse a CQ without writing Rust.
+//!
+//! All command logic lives in this library ([`commands`]) and returns
+//! strings, so the binary (`src/main.rs`) is a thin shell and the whole
+//! surface is unit-testable. Argument parsing is the tiny hand-rolled
+//! [`args`] module (the offline crate set has no CLI parser, and the
+//! grammar — one subcommand, `--key value` flags, positionals — does not
+//! justify one).
+//!
+//! ```text
+//! sirupctl parse      'F(x), R(x,y), T(y)'
+//! sirupctl classify   'F(x), R(y,x), R(y,z), T(z)'
+//! sirupctl bound      'F(x), R(x,y), T(y)' --max-d 2 --horizon 4
+//! sirupctl rewrite    '<bounded 1-CQ>' --depth 1 --format sql
+//! sirupctl cactus     'F(x), R(y,x), R(y,z), T(z)' --depth 2
+//! sirupctl dot        'F(x), R(x,y), T(y)'
+//! sirupctl schemaorg  'T(x), S(x,y), T(y), R(y,z), F(z)'
+//! sirupctl zoo
+//! ```
+
+pub mod args;
+pub mod commands;
+pub mod dot;
+
+pub use args::{parse_args, Args, ArgsError};
+pub use commands::{run, CliError};

@@ -1,0 +1,24 @@
+//! `sirupctl` — command-line front end; all logic lives in `sirup_cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match sirup_cli::parse_args(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sirupctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sirup_cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sirupctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! A gluing builder for assembling structures from parts.
+//!
+//! The constructions of the paper constantly glue structures at shared nodes:
+//! budding attaches a copy of `q⁻` by identifying its focus with a `T`-node
+//! (§2, rule (bud)); the gadget query of §3.5 merges gate inputs and outputs;
+//! the blow-ups `¯ℌ` of §4 glue segments at `A`-nodes. [`GlueBuilder`]
+//! accumulates disjoint copies and records identifications in a union-find,
+//! then emits the quotient structure with a node map.
+
+use crate::structure::{Node, Structure};
+use crate::symbols::Pred;
+
+/// Builds a structure from disjoint parts plus node identifications.
+#[derive(Clone, Default)]
+pub struct GlueBuilder {
+    acc: Structure,
+    parent: Vec<u32>,
+}
+
+impl GlueBuilder {
+    /// Empty builder.
+    pub fn new() -> GlueBuilder {
+        GlueBuilder::default()
+    }
+
+    /// Number of (pre-quotient) nodes accumulated so far.
+    pub fn node_count(&self) -> usize {
+        self.acc.node_count()
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Append a disjoint copy of `part`; returns the node offset (node `v`
+    /// of `part` is addressed as `Node(offset + v.0)` in this builder).
+    pub fn add(&mut self, part: &Structure) -> u32 {
+        let offset = self.acc.append(part);
+        while self.parent.len() < self.acc.node_count() {
+            self.parent.push(self.parent.len() as u32);
+        }
+        offset
+    }
+
+    /// Add a single fresh node.
+    pub fn add_fresh(&mut self) -> Node {
+        let v = self.acc.add_node();
+        self.parent.push(v.0);
+        v
+    }
+
+    /// Add the unary atom `p(v)` (by pre-quotient node id).
+    pub fn label(&mut self, v: Node, p: Pred) {
+        self.acc.add_label(v, p);
+    }
+
+    /// Add the binary atom `p(u, v)` (by pre-quotient node ids).
+    pub fn edge(&mut self, p: Pred, u: Node, v: Node) {
+        self.acc.add_edge(p, u, v);
+    }
+
+    /// Identify nodes `a` and `b`.
+    pub fn glue(&mut self, a: Node, b: Node) {
+        let ra = self.find(a.0);
+        let rb = self.find(b.0);
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+
+    /// Emit the quotient structure plus the map from pre-quotient node ids to
+    /// final node ids.
+    pub fn finish(mut self) -> (Structure, Vec<Node>) {
+        let n = self.acc.node_count();
+        let mut dense: Vec<Option<Node>> = vec![None; n];
+        let mut map: Vec<Node> = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for v in 0..n as u32 {
+            let root = self.find(v);
+            let id = *dense[root as usize].get_or_insert_with(|| {
+                let id = Node(next);
+                next += 1;
+                id
+            });
+            map.push(id);
+        }
+        let s = self.acc.quotient(&map, next as usize);
+        (s, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_st(p: Pred) -> Structure {
+        let mut s = Structure::with_nodes(2);
+        s.add_edge(p, Node(0), Node(1));
+        s
+    }
+
+    #[test]
+    fn chain_by_gluing() {
+        // Glue three R-edges end to end: a path of length 3 on 4 nodes.
+        let mut b = GlueBuilder::new();
+        let o1 = b.add(&edge_st(Pred::R));
+        let o2 = b.add(&edge_st(Pred::R));
+        let o3 = b.add(&edge_st(Pred::R));
+        b.glue(Node(o1 + 1), Node(o2));
+        b.glue(Node(o2 + 1), Node(o3));
+        let (s, map) = b.finish();
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(map[(o1 + 1) as usize], map[o2 as usize]);
+        // The chain is connected: n with out-deg 0 is unique.
+        let sinks: Vec<_> = s.nodes().filter(|&v| s.out_degree(v) == 0).collect();
+        assert_eq!(sinks.len(), 1);
+    }
+
+    #[test]
+    fn labels_survive_gluing() {
+        let mut b = GlueBuilder::new();
+        let u = b.add_fresh();
+        let v = b.add_fresh();
+        b.label(u, Pred::F);
+        b.label(v, Pred::T);
+        b.glue(u, v);
+        let (s, map) = b.finish();
+        assert_eq!(s.node_count(), 1);
+        let n = map[u.index()];
+        assert!(s.has_label(n, Pred::F));
+        assert!(s.has_label(n, Pred::T));
+    }
+
+    #[test]
+    fn transitive_gluing_collapses() {
+        let mut b = GlueBuilder::new();
+        let nodes: Vec<Node> = (0..5).map(|_| b.add_fresh()).collect();
+        b.glue(nodes[0], nodes[1]);
+        b.glue(nodes[1], nodes[2]);
+        b.glue(nodes[3], nodes[4]);
+        let (s, map) = b.finish();
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(map[0], map[2]);
+        assert_ne!(map[0], map[3]);
+        assert_eq!(map[3], map[4]);
+    }
+
+    #[test]
+    fn parallel_edges_collapse_after_quotient() {
+        // Two edges that become parallel after gluing are a single atom.
+        let mut b = GlueBuilder::new();
+        let o1 = b.add(&edge_st(Pred::R));
+        let o2 = b.add(&edge_st(Pred::R));
+        b.glue(Node(o1), Node(o2));
+        b.glue(Node(o1 + 1), Node(o2 + 1));
+        let (s, _) = b.finish();
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+    }
+}

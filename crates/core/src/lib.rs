@@ -1,0 +1,31 @@
+//! # sirup-core
+//!
+//! Core vocabulary for the reproduction of *“Deciding Boundedness of Monadic
+//! Sirups”* (Kikot, Kurucz, Podolskii, Zakharyaschev, PODS 2021).
+//!
+//! This crate provides the shared data model used by every other crate in the
+//! workspace:
+//!
+//! * interned predicate symbols ([`Pred`], [`symbols`]),
+//! * finite relational [`Structure`]s with unary and binary predicates, used
+//!   uniformly for conjunctive queries, data instances, cactuses and blow-ups,
+//! * the paper's query classes: [`cq::OneCq`] (1-CQs with a single solitary
+//!   `F`-node) and general d-sirup CQs,
+//! * monadic datalog [`program::Program`]s and the constructors `Π_q`, `Σ_q`
+//!   and the disjunctive `Δ_q` of the paper (§2, rules (1)–(7)),
+//! * shape recognisers for ditrees and dags ([`shape`]),
+//! * a small text format for structures ([`parse`]).
+
+pub mod builder;
+pub mod cq;
+pub mod fx;
+pub mod parse;
+pub mod program;
+pub mod shape;
+pub mod structure;
+pub mod symbols;
+
+pub use cq::OneCq;
+pub use program::{Atom, Program, Rule, Term};
+pub use structure::{Node, Structure};
+pub use symbols::Pred;

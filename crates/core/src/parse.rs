@@ -1,0 +1,238 @@
+//! A small text format for structures (CQs and data instances).
+//!
+//! Grammar (whitespace-insensitive, `#` starts a line comment):
+//!
+//! ```text
+//! structure := atom (("," | whitespace)* atom)*
+//! atom      := PRED "(" NAME ")" | PRED "(" NAME "," NAME ")"
+//! ```
+//!
+//! Example — the paper's `q3` (Example 1): `T(x), R(x,y), T(y), R(y,z), F(z)`.
+
+use crate::structure::{Node, Structure};
+use crate::symbols::Pred;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by [`parse_structure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a structure from the text format. Returns the structure and the
+/// mapping from source names to nodes (sorted by name for determinism of
+/// iteration; node ids are assigned in first-occurrence order).
+pub fn parse_structure(input: &str) -> Result<(Structure, BTreeMap<String, Node>), ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut s = Structure::new();
+    let mut names: BTreeMap<String, Node> = BTreeMap::new();
+
+    // Whitespace and comments only (does not consume commas).
+    fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            } else {
+                return i;
+            }
+        }
+    }
+
+    // Whitespace, comments, and top-level atom separators (commas).
+    fn skip_sep(bytes: &[u8], mut i: usize) -> usize {
+        loop {
+            i = skip_ws(bytes, i);
+            if i < bytes.len() && bytes[i] == b',' {
+                i += 1;
+            } else {
+                return i;
+            }
+        }
+    }
+
+    fn ident(bytes: &[u8], i: usize) -> (usize, String) {
+        let start = i;
+        let mut j = i;
+        while j < bytes.len()
+            && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'\'')
+        {
+            j += 1;
+        }
+        (j, String::from_utf8_lossy(&bytes[start..j]).into_owned())
+    }
+
+    loop {
+        i = skip_sep(bytes, i);
+        if i >= bytes.len() {
+            break;
+        }
+        let (j, pred_name) = ident(bytes, i);
+        if pred_name.is_empty() {
+            return Err(ParseError {
+                at: i,
+                msg: format!("expected predicate name, found {:?}", bytes[i] as char),
+            });
+        }
+        i = skip_ws(bytes, j);
+        if i >= bytes.len() || bytes[i] != b'(' {
+            return Err(ParseError {
+                at: i,
+                msg: "expected '(' after predicate name".into(),
+            });
+        }
+        i = skip_ws(bytes, i + 1);
+        let (j, a1) = ident(bytes, i);
+        if a1.is_empty() {
+            return Err(ParseError {
+                at: i,
+                msg: "expected argument name".into(),
+            });
+        }
+        i = skip_ws(bytes, j);
+        let mut a2: Option<String> = None;
+        if i < bytes.len() && bytes[i] == b',' {
+            i = skip_ws(bytes, i + 1);
+            let (j, name) = ident(bytes, i);
+            if name.is_empty() {
+                return Err(ParseError {
+                    at: i,
+                    msg: "expected second argument name".into(),
+                });
+            }
+            a2 = Some(name);
+            i = skip_ws(bytes, j);
+        }
+        if i >= bytes.len() || bytes[i] != b')' {
+            return Err(ParseError {
+                at: i,
+                msg: "expected ')'".into(),
+            });
+        }
+        i += 1;
+
+        let p = Pred::new(&pred_name);
+        let n1 = *names.entry(a1).or_insert_with(|| s.add_node());
+        match a2 {
+            None => {
+                s.add_label(n1, p);
+            }
+            Some(a2) => {
+                let n2 = *names.entry(a2).or_insert_with(|| s.add_node());
+                s.add_edge(p, n1, n2);
+            }
+        }
+    }
+    Ok((s, names))
+}
+
+/// Convenience wrapper: parse, panic with a readable message on error.
+/// Intended for statically known CQ literals in tests and examples.
+pub fn st(input: &str) -> Structure {
+    match parse_structure(input) {
+        Ok((s, _)) => s,
+        Err(e) => panic!("bad structure literal: {e}\ninput: {input}"),
+    }
+}
+
+/// Parse and also return the node bound to `name` (panics if absent).
+pub fn st_with(input: &str, name: &str) -> (Structure, Node) {
+    match parse_structure(input) {
+        Ok((s, names)) => {
+            let n = *names
+                .get(name)
+                .unwrap_or_else(|| panic!("name {name:?} not bound in structure literal"));
+            (s, n)
+        }
+        Err(e) => panic!("bad structure literal: {e}\ninput: {input}"),
+    }
+}
+
+/// Render a structure in the text format with `n<i>` names (inverse of
+/// parsing up to renaming).
+pub fn to_text(s: &Structure) -> String {
+    format!("{s}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example1_q3() {
+        let (s, names) = parse_structure("T(x), R(x,y), T(y), R(y,z), F(z)").unwrap();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 2);
+        let x = names["x"];
+        let z = names["z"];
+        assert!(s.has_label(x, Pred::T));
+        assert!(s.has_label(z, Pred::F));
+        assert!(!s.has_label(z, Pred::T));
+    }
+
+    #[test]
+    fn whitespace_and_comments() {
+        let (s, _) = parse_structure(
+            "# the 1-CQ q4 of Example 1\n F(x)\n R(y, x)\n R(y, z)\n T(z) # twin-free",
+        )
+        .unwrap();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.label_count(), 2);
+    }
+
+    #[test]
+    fn twins_parse_as_two_labels() {
+        let (s, names) = parse_structure("F(u), T(u)").unwrap();
+        let u = names["u"];
+        assert!(s.has_label(u, Pred::F) && s.has_label(u, Pred::T));
+        assert_eq!(s.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let (s, _) = parse_structure("R(x,y), R(x,y), R(x,y)").unwrap();
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_structure("R(x").is_err());
+        assert!(parse_structure("R x,y)").is_err());
+        assert!(parse_structure("(x)").is_err());
+        assert!(parse_structure("R(,y)").is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_display() {
+        let s1 = st("F(a), R(a,b), T(b), S(b,c)");
+        let s2 = st(&to_text(&s1));
+        // Node ids may permute, but counts must agree.
+        assert_eq!(s1.node_count(), s2.node_count());
+        assert_eq!(s1.edge_count(), s2.edge_count());
+        assert_eq!(s1.label_count(), s2.label_count());
+    }
+
+    #[test]
+    fn st_with_returns_named_node() {
+        let (s, x) = st_with("F(x), R(x,y)", "x");
+        assert!(s.has_label(x, Pred::F));
+    }
+}

@@ -1,0 +1,380 @@
+//! Datalog rules, programs, and the paper's program constructors.
+//!
+//! §2 associates three programs with a 1-CQ `q` (solitary `F(x)`, solitary
+//! `T(y_1), …, T(y_n)`):
+//!
+//! * `Π_q` — rules (5)–(7): the monadic datalog program with goal `G`,
+//! * `Σ_q` — rules (6)–(7): the monadic **sirup** with goal predicate `P`,
+//! * `Δ_q` — rules (1)–(2): the disjunctive sirup (represented by
+//!   [`DSirup`]; its certain-answer semantics lives in `sirup-engine`).
+
+use crate::cq::OneCq;
+use crate::structure::Structure;
+use crate::symbols::Pred;
+use std::fmt;
+
+/// A rule variable (dense index within a rule).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term(pub u32);
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An atom `Q(t̄)` with arity 0, 1, or 2.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: Pred,
+    /// Argument terms (0–2 of them).
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Nullary atom.
+    pub fn nullary(pred: Pred) -> Atom {
+        Atom { pred, args: vec![] }
+    }
+    /// Unary atom.
+    pub fn unary(pred: Pred, t: Term) -> Atom {
+        Atom {
+            pred,
+            args: vec![t],
+        }
+    }
+    /// Binary atom.
+    pub fn binary(pred: Pred, t1: Term, t2: Term) -> Atom {
+        Atom {
+            pred,
+            args: vec![t1, t2],
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A datalog rule `head ← body`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom `γ_0`.
+    pub head: Atom,
+    /// The body atoms `γ_1, …, γ_m`.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Number of distinct variables (terms are dense, so `max + 1`).
+    pub fn var_count(&self) -> usize {
+        self.head
+            .args
+            .iter()
+            .chain(self.body.iter().flat_map(|a| a.args.iter()))
+            .map(|t| t.0 + 1)
+            .max()
+            .unwrap_or(0) as usize
+    }
+
+    /// Head variables must occur in the body (datalog safety).
+    pub fn is_safe(&self) -> bool {
+        self.head
+            .args
+            .iter()
+            .all(|t| self.body.iter().any(|a| a.args.contains(t)))
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} ← ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A datalog program: a finite set of rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The goal predicate of the associated query.
+    pub goal: Pred,
+}
+
+impl Program {
+    /// IDB predicates: those occurring in rule heads.
+    pub fn idbs(&self) -> Vec<Pred> {
+        let mut ps: Vec<Pred> = self.rules.iter().map(|r| r.head.pred).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// EDB predicates: body predicates that are not IDBs.
+    pub fn edbs(&self) -> Vec<Pred> {
+        let idbs = self.idbs();
+        let mut ps: Vec<Pred> = self
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|a| a.pred))
+            .filter(|p| idbs.binary_search(p).is_err())
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// A rule is recursive if its body mentions an IDB predicate.
+    pub fn recursive_rule_count(&self) -> usize {
+        let idbs = self.idbs();
+        self.rules
+            .iter()
+            .filter(|r| r.body.iter().any(|a| idbs.binary_search(&a.pred).is_ok()))
+            .count()
+    }
+
+    /// Is this a monadic sirup (single recursive rule, unary IDBs)?
+    pub fn is_monadic_sirup(&self) -> bool {
+        self.recursive_rule_count() == 1
+            && self
+                .idbs()
+                .iter()
+                .all(|p| self.rules.iter().all(|r| pred_arity(r, *p) <= Some(1)))
+    }
+}
+
+impl fmt::Display for Program {
+    /// One rule per line in the paper's `head ← body` notation, goal last.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "goal: {}", self.goal)
+    }
+}
+
+fn pred_arity(rule: &Rule, p: Pred) -> Option<usize> {
+    std::iter::once(&rule.head)
+        .chain(rule.body.iter())
+        .filter(|a| a.pred == p)
+        .map(|a| a.args.len())
+        .max()
+}
+
+/// Body atoms of `q⁻` plus the given label atoms, with CQ node `i` as `Term(i)`.
+fn body_of(q_minus: &Structure, extra: impl IntoIterator<Item = Atom>) -> Vec<Atom> {
+    let mut body: Vec<Atom> = Vec::new();
+    for (p, v) in q_minus.unary_atoms() {
+        body.push(Atom::unary(p, Term(v.0)));
+    }
+    for (p, u, v) in q_minus.edges() {
+        body.push(Atom::binary(p, Term(u.0), Term(v.0)));
+    }
+    body.extend(extra);
+    body
+}
+
+/// Build `Π_q` (rules (5)–(7)) for a 1-CQ `q`.
+///
+/// ```text
+/// G    ← F(x), q⁻, P(y_1), …, P(y_n)      (5)
+/// P(x) ← T(x)                             (6)
+/// P(x) ← A(x), q⁻, P(y_1), …, P(y_n)      (7)
+/// ```
+pub fn pi_q(q: &OneCq) -> Program {
+    let qm = q.q_minus();
+    let x = Term(q.focus().0);
+    let p_atoms = |_: ()| {
+        q.solitary_t()
+            .iter()
+            .map(|y| Atom::unary(Pred::P, Term(y.0)))
+            .collect::<Vec<_>>()
+    };
+    let rule5 = Rule {
+        head: Atom::nullary(Pred::GOAL),
+        body: body_of(
+            &qm,
+            std::iter::once(Atom::unary(Pred::F, x)).chain(p_atoms(())),
+        ),
+    };
+    let rule6 = Rule {
+        head: Atom::unary(Pred::P, Term(0)),
+        body: vec![Atom::unary(Pred::T, Term(0))],
+    };
+    let rule7 = Rule {
+        head: Atom::unary(Pred::P, x),
+        body: body_of(
+            &qm,
+            std::iter::once(Atom::unary(Pred::A, x)).chain(p_atoms(())),
+        ),
+    };
+    Program {
+        rules: vec![rule5, rule6, rule7],
+        goal: Pred::GOAL,
+    }
+}
+
+/// Build the monadic sirup `Σ_q` (rules (6)–(7)) with goal predicate `P`.
+pub fn sigma_q(q: &OneCq) -> Program {
+    let mut p = pi_q(q);
+    p.rules.remove(0);
+    p.goal = Pred::P;
+    p
+}
+
+/// A monadic disjunctive sirup `Δ_q` (rules (1)–(2)), optionally extended
+/// with the disjointness constraint `⊥ ← T(x), F(x)` (rule (3)) to give
+/// `Δ⁺_q` (§4). The CQ `q` here may have any number of solitary `F`/`T`
+/// nodes and twins. Certain-answer evaluation lives in `sirup-engine`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DSirup {
+    /// The Boolean CQ `q` of rule (2).
+    pub cq: Structure,
+    /// Whether rule (3) `⊥ ← T(x), F(x)` is included (`Δ⁺_q`).
+    pub disjoint: bool,
+}
+
+impl DSirup {
+    /// `Δ_q`.
+    pub fn new(cq: Structure) -> DSirup {
+        DSirup {
+            cq,
+            disjoint: false,
+        }
+    }
+
+    /// `Δ⁺_q` (with the disjointness constraint (3)).
+    pub fn with_disjointness(cq: Structure) -> DSirup {
+        DSirup { cq, disjoint: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::st;
+
+    fn q4() -> OneCq {
+        OneCq::parse("F(x), R(y,x), R(y,z), T(z)")
+    }
+
+    #[test]
+    fn pi_q_shape_matches_paper() {
+        // Π_q4 should be the three rules displayed in the introduction:
+        //   G ← F(x), R(y,x), R(y,z), P(z)
+        //   P(x) ← T(x)
+        //   P(x) ← A(x), R(y,x), R(y,z), P(z)
+        let p = pi_q(&q4());
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules.iter().all(Rule::is_safe));
+        let r5 = &p.rules[0];
+        assert_eq!(r5.head, Atom::nullary(Pred::GOAL));
+        assert_eq!(r5.body.len(), 4); // F(x), R(y,x), R(y,z), P(z)
+        assert!(r5.body.iter().any(|a| a.pred == Pred::F));
+        assert!(r5.body.iter().any(|a| a.pred == Pred::P));
+        assert_eq!(r5.body.iter().filter(|a| a.pred == Pred::R).count(), 2);
+        let r6 = &p.rules[1];
+        assert_eq!(r6.body, vec![Atom::unary(Pred::T, Term(0))]);
+        let r7 = &p.rules[2];
+        assert!(r7.body.iter().any(|a| a.pred == Pred::A));
+        assert_eq!(r7.head.pred, Pred::P);
+    }
+
+    #[test]
+    fn sigma_q_is_a_monadic_sirup() {
+        let s = sigma_q(&q4());
+        assert_eq!(s.rules.len(), 2);
+        assert_eq!(s.goal, Pred::P);
+        assert!(s.is_monadic_sirup());
+        assert_eq!(s.recursive_rule_count(), 1);
+        assert_eq!(s.idbs(), vec![Pred::P]);
+        // EDBs: F does not occur in Σ_q (only in Π_q's rule 5).
+        let edbs = s.edbs();
+        assert!(edbs.contains(&Pred::T));
+        assert!(edbs.contains(&Pred::A));
+        assert!(edbs.contains(&Pred::R));
+        assert!(!edbs.contains(&Pred::F));
+    }
+
+    #[test]
+    fn pi_q_is_not_a_sirup_by_goal_rule() {
+        // Π_q has two rules whose bodies mention the IDB P (rules 5 and 7)
+        // for CQs with at least one solitary T.
+        let p = pi_q(&q4());
+        assert_eq!(p.recursive_rule_count(), 2);
+    }
+
+    #[test]
+    fn span_zero_cq_has_nonrecursive_pi() {
+        // With no solitary T, rule (7) is A(x),q⁻ — no P in any body except
+        // none at all; the program is bounded by construction.
+        let q = OneCq::parse("F(x), R(x,y)");
+        let p = pi_q(&q);
+        assert_eq!(p.recursive_rule_count(), 0);
+    }
+
+    #[test]
+    fn twins_stay_in_rule_bodies() {
+        let q = OneCq::parse("F(x), R(x,y), T(y), R(y,z), F(z), T(z)");
+        let p = pi_q(&q);
+        // The twin's F and T labels appear in rule 5's body alongside q⁻.
+        let r5 = &p.rules[0];
+        let twin_term = Term(2);
+        let has_f = r5
+            .body
+            .iter()
+            .any(|a| a.pred == Pred::F && a.args == vec![twin_term]);
+        let has_t = r5
+            .body
+            .iter()
+            .any(|a| a.pred == Pred::T && a.args == vec![twin_term]);
+        assert!(has_f && has_t);
+    }
+
+    #[test]
+    fn program_display_is_rule_per_line() {
+        let p = pi_q(&q4());
+        let text = format!("{p}");
+        assert_eq!(text.lines().count(), 4); // 3 rules + goal line
+        assert!(text.contains("←"));
+        assert!(text.contains("goal: G"));
+        assert!(text.contains("P(x0) ← T(x0)"));
+    }
+
+    #[test]
+    fn dsirup_constructors() {
+        let d = DSirup::new(st("F(x), R(x,y), T(y)"));
+        assert!(!d.disjoint);
+        let dp = DSirup::with_disjointness(st("F(x), R(x,y), T(y)"));
+        assert!(dp.disjoint);
+    }
+}

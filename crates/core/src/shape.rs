@@ -1,0 +1,297 @@
+//! Shape recognisers and tree-order utilities.
+//!
+//! §4 of the paper works with *ditree CQs*: CQs that are rooted directed
+//! trees as graphs. [`DitreeView`] recognises that shape and precomputes the
+//! tree order `⪯_q`, depths, `inf_q` and distances `∂_q` used throughout the
+//! classification theorems. [`is_dag`] recognises the dag shape of the §3
+//! hardness CQs.
+
+use crate::structure::{Node, Structure};
+use crate::symbols::Pred;
+
+/// A validated view of a structure as a rooted directed tree.
+#[derive(Debug, Clone)]
+pub struct DitreeView {
+    /// The root `𝔯` (the unique node with in-degree 0).
+    pub root: Node,
+    /// For each non-root node: its incoming edge `(label, parent)`.
+    pub parent: Vec<Option<(Pred, Node)>>,
+    /// Children of each node as `(label, child)`, sorted.
+    pub children: Vec<Vec<(Pred, Node)>>,
+    /// Depth of each node (root = 0).
+    pub depth: Vec<u32>,
+    /// Preorder traversal of nodes.
+    pub preorder: Vec<Node>,
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl DitreeView {
+    /// Build the view if `s` is a rooted ditree: exactly one node of
+    /// in-degree 0, every other node with exactly one incoming atom, and all
+    /// nodes reachable from the root (hence acyclic with `n − 1` edges).
+    pub fn of(s: &Structure) -> Option<DitreeView> {
+        let n = s.node_count();
+        if n == 0 {
+            return None;
+        }
+        let mut root = None;
+        let mut parent: Vec<Option<(Pred, Node)>> = vec![None; n];
+        for v in s.nodes() {
+            match s.inn(v) {
+                [] => {
+                    if root.replace(v).is_some() {
+                        return None; // two roots
+                    }
+                }
+                [(p, u)] => parent[v.index()] = Some((*p, *u)),
+                _ => return None, // in-degree ≥ 2
+            }
+        }
+        let root = root?;
+        let mut children: Vec<Vec<(Pred, Node)>> = vec![Vec::new(); n];
+        for v in s.nodes() {
+            if let Some((p, u)) = parent[v.index()] {
+                children[u.index()].push((p, v));
+            }
+        }
+        // Depth-first traversal from the root; check reachability.
+        let mut depth = vec![0u32; n];
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut clock = 0u32;
+        let mut stack: Vec<(Node, usize)> = vec![(root, 0)];
+        tin[root.index()] = {
+            clock += 1;
+            clock
+        };
+        preorder.push(root);
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < children[v.index()].len() {
+                let (_, c) = children[v.index()][*next];
+                *next += 1;
+                depth[c.index()] = depth[v.index()] + 1;
+                clock += 1;
+                tin[c.index()] = clock;
+                preorder.push(c);
+                stack.push((c, 0));
+            } else {
+                clock += 1;
+                tout[v.index()] = clock;
+                stack.pop();
+            }
+        }
+        if preorder.len() != n {
+            return None; // disconnected
+        }
+        Some(DitreeView {
+            root,
+            parent,
+            children,
+            depth,
+            preorder,
+            tin,
+            tout,
+        })
+    }
+
+    /// `x ⪯ y`: is there a (possibly empty) directed path from `x` to `y`?
+    #[inline]
+    pub fn le(&self, x: Node, y: Node) -> bool {
+        self.tin[x.index()] <= self.tin[y.index()] && self.tout[y.index()] <= self.tout[x.index()]
+    }
+
+    /// `x ≺ y`: strict tree order.
+    #[inline]
+    pub fn lt(&self, x: Node, y: Node) -> bool {
+        x != y && self.le(x, y)
+    }
+
+    /// Are `x` and `y` `≺`-comparable?
+    #[inline]
+    pub fn comparable(&self, x: Node, y: Node) -> bool {
+        self.le(x, y) || self.le(y, x)
+    }
+
+    /// `inf_q(x, y)`: the greatest common ancestor.
+    pub fn inf(&self, x: Node, y: Node) -> Node {
+        let mut a = x;
+        let mut b = y;
+        while self.depth[a.index()] > self.depth[b.index()] {
+            a = self.parent[a.index()].unwrap().1;
+        }
+        while self.depth[b.index()] > self.depth[a.index()] {
+            b = self.parent[b.index()].unwrap().1;
+        }
+        while a != b {
+            a = self.parent[a.index()].unwrap().1;
+            b = self.parent[b.index()].unwrap().1;
+        }
+        a
+    }
+
+    /// `δ_q(x, y)`: number of edges from `x` down to `y`; `None` if `x ⪯̸ y`.
+    pub fn delta(&self, x: Node, y: Node) -> Option<u32> {
+        if self.le(x, y) {
+            Some(self.depth[y.index()] - self.depth[x.index()])
+        } else {
+            None
+        }
+    }
+
+    /// `∂_q(x, y) = δ(inf, x) + δ(inf, y)`: undirected tree distance.
+    pub fn distance(&self, x: Node, y: Node) -> u32 {
+        let m = self.inf(x, y);
+        (self.depth[x.index()] - self.depth[m.index()])
+            + (self.depth[y.index()] - self.depth[m.index()])
+    }
+
+    /// Nodes of the subtree rooted at `x` (preorder).
+    pub fn subtree(&self, x: Node) -> Vec<Node> {
+        self.preorder
+            .iter()
+            .copied()
+            .filter(|&v| self.le(x, v))
+            .collect()
+    }
+
+    /// Leaves of the tree.
+    pub fn leaves(&self) -> Vec<Node> {
+        (0..self.children.len())
+            .filter(|&i| self.children[i].is_empty())
+            .map(|i| Node(i as u32))
+            .collect()
+    }
+
+    /// Depth of the whole tree.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Is the structure a dag (as a digraph, ignoring edge labels)?
+pub fn is_dag(s: &Structure) -> bool {
+    let n = s.node_count();
+    // Kahn's algorithm on the underlying simple digraph.
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<Node>> = vec![Vec::new(); n];
+    for (_, u, v) in s.edges() {
+        if !adj[u.index()].contains(&v) {
+            adj[u.index()].push(v);
+            indeg[v.index()] += 1;
+        }
+    }
+    let mut queue: Vec<Node> = s.nodes().filter(|v| indeg[v.index()] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &adj[u.index()] {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen == n
+}
+
+/// Is the structure a directed path `v0 → v1 → … → vk` (a path CQ)?
+/// Returns the node sequence if so.
+pub fn dipath(s: &Structure) -> Option<Vec<Node>> {
+    let t = DitreeView::of(s)?;
+    let mut seq = vec![t.root];
+    let mut cur = t.root;
+    loop {
+        match t.children[cur.index()].as_slice() {
+            [] => break,
+            [(_, c)] => {
+                cur = *c;
+                seq.push(cur);
+            }
+            _ => return None,
+        }
+    }
+    Some(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::st;
+
+    #[test]
+    fn recognises_ditree() {
+        // root y with children x and z (the paper's q4 shape).
+        let s = st("F(x), R(y,x), R(y,z), T(z)");
+        let t = DitreeView::of(&s).expect("q4 is a ditree");
+        assert_eq!(t.children[t.root.index()].len(), 2);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaves().len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        // Two roots.
+        assert!(DitreeView::of(&st("R(a,b), R(c,d)")).is_none());
+        // In-degree 2 (dag but not tree).
+        assert!(DitreeView::of(&st("R(a,c), R(b,c), R(a,b)")).is_none());
+        // Cycle.
+        assert!(DitreeView::of(&st("R(a,b), R(b,a)")).is_none());
+        // Empty.
+        assert!(DitreeView::of(&Structure::new()).is_none());
+    }
+
+    #[test]
+    fn tree_order_and_inf() {
+        //        r
+        //      /   \
+        //     a     b
+        //    / \
+        //   c   d
+        let s = st("R(r,a), R(r,b), R(a,c), R(a,d)");
+        let (s2, names) = crate::parse::parse_structure("R(r,a), R(r,b), R(a,c), R(a,d)").unwrap();
+        assert_eq!(s, s2);
+        let t = DitreeView::of(&s).unwrap();
+        let (r, a, b, c, d) = (names["r"], names["a"], names["b"], names["c"], names["d"]);
+        assert!(t.le(r, c));
+        assert!(t.lt(a, d));
+        assert!(!t.le(c, d));
+        assert!(!t.comparable(c, d));
+        assert!(t.comparable(r, d));
+        assert_eq!(t.inf(c, d), a);
+        assert_eq!(t.inf(c, b), r);
+        assert_eq!(t.delta(r, c), Some(2));
+        assert_eq!(t.delta(c, r), None);
+        assert_eq!(t.distance(c, d), 2);
+        assert_eq!(t.distance(c, b), 3);
+        assert_eq!(t.distance(c, c), 0);
+    }
+
+    #[test]
+    fn subtree_and_depths() {
+        let (_, names) = crate::parse::parse_structure("R(r,a), R(a,b), R(a,c)").unwrap();
+        let s = st("R(r,a), R(a,b), R(a,c)");
+        let t = DitreeView::of(&s).unwrap();
+        let a = names["a"];
+        assert_eq!(t.subtree(a).len(), 3);
+        assert_eq!(t.depth[names["b"].index()], 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn dag_detection() {
+        assert!(is_dag(&st("R(a,b), R(b,c), R(a,c)")));
+        assert!(!is_dag(&st("R(a,b), R(b,c), R(c,a)")));
+        // Trees are dags.
+        assert!(is_dag(&st("R(r,a), R(r,b)")));
+    }
+
+    #[test]
+    fn dipath_detection() {
+        let s = st("F(a), R(a,b), R(b,c), T(c)");
+        let p = dipath(&s).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(dipath(&st("R(r,a), R(r,b)")).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Process-global interning of predicate symbols.
+//!
+//! Predicates are referenced everywhere (atoms, edges, labels), so they are
+//! interned once into a global table and carried around as a `Copy` index.
+//! The paper's distinguished predicates (`F`, `T`, `A`, the default binary
+//! `R`, the auxiliary binary `S`, and the nullary goal `G`) are pre-interned
+//! with stable ids.
+
+use crate::fx::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned predicate symbol.
+///
+/// Equality and hashing are by id; two `Pred`s with the same name are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub u32);
+
+struct Interner {
+    names: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut it = Interner {
+            names: Vec::new(),
+            index: FxHashMap::default(),
+        };
+        // Pre-intern the paper's distinguished symbols with stable ids.
+        for name in ["F", "T", "A", "R", "S", "G", "P"] {
+            let id = it.names.len() as u32;
+            it.names.push(name.to_owned());
+            it.index.insert(name.to_owned(), id);
+        }
+        RwLock::new(it)
+    })
+}
+
+impl Pred {
+    /// Intern `name`, returning the existing id if already interned.
+    pub fn new(name: &str) -> Pred {
+        {
+            let t = table().read();
+            if let Some(&id) = t.index.get(name) {
+                return Pred(id);
+            }
+        }
+        let mut t = table().write();
+        if let Some(&id) = t.index.get(name) {
+            return Pred(id);
+        }
+        let id = t.names.len() as u32;
+        t.names.push(name.to_owned());
+        t.index.insert(name.to_owned(), id);
+        Pred(id)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> String {
+        table().read().names[self.0 as usize].clone()
+    }
+
+    /// The unary predicate `F` (“false” label).
+    pub const F: Pred = Pred(0);
+    /// The unary predicate `T` (“true” label).
+    pub const T: Pred = Pred(1);
+    /// The unary EDB predicate `A` covered by `T ∨ F` in rule (1).
+    pub const A: Pred = Pred(2);
+    /// The default binary predicate `R`.
+    pub const R: Pred = Pred(3);
+    /// The auxiliary binary predicate `S` used in the paper's examples.
+    pub const S: Pred = Pred(4);
+    /// The nullary goal predicate `G` of rules (2) and (5).
+    pub const GOAL: Pred = Pred(5);
+    /// The unary IDB predicate `P` of rules (6) and (7).
+    pub const P: Pred = Pred(6);
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_ids_are_stable() {
+        assert_eq!(Pred::new("F"), Pred::F);
+        assert_eq!(Pred::new("T"), Pred::T);
+        assert_eq!(Pred::new("A"), Pred::A);
+        assert_eq!(Pred::new("R"), Pred::R);
+        assert_eq!(Pred::new("S"), Pred::S);
+        assert_eq!(Pred::new("G"), Pred::GOAL);
+        assert_eq!(Pred::new("P"), Pred::P);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Pred::new("MyRelation");
+        let b = Pred::new("MyRelation");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "MyRelation");
+        let c = Pred::new("Other");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let p = Pred::new("EdgeKind42");
+        assert_eq!(format!("{p}"), "EdgeKind42");
+        assert_eq!(format!("{p:?}"), "EdgeKind42");
+    }
+}

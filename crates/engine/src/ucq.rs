@@ -1,0 +1,105 @@
+//! Unions of conjunctive queries.
+//!
+//! FO-rewritings in the paper are (equivalent to) UCQs: Prop. 2 produces the
+//! rewriting `∃(C_1 ∨ … ∨ C_m)` from the cactuses of depth ≤ d. A [`Ucq`]
+//! is a disjunction of Boolean CQs evaluated by homomorphism, or — with a
+//! distinguished free node per disjunct — a unary query.
+
+use sirup_core::{Node, Structure};
+use sirup_hom::{find_hom_fixing, hom_exists};
+
+/// A union of conjunctive queries. Each disjunct optionally has one free
+/// (answer) variable.
+#[derive(Debug, Clone, Default)]
+pub struct Ucq {
+    /// The disjuncts with their optional free node.
+    pub disjuncts: Vec<(Structure, Option<Node>)>,
+}
+
+impl Ucq {
+    /// A Boolean UCQ from disjunct structures.
+    pub fn boolean(disjuncts: impl IntoIterator<Item = Structure>) -> Ucq {
+        Ucq {
+            disjuncts: disjuncts.into_iter().map(|s| (s, None)).collect(),
+        }
+    }
+
+    /// A unary UCQ from (structure, free node) pairs.
+    pub fn unary(disjuncts: impl IntoIterator<Item = (Structure, Node)>) -> Ucq {
+        Ucq {
+            disjuncts: disjuncts.into_iter().map(|(s, n)| (s, Some(n))).collect(),
+        }
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Is the UCQ empty (equivalent to `false`)?
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Total atom count across disjuncts (rewriting size).
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(|(s, _)| s.size()).sum()
+    }
+
+    /// Boolean evaluation: does some disjunct embed into `data`?
+    pub fn eval_boolean(&self, data: &Structure) -> bool {
+        self.disjuncts.iter().any(|(s, _)| hom_exists(s, data))
+    }
+
+    /// Unary evaluation at `a`: does some disjunct embed with its free node
+    /// mapped to `a`? Boolean disjuncts count as matching any `a`.
+    pub fn eval_at(&self, data: &Structure, a: Node) -> bool {
+        self.disjuncts.iter().any(|(s, free)| match free {
+            Some(x) => find_hom_fixing(s, data, &[(*x, a)]).is_some(),
+            None => hom_exists(s, data),
+        })
+    }
+
+    /// All certain answers of a unary UCQ over `data`.
+    pub fn answers(&self, data: &Structure) -> Vec<Node> {
+        data.nodes().filter(|&a| self.eval_at(data, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    #[test]
+    fn boolean_union_semantics() {
+        let u = Ucq::boolean([st("F(x), R(x,y)"), st("T(x), S(x,y)")]);
+        assert_eq!(u.len(), 2);
+        assert!(u.eval_boolean(&st("T(a), S(a,b)")));
+        assert!(u.eval_boolean(&st("F(a), R(a,b)")));
+        assert!(!u.eval_boolean(&st("F(a), S(a,b)")));
+    }
+
+    #[test]
+    fn unary_answers() {
+        let (pat, pn) = parse_structure("R(x,y), T(y)").unwrap();
+        let u = Ucq::unary([(pat, pn["x"])]);
+        let (d, dn) = parse_structure("R(a,b), T(b), R(b,c)").unwrap();
+        let ans = u.answers(&d);
+        assert_eq!(ans, vec![dn["a"]]);
+    }
+
+    #[test]
+    fn empty_ucq_is_false() {
+        let u = Ucq::default();
+        assert!(u.is_empty());
+        assert!(!u.eval_boolean(&st("T(a)")));
+        assert_eq!(u.size(), 0);
+    }
+
+    #[test]
+    fn size_accumulates() {
+        let u = Ucq::boolean([st("F(x), R(x,y)"), st("T(x)")]);
+        assert_eq!(u.size(), 3);
+    }
+}

@@ -1,0 +1,457 @@
+//! First-order formula syntax and naive model checking.
+//!
+//! Formulas are interpreted over a [`Structure`] viewed as a finite FO
+//! structure: nodes are the domain, unary predicates are node labels,
+//! binary predicates are edges. Evaluation is the textbook recursive
+//! procedure — exponential in quantifier rank in the worst case, which is
+//! fine for the rewritings this workspace produces (their quantifier rank is
+//! the number of variables of a cactus, and instances are laptop-scale).
+
+use sirup_core::{Node, Pred, Structure};
+use std::fmt;
+
+/// A first-order variable (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A first-order formula over unary/binary predicates and equality.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Fo {
+    /// Truth.
+    Top,
+    /// Falsity.
+    Bottom,
+    /// `p(x)` for a unary predicate `p`.
+    Unary(Pred, Var),
+    /// `p(x, y)` for a binary predicate `p`.
+    Binary(Pred, Var, Var),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// Negation.
+    Not(Box<Fo>),
+    /// N-ary conjunction (empty = `Top`).
+    And(Vec<Fo>),
+    /// N-ary disjunction (empty = `Bottom`).
+    Or(Vec<Fo>),
+    /// Existential quantification.
+    Exists(Var, Box<Fo>),
+    /// Universal quantification.
+    Forall(Var, Box<Fo>),
+}
+
+impl Fo {
+    /// `φ ∧ ψ` flattening nested conjunctions.
+    pub fn and(self, other: Fo) -> Fo {
+        match (self, other) {
+            (Fo::And(mut a), Fo::And(b)) => {
+                a.extend(b);
+                Fo::And(a)
+            }
+            (Fo::And(mut a), b) => {
+                a.push(b);
+                Fo::And(a)
+            }
+            (a, Fo::And(mut b)) => {
+                b.insert(0, a);
+                Fo::And(b)
+            }
+            (a, b) => Fo::And(vec![a, b]),
+        }
+    }
+
+    /// `φ ∨ ψ` flattening nested disjunctions.
+    pub fn or(self, other: Fo) -> Fo {
+        match (self, other) {
+            (Fo::Or(mut a), Fo::Or(b)) => {
+                a.extend(b);
+                Fo::Or(a)
+            }
+            (Fo::Or(mut a), b) => {
+                a.push(b);
+                Fo::Or(a)
+            }
+            (a, Fo::Or(mut b)) => {
+                b.insert(0, a);
+                Fo::Or(b)
+            }
+            (a, b) => Fo::Or(vec![a, b]),
+        }
+    }
+
+    /// `¬φ`.
+    pub fn negate(self) -> Fo {
+        Fo::Not(Box::new(self))
+    }
+
+    /// `∃x φ`.
+    pub fn exists(x: Var, body: Fo) -> Fo {
+        Fo::Exists(x, Box::new(body))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(x: Var, body: Fo) -> Fo {
+        Fo::Forall(x, Box::new(body))
+    }
+
+    /// Close all the given variables existentially (innermost last).
+    pub fn exists_all(vars: impl IntoIterator<Item = Var>, body: Fo) -> Fo {
+        let mut vs: Vec<Var> = vars.into_iter().collect();
+        let mut f = body;
+        while let Some(v) = vs.pop() {
+            f = Fo::exists(v, f);
+        }
+        f
+    }
+
+    /// Syntax-tree size (number of nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..) => 1,
+            Fo::Not(a) => 1 + a.size(),
+            Fo::And(xs) | Fo::Or(xs) => 1 + xs.iter().map(Fo::size).sum::<usize>(),
+            Fo::Exists(_, a) | Fo::Forall(_, a) => 1 + a.size(),
+        }
+    }
+
+    /// Quantifier rank (maximum nesting depth of quantifiers).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..) => 0,
+            Fo::Not(a) => a.quantifier_rank(),
+            Fo::And(xs) | Fo::Or(xs) => {
+                xs.iter().map(Fo::quantifier_rank).max().unwrap_or(0)
+            }
+            Fo::Exists(_, a) | Fo::Forall(_, a) => 1 + a.quantifier_rank(),
+        }
+    }
+
+    /// The free variables, sorted and deduplicated.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut free = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free.sort_unstable();
+        free.dedup();
+        free
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Var>, free: &mut Vec<Var>) {
+        match self {
+            Fo::Top | Fo::Bottom => {}
+            Fo::Unary(_, x) => {
+                if !bound.contains(x) {
+                    free.push(*x);
+                }
+            }
+            Fo::Binary(_, x, y) | Fo::Eq(x, y) => {
+                for v in [x, y] {
+                    if !bound.contains(v) {
+                        free.push(*v);
+                    }
+                }
+            }
+            Fo::Not(a) => a.collect_free(bound, free),
+            Fo::And(xs) | Fo::Or(xs) => {
+                for a in xs {
+                    a.collect_free(bound, free);
+                }
+            }
+            Fo::Exists(x, a) | Fo::Forall(x, a) => {
+                bound.push(*x);
+                a.collect_free(bound, free);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Is the formula a sentence (no free variables)?
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Largest variable index occurring (free or bound), plus one; `0` if
+    /// no variable occurs. Useful for allocating fresh variables.
+    pub fn var_bound(&self) -> u32 {
+        match self {
+            Fo::Top | Fo::Bottom => 0,
+            Fo::Unary(_, x) => x.0 + 1,
+            Fo::Binary(_, x, y) | Fo::Eq(x, y) => (x.0 + 1).max(y.0 + 1),
+            Fo::Not(a) => a.var_bound(),
+            Fo::And(xs) | Fo::Or(xs) => xs.iter().map(Fo::var_bound).max().unwrap_or(0),
+            Fo::Exists(x, a) | Fo::Forall(x, a) => (x.0 + 1).max(a.var_bound()),
+        }
+    }
+
+    /// Evaluate over `data` under the (partial) assignment `env`
+    /// (`env[v] = Some(node)` for every free variable `v`).
+    ///
+    /// Panics if a free variable is unassigned or out of `env`'s range.
+    pub fn eval(&self, data: &Structure, env: &mut Vec<Option<Node>>) -> bool {
+        match self {
+            Fo::Top => true,
+            Fo::Bottom => false,
+            Fo::Unary(p, x) => {
+                let a = env[x.index()].expect("unassigned free variable");
+                data.has_label(a, *p)
+            }
+            Fo::Binary(p, x, y) => {
+                let a = env[x.index()].expect("unassigned free variable");
+                let b = env[y.index()].expect("unassigned free variable");
+                data.has_edge(*p, a, b)
+            }
+            Fo::Eq(x, y) => {
+                let a = env[x.index()].expect("unassigned free variable");
+                let b = env[y.index()].expect("unassigned free variable");
+                a == b
+            }
+            Fo::Not(a) => !a.eval(data, env),
+            Fo::And(xs) => xs.iter().all(|a| a.eval(data, env)),
+            Fo::Or(xs) => xs.iter().any(|a| a.eval(data, env)),
+            Fo::Exists(x, a) => {
+                if env.len() <= x.index() {
+                    env.resize(x.index() + 1, None);
+                }
+                let saved = env[x.index()];
+                let found = data.nodes().any(|n| {
+                    env[x.index()] = Some(n);
+                    a.eval(data, env)
+                });
+                env[x.index()] = saved;
+                found
+            }
+            Fo::Forall(x, a) => {
+                if env.len() <= x.index() {
+                    env.resize(x.index() + 1, None);
+                }
+                let saved = env[x.index()];
+                let holds = data.nodes().all(|n| {
+                    env[x.index()] = Some(n);
+                    a.eval(data, env)
+                });
+                env[x.index()] = saved;
+                holds
+            }
+        }
+    }
+
+    /// Evaluate a sentence over `data`.
+    ///
+    /// Panics if the formula has free variables.
+    pub fn eval_sentence(&self, data: &Structure) -> bool {
+        assert!(self.is_sentence(), "eval_sentence on an open formula");
+        self.eval(data, &mut Vec::new())
+    }
+
+    /// Evaluate a formula with one free variable at node `a`.
+    pub fn eval_at(&self, data: &Structure, a: Node) -> bool {
+        let free = self.free_vars();
+        assert_eq!(free.len(), 1, "eval_at needs exactly one free variable");
+        let x = free[0];
+        let mut env = vec![None; x.index() + 1];
+        env[x.index()] = Some(a);
+        self.eval(data, &mut env)
+    }
+
+    /// All nodes of `data` satisfying a formula with one free variable.
+    pub fn answers(&self, data: &Structure) -> Vec<Node> {
+        data.nodes().filter(|&a| self.eval_at(data, a)).collect()
+    }
+}
+
+impl fmt::Debug for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo::Top => write!(f, "⊤"),
+            Fo::Bottom => write!(f, "⊥"),
+            Fo::Unary(p, x) => write!(f, "{p}({x})"),
+            Fo::Binary(p, x, y) => write!(f, "{p}({x},{y})"),
+            Fo::Eq(x, y) => write!(f, "{x} = {y}"),
+            Fo::Not(a) => write!(f, "¬({a})"),
+            Fo::And(xs) => {
+                if xs.is_empty() {
+                    return write!(f, "⊤");
+                }
+                write!(f, "(")?;
+                for (i, a) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Or(xs) => {
+                if xs.is_empty() {
+                    return write!(f, "⊥");
+                }
+                write!(f, "(")?;
+                for (i, a) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Exists(x, a) => write!(f, "∃{x} {a}"),
+            Fo::Forall(x, a) => write!(f, "∀{x} {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    fn edge_sentence() -> Fo {
+        // ∃v0 ∃v1 (F(v0) ∧ R(v0,v1) ∧ T(v1))
+        Fo::exists(
+            Var(0),
+            Fo::exists(
+                Var(1),
+                Fo::And(vec![
+                    Fo::Unary(Pred::F, Var(0)),
+                    Fo::Binary(Pred::R, Var(0), Var(1)),
+                    Fo::Unary(Pred::T, Var(1)),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn sentence_evaluation() {
+        let phi = edge_sentence();
+        assert!(phi.is_sentence());
+        assert!(phi.eval_sentence(&st("F(a), R(a,b), T(b)")));
+        assert!(!phi.eval_sentence(&st("F(a), R(b,a), T(b)")));
+        assert!(!phi.eval_sentence(&st("F(a), T(b)")));
+    }
+
+    #[test]
+    fn forall_and_negation() {
+        // ∀v0 (A(v0) → (T(v0) ∨ F(v0))) as ∀v0 ¬(A(v0)) ∨ ...
+        let phi = Fo::forall(
+            Var(0),
+            Fo::Unary(Pred::A, Var(0))
+                .negate()
+                .or(Fo::Unary(Pred::T, Var(0)))
+                .or(Fo::Unary(Pred::F, Var(0))),
+        );
+        assert!(phi.eval_sentence(&st("A(a), T(a), A(b), F(b), R(a,c)")));
+        assert!(!phi.eval_sentence(&st("A(a), T(a), A(b)")));
+        // Vacuously true on the empty structure.
+        assert!(phi.eval_sentence(&Structure::new()));
+    }
+
+    #[test]
+    fn equality_semantics() {
+        // ∃v0 ∃v1 (R(v0,v1) ∧ v0 = v1): a self-loop.
+        let phi = Fo::exists(
+            Var(0),
+            Fo::exists(
+                Var(1),
+                Fo::Binary(Pred::R, Var(0), Var(1)).and(Fo::Eq(Var(0), Var(1))),
+            ),
+        );
+        let mut s = Structure::with_nodes(1);
+        s.add_edge(Pred::R, Node(0), Node(0));
+        assert!(phi.eval_sentence(&s));
+        assert!(!phi.eval_sentence(&st("R(a,b)")));
+    }
+
+    #[test]
+    fn free_vars_and_rank() {
+        let phi = edge_sentence();
+        assert_eq!(phi.free_vars(), vec![]);
+        assert_eq!(phi.quantifier_rank(), 2);
+        let open = Fo::exists(
+            Var(1),
+            Fo::Binary(Pred::R, Var(0), Var(1)).and(Fo::Unary(Pred::T, Var(1))),
+        );
+        assert_eq!(open.free_vars(), vec![Var(0)]);
+        assert_eq!(open.quantifier_rank(), 1);
+        assert_eq!(open.var_bound(), 2);
+    }
+
+    #[test]
+    fn eval_at_and_answers() {
+        // Φ(v0) = ∃v1 (R(v0,v1) ∧ T(v1)).
+        let phi = Fo::exists(
+            Var(1),
+            Fo::Binary(Pred::R, Var(0), Var(1)).and(Fo::Unary(Pred::T, Var(1))),
+        );
+        let (d, n) = sirup_core::parse::parse_structure("R(a,b), T(b), R(c,d)").unwrap();
+        assert!(phi.eval_at(&d, n["a"]));
+        assert!(!phi.eval_at(&d, n["c"]));
+        assert_eq!(phi.answers(&d), vec![n["a"]]);
+    }
+
+    #[test]
+    fn connective_builders_flatten() {
+        let a = Fo::Unary(Pred::F, Var(0));
+        let b = Fo::Unary(Pred::T, Var(0));
+        let c = Fo::Unary(Pred::A, Var(0));
+        let conj = a.clone().and(b.clone()).and(c.clone());
+        assert!(matches!(&conj, Fo::And(xs) if xs.len() == 3));
+        let disj = a.clone().or(b).or(c);
+        assert!(matches!(&disj, Fo::Or(xs) if xs.len() == 3));
+        assert_eq!(conj.size(), 4);
+    }
+
+    #[test]
+    fn empty_connectives_are_constants() {
+        assert!(Fo::And(vec![]).eval_sentence(&Structure::new()));
+        assert!(!Fo::Or(vec![]).eval_sentence(&Structure::new()));
+        assert_eq!(format!("{}", Fo::And(vec![])), "⊤");
+        assert_eq!(format!("{}", Fo::Or(vec![])), "⊥");
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let phi = edge_sentence();
+        let text = format!("{phi}");
+        assert!(text.contains("∃v0"));
+        assert!(text.contains("R(v0,v1)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_sentence on an open formula")]
+    fn open_formula_panics_as_sentence() {
+        Fo::Unary(Pred::F, Var(0)).eval_sentence(&Structure::new());
+    }
+
+    #[test]
+    fn exists_all_closes_in_order() {
+        let body = Fo::Binary(Pred::R, Var(0), Var(1));
+        let phi = Fo::exists_all([Var(0), Var(1)], body);
+        assert!(phi.is_sentence());
+        assert_eq!(phi.quantifier_rank(), 2);
+        assert!(phi.eval_sentence(&st("R(a,b)")));
+    }
+}

@@ -1,0 +1,227 @@
+//! Translating UCQ rewritings into first-order formulas.
+//!
+//! Prop. 2 produces rewritings as unions of conjunctive queries — cactuses
+//! read as Boolean CQs. The canonical FO form of a CQ `q` with variables
+//! `v_0, …, v_{n−1}` is `∃v̄ (atom_1 ∧ … ∧ atom_m)`; for a unary disjunct
+//! with free node `r`, every variable except `r` is closed off. This module
+//! performs that translation, giving the workspace a second, independent
+//! evaluation path for rewritings (naive FO model checking) against which
+//! the hom-based [`Ucq`] evaluator is cross-checked.
+
+use crate::formula::{Fo, Var};
+use sirup_core::{Node, Structure};
+use sirup_engine::ucq::Ucq;
+
+/// Build `∃-pushed` nesting: quantifiers are interleaved with the atoms
+/// they bind, so the naive evaluator backtracks as soon as a prefix of the
+/// assignment violates an atom. `quantified[i] = Some(var)` gives the bound
+/// variable per elimination step; atoms are attached at the innermost step
+/// that binds one of their variables (free-variable-only atoms go outside
+/// every quantifier).
+///
+/// Semantically identical to `∃v̄ ⋀ atoms` but exponentially faster to
+/// model-check on cactus-sized CQs (atoms prune each candidate node for a
+/// variable immediately instead of after the full assignment).
+fn pushed_exists(vars: &[Var], atoms: Vec<(Fo, Vec<Var>)>) -> Fo {
+    // Depth of a variable = its position in the elimination order.
+    let depth_of = |v: Var| vars.iter().position(|&x| x == v);
+    // Bucket each atom at the deepest quantifier binding one of its vars.
+    let mut buckets: Vec<Vec<Fo>> = vec![Vec::new(); vars.len() + 1];
+    for (atom, avars) in atoms {
+        let d = avars
+            .iter()
+            .filter_map(|&v| depth_of(v).map(|i| i + 1))
+            .max()
+            .unwrap_or(0);
+        buckets[d].push(atom);
+    }
+    // Assemble innermost-out.
+    let mut f = match buckets[vars.len()].len() {
+        0 => Fo::Top,
+        _ => {
+            let b = std::mem::take(&mut buckets[vars.len()]);
+            if b.len() == 1 {
+                b.into_iter().next().unwrap()
+            } else {
+                Fo::And(b)
+            }
+        }
+    };
+    for i in (0..vars.len()).rev() {
+        f = Fo::exists(vars[i], f);
+        let mut outer = std::mem::take(&mut buckets[i]);
+        if !outer.is_empty() {
+            outer.push(f);
+            f = Fo::And(outer);
+        }
+    }
+    f
+}
+
+fn collect_atoms(s: &Structure, remap: impl Fn(Node) -> Var) -> Vec<(Fo, Vec<Var>)> {
+    let mut out = Vec::with_capacity(s.size());
+    for (p, v) in s.unary_atoms() {
+        let x = remap(v);
+        out.push((Fo::Unary(p, x), vec![x]));
+    }
+    for (p, u, v) in s.edges() {
+        let (x, y) = (remap(u), remap(v));
+        out.push((Fo::Binary(p, x, y), vec![x, y]));
+    }
+    out
+}
+
+/// Translate a structure viewed as a Boolean CQ into the sentence
+/// `∃v̄ (atoms)` (with quantifiers pushed inward for evaluability).
+pub fn structure_to_cq(s: &Structure) -> Fo {
+    let vars: Vec<Var> = s.nodes().map(|v| Var(v.0)).collect();
+    let atoms = collect_atoms(s, |v| Var(v.0));
+    pushed_exists(&vars, atoms)
+}
+
+/// Translate a structure viewed as a unary CQ with free node `free` into a
+/// formula whose single free variable is `Var(0)`.
+///
+/// Node `free` becomes `Var(0)`; all other nodes are shifted up by one and
+/// existentially closed (quantifiers pushed inward).
+pub fn structure_to_unary_cq(s: &Structure, free: Node) -> Fo {
+    // Map: free ↦ 0, others ↦ own index + 1 (collision-free).
+    let remap = |v: Node| -> Var {
+        if v == free {
+            Var(0)
+        } else {
+            Var(v.0 + 1)
+        }
+    };
+    let vars: Vec<Var> = s
+        .nodes()
+        .filter(|&v| v != free)
+        .map(|v| Var(v.0 + 1))
+        .collect();
+    let atoms = collect_atoms(s, remap);
+    pushed_exists(&vars, atoms)
+}
+
+/// Translate a [`Ucq`] into a single FO formula.
+///
+/// * All-Boolean disjuncts → a sentence `∨_i ∃v̄ C_i`.
+/// * Disjuncts with free nodes → a unary formula with free variable
+///   `Var(0)`; Boolean disjuncts in the mix stay sentences (they hold for
+///   every answer candidate, matching [`Ucq::eval_at`]).
+pub fn ucq_to_fo(u: &Ucq) -> Fo {
+    let disjuncts: Vec<Fo> = u
+        .disjuncts
+        .iter()
+        .map(|(s, free)| match free {
+            None => structure_to_cq(s),
+            Some(r) => structure_to_unary_cq(s, *r),
+        })
+        .collect();
+    match disjuncts.len() {
+        0 => Fo::Bottom,
+        1 => disjuncts.into_iter().next().unwrap(),
+        _ => Fo::Or(disjuncts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+    use sirup_core::Pred;
+
+    #[test]
+    fn boolean_cq_translation_agrees_with_hom() {
+        let q = st("F(x), R(x,y), T(y)");
+        let phi = structure_to_cq(&q);
+        assert!(phi.is_sentence());
+        let yes = st("F(a), R(a,b), T(b), A(c)");
+        let no = st("F(a), R(b,a), T(b)");
+        assert!(phi.eval_sentence(&yes));
+        assert!(!phi.eval_sentence(&no));
+        // Agreement with the hom-based evaluator.
+        let u = Ucq::boolean([q]);
+        assert_eq!(u.eval_boolean(&yes), phi.eval_sentence(&yes));
+        assert_eq!(u.eval_boolean(&no), phi.eval_sentence(&no));
+    }
+
+    #[test]
+    fn unary_cq_translation_agrees_with_hom() {
+        let (q, n) = parse_structure("A(r), R(r,y), T(y)").unwrap();
+        let free = n["r"];
+        let phi = structure_to_unary_cq(&q, free);
+        assert_eq!(phi.free_vars(), vec![Var(0)]);
+        let (d, dn) = parse_structure("A(a), R(a,b), T(b), A(c), R(c,d)").unwrap();
+        let u = Ucq::unary([(q, free)]);
+        for node in d.nodes() {
+            assert_eq!(
+                u.eval_at(&d, node),
+                phi.eval_at(&d, node),
+                "disagree at {node:?}"
+            );
+        }
+        assert!(phi.eval_at(&d, dn["a"]));
+        assert!(!phi.eval_at(&d, dn["c"]));
+    }
+
+    #[test]
+    fn empty_ucq_is_bottom() {
+        let u = Ucq::default();
+        assert_eq!(ucq_to_fo(&u), Fo::Bottom);
+    }
+
+    #[test]
+    fn mixed_ucq_translation() {
+        // One Boolean disjunct (T(x) anywhere) + one unary (A(r) with free r).
+        let t = st("T(x)");
+        let (a, n) = parse_structure("A(r)").unwrap();
+        let mut u = Ucq::boolean([t]);
+        u.disjuncts.push((a, Some(n["r"])));
+        let phi = ucq_to_fo(&u);
+        let d = st("T(z), A(w)");
+        for node in d.nodes() {
+            assert_eq!(u.eval_at(&d, node), phi.eval_at(&d, node));
+        }
+        // On a structure with T somewhere, every node answers (Boolean
+        // disjunct fires).
+        let d2 = st("T(z), R(z,w)");
+        for node in d2.nodes() {
+            assert!(phi.eval_at(&d2, node));
+        }
+    }
+
+    #[test]
+    fn single_node_no_atoms() {
+        // A CQ that is one unlabeled node: ∃v ⊤, true over any non-empty
+        // instance.
+        let mut s = Structure::new();
+        s.add_node();
+        let phi = structure_to_cq(&s);
+        assert!(phi.eval_sentence(&st("A(a)")));
+    }
+
+    #[test]
+    fn variable_indices_do_not_collide() {
+        // Free node in the middle of the node range.
+        let (q, n) = parse_structure("R(x,r), R(r,y), F(x), T(y), A(r)").unwrap();
+        let phi = structure_to_unary_cq(&q, n["r"]);
+        assert_eq!(phi.free_vars(), vec![Var(0)]);
+        // The formula has 2 bound variables (x, y shifted), rank 2.
+        assert_eq!(phi.quantifier_rank(), 2);
+        let (d, dn) =
+            parse_structure("R(u,m), R(m,v), F(u), T(v), A(m), A(lone)").unwrap();
+        assert!(phi.eval_at(&d, dn["m"]));
+        assert!(!phi.eval_at(&d, dn["lone"]));
+    }
+
+    #[test]
+    fn translation_of_twins_keeps_both_labels() {
+        let q = st("F(x), T(x)");
+        let phi = structure_to_cq(&q);
+        assert!(phi.eval_sentence(&st("F(a), T(a)")));
+        assert!(!phi.eval_sentence(&st("F(a), T(b)")));
+        // Check Pred constants flow through.
+        let text = format!("{phi}");
+        assert!(text.contains(&format!("{}", Pred::F)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # sirup-fo
+//!
+//! First-order formulas over the paper's signature (unary and binary
+//! predicates), with a naive model checker over [`sirup_core::Structure`]s.
+//!
+//! The paper's central notion — *FO-rewritability* of a recursive query — is
+//! only observable if FO formulas are executable objects: a query `(Π, Q)`
+//! is FO-rewritable when some first-order `Φ` returns exactly the certain
+//! answers over every data instance (§2). This crate makes that definition
+//! executable end-to-end:
+//!
+//! * [`formula::Fo`] — FO syntax (atoms, equality, Boolean connectives,
+//!   quantifiers) with evaluation, free variables and quantifier rank;
+//! * [`transform`] — simplification, negation normal form, prenex form;
+//! * [`from_ucq`] — the canonical translation of the UCQ rewritings produced
+//!   by `sirup-cactus` (Prop. 2's `∃(C_1 ∨ … ∨ C_m)` and
+//!   `Φ(r) = T(r) ∨ ∃(C◦_1 ∨ … ∨ C◦_m)`) into [`formula::Fo`];
+//! * [`sql`] — rendering of UCQ rewritings as non-recursive SQL (the OBDA
+//!   motivation of the paper's introduction: an FO-rewritable OMQ can be
+//!   answered by a standard RDBMS);
+//! * [`verify`] — semantic verification: does a candidate rewriting agree
+//!   with the datalog engine on a given family of instances?
+
+pub mod formula;
+pub mod from_ucq;
+pub mod sql;
+pub mod transform;
+pub mod verify;
+
+pub use formula::{Fo, Var};
+pub use from_ucq::{structure_to_cq, ucq_to_fo};
+pub use sql::{render_sql, SqlDialect};
+pub use verify::{verify_boolean_rewriting, verify_unary_rewriting, Disagreement};

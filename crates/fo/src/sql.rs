@@ -1,0 +1,317 @@
+//! Rendering UCQ rewritings as non-recursive SQL.
+//!
+//! The OBDA motivation of the paper (§1): an FO-rewritable ontology-mediated
+//! query can be answered "by evaluating a non-recursive SQL-query using a
+//! standard RDBMS". This module makes that claim concrete for the rewritings
+//! the workspace produces.
+//!
+//! ## Schema convention
+//!
+//! * every unary predicate `P` is a table `label_p(node)`;
+//! * every binary predicate `R` is a table `edge_r(src, dst)`;
+//! * a Boolean UCQ becomes `SELECT EXISTS(…) …` per disjunct, combined with
+//!   `OR`; a unary UCQ becomes a `UNION` of `SELECT` queries returning the
+//!   answer node.
+//!
+//! Rendering is deterministic: atoms are emitted in the structure's sorted
+//! atom order, table aliases are `t0, t1, …` per disjunct.
+
+use sirup_core::{Node, Pred, Structure};
+use sirup_engine::ucq::Ucq;
+use std::fmt::Write;
+
+/// SQL dialect toggles (identifier quoting differs across engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SqlDialect {
+    /// Standard SQL with unquoted lowercase identifiers (default).
+    #[default]
+    Ansi,
+    /// SQLite-flavoured (identical rendering today; kept as an explicit
+    /// variant so callers record their target).
+    Sqlite,
+}
+
+/// Lowercased, sanitised table name for a unary predicate.
+pub fn label_table(p: Pred) -> String {
+    format!("label_{}", sanitize(&p.name()))
+}
+
+/// Lowercased, sanitised table name for a binary predicate.
+pub fn edge_table(p: Pred) -> String {
+    format!("edge_{}", sanitize(&p.name()))
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('p');
+    }
+    out
+}
+
+/// One disjunct compiled to relational algebra pieces: `FROM` items and
+/// join/selection conditions, with each CQ variable bound to a column.
+struct CompiledCq {
+    from: Vec<String>,
+    conditions: Vec<String>,
+    /// For each CQ node: the column expression binding it, if any atom
+    /// mentions it (`None` for isolated nodes — they hold trivially over
+    /// non-empty instances and render as a cross join with a domain table).
+    binding: Vec<Option<String>>,
+}
+
+fn compile_cq(s: &Structure) -> CompiledCq {
+    let mut from = Vec::new();
+    let mut conditions = Vec::new();
+    let mut binding: Vec<Option<String>> = vec![None; s.node_count()];
+    let mut alias = 0usize;
+    let bind = |v: Node,
+                    col: String,
+                    binding: &mut Vec<Option<String>>,
+                    conditions: &mut Vec<String>| {
+        match &binding[v.index()] {
+            None => binding[v.index()] = Some(col),
+            Some(prev) => conditions.push(format!("{prev} = {col}")),
+        }
+    };
+    for (p, v) in s.unary_atoms() {
+        let t = format!("t{alias}");
+        alias += 1;
+        from.push(format!("{} AS {t}", label_table(p)));
+        bind(v, format!("{t}.node"), &mut binding, &mut conditions);
+    }
+    for (p, u, v) in s.edges() {
+        let t = format!("t{alias}");
+        alias += 1;
+        from.push(format!("{} AS {t}", edge_table(p)));
+        bind(u, format!("{t}.src"), &mut binding, &mut conditions);
+        bind(v, format!("{t}.dst"), &mut binding, &mut conditions);
+    }
+    CompiledCq {
+        from,
+        conditions,
+        binding,
+    }
+}
+
+/// Render a UCQ as a single SQL statement.
+///
+/// ```
+/// use sirup_engine::ucq::Ucq;
+/// use sirup_fo::{render_sql, SqlDialect};
+/// use sirup_core::parse::st;
+/// let u = Ucq::boolean([st("F(x), R(x,y), T(y)")]);
+/// let sql = render_sql(&u, SqlDialect::Ansi);
+/// assert!(sql.contains("EXISTS"));
+/// ```
+///
+/// * All-Boolean UCQ → `SELECT (EXISTS (…) OR EXISTS (…)) AS answer;`
+/// * unary UCQ → `SELECT … AS answer FROM … UNION SELECT …;` with one
+///   `SELECT` per disjunct (Boolean disjuncts in a unary UCQ are rendered
+///   as a cross join against every node, matching [`Ucq::eval_at`]).
+///
+/// Panics on a disjunct whose free node is mentioned by no atom *and* the
+/// structure has no atoms at all binding it — such rewritings do not occur
+/// in this workspace (every cactus focus carries a label).
+pub fn render_sql(u: &Ucq, dialect: SqlDialect) -> String {
+    let _ = dialect; // rendering is currently dialect-independent
+    let unary = u.disjuncts.iter().any(|(_, f)| f.is_some());
+    if u.disjuncts.is_empty() {
+        return if unary {
+            "SELECT NULL AS answer WHERE 1 = 0;".to_owned()
+        } else {
+            "SELECT FALSE AS answer;".to_owned()
+        };
+    }
+    if !unary {
+        let mut out = String::from("SELECT (");
+        for (i, (s, _)) in u.disjuncts.iter().enumerate() {
+            if i > 0 {
+                out.push_str("\n    OR ");
+            }
+            let c = compile_cq(s);
+            write!(out, "EXISTS (SELECT 1 FROM {}", c.from.join(", ")).unwrap();
+            if !c.conditions.is_empty() {
+                write!(out, " WHERE {}", c.conditions.join(" AND ")).unwrap();
+            }
+            out.push(')');
+        }
+        out.push_str(") AS answer;");
+        return out;
+    }
+    let mut selects = Vec::new();
+    for (s, free) in &u.disjuncts {
+        let c = compile_cq(s);
+        match free {
+            Some(r) => {
+                let col = c.binding[r.index()]
+                    .clone()
+                    .expect("free node of a unary disjunct must occur in an atom");
+                let mut q = format!("SELECT {col} AS answer FROM {}", c.from.join(", "));
+                if !c.conditions.is_empty() {
+                    write!(q, " WHERE {}", c.conditions.join(" AND ")).unwrap();
+                }
+                selects.push(q);
+            }
+            None => {
+                // A Boolean disjunct inside a unary UCQ: every node answers
+                // when the pattern embeds anywhere.
+                let mut q = String::from("SELECT nodes.node AS answer FROM nodes");
+                write!(q, " WHERE EXISTS (SELECT 1 FROM {}", c.from.join(", ")).unwrap();
+                if !c.conditions.is_empty() {
+                    write!(q, " WHERE {}", c.conditions.join(" AND ")).unwrap();
+                }
+                q.push(')');
+                selects.push(q);
+            }
+        }
+    }
+    let mut out = selects.join("\nUNION\n");
+    out.push(';');
+    out
+}
+
+/// Render the schema DDL for all predicates occurring in a UCQ.
+pub fn render_schema(u: &Ucq) -> String {
+    let mut unary: Vec<Pred> = Vec::new();
+    let mut binary: Vec<Pred> = Vec::new();
+    for (s, _) in &u.disjuncts {
+        unary.extend(s.unary_preds());
+        binary.extend(s.binary_preds());
+    }
+    unary.sort_unstable();
+    unary.dedup();
+    binary.sort_unstable();
+    binary.dedup();
+    let mut out = String::from("CREATE TABLE nodes (node INTEGER PRIMARY KEY);\n");
+    for p in unary {
+        writeln!(
+            out,
+            "CREATE TABLE {} (node INTEGER REFERENCES nodes(node));",
+            label_table(p)
+        )
+        .unwrap();
+    }
+    for p in binary {
+        writeln!(
+            out,
+            "CREATE TABLE {} (src INTEGER REFERENCES nodes(node), dst INTEGER REFERENCES nodes(node));",
+            edge_table(p)
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    fn balanced(text: &str) -> bool {
+        let mut depth = 0i64;
+        for ch in text.chars() {
+            match ch {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    #[test]
+    fn boolean_rendering_shape() {
+        let u = Ucq::boolean([st("F(x), R(x,y), T(y)"), st("T(z)")]);
+        let sql = render_sql(&u, SqlDialect::Ansi);
+        assert!(sql.starts_with("SELECT ("));
+        assert!(sql.ends_with(") AS answer;"));
+        assert_eq!(sql.matches("EXISTS").count(), 2);
+        assert!(sql.contains("label_f"));
+        assert!(sql.contains("edge_r"));
+        assert!(balanced(&sql));
+    }
+
+    #[test]
+    fn join_conditions_connect_shared_variables() {
+        // F(x), R(x,y): x occurs in both atoms — one equality condition.
+        let u = Ucq::boolean([st("F(x), R(x,y)")]);
+        let sql = render_sql(&u, SqlDialect::Ansi);
+        assert!(sql.contains("WHERE"));
+        assert!(sql.contains("t0.node = t1.src"), "{sql}");
+    }
+
+    #[test]
+    fn unary_rendering_returns_answer_column() {
+        let (q, n) = parse_structure("A(r), R(r,y), T(y)").unwrap();
+        let u = Ucq::unary([(q, n["r"])]);
+        let sql = render_sql(&u, SqlDialect::Ansi);
+        assert!(sql.contains("AS answer"));
+        assert!(sql.contains("label_a"));
+        assert!(!sql.contains("UNION")); // single disjunct
+        assert!(balanced(&sql));
+    }
+
+    #[test]
+    fn union_of_disjuncts() {
+        let (q1, n1) = parse_structure("T(r)").unwrap();
+        let (q2, n2) = parse_structure("A(r), R(r,y)").unwrap();
+        let u = Ucq::unary([(q1, n1["r"]), (q2, n2["r"])]);
+        let sql = render_sql(&u, SqlDialect::Ansi);
+        assert_eq!(sql.matches("UNION").count(), 1);
+        assert_eq!(sql.matches("SELECT").count(), 2);
+    }
+
+    #[test]
+    fn empty_ucqs() {
+        assert_eq!(
+            render_sql(&Ucq::default(), SqlDialect::Ansi),
+            "SELECT FALSE AS answer;"
+        );
+    }
+
+    #[test]
+    fn schema_covers_all_predicates() {
+        let u = Ucq::boolean([st("F(x), R(x,y), S(y,z), T(z), A(w)")]);
+        let ddl = render_schema(&u);
+        for t in ["label_f", "label_t", "label_a", "edge_r", "edge_s", "nodes"] {
+            assert!(ddl.contains(t), "missing {t} in {ddl}");
+        }
+        assert_eq!(ddl.matches("CREATE TABLE").count(), 6);
+    }
+
+    #[test]
+    fn sanitize_nonalnum_predicates() {
+        let p = Pred::new("Weird-Name!");
+        assert_eq!(label_table(p), "label_weird_name_");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let u = Ucq::boolean([st("F(x), R(x,y), T(y)")]);
+        assert_eq!(
+            render_sql(&u, SqlDialect::Ansi),
+            render_sql(&u, SqlDialect::Sqlite)
+        );
+    }
+
+    #[test]
+    fn boolean_disjunct_inside_unary_uses_nodes_table() {
+        let (q2, n2) = parse_structure("A(r)").unwrap();
+        let mut u = Ucq::boolean([st("T(x)")]);
+        u.disjuncts.push((q2, Some(n2["r"])));
+        let sql = render_sql(&u, SqlDialect::Ansi);
+        assert!(sql.contains("FROM nodes"), "{sql}");
+        assert!(balanced(&sql));
+    }
+}

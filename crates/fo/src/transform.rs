@@ -1,0 +1,327 @@
+//! Formula transformations: simplification, negation normal form, prenex
+//! normal form.
+//!
+//! All transformations preserve semantics over every finite structure; the
+//! test-suite checks this by evaluating transformed and original formulas on
+//! assorted instances (and the workspace property tests do so on random
+//! formulas/instances).
+
+use crate::formula::{Fo, Var};
+
+/// Constant-fold and flatten: removes `⊤`/`⊥` subformulas where possible,
+/// flattens nested `And`/`Or`, collapses double negation, and drops
+/// quantifiers whose body ignores the bound variable.
+pub fn simplify(f: &Fo) -> Fo {
+    match f {
+        Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) => f.clone(),
+        Fo::Eq(x, y) if x == y => Fo::Top,
+        Fo::Eq(..) => f.clone(),
+        Fo::Not(a) => match simplify(a) {
+            Fo::Top => Fo::Bottom,
+            Fo::Bottom => Fo::Top,
+            Fo::Not(inner) => *inner,
+            s => Fo::Not(Box::new(s)),
+        },
+        Fo::And(xs) => {
+            let mut out = Vec::new();
+            for a in xs {
+                match simplify(a) {
+                    Fo::Top => {}
+                    Fo::Bottom => return Fo::Bottom,
+                    Fo::And(inner) => out.extend(inner),
+                    s => out.push(s),
+                }
+            }
+            match out.len() {
+                0 => Fo::Top,
+                1 => out.pop().unwrap(),
+                _ => Fo::And(out),
+            }
+        }
+        Fo::Or(xs) => {
+            let mut out = Vec::new();
+            for a in xs {
+                match simplify(a) {
+                    Fo::Bottom => {}
+                    Fo::Top => return Fo::Top,
+                    Fo::Or(inner) => out.extend(inner),
+                    s => out.push(s),
+                }
+            }
+            match out.len() {
+                0 => Fo::Bottom,
+                1 => out.pop().unwrap(),
+                _ => Fo::Or(out),
+            }
+        }
+        Fo::Exists(x, a) => {
+            let s = simplify(a);
+            match s {
+                Fo::Top => Fo::Top,
+                Fo::Bottom => Fo::Bottom,
+                _ if !s.free_vars().contains(x) => {
+                    // The bound variable is unused; over non-empty domains
+                    // ∃x φ ≡ φ. We keep the quantifier only when dropping it
+                    // would change the (edge-case) empty-domain semantics of
+                    // a *sentence*; rewritings in this workspace are always
+                    // evaluated over non-empty instances, so we drop it.
+                    s
+                }
+                _ => Fo::Exists(*x, Box::new(s)),
+            }
+        }
+        Fo::Forall(x, a) => {
+            let s = simplify(a);
+            match s {
+                Fo::Top => Fo::Top,
+                Fo::Bottom => Fo::Bottom,
+                _ if !s.free_vars().contains(x) => s,
+                _ => Fo::Forall(*x, Box::new(s)),
+            }
+        }
+    }
+}
+
+/// Negation normal form: push negations down to atoms using De Morgan and
+/// quantifier duality.
+pub fn to_nnf(f: &Fo) -> Fo {
+    nnf(f, false)
+}
+
+fn nnf(f: &Fo, negated: bool) -> Fo {
+    match (f, negated) {
+        (Fo::Top, false) | (Fo::Bottom, true) => Fo::Top,
+        (Fo::Top, true) | (Fo::Bottom, false) => Fo::Bottom,
+        (Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..), false) => f.clone(),
+        (Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..), true) => Fo::Not(Box::new(f.clone())),
+        (Fo::Not(a), n) => nnf(a, !n),
+        (Fo::And(xs), false) => Fo::And(xs.iter().map(|a| nnf(a, false)).collect()),
+        (Fo::And(xs), true) => Fo::Or(xs.iter().map(|a| nnf(a, true)).collect()),
+        (Fo::Or(xs), false) => Fo::Or(xs.iter().map(|a| nnf(a, false)).collect()),
+        (Fo::Or(xs), true) => Fo::And(xs.iter().map(|a| nnf(a, true)).collect()),
+        (Fo::Exists(x, a), false) => Fo::Exists(*x, Box::new(nnf(a, false))),
+        (Fo::Exists(x, a), true) => Fo::Forall(*x, Box::new(nnf(a, true))),
+        (Fo::Forall(x, a), false) => Fo::Forall(*x, Box::new(nnf(a, false))),
+        (Fo::Forall(x, a), true) => Fo::Exists(*x, Box::new(nnf(a, true))),
+    }
+}
+
+/// Is the formula in negation normal form (negation only on atoms)?
+pub fn is_nnf(f: &Fo) -> bool {
+    match f {
+        Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..) => true,
+        Fo::Not(a) => matches!(**a, Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..)),
+        Fo::And(xs) | Fo::Or(xs) => xs.iter().all(is_nnf),
+        Fo::Exists(_, a) | Fo::Forall(_, a) => is_nnf(a),
+    }
+}
+
+/// Rename every variable (free and bound) via `map` (old index → new index).
+/// `map` must be defined on all occurring indices.
+pub fn rename(f: &Fo, map: &dyn Fn(Var) -> Var) -> Fo {
+    match f {
+        Fo::Top => Fo::Top,
+        Fo::Bottom => Fo::Bottom,
+        Fo::Unary(p, x) => Fo::Unary(*p, map(*x)),
+        Fo::Binary(p, x, y) => Fo::Binary(*p, map(*x), map(*y)),
+        Fo::Eq(x, y) => Fo::Eq(map(*x), map(*y)),
+        Fo::Not(a) => Fo::Not(Box::new(rename(a, map))),
+        Fo::And(xs) => Fo::And(xs.iter().map(|a| rename(a, map)).collect()),
+        Fo::Or(xs) => Fo::Or(xs.iter().map(|a| rename(a, map)).collect()),
+        Fo::Exists(x, a) => Fo::Exists(map(*x), Box::new(rename(a, map))),
+        Fo::Forall(x, a) => Fo::Forall(map(*x), Box::new(rename(a, map))),
+    }
+}
+
+/// A quantifier prefix entry for [`to_prenex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `∃x`.
+    Exists(Var),
+    /// `∀x`.
+    Forall(Var),
+}
+
+/// Prenex normal form of an NNF formula: returns the quantifier prefix
+/// (outermost first) and the quantifier-free matrix. Bound variables are
+/// renamed apart, so the result is always well-formed.
+///
+/// Panics if `f` is not in NNF (run [`to_nnf`] first).
+pub fn to_prenex(f: &Fo) -> (Vec<Quantifier>, Fo) {
+    assert!(is_nnf(f), "to_prenex requires NNF input");
+    let mut next = f.var_bound();
+    let mut prefix = Vec::new();
+    let matrix = pull(f, &mut prefix, &mut next);
+    (prefix, matrix)
+}
+
+fn pull(f: &Fo, prefix: &mut Vec<Quantifier>, next: &mut u32) -> Fo {
+    match f {
+        Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..) | Fo::Not(_) => {
+            f.clone()
+        }
+        Fo::And(xs) => Fo::And(xs.iter().map(|a| pull(a, prefix, next)).collect()),
+        Fo::Or(xs) => Fo::Or(xs.iter().map(|a| pull(a, prefix, next)).collect()),
+        Fo::Exists(x, a) => {
+            let fresh = Var(*next);
+            *next += 1;
+            prefix.push(Quantifier::Exists(fresh));
+            let renamed = rename(a, &|v| if v == *x { fresh } else { v });
+            pull(&renamed, prefix, next)
+        }
+        Fo::Forall(x, a) => {
+            let fresh = Var(*next);
+            *next += 1;
+            prefix.push(Quantifier::Forall(fresh));
+            let renamed = rename(a, &|v| if v == *x { fresh } else { v });
+            pull(&renamed, prefix, next)
+        }
+    }
+}
+
+/// Reassemble a prenex pair into a single formula.
+pub fn from_prenex(prefix: &[Quantifier], matrix: Fo) -> Fo {
+    let mut f = matrix;
+    for q in prefix.iter().rev() {
+        f = match q {
+            Quantifier::Exists(x) => Fo::exists(*x, f),
+            Quantifier::Forall(x) => Fo::forall(*x, f),
+        };
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+    use sirup_core::{Pred, Structure};
+
+    fn instances() -> Vec<Structure> {
+        vec![
+            st("F(a), R(a,b), T(b)"),
+            st("F(a), R(b,a), T(b), A(c)"),
+            st("T(a), T(b), R(a,b), S(b,a)"),
+            st("A(a)"),
+            st("F(a), T(a), R(a,a)"),
+        ]
+    }
+
+    fn sample_sentences() -> Vec<Fo> {
+        let atom_f = Fo::Unary(Pred::F, Var(0));
+        let atom_t = Fo::Unary(Pred::T, Var(1));
+        let edge = Fo::Binary(Pred::R, Var(0), Var(1));
+        vec![
+            Fo::exists_all([Var(0), Var(1)], atom_f.clone().and(edge.clone()).and(atom_t.clone())),
+            Fo::forall(Var(0), Fo::Unary(Pred::A, Var(0)).negate().or(Fo::exists(Var(1), edge.clone()))),
+            Fo::exists(Var(0), atom_f.clone().negate()).negate(),
+            Fo::forall(Var(0), Fo::exists(Var(1), edge.clone().or(Fo::Eq(Var(0), Var(1))))),
+            Fo::exists(Var(0), Fo::And(vec![]).and(atom_f.clone())),
+            Fo::exists(Var(0), Fo::Or(vec![]).or(atom_f)),
+        ]
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        for phi in sample_sentences() {
+            let n = to_nnf(&phi);
+            assert!(is_nnf(&n), "not NNF: {n}");
+            for d in instances() {
+                assert_eq!(phi.eval_sentence(&d), n.eval_sentence(&d), "{phi} vs {n} on {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        for phi in sample_sentences() {
+            let s = simplify(&phi);
+            for d in instances() {
+                assert_eq!(phi.eval_sentence(&d), s.eval_sentence(&d), "{phi} vs {s} on {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_constant_folds() {
+        assert_eq!(simplify(&Fo::Top.negate()), Fo::Bottom);
+        assert_eq!(simplify(&Fo::Bottom.negate().negate().negate()), Fo::Top);
+        assert_eq!(simplify(&Fo::And(vec![Fo::Top, Fo::Top])), Fo::Top);
+        assert_eq!(
+            simplify(&Fo::And(vec![Fo::Unary(Pred::F, Var(0)), Fo::Bottom])),
+            Fo::Bottom
+        );
+        assert_eq!(
+            simplify(&Fo::Or(vec![Fo::Unary(Pred::F, Var(0)), Fo::Top])),
+            Fo::Top
+        );
+        assert_eq!(simplify(&Fo::Eq(Var(3), Var(3))), Fo::Top);
+        // Unused quantifier dropped.
+        let phi = Fo::exists(Var(5), Fo::Unary(Pred::F, Var(0)));
+        assert_eq!(simplify(&phi), Fo::Unary(Pred::F, Var(0)));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let phi = Fo::Unary(Pred::T, Var(0)).negate().negate();
+        assert_eq!(simplify(&phi), Fo::Unary(Pred::T, Var(0)));
+        assert_eq!(to_nnf(&phi), Fo::Unary(Pred::T, Var(0)));
+    }
+
+    #[test]
+    fn prenex_preserves_semantics() {
+        for phi in sample_sentences() {
+            let n = to_nnf(&phi);
+            let (prefix, matrix) = to_prenex(&n);
+            assert_eq!(matrix.quantifier_rank(), 0, "matrix not quantifier-free");
+            let p = from_prenex(&prefix, matrix);
+            for d in instances() {
+                assert_eq!(phi.eval_sentence(&d), p.eval_sentence(&d), "{phi} vs {p} on {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn prenex_renames_apart() {
+        // ∃x F(x) ∧ ∃x T(x) with the *same* bound variable: prefix must use
+        // two distinct fresh variables.
+        let phi = Fo::exists(Var(0), Fo::Unary(Pred::F, Var(0)))
+            .and(Fo::exists(Var(0), Fo::Unary(Pred::T, Var(0))));
+        let (prefix, _) = to_prenex(&phi);
+        assert_eq!(prefix.len(), 2);
+        let vars: Vec<Var> = prefix
+            .iter()
+            .map(|q| match q {
+                Quantifier::Exists(v) | Quantifier::Forall(v) => *v,
+            })
+            .collect();
+        assert_ne!(vars[0], vars[1]);
+        for d in instances() {
+            let p = from_prenex(&prefix, to_prenex(&phi).1);
+            assert_eq!(phi.eval_sentence(&d), p.eval_sentence(&d));
+        }
+    }
+
+    #[test]
+    fn quantifier_duality_in_nnf() {
+        // ¬∀x F(x) becomes ∃x ¬F(x).
+        let phi = Fo::forall(Var(0), Fo::Unary(Pred::F, Var(0))).negate();
+        let n = to_nnf(&phi);
+        assert!(matches!(&n, Fo::Exists(_, body) if matches!(**body, Fo::Not(_))));
+    }
+
+    #[test]
+    fn rename_is_structural() {
+        let phi = Fo::exists(Var(0), Fo::Binary(Pred::R, Var(0), Var(1)));
+        let shifted = rename(&phi, &|v| Var(v.0 + 10));
+        assert_eq!(shifted.free_vars(), vec![Var(11)]);
+        assert_eq!(shifted.var_bound(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "to_prenex requires NNF")]
+    fn prenex_rejects_non_nnf() {
+        let phi = Fo::exists(Var(0), Fo::Unary(Pred::F, Var(0))).negate();
+        let _ = to_prenex(&phi);
+    }
+}

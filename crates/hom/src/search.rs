@@ -1,0 +1,469 @@
+//! Backtracking homomorphism search.
+//!
+//! The search treats the pattern as a CSP: one variable per pattern node,
+//! domains = target nodes. Filtering stages:
+//!
+//! 1. **Unary filtering** — a candidate must carry all of the pattern node's
+//!    labels, and must have at least one in/out edge for every binary
+//!    predicate the pattern node has an in/out edge for.
+//! 2. **Arc consistency (AC-3)** — for every pattern edge `p(u,v)`, every
+//!    candidate of `u` must have a `p`-successor among the candidates of `v`
+//!    (and dually); iterated to a fixpoint.
+//! 3. **Backtracking** with minimum-remaining-values variable order and
+//!    forward checking along pattern edges.
+//!
+//! Pinning (`fix`) restricts domains before filtering; `injective` makes the
+//! search look for injective homomorphisms (used for isomorphisms).
+
+use sirup_core::{Node, Pred, Structure};
+
+/// Configurable homomorphism search from `pattern` into `target`.
+pub struct HomFinder<'a> {
+    pattern: &'a Structure,
+    target: &'a Structure,
+    fixed: Vec<(Node, Node)>,
+    forbidden: Vec<(Node, Node)>,
+    injective: bool,
+}
+
+impl<'a> HomFinder<'a> {
+    /// Search for homomorphisms `pattern → target`.
+    pub fn new(pattern: &'a Structure, target: &'a Structure) -> Self {
+        HomFinder {
+            pattern,
+            target,
+            fixed: Vec::new(),
+            forbidden: Vec::new(),
+            injective: false,
+        }
+    }
+
+    /// Require `h(u) = v`.
+    pub fn fix(mut self, u: Node, v: Node) -> Self {
+        self.fixed.push((u, v));
+        self
+    }
+
+    /// Require `h(u) ≠ v`.
+    pub fn forbid(mut self, u: Node, v: Node) -> Self {
+        self.forbidden.push((u, v));
+        self
+    }
+
+    /// Only look for injective homomorphisms.
+    pub fn injective(mut self) -> Self {
+        self.injective = true;
+        self
+    }
+
+    /// Find one homomorphism, if any.
+    pub fn find(&self) -> Option<Vec<Node>> {
+        let mut out = Vec::new();
+        self.run(1, &mut out);
+        out.pop()
+    }
+
+    /// Does any homomorphism exist?
+    pub fn exists(&self) -> bool {
+        self.find().is_some()
+    }
+
+    /// Enumerate up to `cap` homomorphisms.
+    pub fn find_up_to(&self, cap: usize) -> Vec<Vec<Node>> {
+        let mut out = Vec::new();
+        self.run(cap, &mut out);
+        out
+    }
+
+    /// Visit every homomorphism with a callback; return `false` from the
+    /// callback to stop early. Returns `true` if enumeration ran to
+    /// completion (was not stopped).
+    pub fn for_each(&self, mut f: impl FnMut(&[Node]) -> bool) -> bool {
+        let np = self.pattern.node_count();
+        let nt = self.target.node_count();
+        if np == 0 {
+            return f(&[]);
+        }
+        if nt == 0 {
+            return true;
+        }
+        let Some(mut domains) = self.initial_domains() else {
+            return true;
+        };
+        if !ac3(self.pattern, self.target, &mut domains) {
+            return true;
+        }
+        let mut assignment: Vec<Option<Node>> = vec![None; np];
+        let mut used: Vec<u32> = vec![0; nt];
+        self.backtrack(&mut domains, &mut assignment, &mut used, &mut f)
+    }
+
+    fn run(&self, cap: usize, out: &mut Vec<Vec<Node>>) {
+        if cap == 0 {
+            return;
+        }
+        self.for_each(|h| {
+            out.push(h.to_vec());
+            out.len() < cap
+        });
+    }
+
+    /// Per-node candidate domains after unary filtering and pinning.
+    /// `None` means some domain is empty (no homomorphism).
+    fn initial_domains(&self) -> Option<Vec<Vec<bool>>> {
+        let np = self.pattern.node_count();
+        let nt = self.target.node_count();
+        let mut domains: Vec<Vec<bool>> = Vec::with_capacity(np);
+        for u in self.pattern.nodes() {
+            let preds_out = distinct_preds(self.pattern.out(u));
+            let preds_in = distinct_preds(self.pattern.inn(u));
+            let mut dom = vec![false; nt];
+            let mut any = false;
+            'cands: for t in self.target.nodes() {
+                for &l in self.pattern.labels(u) {
+                    if !self.target.has_label(t, l) {
+                        continue 'cands;
+                    }
+                }
+                for &p in &preds_out {
+                    if !has_pred(self.target.out(t), p) {
+                        continue 'cands;
+                    }
+                }
+                for &p in &preds_in {
+                    if !has_pred(self.target.inn(t), p) {
+                        continue 'cands;
+                    }
+                }
+                dom[t.index()] = true;
+                any = true;
+            }
+            if !any {
+                return None;
+            }
+            domains.push(dom);
+        }
+        for &(u, v) in &self.fixed {
+            let dom = &mut domains[u.index()];
+            if !dom[v.index()] {
+                return None;
+            }
+            dom.iter_mut().for_each(|b| *b = false);
+            dom[v.index()] = true;
+        }
+        for &(u, v) in &self.forbidden {
+            domains[u.index()][v.index()] = false;
+            if domains[u.index()].iter().all(|&b| !b) {
+                return None;
+            }
+        }
+        Some(domains)
+    }
+
+    fn backtrack(
+        &self,
+        domains: &mut Vec<Vec<bool>>,
+        assignment: &mut Vec<Option<Node>>,
+        used: &mut Vec<u32>,
+        f: &mut impl FnMut(&[Node]) -> bool,
+    ) -> bool {
+        // Select unassigned variable with the fewest candidates.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, a) in assignment.iter().enumerate() {
+            if a.is_none() {
+                let c = domains[i].iter().filter(|&&b| b).count();
+                if best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+        }
+        let Some((var, count)) = best else {
+            let h: Vec<Node> = assignment.iter().map(|a| a.unwrap()).collect();
+            return f(&h);
+        };
+        if count == 0 {
+            return true;
+        }
+        let u = Node(var as u32);
+        let cands: Vec<Node> = (0..domains[var].len())
+            .filter(|&t| domains[var][t])
+            .map(|t| Node(t as u32))
+            .collect();
+        for t in cands {
+            if self.injective && used[t.index()] > 0 {
+                continue;
+            }
+            // Forward check: restrict neighbours' domains.
+            let mut saved: Vec<(usize, Vec<bool>)> = Vec::new();
+            let mut ok = true;
+            assignment[var] = Some(t);
+            used[t.index()] += 1;
+            for &(p, v) in self.pattern.out(u) {
+                if assignment[v.index()].is_some() {
+                    if !self.target.has_edge(p, t, assignment[v.index()].unwrap()) {
+                        ok = false;
+                        break;
+                    }
+                    continue;
+                }
+                let vi = v.index();
+                let mut newdom = vec![false; domains[vi].len()];
+                let mut any = false;
+                for &(p2, w) in self.target.out(t) {
+                    if p2 == p && domains[vi][w.index()] {
+                        newdom[w.index()] = true;
+                        any = true;
+                    }
+                }
+                if !any {
+                    ok = false;
+                    break;
+                }
+                saved.push((vi, std::mem::replace(&mut domains[vi], newdom)));
+            }
+            if ok {
+                for &(p, w) in self.pattern.inn(u) {
+                    if assignment[w.index()].is_some() {
+                        if !self.target.has_edge(p, assignment[w.index()].unwrap(), t) {
+                            ok = false;
+                            break;
+                        }
+                        continue;
+                    }
+                    let wi = w.index();
+                    let mut newdom = vec![false; domains[wi].len()];
+                    let mut any = false;
+                    for &(p2, z) in self.target.inn(t) {
+                        if p2 == p && domains[wi][z.index()] {
+                            newdom[z.index()] = true;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        ok = false;
+                        break;
+                    }
+                    saved.push((wi, std::mem::replace(&mut domains[wi], newdom)));
+                }
+            }
+            let keep_going = if ok {
+                self.backtrack(domains, assignment, used, f)
+            } else {
+                true
+            };
+            for (i, dom) in saved.into_iter().rev() {
+                domains[i] = dom;
+            }
+            assignment[var] = None;
+            used[t.index()] -= 1;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn distinct_preds(adj: &[(Pred, Node)]) -> Vec<Pred> {
+    let mut ps: Vec<Pred> = adj.iter().map(|&(p, _)| p).collect();
+    ps.dedup(); // adjacency lists are sorted by (pred, node)
+    ps
+}
+
+fn has_pred(adj: &[(Pred, Node)], p: Pred) -> bool {
+    adj.iter().any(|&(q, _)| q == p)
+}
+
+/// AC-3 arc consistency over pattern edges. Returns `false` if some domain
+/// becomes empty.
+fn ac3(pattern: &Structure, target: &Structure, domains: &mut [Vec<bool>]) -> bool {
+    let edges: Vec<(Pred, Node, Node)> = pattern.edges().collect();
+    let mut dirty = true;
+    while dirty {
+        dirty = false;
+        for &(p, u, v) in &edges {
+            // Revise u against v (forward direction).
+            for a in 0..domains[u.index()].len() {
+                if !domains[u.index()][a] {
+                    continue;
+                }
+                let supported = target
+                    .out(Node(a as u32))
+                    .iter()
+                    .any(|&(p2, b)| p2 == p && domains[v.index()][b.index()]);
+                if !supported {
+                    domains[u.index()][a] = false;
+                    dirty = true;
+                }
+            }
+            if domains[u.index()].iter().all(|&b| !b) {
+                return false;
+            }
+            // Revise v against u (backward direction).
+            for b in 0..domains[v.index()].len() {
+                if !domains[v.index()][b] {
+                    continue;
+                }
+                let supported = target
+                    .inn(Node(b as u32))
+                    .iter()
+                    .any(|&(p2, a)| p2 == p && domains[u.index()][a.index()]);
+                if !supported {
+                    domains[v.index()][b] = false;
+                    dirty = true;
+                }
+            }
+            if domains[v.index()].iter().all(|&b| !b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Find one homomorphism `pattern → target`.
+pub fn find_hom(pattern: &Structure, target: &Structure) -> Option<Vec<Node>> {
+    HomFinder::new(pattern, target).find()
+}
+
+/// Does a homomorphism `pattern → target` exist?
+pub fn hom_exists(pattern: &Structure, target: &Structure) -> bool {
+    find_hom(pattern, target).is_some()
+}
+
+/// Find a homomorphism with pinned assignments.
+pub fn find_hom_fixing(
+    pattern: &Structure,
+    target: &Structure,
+    fixed: &[(Node, Node)],
+) -> Option<Vec<Node>> {
+    let mut f = HomFinder::new(pattern, target);
+    for &(u, v) in fixed {
+        f = f.fix(u, v);
+    }
+    f.find()
+}
+
+/// Enumerate up to `cap` homomorphisms.
+pub fn all_homs(pattern: &Structure, target: &Structure, cap: usize) -> Vec<Vec<Node>> {
+    HomFinder::new(pattern, target).find_up_to(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::{parse_structure, st};
+
+    #[test]
+    fn path_into_cycle() {
+        // A directed R-path of length 3 maps into a directed R-cycle of
+        // length 2 (wraps around), but not vice versa into a path of length 1.
+        let path = st("R(a,b), R(b,c), R(c,d)");
+        let cycle = st("R(u,v), R(v,u)");
+        let h = find_hom(&path, &cycle).expect("path → cycle");
+        assert!(path.is_hom(&cycle, &h));
+        let short = st("R(u,v)");
+        assert!(!hom_exists(&path, &short));
+    }
+
+    #[test]
+    fn labels_restrict() {
+        let p = st("F(a), R(a,b), T(b)");
+        let good = st("F(x), R(x,y), T(y), R(y,z)");
+        let bad = st("T(x), R(x,y), F(y)");
+        assert!(hom_exists(&p, &good));
+        assert!(!hom_exists(&p, &bad));
+    }
+
+    #[test]
+    fn twins_accept_solitary_patterns() {
+        // A pattern F-node can map onto an FT-twin of the target.
+        let p = st("F(a)");
+        let t = st("F(x), T(x)");
+        assert!(hom_exists(&p, &t));
+        // But a twin pattern node cannot map onto a solitary node.
+        let p2 = st("F(a), T(a)");
+        let t2 = st("F(x), R(x,y), T(y)");
+        assert!(!hom_exists(&p2, &t2));
+    }
+
+    #[test]
+    fn fixing_and_forbidding() {
+        let (p, pn) = parse_structure("R(a,b)").unwrap();
+        let (t, tn) = parse_structure("R(x,y), R(y,z)").unwrap();
+        let h = find_hom_fixing(&p, &t, &[(pn["a"], tn["y"])]).unwrap();
+        assert_eq!(h[pn["a"].index()], tn["y"]);
+        assert_eq!(h[pn["b"].index()], tn["z"]);
+        assert!(find_hom_fixing(&p, &t, &[(pn["a"], tn["z"])]).is_none());
+        let homs = HomFinder::new(&p, &t)
+            .forbid(pn["a"], tn["x"])
+            .find_up_to(10);
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn all_homs_counts() {
+        // Pattern: single R-edge. Target: R-edges (x,y),(y,z): 2 homs.
+        let p = st("R(a,b)");
+        let t = st("R(x,y), R(y,z)");
+        assert_eq!(all_homs(&p, &t, 100).len(), 2);
+        // Cap respected.
+        assert_eq!(all_homs(&p, &t, 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_has_unique_hom() {
+        let p = sirup_core::Structure::new();
+        let t = st("R(x,y)");
+        assert_eq!(all_homs(&p, &t, 10).len(), 1);
+        assert!(hom_exists(&p, &t));
+    }
+
+    #[test]
+    fn injective_mode() {
+        // Two disconnected pattern nodes with label T; target has one T node:
+        // a hom exists but no injective hom.
+        let p = st("T(a), T(b)");
+        let t1 = st("T(x)");
+        assert!(hom_exists(&p, &t1));
+        assert!(!HomFinder::new(&p, &t1).injective().exists());
+        let t2 = st("T(x), T(y)");
+        assert!(HomFinder::new(&p, &t2).injective().exists());
+    }
+
+    #[test]
+    fn every_enumerated_hom_is_valid() {
+        let p = st("R(a,b), R(b,c), T(c)");
+        let t = st("R(x,y), R(y,x), T(x), T(y), R(y,z), T(z)");
+        let homs = all_homs(&p, &t, 1000);
+        assert!(!homs.is_empty());
+        for h in &homs {
+            assert!(p.is_hom(&t, h));
+        }
+        // And they are pairwise distinct.
+        let mut sorted = homs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), homs.len());
+    }
+
+    #[test]
+    fn binary_pred_names_matter() {
+        let p = st("S(a,b)");
+        let t = st("R(x,y)");
+        assert!(!hom_exists(&p, &t));
+    }
+
+    #[test]
+    fn for_each_early_stop() {
+        let p = st("R(a,b)");
+        let t = st("R(x,y), R(y,z), R(z,w)");
+        let mut n = 0;
+        let completed = HomFinder::new(&p, &t).for_each(|_| {
+            n += 1;
+            n < 2
+        });
+        assert!(!completed);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! # sirup-schemaorg
+//!
+//! §3.6 / Prop. 5: d-sirups as Schema.org / DL-Lite_bool ontology-mediated
+//! queries.
+//!
+//! Replacing the covering axiom `T(x) ∨ F(x) ← A(x)` by the range
+//! constraint `T(y) ∨ F(y) ← R'(x, y)` (rule (9), a Schema.org-style
+//! domain/range covering, `∃R′⁻ ⊑ T ⊔ F` in DL-Lite_bool syntax) preserves
+//! FO-rewritability and certain answers under the two data translations of
+//! the Prop. 5 proof:
+//!
+//! * `D ↦ D′`: add `R'(a_b, b)` with a fresh `a_b` for every `A(b) ∈ D`
+//!   (and drop the `A`-atoms);
+//! * `D′ ↦ D`: add `A(b)` for every `R'(a, b) ∈ D′` (and drop `R'`).
+//!
+//! [`certain_answer_schemaorg`] evaluates the translated query directly —
+//! a countermodel search over labellings of `R'`-range elements — and the
+//! tests verify the certain-answer equivalences of Prop. 5.
+
+use sirup_core::program::DSirup;
+use sirup_core::{Pred, Structure};
+use sirup_engine::disjunctive::certain_answer_dsirup;
+
+/// The fresh binary predicate `R'` of rule (9).
+pub fn range_pred() -> Pred {
+    Pred::new("Rprime")
+}
+
+/// A d-sirup presented as a Schema.org-style OMQ: the CQ `q` mediated by
+/// the range-covering rule `T(y) ∨ F(y) ← R'(x, y)`.
+#[derive(Debug, Clone)]
+pub struct SchemaOrgQuery {
+    /// The Boolean CQ of rule (2).
+    pub cq: Structure,
+}
+
+impl SchemaOrgQuery {
+    /// Wrap a d-sirup CQ.
+    pub fn new(cq: Structure) -> SchemaOrgQuery {
+        SchemaOrgQuery { cq }
+    }
+
+    /// Render the ontology in DL-Lite_bool surface syntax.
+    pub fn dl_lite_syntax(&self) -> String {
+        format!("∃{}⁻ ⊑ T ⊔ F", range_pred())
+    }
+}
+
+/// Translate `D ↦ D′` (forward direction of Prop. 5): every `A(b)` becomes
+/// `R'(a_b, b)` with a fresh `a_b`; `A`-atoms are dropped.
+pub fn to_schemaorg_instance(d: &Structure) -> Structure {
+    let rp = range_pred();
+    let mut out = d.clone();
+    let a_nodes = out.nodes_with_label(Pred::A);
+    for b in a_nodes {
+        out.remove_label(b, Pred::A);
+        let fresh = out.add_node();
+        out.add_edge(rp, fresh, b);
+    }
+    out
+}
+
+/// Translate `D′ ↦ D` (backward direction): every `R'(a, b)` adds `A(b)`;
+/// `R'`-atoms are dropped (by rebuilding without them).
+pub fn from_schemaorg_instance(dp: &Structure) -> Structure {
+    let rp = range_pred();
+    let mut out = Structure::with_nodes(dp.node_count());
+    for (p, v) in dp.unary_atoms() {
+        out.add_label(v, p);
+    }
+    for (p, u, v) in dp.edges() {
+        if p == rp {
+            out.add_label(v, Pred::A);
+        } else {
+            out.add_edge(p, u, v);
+        }
+    }
+    out
+}
+
+/// Certain answer to the Schema.org OMQ `(Δ'_q, G)` over `dp`: every model
+/// labelling each `R'`-range element with `T` or `F` must embed `q`.
+/// Implemented by translating back to the `A`-based instance and running
+/// the disjunctive evaluator (sound by the Prop. 5 proof, verified in the
+/// tests against direct enumeration).
+pub fn certain_answer_schemaorg(q: &SchemaOrgQuery, dp: &Structure) -> bool {
+    let d = from_schemaorg_instance(dp);
+    certain_answer_dsirup(&DSirup::new(q.cq.clone()), &d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    #[test]
+    fn forward_translation_shape() {
+        let d = st("T(s), R(s,a), A(a), R(a,t), F(t)");
+        let dp = to_schemaorg_instance(&d);
+        // One fresh node, one R' edge, no A labels.
+        assert_eq!(dp.node_count(), d.node_count() + 1);
+        assert!(dp.nodes_with_label(Pred::A).is_empty());
+        assert!(dp.edges().any(|(p, _, _)| p == range_pred()));
+    }
+
+    #[test]
+    fn backward_translation_shape() {
+        let d = st("T(s), R(s,a), A(a)");
+        let dp = to_schemaorg_instance(&d);
+        let back = from_schemaorg_instance(&dp);
+        // A-labels restored; R' gone.
+        assert_eq!(back.nodes_with_label(Pred::A).len(), 1);
+        assert!(!back.edges().any(|(p, _, _)| p == range_pred()));
+    }
+
+    #[test]
+    fn certain_answers_transfer() {
+        // q = T(x), R(x,y), F(y); the chain forces a match under every
+        // labelling (Example 2 style), in both presentations.
+        let q = st("T(x), R(x,y), F(y)");
+        let d = st("T(s), R(s,a), A(a), R(a,b), A(b), R(b,t), F(t)");
+        assert!(certain_answer_dsirup(&DSirup::new(q.clone()), &d));
+        let dp = to_schemaorg_instance(&d);
+        assert!(certain_answer_schemaorg(&SchemaOrgQuery::new(q.clone()), &dp));
+        // And negative instances stay negative.
+        let d2 = st("T(s), R(s,a), A(a), R(a,b), A(b), R(b,t)");
+        let dp2 = to_schemaorg_instance(&d2);
+        assert!(!certain_answer_schemaorg(&SchemaOrgQuery::new(q), &dp2));
+    }
+
+    #[test]
+    fn dl_lite_rendering() {
+        let q = SchemaOrgQuery::new(st("F(x)"));
+        assert_eq!(q.dl_lite_syntax(), "∃Rprime⁻ ⊑ T ⊔ F");
+    }
+
+    #[test]
+    fn roundtrip_preserves_certain_answers_on_random_instances() {
+        use sirup_workloads::random::random_instance;
+        let q = st("T(x), R(x,y), F(y)");
+        for seed in 0..10 {
+            let d = random_instance(8, 14, 0.6, 0.4, seed);
+            let lhs = certain_answer_dsirup(&DSirup::new(q.clone()), &d);
+            let dp = to_schemaorg_instance(&d);
+            let rhs = certain_answer_schemaorg(&SchemaOrgQuery::new(q.clone()), &dp);
+            assert_eq!(lhs, rhs, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Search small span-1 ditree Λ-CQs for the q5/q6/q8 behaviours
+//! (used once to pin down the reconstructions in `paper.rs`).
+
+use sirup_cactus::{find_bound, is_focused_up_to, BoundSearch, Boundedness};
+use sirup_core::cq::{solitary_f, solitary_t};
+use sirup_core::shape::DitreeView;
+use sirup_workloads::random::{random_ditree_cq, DitreeCqParams};
+
+fn main() {
+    let mut found = (0, 0, 0);
+    for nodes in [5usize, 6, 7, 8] {
+        for seed in 0..4000u64 {
+            let params = DitreeCqParams {
+                nodes,
+                twin_prob: 0.5,
+                solitary_ts: 1,
+                s_edge_prob: 0.0,
+            };
+            let Some(q) = random_ditree_cq(params, seed ^ ((nodes as u64) << 32)) else {
+                continue;
+            };
+            let s = q.structure();
+            let tv = DitreeView::of(s).unwrap();
+            let f = solitary_f(s)[0];
+            let t = solitary_t(s)[0];
+            if tv.comparable(f, t) {
+                continue;
+            }
+            if !sirup_hom::is_minimal(s) {
+                continue;
+            }
+            let pi = find_bound(
+                &q,
+                BoundSearch {
+                    max_d: 2,
+                    horizon: 4,
+                    cap: 50_000,
+                    sigma: false,
+                },
+            );
+            let Boundedness::BoundedEvidence { d, .. } = pi else {
+                continue;
+            };
+            let foc = is_focused_up_to(&q, 2, 50_000);
+            let sig = find_bound(
+                &q,
+                BoundSearch {
+                    max_d: 2,
+                    horizon: 4,
+                    cap: 50_000,
+                    sigma: true,
+                },
+            );
+            let sd = matches!(sig, Boundedness::BoundedEvidence { .. });
+            if foc == Some(true) && sd && d == 1 && found.0 < 4 {
+                println!("Q5-LIKE n={nodes} seed={seed} d={d}: {s}");
+                found.0 += 1;
+            }
+            if foc == Some(false) && !sd && found.1 < 4 {
+                println!("Q6-LIKE n={nodes} seed={seed} d={d}: {s}");
+                found.1 += 1;
+            }
+            if d == 2 && found.2 < 4 {
+                println!("Q8-LIKE n={nodes} seed={seed} d={d} foc={foc:?} sigb={sd}: {s}");
+                found.2 += 1;
+            }
+        }
+        println!("-- nodes={nodes} done, found={found:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Enumerate two-branch caterpillar Λ-CQs of span 1 looking for minimal
+//! Prop. 2 rewriting depth exactly 2 (the q8 phenomenon of Example 5).
+//!
+//! Shape: root r (optionally a twin), branch B1 = chain with exactly one
+//! solitary T, branch B2 = chain with exactly one solitary F; remaining
+//! chain nodes are unlabeled or twins.
+
+use sirup_cactus::{find_bound, BoundSearch, Boundedness};
+use sirup_core::cq::{solitary_f, solitary_t};
+use sirup_core::shape::DitreeView;
+use sirup_core::{Node, OneCq, Pred, Structure};
+
+fn build(root_twin: bool, b1: &[u8], b2: &[u8]) -> Option<OneCq> {
+    // label codes: 0 none, 1 twin, 2 = T (branch1) / F (branch2)
+    let n = 1 + b1.len() + b2.len();
+    let mut s = Structure::with_nodes(n);
+    if root_twin {
+        s.add_label(Node(0), Pred::F);
+        s.add_label(Node(0), Pred::T);
+    }
+    let mut prev = Node(0);
+    for (i, &l) in b1.iter().enumerate() {
+        let v = Node(1 + i as u32);
+        s.add_edge(Pred::R, prev, v);
+        prev = v;
+        match l {
+            1 => {
+                s.add_label(v, Pred::F);
+                s.add_label(v, Pred::T);
+            }
+            2 => {
+                s.add_label(v, Pred::T);
+            }
+            _ => {}
+        }
+    }
+    prev = Node(0);
+    for (i, &l) in b2.iter().enumerate() {
+        let v = Node(1 + b1.len() as u32 + i as u32);
+        s.add_edge(Pred::R, prev, v);
+        prev = v;
+        match l {
+            1 => {
+                s.add_label(v, Pred::F);
+                s.add_label(v, Pred::T);
+            }
+            2 => {
+                s.add_label(v, Pred::F);
+            }
+            _ => {}
+        }
+    }
+    OneCq::new(s).ok()
+}
+
+fn branch_options(len: usize) -> Vec<Vec<u8>> {
+    // All sequences over {0,1} with exactly one position upgraded to 2.
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << len) {
+        for special in 0..len {
+            let seq: Vec<u8> = (0..len)
+                .map(|i| {
+                    if i == special {
+                        2
+                    } else {
+                        ((mask >> i) & 1) as u8
+                    }
+                })
+                .collect();
+            out.push(seq);
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut found = 0;
+    for l1 in 2..=5usize {
+        for l2 in 2..=5usize {
+            for root_twin in [true, false] {
+                for b1 in branch_options(l1) {
+                    for b2 in branch_options(l2) {
+                        let Some(q) = build(root_twin, &b1, &b2) else {
+                            continue;
+                        };
+                        let s = q.structure();
+                        if q.span() != 1 {
+                            continue;
+                        }
+                        let tv = DitreeView::of(s).unwrap();
+                        let f = solitary_f(s)[0];
+                        let t = solitary_t(s)[0];
+                        if tv.comparable(f, t) || !sirup_hom::is_minimal(s) {
+                            continue;
+                        }
+                        let pi = find_bound(
+                            &q,
+                            BoundSearch {
+                                max_d: 2,
+                                horizon: 5,
+                                cap: 50_000,
+                                sigma: false,
+                            },
+                        );
+                        if let Boundedness::BoundedEvidence { d: 2, .. } = pi {
+                            println!("Q8-LIKE rt={root_twin} b1={b1:?} b2={b2:?}: {s}");
+                            found += 1;
+                            if found >= 8 {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        println!("-- l1={l1} done found={found}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Scratch: verify reconstructions of q5-q8 against the paper's claims.
+use sirup_cactus::{find_bound, is_focused_up_to, BoundSearch, Boundedness};
+use sirup_workloads::paper;
+
+fn report(name: &str, q: &sirup_core::OneCq, horizon: u32) {
+    let foc = is_focused_up_to(q, 2, 100_000);
+    let pi = find_bound(q, BoundSearch { max_d: 2, horizon, cap: 100_000, sigma: false });
+    let sig = find_bound(q, BoundSearch { max_d: 2, horizon, cap: 100_000, sigma: true });
+    println!("{name}: span={} focused={foc:?} pi={pi:?} sigma={sig:?}", q.span());
+}
+
+fn main() {
+    report("q5", &paper::q5(), 5);
+    report("q6", &paper::q6(), 5);
+    report("q7", &paper::q7(), 5);
+    report("q8", &paper::q8(), 5);
+    let _ = Boundedness::Inconclusive;
+}
+// (rerun manually when reconstructions change)

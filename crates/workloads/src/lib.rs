@@ -1,0 +1,21 @@
+//! # sirup-workloads
+//!
+//! The paper's named objects and workload generators.
+//!
+//! * [`paper`]: the CQs `q1…q8` of Examples 1, 4, 5 and the data instances
+//!   `D1`, `D2` of Example 2 (with documented reconstructions where the
+//!   figures are ambiguous);
+//! * [`reach`]: random (un)directed graphs and the reduction instances
+//!   `D_G` of Theorem 7 / Theorem 11 / Appendix G (reachability → d-sirup
+//!   evaluation);
+//! * [`random`]: seeded random generators for ditree CQs, Λ-CQs, path CQs
+//!   and data instances, used by property tests and benchmarks.
+
+pub mod appendix_e;
+pub mod paper;
+pub mod random;
+pub mod reach;
+
+pub use appendix_e::appendix_e_instance;
+pub use paper::{d1, d2, q1, q2, q2_cq, q3, q3_cq, q4, q4_cq, q5, q6, q7, q8};
+pub use reach::{dag_reduction_instance, undirected_reduction_instance, Digraph};

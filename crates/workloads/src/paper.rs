@@ -1,0 +1,227 @@
+//! The paper's named CQs and data instances.
+//!
+//! `q1`–`q4` are unambiguous in Example 1 and reproduced verbatim. The path
+//! CQ `q5`, the CQ `q6` of Example 4, `q7` (p. 13) and the ditree `q8` of
+//! Example 5 are given in the paper only as figures whose node labels are
+//! partially ambiguous in the source we work from; we provide
+//! reconstructions that are **verified in the test-suite to have exactly the
+//! behaviour the paper proves for them** (focusedness, boundedness,
+//! rewriting depth, span). Each reconstruction documents its intent.
+
+use sirup_core::parse::st;
+use sirup_core::{OneCq, Structure};
+
+/// `q1` (Example 1): the R-path `F → F → T → T`. Evaluating `(Δ_q1, G)` is
+/// coNP-complete.
+pub fn q1() -> Structure {
+    st("F(a), R(a,b), F(b), R(b,c), T(c), R(c,d), T(d)")
+}
+
+/// `q2` (Example 1): the path `T —S→ T —R→ F`. Evaluating `(Δ_q2, G)` is
+/// P-complete. A 1-CQ with two solitary `T`s.
+pub fn q2() -> Structure {
+    st("T(x), S(x,y), T(y), R(y,z), F(z)")
+}
+
+/// `q2` as a validated 1-CQ.
+pub fn q2_cq() -> OneCq {
+    OneCq::new(q2()).expect("q2 is a 1-CQ")
+}
+
+/// `q3` (Example 1): the path `T —R→ T —R→ F`. NL-complete.
+pub fn q3() -> Structure {
+    st("T(x), R(x,y), T(y), R(y,z), F(z)")
+}
+
+/// `q3` as a validated 1-CQ.
+pub fn q3_cq() -> OneCq {
+    OneCq::new(q3()).expect("q3 is a 1-CQ")
+}
+
+/// `q4` (Example 1): `F(x), R(y,x), R(y,z), T(z)` — the quasi-symmetric
+/// ditree. L-complete.
+pub fn q4() -> Structure {
+    st("F(x), R(y,x), R(y,z), T(z)")
+}
+
+/// `q4` as a validated 1-CQ.
+pub fn q4_cq() -> OneCq {
+    OneCq::new(q4()).expect("q4 is a 1-CQ")
+}
+
+/// `q5` (Examples 1 and 4): a 1-CQ with one solitary `F`, one solitary `T`
+/// and FT-twins, for which `q5` is focused and both `(Π_q5, G)` and
+/// `(Σ_q5, P)` are bounded — FO-rewritable to `C0 ∨ C1`.
+///
+/// **Reconstruction.** The figure's node identities are illegible in our
+/// source; moreover the paper states (p. 13) that q5–q8 contain only
+/// `≺`-incomparable solitary pairs, so q5 cannot be a directed path (paths
+/// are rigid, hence minimal, and minimal comparable pairs are NL-hard by
+/// Theorem 7 (i) — contradicting q5's AC0 membership). We use a 6-node
+/// minimal ditree Λ-CQ found by exhaustive search to satisfy **exactly**
+/// the paper's claims for q5 (verified in the test-suite): focused, and
+/// both `(Π, G)` and `(Σ, P)` bounded with minimal rewriting depth 1
+/// (`C0 ∨ C1`).
+pub fn q5() -> OneCq {
+    OneCq::parse(
+        "T(b), F(c), T(c), F(e), \
+         R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)",
+    )
+}
+
+/// `q6` (Example 4): an unfocused 1-CQ for which `(Π_q6, G)` is
+/// FO-rewritable but `(Σ_q6, P)` is **not** bounded.
+///
+/// **Reconstruction.** The figure's mechanism is that every hom between
+/// deep cactuses maps the root focus to an FT-twin, so `(Π, G)` folds while
+/// the root-focus-fixing `(Σ, P)` homomorphisms are blocked. This 6-node
+/// minimal ditree (found by exhaustive search, verified in the test-suite)
+/// realises it: root twin `a` with children the solitary `F(b)` and a twin
+/// `c`; the solitary `T(e)` under `c`.
+pub fn q6() -> OneCq {
+    OneCq::parse(
+        "F(a), T(a), F(b), F(c), T(c), T(e), \
+         R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)",
+    )
+}
+
+/// `q7` (p. 13): a 1-CQ with FT-twins and only incomparable solitary pairs
+/// for which `(Δ_q7, G)` is FO-rewritable (Claim 7.1 case (1) shape).
+///
+/// **Reconstruction.** As for q5 (see there), q7 cannot be a literal path;
+/// we use a 7-node minimal ditree Λ-CQ (found by search, verified in the
+/// test-suite) that is focused and bounded with rewriting depth 1, with the
+/// solitary `F` strictly deeper than the solitary `T`'s branch point.
+pub fn q7() -> OneCq {
+    OneCq::parse(
+        "F(b), T(b), T(c), F(d), T(d), F(g), \
+         R(a,b), R(b,c), R(b,d), R(c,e), R(d,g), R(e,f)",
+    )
+}
+
+/// `q8` (Example 5): a Λ-CQ of span 1 — a ditree with FT-twins, a solitary
+/// `F` and a solitary `T` on incomparable branches — for which `(Δ_q8, G)`
+/// is FO-rewritable to `∃z̄ (C0 ∨ C1 ∨ C2)`.
+///
+/// **Reconstruction.** A minimal ditree Λ-CQ found by exhaustive search,
+/// verified FO-rewritable with Prop. 2 rewriting depth ≤ 2. Our searches
+/// (all 6-node paths; random ditrees up to 11 nodes; two-branch
+/// caterpillars up to 11 nodes) found no CQ with minimal depth exactly 2,
+/// so the exact-depth aspect of Example 5 is a documented reconstruction
+/// gap (EXPERIMENTS.md, E5); the dichotomy-side behaviour — Λ-shape, twins,
+/// FO-rewritability, folding homs into all deeper cactuses — is reproduced
+/// and tested.
+pub fn q8() -> OneCq {
+    OneCq::parse(
+        "F(b), T(b), T(c), F(f), \
+         R(a,b), R(a,c), R(b,f), R(c,d), R(d,e)",
+    )
+}
+
+/// `D1` (Example 2): a data instance over `q1`'s vocabulary with two
+/// `A`-nodes on which the certain answer to `(Δ_q1, G)` is ‘yes’ by case
+/// distinction (every labelling of the `A`-nodes embeds the `F,F,T,T` path).
+///
+/// **Reconstruction.** The figure's node/edge identities are partially
+/// illegible; this instance realises the same case split:
+/// `f1 → f2 → a1 → a2 → t5 → t6` plus the chord `a1 → t6`, with
+/// `F(f1), F(f2), A(a1), A(a2), T(t5), T(t6)`.
+pub fn d1() -> Structure {
+    st(
+        "F(f1), F(f2), A(a1), A(a2), T(t5), T(t6), \
+         R(f1,f2), R(f2,a1), R(a1,a2), R(a2,t5), R(t5,t6), R(a1,t6)",
+    )
+}
+
+/// `D2` (Examples 2 and 3): the depth-1 cactus of `q2` obtained by budding
+/// both solitary `T`s of the root segment — a data instance on which the
+/// certain answer to `(Δ_q2, G)` (equivalently `(Π_q2, G)`) is ‘yes’.
+pub fn d2() -> Structure {
+    let q = q2_cq();
+    let c = sirup_cactus::Cactus::root(&q).bud(0, 0).bud(0, 1);
+    c.structure().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::cq::{solitary_f, solitary_t, twins};
+    use sirup_core::shape::{dipath, DitreeView};
+
+    #[test]
+    fn q1_shape() {
+        let q = q1();
+        assert_eq!(q.node_count(), 4);
+        assert!(dipath(&q).is_some());
+        assert_eq!(solitary_f(&q).len(), 2);
+        assert_eq!(solitary_t(&q).len(), 2);
+        assert!(twins(&q).is_empty());
+    }
+
+    #[test]
+    fn q2_q3_shapes() {
+        for q in [q2(), q3()] {
+            assert_eq!(q.node_count(), 3);
+            assert!(dipath(&q).is_some());
+            assert_eq!(solitary_f(&q).len(), 1);
+            assert_eq!(solitary_t(&q).len(), 2);
+        }
+        // q2 uses S then R; q3 uses R twice.
+        assert_eq!(q2().binary_preds().len(), 2);
+        assert_eq!(q3().binary_preds().len(), 1);
+    }
+
+    #[test]
+    fn q4_is_a_ditree_with_incomparable_pair() {
+        let q = q4();
+        let t = DitreeView::of(&q).expect("q4 is a ditree");
+        let f = solitary_f(&q)[0];
+        let tt = solitary_t(&q)[0];
+        assert!(!t.comparable(f, tt));
+        assert_eq!(t.distance(f, tt), 2);
+    }
+
+    #[test]
+    fn q5_through_q8_are_branching_ditrees() {
+        // Per p. 13 of the paper, q5–q8 contain only ≺-incomparable solitary
+        // pairs, so none of them can be a directed path.
+        for q in [q5(), q6(), q7(), q8()] {
+            let s = q.structure();
+            assert!(DitreeView::of(s).is_some());
+            assert!(dipath(s).is_none());
+            // Incomparability of all solitary pairs.
+            let tv = DitreeView::of(s).unwrap();
+            let f = solitary_f(s)[0];
+            for &t in &solitary_t(s) {
+                assert!(!tv.comparable(t, f));
+            }
+            // Minimality (required by Theorems 7/9/11).
+            assert!(sirup_hom::is_minimal(s));
+        }
+    }
+
+    #[test]
+    fn spans() {
+        assert_eq!(q2_cq().span(), 2);
+        assert_eq!(q3_cq().span(), 2);
+        assert_eq!(q4_cq().span(), 1);
+        assert_eq!(q5().span(), 1);
+        assert_eq!(q7().span(), 1);
+        assert_eq!(q8().span(), 1);
+    }
+
+    #[test]
+    fn d1_has_two_a_nodes() {
+        let d = d1();
+        assert_eq!(d.nodes_with_label(sirup_core::Pred::A).len(), 2);
+        assert_eq!(d.edge_count(), 6);
+    }
+
+    #[test]
+    fn d2_is_a_three_segment_cactus() {
+        let d = d2();
+        assert_eq!(d.nodes_with_label(sirup_core::Pred::A).len(), 2);
+        assert_eq!(d.nodes_with_label(sirup_core::Pred::F).len(), 1);
+        assert_eq!(d.nodes_with_label(sirup_core::Pred::T).len(), 4);
+    }
+}

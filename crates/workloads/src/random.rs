@@ -1,0 +1,188 @@
+//! Seeded random generators for CQs and data instances.
+//!
+//! Used by property tests (agreement between deciders and brute force on
+//! random corpora) and benchmarks (scaling in instance size).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sirup_core::{Node, OneCq, Pred, Structure};
+
+/// Parameters for random ditree CQ generation.
+#[derive(Debug, Clone, Copy)]
+pub struct DitreeCqParams {
+    /// Number of nodes (≥ 2).
+    pub nodes: usize,
+    /// Probability that an internal node is an FT-twin.
+    pub twin_prob: f64,
+    /// Number of solitary `T`-nodes to place (span, for Λ-CQs).
+    pub solitary_ts: usize,
+    /// Use a second edge predicate `S` with this probability per edge.
+    pub s_edge_prob: f64,
+}
+
+impl Default for DitreeCqParams {
+    fn default() -> Self {
+        DitreeCqParams {
+            nodes: 6,
+            twin_prob: 0.4,
+            solitary_ts: 1,
+            s_edge_prob: 0.0,
+        }
+    }
+}
+
+/// Generate a random ditree 1-CQ: a random rooted tree over `nodes` nodes
+/// with one solitary `F`, `solitary_ts` solitary `T`s (all placed at
+/// distinct non-root nodes, pairwise incomparable placement *not*
+/// guaranteed), and twins sprinkled elsewhere.
+///
+/// Returns `None` if the label placement fails to produce a valid 1-CQ
+/// (caller retries with the next seed).
+pub fn random_ditree_cq(params: DitreeCqParams, seed: u64) -> Option<OneCq> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = params.nodes.max(2);
+    let mut s = Structure::with_nodes(n);
+    // Random recursive tree: parent of i is uniform over 0..i.
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        let pred = if rng.gen_bool(params.s_edge_prob) {
+            Pred::S
+        } else {
+            Pred::R
+        };
+        s.add_edge(pred, Node(parent as u32), Node(i as u32));
+    }
+    // Choose distinct nodes for F and the solitary Ts (avoid the root for
+    // variety; the root may still end up a twin).
+    let mut pool: Vec<usize> = (1..n).collect();
+    if pool.len() < 1 + params.solitary_ts {
+        return None;
+    }
+    // Shuffle.
+    for i in (1..pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pool.swap(i, j);
+    }
+    let f_node = Node(pool[0] as u32);
+    s.add_label(f_node, Pred::F);
+    for &t in pool.iter().skip(1).take(params.solitary_ts) {
+        s.add_label(Node(t as u32), Pred::T);
+    }
+    // Twins elsewhere.
+    for i in 0..n {
+        let v = Node(i as u32);
+        if s.labels(v).is_empty() && rng.gen_bool(params.twin_prob) {
+            s.add_label(v, Pred::F);
+            s.add_label(v, Pred::T);
+        }
+    }
+    OneCq::new(s).ok()
+}
+
+/// Generate a random path 1-CQ of `len` nodes over labels
+/// (one solitary `F`, at least one solitary `T`, twins elsewhere with the
+/// given probability), edges all `R`.
+pub fn random_path_cq(len: usize, twin_prob: f64, seed: u64) -> Option<OneCq> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = len.max(3);
+    let mut s = Structure::with_nodes(n);
+    for i in 0..n - 1 {
+        s.add_edge(Pred::R, Node(i as u32), Node(i as u32 + 1));
+    }
+    let f = rng.gen_range(0..n);
+    let mut t = rng.gen_range(0..n);
+    while t == f {
+        t = rng.gen_range(0..n);
+    }
+    s.add_label(Node(f as u32), Pred::F);
+    s.add_label(Node(t as u32), Pred::T);
+    for i in 0..n {
+        let v = Node(i as u32);
+        if s.labels(v).is_empty() && rng.gen_bool(twin_prob) {
+            s.add_label(v, Pred::F);
+            s.add_label(v, Pred::T);
+        }
+    }
+    OneCq::new(s).ok()
+}
+
+/// Generate a random data instance: `nodes` nodes, `edges` random `R`/`S`
+/// edges, and random `F`/`T`/`A` labels with the given densities.
+pub fn random_instance(
+    nodes: usize,
+    edges: usize,
+    label_prob: f64,
+    a_prob: f64,
+    seed: u64,
+) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Structure::with_nodes(nodes.max(1));
+    let n = s.node_count();
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let p = if rng.gen_bool(0.5) { Pred::R } else { Pred::S };
+        s.add_edge(p, Node(u as u32), Node(v as u32));
+    }
+    for i in 0..n {
+        let v = Node(i as u32);
+        if rng.gen_bool(a_prob) {
+            s.add_label(v, Pred::A);
+        } else if rng.gen_bool(label_prob) {
+            let p = if rng.gen_bool(0.5) { Pred::F } else { Pred::T };
+            s.add_label(v, p);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::shape::DitreeView;
+
+    #[test]
+    fn ditree_cqs_are_valid() {
+        let mut produced = 0;
+        for seed in 0..40 {
+            if let Some(q) = random_ditree_cq(DitreeCqParams::default(), seed) {
+                produced += 1;
+                assert!(DitreeView::of(q.structure()).is_some());
+                assert_eq!(q.span(), 1);
+            }
+        }
+        assert!(produced > 20, "generator should usually succeed");
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let a = random_instance(20, 40, 0.5, 0.3, 7);
+        let b = random_instance(20, 40, 0.5, 0.3, 7);
+        assert_eq!(a, b);
+        let c = random_instance(20, 40, 0.5, 0.3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn path_cqs_are_paths() {
+        for seed in 0..20 {
+            if let Some(q) = random_path_cq(6, 0.5, seed) {
+                assert!(sirup_core::shape::dipath(q.structure()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn span_parameter_respected() {
+        let params = DitreeCqParams {
+            nodes: 10,
+            solitary_ts: 3,
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            if let Some(q) = random_ditree_cq(params, seed) {
+                assert_eq!(q.span(), 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Graph reachability reductions (Theorem 7, Theorem 11, Appendix G).
+//!
+//! Given a (di)graph `G` with designated nodes `s, t` and a CQ `q` with a
+//! chosen solitary pair `(t-node, f-node)`, the instance `D_G` replaces each
+//! edge `(u, v)` by a fresh copy `q_e` of `q` in which the `t`-node is
+//! renamed to `u` (its `T` label becoming `A`) and the `f`-node to `v`
+//! (its `F` label becoming `A`); finally `T(s)` and `F(t)` are added.
+//! The paper proves: `s →_G t` iff the certain answer to `(Δ_q, G)` over
+//! `D_G` is ‘yes’ (for the CQ classes of Theorem 7 / Appendix G).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sirup_core::builder::GlueBuilder;
+use sirup_core::{Node, Pred, Structure};
+
+/// A simple digraph on `0..n`.
+#[derive(Debug, Clone)]
+pub struct Digraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Digraph {
+    /// Random dag: edges `(i, j)` with `i < j` kept with probability `p`.
+    pub fn random_dag(n: usize, p: f64, seed: u64) -> Digraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen_bool(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Digraph { n, edges }
+    }
+
+    /// A directed path `0 → 1 → … → n−1`.
+    pub fn path(n: usize) -> Digraph {
+        Digraph {
+            n,
+            edges: (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+        }
+    }
+
+    /// Is `t` reachable from `s` by a directed path?
+    pub fn reachable(&self, s: usize, t: usize) -> bool {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            if u == t {
+                return true;
+            }
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Is `t` connected to `s` by an undirected path?
+    pub fn connected(&self, s: usize, t: usize) -> bool {
+        let sym = Digraph {
+            n: self.n,
+            edges: self
+                .edges
+                .iter()
+                .flat_map(|&(u, v)| [(u, v), (v, u)])
+                .collect(),
+        };
+        sym.reachable(s, t)
+    }
+}
+
+/// Build `D_G` for the **directed** reduction of Theorem 7: each edge
+/// `(u, v)` becomes a copy of `q` with its `t_node` glued to `u` and its
+/// `f_node` glued to `v` (both relabelled `A`), plus `T(s)` and `F(t)`.
+pub fn dag_reduction_instance(
+    q: &Structure,
+    t_node: Node,
+    f_node: Node,
+    g: &Digraph,
+    s: usize,
+    t: usize,
+) -> Structure {
+    build_instance(q, t_node, f_node, &g.edges, g.n, s, t)
+}
+
+/// Build `D_G` for the **undirected** reduction of Appendix G (L-hardness
+/// for quasi-symmetric CQs): identical construction — the symmetry of `q`
+/// is what makes undirected reachability the right source problem.
+pub fn undirected_reduction_instance(
+    q: &Structure,
+    t_node: Node,
+    f_node: Node,
+    g: &Digraph,
+    s: usize,
+    t: usize,
+) -> Structure {
+    build_instance(q, t_node, f_node, &g.edges, g.n, s, t)
+}
+
+fn build_instance(
+    q: &Structure,
+    t_node: Node,
+    f_node: Node,
+    edges: &[(usize, usize)],
+    n: usize,
+    s: usize,
+    t: usize,
+) -> Structure {
+    // Copy of q with the endpoint labels replaced by A.
+    let mut part = q.clone();
+    part.remove_label(t_node, Pred::T);
+    part.add_label(t_node, Pred::A);
+    part.remove_label(f_node, Pred::F);
+    part.add_label(f_node, Pred::A);
+
+    let mut b = GlueBuilder::new();
+    // Graph vertices first (stable ids 0..n after finish, since they are
+    // the first nodes added and never merged into each other).
+    let verts: Vec<Node> = (0..n).map(|_| b.add_fresh()).collect();
+    for &(u, v) in edges {
+        let off = b.add(&part);
+        b.glue(Node(off + t_node.0), verts[u]);
+        b.glue(Node(off + f_node.0), verts[v]);
+    }
+    b.label(verts[s], Pred::T);
+    b.label(verts[t], Pred::F);
+    let (d, _) = b.finish();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{q3, q4};
+    use sirup_core::cq::{solitary_f, solitary_t};
+
+    #[test]
+    fn digraph_reachability() {
+        let g = Digraph::path(5);
+        assert!(g.reachable(0, 4));
+        assert!(!g.reachable(4, 0));
+        assert!(g.connected(4, 0));
+        let empty = Digraph {
+            n: 3,
+            edges: vec![],
+        };
+        assert!(!empty.reachable(0, 2));
+        assert!(empty.reachable(1, 1));
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_seeded() {
+        let g1 = Digraph::random_dag(10, 0.3, 42);
+        let g2 = Digraph::random_dag(10, 0.3, 42);
+        assert_eq!(g1.edges, g2.edges);
+        assert!(g1.edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn instance_respects_vertex_count() {
+        // q3 = T(x) → T(y) → F(z); pick the comparable solitary pair (y, z)
+        // (adjacent, no solitary node between them).
+        let q = q3();
+        let ts = solitary_t(&q);
+        let f = solitary_f(&q)[0];
+        let g = Digraph::path(4);
+        let d = dag_reduction_instance(&q, ts[1], f, &g, 0, 3);
+        // Per edge: q3 has 3 nodes, 2 glued to vertices ⇒ 1 fresh node.
+        assert_eq!(d.node_count(), 4 + g.edges.len());
+        // s and t carry their extra labels.
+        assert!(d.has_label(Node(0), Pred::T));
+        assert!(d.has_label(Node(3), Pred::F));
+        // Interior vertices are A-nodes.
+        assert!(d.has_label(Node(1), Pred::A));
+        assert!(d.has_label(Node(2), Pred::A));
+    }
+
+    #[test]
+    fn q4_instance_glues_at_incomparable_pair() {
+        let q = q4();
+        let f = solitary_f(&q)[0];
+        let t = solitary_t(&q)[0];
+        let g = Digraph::path(3);
+        let d = dag_reduction_instance(&q, t, f, &g, 0, 2);
+        // q4 has 3 nodes; each copy contributes 1 fresh middle node.
+        assert_eq!(d.node_count(), 3 + 2);
+        assert_eq!(d.edge_count(), 2 * 2);
+    }
+}

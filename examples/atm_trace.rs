@@ -1,0 +1,71 @@
+//! Inside the 2ExpTime-hardness proof (§3.3): simulate an alternating
+//! Turing machine, encode a computation as the paper's 01-tree `β_T`
+//! (Fig. 1), check the per-node correctness predicates of Claim 4.1, and
+//! show how the Boolean circuit families of §3.4 detect a corrupted
+//! computation.
+//!
+//! Run with `cargo run --example atm_trace`.
+
+use monadic_sirups::atm::correct;
+use monadic_sirups::atm::machine::Atm;
+use monadic_sirups::atm::trees::{attach_gamma, build_beta, Encoding};
+use monadic_sirups::circuits::families;
+
+fn main() {
+    let m = Atm::first_symbol_machine();
+    println!("machine: first_symbol_machine (accepts w iff w starts with 1)");
+    for w in [vec![1usize], vec![0usize]] {
+        println!("  accepts {w:?} (depth 8): {}", m.accepts(&w, 8));
+    }
+
+    // Encode the computation space on w = [0] (rejecting) as a 01-tree.
+    let w = [0usize];
+    let enc = Encoding::for_atm(&m);
+    println!(
+        "\nencoding: d = {} (configurations are 2^d = {}-bit strings)",
+        enc.d(),
+        enc.total_bits()
+    );
+    let beta = build_beta(&m, &enc, &w, 0, 4);
+    println!(
+        "β_T: {} tree nodes, {} main nodes (configuration roots)",
+        beta.tree.len(),
+        beta.mains.len()
+    );
+
+    // Claim 4.1, healthy direction: every main node is correct.
+    let ok = beta.mains.iter().all(|&(v, _, _)| {
+        correct::properly_branching(&beta.tree, v, enc.d()) || beta.tree.child_count(v) == 0
+    });
+    println!("all main nodes properly branching: {ok}");
+    let rejects = beta
+        .mains
+        .iter()
+        .filter(|&&(v, _, _)| correct::is_reject_main(&beta.tree, v, &m, &enc))
+        .count();
+    println!("reject-configuration mains: {rejects}");
+
+    // Corrupt the tree: pretend the successors of the root configuration
+    // are the initial configuration again — an impossible δ-step.
+    let mut bad = build_beta(&m, &enc, &w, 0, 4);
+    let (root_main, c, _) = bad.mains[0].clone();
+    let (m0, m1) = correct::successor_mains(&bad.tree, root_main);
+    for nm in [m0, m1].into_iter().flatten() {
+        attach_gamma(&mut bad.tree, nm, &enc.encode(&c, false));
+    }
+    let computing = correct::properly_computing(&bad.tree, root_main, &m, &enc);
+    println!("\nafter corruption: properly computing = {computing}");
+
+    // The Step circuit family (§3.4.3) detects it: some gathered input
+    // satisfies the "inconsistent with δ" formula.
+    let step = families::step(&m, &enc);
+    println!(
+        "Step formula: {} gates over {} inputs",
+        step.formula.gate_count(),
+        step.inputs.len()
+    );
+    println!(
+        "Step fires at the corrupted node: {}",
+        step.satisfied_somewhere_at(&bad.tree, root_main)
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: define a 1-CQ, build its programs, evaluate certain answers,
+//! and test boundedness via the Prop. 2 criterion.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use monadic_sirups::cactus::{find_bound, is_focused_up_to, BoundSearch};
+use monadic_sirups::core::parse::st;
+use monadic_sirups::core::program::{pi_q, sigma_q, DSirup};
+use monadic_sirups::core::OneCq;
+use monadic_sirups::engine::disjunctive::certain_answer_dsirup;
+use monadic_sirups::engine::eval::certain_answer_goal;
+
+fn main() {
+    // The paper's q4 (Example 1): F(x), R(y,x), R(y,z), T(z).
+    let q = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+    println!("q4 = {}", q.structure());
+    println!("span (solitary Ts) = {}", q.span());
+
+    // Its programs: the datalog Π_q, the sirup Σ_q, the d-sirup Δ_q.
+    let pi = pi_q(&q);
+    let sigma = sigma_q(&q);
+    println!("\nΠ_q rules:");
+    for r in &pi.rules {
+        println!("  {r:?}");
+    }
+    println!("Σ_q is a monadic sirup: {}", sigma.is_monadic_sirup());
+
+    // Evaluate over a small instance with one A-node.
+    let d = st("F(f), R(m1,f), R(m1,a), A(a), R(m2,a), R(m2,t), T(t)");
+    println!("\ndata D = {d}");
+    println!("Π_q certain answer over D: {}", certain_answer_goal(&pi, &d));
+    println!(
+        "Δ_q certain answer over D: {}",
+        certain_answer_dsirup(&DSirup::new(q.structure().clone()), &d)
+    );
+
+    // Boundedness (Prop. 2, finite horizon): q4 is unbounded — its
+    // expansions grow without folding back.
+    let verdict = find_bound(
+        &q,
+        BoundSearch {
+            max_d: 2,
+            horizon: 5,
+            cap: 10_000,
+            sigma: false,
+        },
+    );
+    println!("\nProp. 2 verdict for (Π_q4, G): {verdict:?}");
+    println!(
+        "q4 focused (up to depth 2): {:?}",
+        is_focused_up_to(&q, 2, 10_000)
+    );
+
+    // Contrast: the paper's q5 (Example 4) is bounded with rewriting depth 1.
+    let q5 = monadic_sirups::workloads::q5();
+    let verdict5 = find_bound(
+        &q5,
+        BoundSearch {
+            max_d: 2,
+            horizon: 5,
+            cap: 10_000,
+            sigma: false,
+        },
+    );
+    println!("Prop. 2 verdict for (Π_q5, G): {verdict5:?}");
+}

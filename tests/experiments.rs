@@ -1,0 +1,555 @@
+//! Cross-crate integration tests, one module per experiment id of
+//! DESIGN.md / EXPERIMENTS.md.
+
+use monadic_sirups::cactus::{find_bound, is_focused_up_to, BoundSearch, Boundedness};
+use monadic_sirups::classifier::{
+    classify_delta_plus, classify_trichotomy, lambda_fo_rewritable, nl_hardness_condition,
+    DeltaPlusClass, DitreeCqAnalysis, LambdaVerdict, NlHardness, TrichotomyClass,
+};
+use monadic_sirups::core::program::{pi_q, DSirup};
+use monadic_sirups::engine::disjunctive::certain_answer_dsirup;
+use monadic_sirups::engine::eval::certain_answer_goal;
+use monadic_sirups::workloads as paper;
+
+mod e1_zoo {
+    use super::*;
+
+    #[test]
+    fn q3_is_nl_complete() {
+        assert_eq!(
+            classify_trichotomy(&paper::q3()),
+            Err(monadic_sirups::classifier::trichotomy::TrichotomyError::WrongSolitaryCounts(
+                2, 1
+            ))
+        );
+        // q3 has two solitary Ts; Theorem 7 (i) still gives NL-hardness.
+        let a = DitreeCqAnalysis::new(&paper::q3()).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::ComparablePair);
+    }
+
+    #[test]
+    fn q4_is_l_complete_everywhere() {
+        assert_eq!(
+            classify_trichotomy(&paper::q4()),
+            Ok(TrichotomyClass::LComplete)
+        );
+        let a = DitreeCqAnalysis::new(&paper::q4()).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::LHard);
+        assert_eq!(lambda_fo_rewritable(&paper::q4_cq()), LambdaVerdict::LHard);
+    }
+
+    #[test]
+    fn q5_is_fo_rewritable() {
+        let b = find_bound(
+            &paper::q5(),
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 10_000,
+                sigma: false,
+            },
+        );
+        assert_eq!(b, Boundedness::BoundedEvidence { d: 1, horizon: 5 });
+    }
+}
+
+mod e2_case_distinction {
+    use super::*;
+
+    #[test]
+    fn d1_answers_yes_for_q1() {
+        // Example 2: the certain answer to (Δ_q1, G) over D1 is 'yes' by
+        // case distinction over the two A-nodes.
+        assert!(certain_answer_dsirup(
+            &DSirup::new(paper::q1()),
+            &paper::d1()
+        ));
+    }
+
+    #[test]
+    fn d2_answers_yes_for_q2_in_both_presentations() {
+        let d2 = paper::d2();
+        assert!(certain_answer_dsirup(&DSirup::new(paper::q2()), &d2));
+        // Δ_q2 ≡ Π_q2 for the 1-CQ q2 (§2).
+        assert!(certain_answer_goal(&pi_q(&paper::q2_cq()), &d2));
+    }
+
+    #[test]
+    fn removing_the_seed_t_flips_d2() {
+        // Dropping all T-labels from D2 leaves no base case: answer 'no'.
+        let mut d = paper::d2();
+        for v in d.nodes().collect::<Vec<_>>() {
+            d.remove_label(v, monadic_sirups::core::Pred::T);
+        }
+        assert!(!certain_answer_goal(&pi_q(&paper::q2_cq()), &d));
+    }
+}
+
+mod e3_cactus {
+    use super::*;
+    use monadic_sirups::cactus::Cactus;
+
+    #[test]
+    fn d2_is_a_depth1_cactus_with_three_segments() {
+        let q2 = paper::q2_cq();
+        let c = Cactus::root(&q2).bud(0, 0).bud(0, 1);
+        assert_eq!(c.segment_count(), 3);
+        assert!(monadic_sirups::hom::isomorphic(c.structure(), &paper::d2()));
+        // Prop. 1 sanity: G ∈ Π_q2(C) for every cactus C.
+        assert!(certain_answer_goal(&pi_q(&q2), c.structure()));
+    }
+}
+
+mod e4_focused_unfocused {
+    use super::*;
+
+    #[test]
+    fn q5_focused_and_sigma_bounded() {
+        let q5 = paper::q5();
+        assert_eq!(is_focused_up_to(&q5, 2, 10_000), Some(true));
+        let sigma = find_bound(
+            &q5,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 10_000,
+                sigma: true,
+            },
+        );
+        assert!(matches!(sigma, Boundedness::BoundedEvidence { d: 1, .. }));
+    }
+
+    #[test]
+    fn q6_unfocused_pi_bounded_sigma_unbounded() {
+        let q6 = paper::q6();
+        assert_eq!(is_focused_up_to(&q6, 2, 10_000), Some(false));
+        let pi = find_bound(
+            &q6,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 10_000,
+                sigma: false,
+            },
+        );
+        assert!(matches!(pi, Boundedness::BoundedEvidence { .. }), "{pi:?}");
+        let sigma = find_bound(
+            &q6,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 10_000,
+                sigma: true,
+            },
+        );
+        assert!(
+            matches!(sigma, Boundedness::UnboundedEvidence { .. }),
+            "{sigma:?}"
+        );
+    }
+}
+
+mod e5_q8 {
+    use super::*;
+    use monadic_sirups::cactus::enumerate::full_cactus;
+    use monadic_sirups::hom::HomFinder;
+
+    #[test]
+    fn q8_rewrites_at_small_depth_and_folds_into_deeper_cactuses() {
+        let q8 = paper::q8();
+        let b = find_bound(
+            &q8,
+            BoundSearch {
+                max_d: 2,
+                horizon: 5,
+                cap: 10_000,
+                sigma: false,
+            },
+        );
+        let Boundedness::BoundedEvidence { d, .. } = b else {
+            panic!("q8 must be bounded, got {b:?}");
+        };
+        assert!(d <= 2);
+        // The folding hom C_d → C_i for i = 3, 4 (Example 5's phenomenon).
+        let small = full_cactus(&q8, d);
+        for i in 3..=4 {
+            let big = full_cactus(&q8, i);
+            assert!(
+                HomFinder::new(small.structure(), big.structure()).exists(),
+                "C_{d} must fold into C_{i}"
+            );
+        }
+        // And Theorem 9 agrees.
+        assert_eq!(lambda_fo_rewritable(&q8), LambdaVerdict::FoRewritable);
+    }
+}
+
+mod t7_reduction {
+    use super::*;
+    use monadic_sirups::classifier::theorem7::reduction_pair;
+    use monadic_sirups::workloads::reach::{dag_reduction_instance, Digraph};
+
+    #[test]
+    fn biconditional_holds_for_q3_on_random_dags() {
+        let q = paper::q3();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        let (t, f) = reduction_pair(&a).unwrap();
+        for seed in 0..6 {
+            let g = Digraph::random_dag(6, 0.3, seed);
+            for (s, tt) in [(0usize, 5usize), (1, 4)] {
+                let d = dag_reduction_instance(&q, t, f, &g, s, tt);
+                assert_eq!(
+                    certain_answer_dsirup(&DSirup::new(q.clone()), &d),
+                    g.reachable(s, tt),
+                    "seed {seed}, {s}→{tt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case_ii_cq_also_reduces() {
+        // Asymmetric twin-free ditree (Theorem 7 (ii)).
+        let q = monadic_sirups::core::parse::st("F(x), R(y,x), R(y,w), R(w,z), T(z)");
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        assert_eq!(nl_hardness_condition(&a), NlHardness::AsymmetricTwinFree);
+        let (t, f) = reduction_pair(&a).unwrap();
+        for seed in 0..4 {
+            let g = Digraph::random_dag(5, 0.35, seed);
+            let d = dag_reduction_instance(&q, t, f, &g, 0, 4);
+            assert_eq!(
+                certain_answer_dsirup(&DSirup::new(q.clone()), &d),
+                g.reachable(0, 4),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+mod g_l_hardness {
+    use super::*;
+    use monadic_sirups::workloads::reach::{undirected_reduction_instance, Digraph};
+
+    #[test]
+    fn quasi_symmetric_q4_decides_undirected_reachability() {
+        // Appendix G: for quasi-symmetric q, s ↔ t (undirected) iff 'yes'.
+        let q = paper::q4();
+        let a = DitreeCqAnalysis::new(&q).unwrap();
+        let t = a.solitary_t[0];
+        let f = a.solitary_f[0];
+        for seed in 0..6 {
+            let g = Digraph::random_dag(6, 0.25, seed);
+            for (s, tt) in [(0usize, 5usize), (2, 4)] {
+                let d = undirected_reduction_instance(&q, t, f, &g, s, tt);
+                assert_eq!(
+                    certain_answer_dsirup(&DSirup::new(q.clone()), &d),
+                    g.connected(s, tt),
+                    "seed {seed}, {s}↔{tt}"
+                );
+            }
+        }
+    }
+}
+
+mod t9_lambda {
+    use super::*;
+
+    /// Cross-validate the Theorem 9 decider against bounded-horizon Prop. 2
+    /// evidence on the paper's Λ-CQs and random small ones.
+    #[test]
+    fn decider_agrees_with_brute_force_on_paper_cqs() {
+        for (name, q, expect_fo) in [
+            ("q4", paper::q4_cq(), false),
+            ("q5", paper::q5(), true),
+            ("q7", paper::q7(), true),
+            ("q8", paper::q8(), true),
+        ] {
+            let verdict = lambda_fo_rewritable(&q);
+            let expected = if expect_fo {
+                LambdaVerdict::FoRewritable
+            } else {
+                LambdaVerdict::LHard
+            };
+            assert_eq!(verdict, expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn decider_agrees_with_brute_force_on_random_lambdas() {
+        use monadic_sirups::workloads::random::{random_ditree_cq, DitreeCqParams};
+        let mut checked = 0;
+        for seed in 0..120 {
+            let Some(q) = random_ditree_cq(
+                DitreeCqParams {
+                    nodes: 6,
+                    twin_prob: 0.5,
+                    solitary_ts: 1,
+                    s_edge_prob: 0.0,
+                },
+                seed,
+            ) else {
+                continue;
+            };
+            let verdict = lambda_fo_rewritable(&q);
+            if verdict == LambdaVerdict::NotLambda || verdict == LambdaVerdict::Inconclusive {
+                continue;
+            }
+            let brute = find_bound(
+                &q,
+                BoundSearch {
+                    max_d: 2,
+                    horizon: 4,
+                    cap: 10_000,
+                    sigma: false,
+                },
+            );
+            match (verdict, &brute) {
+                (LambdaVerdict::FoRewritable, Boundedness::BoundedEvidence { .. }) => {}
+                (LambdaVerdict::LHard, Boundedness::UnboundedEvidence { .. }) => {}
+                other => panic!("seed {seed}: decider vs brute force mismatch: {other:?}"),
+            }
+            checked += 1;
+        }
+        assert!(checked >= 20, "only {checked} Λ-CQs cross-validated");
+    }
+}
+
+mod t11_trichotomy {
+    use super::*;
+
+    #[test]
+    fn paper_single_pair_cqs() {
+        assert_eq!(
+            classify_trichotomy(&paper::q4()),
+            Ok(TrichotomyClass::LComplete)
+        );
+        assert_eq!(
+            classify_trichotomy(paper::q5().structure()),
+            Ok(TrichotomyClass::FoRewritable)
+        );
+    }
+
+    #[test]
+    fn fo_verdicts_match_prop2_on_random_single_pair_ditrees() {
+        use monadic_sirups::workloads::random::{random_ditree_cq, DitreeCqParams};
+        let mut checked = 0;
+        for seed in 0..120 {
+            let Some(q) = random_ditree_cq(
+                DitreeCqParams {
+                    nodes: 6,
+                    twin_prob: 0.4,
+                    solitary_ts: 1,
+                    s_edge_prob: 0.0,
+                },
+                seed,
+            ) else {
+                continue;
+            };
+            let Ok(class) = classify_trichotomy(q.structure()) else {
+                continue;
+            };
+            let brute = find_bound(
+                &q,
+                BoundSearch {
+                    max_d: 2,
+                    horizon: 4,
+                    cap: 10_000,
+                    sigma: false,
+                },
+            );
+            match (class, &brute) {
+                (TrichotomyClass::FoRewritable, Boundedness::BoundedEvidence { .. }) => {}
+                (
+                    TrichotomyClass::LComplete | TrichotomyClass::NlComplete,
+                    Boundedness::UnboundedEvidence { .. },
+                ) => {}
+                other => panic!("seed {seed}: {other:?} (q = {})", q.structure()),
+            }
+            checked += 1;
+        }
+        assert!(checked >= 25, "only {checked} ditrees cross-validated");
+    }
+}
+
+mod t3_construction {
+    use monadic_sirups::atm::machine::Atm;
+    use monadic_sirups::reduction::build_query;
+
+    #[test]
+    fn construction_has_the_stated_shape() {
+        let hq = build_query(&Atm::trivially_rejecting(), &[0]);
+        let s = hq.q.structure();
+        assert!(monadic_sirups::core::shape::is_dag(s));
+        assert_eq!(hq.q.span(), 2);
+        assert_eq!(monadic_sirups::core::cq::solitary_f(s).len(), 1);
+        // (foc) via the structural argument.
+        let f = monadic_sirups::core::cq::solitary_f(s)[0];
+        assert!(s.out_degree(f) > 0);
+        for tw in monadic_sirups::core::cq::twins(s) {
+            assert_eq!(s.out_degree(tw), 0);
+        }
+    }
+
+    #[test]
+    fn sizes_polynomial_across_machines() {
+        use monadic_sirups::reduction::measure;
+        let r1 = measure(&Atm::trivially_rejecting(), &[0]);
+        let r2 = measure(&Atm::first_symbol_machine(), &[1]);
+        // first_symbol_machine has one more state; size grows but modestly.
+        assert!(r2.atoms > r1.atoms);
+        assert!(r2.atoms < 50 * r1.atoms);
+    }
+}
+
+mod p5_schemaorg {
+    use super::*;
+    use monadic_sirups::schemaorg::{
+        certain_answer_schemaorg, to_schemaorg_instance, SchemaOrgQuery,
+    };
+
+    #[test]
+    fn certain_answers_transfer_on_paper_instances() {
+        let q = paper::q1();
+        let d = paper::d1();
+        let lhs = certain_answer_dsirup(&DSirup::new(q.clone()), &d);
+        let rhs = certain_answer_schemaorg(&SchemaOrgQuery::new(q), &to_schemaorg_instance(&d));
+        assert!(lhs && rhs);
+    }
+
+    #[test]
+    fn certain_answers_transfer_on_random_instances() {
+        use monadic_sirups::workloads::random::random_instance;
+        let q = paper::q3();
+        for seed in 0..12 {
+            let d = random_instance(8, 16, 0.6, 0.35, seed);
+            let lhs = certain_answer_dsirup(&DSirup::new(q.clone()), &d);
+            let rhs = certain_answer_schemaorg(
+                &SchemaOrgQuery::new(q.clone()),
+                &to_schemaorg_instance(&d),
+            );
+            assert_eq!(lhs, rhs, "seed {seed}");
+        }
+    }
+}
+
+mod equivalence_pi_delta {
+    use super::*;
+
+    /// §2: (Π_q, G) ≡ (Δ_q, G) for 1-CQs, over random instances.
+    #[test]
+    fn pi_and_delta_agree_for_one_cqs() {
+        use monadic_sirups::workloads::random::random_instance;
+        for (qname, q) in [
+            ("q2", paper::q2_cq()),
+            ("q3", paper::q3_cq()),
+            ("q4", paper::q4_cq()),
+        ] {
+            let pi = pi_q(&q);
+            for seed in 0..10 {
+                let d = random_instance(7, 14, 0.6, 0.35, 1000 + seed);
+                let via_pi = certain_answer_goal(&pi, &d);
+                let via_delta =
+                    certain_answer_dsirup(&DSirup::new(q.structure().clone()), &d);
+                assert_eq!(via_pi, via_delta, "{qname} seed {seed}");
+            }
+        }
+    }
+}
+
+mod c8_delta_plus {
+    use super::*;
+
+    #[test]
+    fn cor8_classification_of_the_zoo() {
+        // Twins ⇒ FO; quasi-symmetric twin-free ⇒ L; else NL.
+        let cases = [
+            ("q4", paper::q4(), DeltaPlusClass::LHard),
+            ("q3", paper::q3(), DeltaPlusClass::NlHard),
+        ];
+        for (name, q, expect) in cases {
+            let a = DitreeCqAnalysis::new(&q).unwrap();
+            assert_eq!(classify_delta_plus(&a), expect, "{name}");
+        }
+        let twin_cq = monadic_sirups::core::parse::st("F(x), R(x,y), F(y), T(y), R(y,z), T(z)");
+        let a = DitreeCqAnalysis::new(&twin_cq).unwrap();
+        assert_eq!(classify_delta_plus(&a), DeltaPlusClass::FoRewritable);
+    }
+
+    #[test]
+    fn delta_plus_inconsistency_semantics() {
+        // Over inconsistent data Δ⁺ entails everything.
+        let q = paper::q1();
+        let d = monadic_sirups::core::parse::st("T(u), F(u)");
+        assert!(certain_answer_dsirup(&DSirup::with_disjointness(q.clone()), &d));
+        assert!(!certain_answer_dsirup(&DSirup::new(q), &d));
+    }
+}
+
+mod t3b_toy_lemma4 {
+    use super::*;
+    use monadic_sirups::atm::machine::Atm;
+    use monadic_sirups::circuits::formula::Formula;
+    use monadic_sirups::circuits::typed::{InputSource, TypedFormula};
+    use monadic_sirups::core::Pred;
+    use monadic_sirups::reduction::{assemble, build_query, FrameType, GadgetSpec};
+
+    /// Structural Lemma 4 evidence at full scale: the construction for a
+    /// real machine is a valid span-2 dag 1-CQ and its cactus machinery
+    /// runs. (Full Π_q evaluation over the ~30k-node query is a
+    /// 2ExpTime-scale object; the feasible end-to-end run is the
+    /// mini-inventory test below — see DESIGN.md.)
+    #[test]
+    fn cactus_machinery_runs_on_the_hardness_query() {
+        let hq = build_query(&Atm::trivially_rejecting(), &[0]);
+        let c = monadic_sirups::cactus::Cactus::root(&hq.q);
+        let c1 = c.bud(0, 0);
+        assert_eq!(c1.depth(), 1);
+        let n = hq.q.structure().node_count();
+        // Budding shares the focus node: |C1| = 2|q| − 1.
+        assert_eq!(c1.structure().node_count(), 2 * n - 1);
+        // Exactly one solitary F (the root focus) and one A (the bud point).
+        let s = c1.structure();
+        assert_eq!(
+            s.nodes()
+                .filter(|&v| s.has_label(v, Pred::F) && !s.has_label(v, Pred::T))
+                .count(),
+            1
+        );
+        assert_eq!(s.nodes_with_label(Pred::A).len(), 1);
+    }
+
+    /// End-to-end Prop. 1 run on a mini inventory assembled through the
+    /// same gadget machinery (two tiny formulas, one AA and one AT frame):
+    /// every cactus of the assembled query answers Π_q 'yes'.
+    #[test]
+    fn pi_q_holds_on_cactuses_of_a_mini_assembled_query() {
+        let tiny = |name: &str| {
+            TypedFormula::new(
+                name,
+                Formula::and(Formula::lit(0, true), Formula::lit(1, false)),
+                vec![
+                    InputSource::Up { pos: 0 },
+                    InputSource::Down { group: 0, pos: 0 },
+                ],
+            )
+        };
+        let hq = assemble(vec![
+            GadgetSpec {
+                formula: tiny("MiniAa"),
+                frame: FrameType::Aa,
+            },
+            GadgetSpec {
+                formula: tiny("MiniAt"),
+                frame: FrameType::At,
+            },
+        ]);
+        assert_eq!(hq.q.span(), 2);
+        let pi = pi_q(&hq.q);
+        let c0 = monadic_sirups::cactus::Cactus::root(&hq.q);
+        assert!(certain_answer_goal(&pi, c0.structure()));
+        let c1 = c0.bud(0, 0);
+        assert!(certain_answer_goal(&pi, c1.structure()));
+        let c2 = c1.bud(0, 1);
+        assert!(certain_answer_goal(&pi, c2.structure()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate validation of the linear (NL-style) evaluator: agreement
+//! with the semi-naive engine across the paper's span-1 CQs, random
+//! instances, cactuses, and the reduction instances of Theorem 7 /
+//! Appendix G / Appendix E.
+
+use monadic_sirups::cactus::enumerate::enumerate_cactuses;
+use monadic_sirups::core::program::{pi_q, sigma_q};
+use monadic_sirups::core::{OneCq, Pred};
+use monadic_sirups::engine::eval::{certain_answer_goal, certain_answers_unary, evaluate};
+use monadic_sirups::engine::linear::{linearity, LinearEvaluator, Linearity};
+use monadic_sirups::workloads::appendix_e::appendix_e_instance;
+use monadic_sirups::workloads::random::random_instance;
+use monadic_sirups::workloads::reach::Digraph;
+use monadic_sirups::workloads::{q4_cq, q5, q8};
+
+fn span1_cqs() -> Vec<(&'static str, OneCq)> {
+    vec![
+        ("q4", q4_cq()),
+        ("q5", q5()),
+        ("q8", q8()),
+        ("chain", OneCq::parse("F(x), R(x,y), T(y)")),
+    ]
+}
+
+#[test]
+fn all_span1_sirups_are_linear() {
+    for (name, q) in span1_cqs() {
+        assert_eq!(linearity(&sigma_q(&q)), Linearity::Linear, "{name}");
+        assert_eq!(linearity(&pi_q(&q)), Linearity::Linear, "{name}");
+    }
+}
+
+#[test]
+fn linear_agrees_with_seminaive_on_random_instances() {
+    for (name, q) in span1_cqs() {
+        let sigma = sigma_q(&q);
+        for seed in 0..10 {
+            let d = random_instance(7, 12, 0.6, 0.4, 3_000 + seed);
+            let fast = LinearEvaluator::new(&sigma, &d).goal_nodes(Pred::P);
+            let slow = certain_answers_unary(&sigma, &d);
+            assert_eq!(fast, slow, "{name} seed {seed} on {d}");
+        }
+    }
+}
+
+#[test]
+fn linear_agrees_on_cactuses() {
+    for (name, q) in span1_cqs() {
+        let pi = pi_q(&q);
+        let (cs, _) = enumerate_cactuses(&q, 3, 16);
+        for c in &cs {
+            let ev = LinearEvaluator::new(&pi, c.structure());
+            assert!(ev.holds(Pred::GOAL), "{name} cactus depth {}", c.depth());
+            assert!(certain_answer_goal(&pi, c.structure()));
+        }
+    }
+}
+
+#[test]
+fn linear_agrees_on_appendix_e_instances() {
+    let q = q4_cq();
+    let pi = pi_q(&q);
+    for seed in 0..5 {
+        let g = Digraph::random_dag(5, 0.3, seed);
+        let d = appendix_e_instance(&q, &g, 0, 4);
+        let ev = LinearEvaluator::new(&pi, &d);
+        assert_eq!(
+            ev.holds(Pred::GOAL),
+            certain_answer_goal(&pi, &d),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fact_graph_size_is_quadratic_at_worst() {
+    // The fact graph has at most |D|² edges per recursive rule.
+    let q = q4_cq();
+    let sigma = sigma_q(&q);
+    let d = random_instance(8, 16, 0.5, 0.5, 77);
+    let ev = LinearEvaluator::new(&sigma, &d);
+    assert!(ev.edges.len() <= d.node_count() * d.node_count());
+}
+
+#[test]
+fn derivation_rounds_vs_reachability_depth() {
+    // The semi-naive engine needs Θ(chain length) rounds; the fact-graph
+    // evaluator sees the same facts as one reachability pass.
+    let mut text = String::from("T(c0)");
+    for i in 0..6 {
+        text.push_str(&format!(
+            ", A(c{next}), R(m{i},c{next}), R(m{i},c{i})",
+            next = i + 1
+        ));
+    }
+    let (d, n) = monadic_sirups::core::parse::parse_structure(&text).unwrap();
+    let sigma = sigma_q(&q4_cq());
+    let ev = evaluate(&sigma, &d);
+    let lin = LinearEvaluator::new(&sigma, &d);
+    assert!(ev.rounds >= 2);
+    assert!(lin.derived.contains(&(Pred::P, n["c6"])));
+    assert_eq!(
+        lin.goal_nodes(Pred::P),
+        certain_answers_unary(&sigma, &d)
+    );
+}

@@ -1,0 +1,174 @@
+//! T3 continued — gadget-level checks of the §3.5 construction at a
+//! feasible scale, plus the ATM ↔ 01-tree ↔ circuit pipeline it rests on.
+
+use monadic_sirups::atm::machine::Atm;
+use monadic_sirups::atm::trees::{build_beta, Encoding};
+use monadic_sirups::atm::correct;
+use monadic_sirups::cactus::{is_focused_up_to, Cactus};
+use monadic_sirups::circuits::families;
+use monadic_sirups::circuits::formula::Formula;
+use monadic_sirups::circuits::typed::{InputSource, TypedFormula};
+use monadic_sirups::core::cq::twins;
+use monadic_sirups::core::program::sigma_q;
+use monadic_sirups::core::Pred;
+use monadic_sirups::engine::eval::evaluate;
+use monadic_sirups::reduction::{assemble, FrameType, GadgetSpec};
+
+fn tiny(name: &str) -> TypedFormula {
+    TypedFormula::new(
+        name,
+        Formula::and(Formula::lit(0, true), Formula::lit(1, false)),
+        vec![
+            InputSource::Up { pos: 0 },
+            InputSource::Down { group: 0, pos: 0 },
+        ],
+    )
+}
+
+#[test]
+fn mini_query_is_focused_hom_verified() {
+    // The (foc) argument of §3.5.1 is structural (F has successors, twins
+    // do not); verify it by actual hom search over all depth ≤ 1 cactuses.
+    let hq = assemble(vec![GadgetSpec {
+        formula: tiny("Mini"),
+        frame: FrameType::Aa,
+    }]);
+    assert_eq!(is_focused_up_to(&hq.q, 1, 64), Some(true));
+}
+
+#[test]
+fn sigma_derives_p_at_bud_points_of_mini_cactuses() {
+    let hq = assemble(vec![
+        GadgetSpec {
+            formula: tiny("MiniA"),
+            frame: FrameType::Aa,
+        },
+        GadgetSpec {
+            formula: tiny("MiniB"),
+            frame: FrameType::Ta,
+        },
+    ]);
+    let sigma = sigma_q(&hq.q);
+    // C1 = bud slot 0: the budded node must get P back through rule (7).
+    let c0 = Cactus::root(&hq.q);
+    let c1 = c0.bud(0, 0);
+    let budded = c1.focus_of(1);
+    let ev = evaluate(&sigma, c1.structure());
+    assert!(ev.holds_at(Pred::P, budded));
+}
+
+#[test]
+fn gadget_count_scales_size_linearly() {
+    let sizes: Vec<usize> = (1..=3)
+        .map(|n| {
+            let gs = (0..n)
+                .map(|i| GadgetSpec {
+                    formula: tiny(&format!("G{i}")),
+                    frame: FrameType::Aa,
+                })
+                .collect();
+            assemble(gs).q.structure().size()
+        })
+        .collect();
+    // Per-gadget increments are equal up to the quadratic inter-gadget
+    // wiring term (2 extra atoms per ordered pair).
+    let d1 = sizes[1] - sizes[0];
+    let d2 = sizes[2] - sizes[1];
+    assert!(d2 >= d1, "{sizes:?}");
+    assert!(d2 - d1 <= 16, "super-linear jump: {sizes:?}");
+}
+
+#[test]
+fn one_twin_per_gadget_and_twins_have_no_successors() {
+    for n in [1usize, 3] {
+        let gs = (0..n)
+            .map(|i| GadgetSpec {
+                formula: tiny(&format!("G{i}")),
+                frame: FrameType::At,
+            })
+            .collect();
+        let hq = assemble(gs);
+        let s = hq.q.structure();
+        let tw = twins(s);
+        assert_eq!(tw.len(), n);
+        for t in tw {
+            assert_eq!(s.out_degree(t), 0);
+        }
+    }
+}
+
+#[test]
+fn atm_semantics_ground_truth() {
+    // The machines driving Theorem 3 toys behave as named.
+    assert!(Atm::trivially_accepting().accepts(&[0], 8));
+    assert!(!Atm::trivially_rejecting().accepts(&[0], 8));
+    let m = Atm::first_symbol_machine();
+    assert!(m.accepts(&[1], 8));
+    assert!(!m.accepts(&[0], 8));
+}
+
+#[test]
+fn beta_tree_of_real_computation_is_correct_everywhere() {
+    // Claim 4.1 direction: a 01-tree built from a genuine computation has
+    // only correct main nodes.
+    let m = Atm::trivially_rejecting();
+    let enc = Encoding::for_atm(&m);
+    let w = [0usize];
+    // Budget 20 covers two γ-tree levels, so the second ∨-configuration
+    // (the reject) gets expanded and becomes decodable.
+    let beta = build_beta(&m, &enc, &w, 0, 20);
+    for &(main, _, _) in &beta.mains {
+        assert!(
+            correct::properly_branching(&beta.tree, main, enc.d())
+                || beta.tree.child_count(main) == 0,
+            "main {main} not properly branching"
+        );
+    }
+    // And the rejecting machine's tree contains a reject main.
+    assert!(beta
+        .mains
+        .iter()
+        .any(|&(v, _, _)| correct::is_reject_main(&beta.tree, v, &m, &enc)));
+}
+
+#[test]
+fn corrupting_a_configuration_is_detected() {
+    // Claim 4.1 other direction (spot check): re-attaching the initial
+    // configuration below a main node breaks proper computation, and the
+    // Step circuit family sees it.
+    let m = Atm::trivially_rejecting();
+    let enc = Encoding::for_atm(&m);
+    let w = [0usize];
+    let mut beta = build_beta(&m, &enc, &w, 0, 4);
+    let (root_main, c, _) = beta.mains[0].clone();
+    let (m0, m1) = correct::successor_mains(&beta.tree, root_main);
+    for nm in [m0.unwrap(), m1.unwrap()] {
+        monadic_sirups::atm::trees::attach_gamma(&mut beta.tree, nm, &enc.encode(&c, false));
+    }
+    assert!(!correct::properly_computing(&beta.tree, root_main, &m, &enc));
+    let phi = families::step(&m, &enc);
+    assert!(phi.satisfied_somewhere_at(&beta.tree, root_main));
+}
+
+#[test]
+fn all_circuit_families_instantiate_for_a_real_machine() {
+    let m = Atm::first_symbol_machine();
+    let enc = Encoding::for_atm(&m);
+    let d = enc.d();
+    assert!(families::good(d).formula.gate_count() > 0);
+    assert!(families::reject(&m, &enc).formula.gate_count() > 0);
+    assert!(families::init(&m, &enc, &[1]).formula.gate_count() > 0);
+    assert!(families::step(&m, &enc).formula.gate_count() > 0);
+    let mut must = 0;
+    let mut nob = 0;
+    for k in 4..=(4 * d + 11) as usize {
+        if families::must_branch(k, d).is_some() {
+            must += 1;
+        }
+        if families::no_branch_both(k, d).is_some() {
+            nob += 1;
+        }
+    }
+    assert!(must > 0);
+    assert!(nob > 0);
+}
