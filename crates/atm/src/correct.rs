@@ -163,7 +163,14 @@ fn decode_level(
         let pre = follow_stretch(node)?;
         for b in [false, true] {
             let child = tree.children[pre][b as usize]?;
-            decode_level(tree, child, level + 1, levels, index << 1 | b as usize, bits)?;
+            decode_level(
+                tree,
+                child,
+                level + 1,
+                levels,
+                index << 1 | b as usize,
+                bits,
+            )?;
         }
         Some(())
     }
@@ -171,12 +178,7 @@ fn decode_level(
 
 /// Decode the configuration represented at main node `v`; `None` if `v`
 /// does not root a well-formed `γ_c` encoding a valid configuration.
-pub fn decoded_config(
-    tree: &BinTree,
-    v: usize,
-    m: &Atm,
-    enc: &Encoding,
-) -> Option<(Config, bool)> {
+pub fn decoded_config(tree: &BinTree, v: usize, m: &Atm, enc: &Encoding) -> Option<(Config, bool)> {
     enc.decode(m, &decode_gamma_bits(tree, v, enc)?)
 }
 

@@ -378,7 +378,7 @@ mod tests {
         let bits = vec![false; enc.total_bits()];
         assert!(enc.decode(&m, &bits).is_none());
         // Wrong length.
-        assert!(enc.decode(&m, &vec![false; 3]).is_none());
+        assert!(enc.decode(&m, &[false; 3]).is_none());
     }
 
     #[test]

@@ -37,10 +37,7 @@ fn lambda_cq(k: usize, len: usize) -> OneCq {
 fn trichotomy_decider(c: &mut Criterion) {
     let mut g = c.benchmark_group("trichotomy_decider");
     bench_opts(&mut g);
-    for (name, q) in [
-        ("q4", paper::q4()),
-        ("q5", paper::q5().structure().clone()),
-    ] {
+    for (name, q) in [("q4", paper::q4()), ("q5", paper::q5().structure().clone())] {
         g.bench_function(name, |b| {
             b.iter(|| classify_trichotomy(&q));
         });

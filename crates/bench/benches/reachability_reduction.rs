@@ -13,9 +13,7 @@ use sirup_core::program::DSirup;
 use sirup_engine::disjunctive::certain_answer_dsirup;
 use sirup_workloads::appendix_e::appendix_e_instance;
 use sirup_workloads::paper;
-use sirup_workloads::reach::{
-    dag_reduction_instance, undirected_reduction_instance, Digraph,
-};
+use sirup_workloads::reach::{dag_reduction_instance, undirected_reduction_instance, Digraph};
 
 fn reachability_reduction(c: &mut Criterion) {
     let mut g = c.benchmark_group("reachability_reduction");

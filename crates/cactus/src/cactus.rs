@@ -92,6 +92,7 @@ impl Cactus {
         let q = &c.q;
         let y_q = q.solitary_t()[t_index]; // the q-node being budded
         let y = c.segments[seg].map[y_q.index()]; // its cactus node
+
         // Strip T, label A (rule (bud)).
         c.s.remove_label(y, Pred::T);
         c.s.add_label(y, Pred::A);

@@ -230,8 +230,7 @@ fn config_readers(
 /// `q_reject`.
 pub fn reject(m: &Atm, enc: &Encoding) -> TypedFormula {
     let positions: Vec<usize> = (0..enc.n_q).collect();
-    let (mut constraints, digits, inputs, _) =
-        config_readers(&positions, enc.index_levels, 0, 0);
+    let (mut constraints, digits, inputs, _) = config_readers(&positions, enc.index_levels, 0, 0);
     for (j, &dv) in digits.iter().enumerate() {
         let bit = m.reject >> (enc.n_q - 1 - j) & 1 == 1;
         constraints.push(Formula::lit(dv, bit));
@@ -291,8 +290,7 @@ pub fn step(m: &Atm, enc: &Encoding) -> TypedFormula {
     // Groups 0..n_q: state bits of c (downpaths from the tested main).
     let mut inputs = Vec::new();
     let positions: Vec<usize> = (0..enc.n_q).collect();
-    let (mut constraints, c_digits, c_inputs, mut var) =
-        config_readers(&positions, levels, 0, 0);
+    let (mut constraints, c_digits, c_inputs, mut var) = config_readers(&positions, levels, 0, 0);
     inputs.extend(c_inputs);
     // Successor states: reached via the chain 0,0,1,z' then the γ-path.
     // Each successor group reads 4 + 4(L+1) bits.
@@ -308,10 +306,7 @@ pub fn step(m: &Atm, enc: &Encoding) -> TypedFormula {
             let chain = [Some(false), Some(false), Some(true), Some(which == 1)];
             let (gpat, digit_at) = gamma_path_pattern(j, levels);
             for (stepi, b) in chain.iter().chain(gpat.iter()).enumerate() {
-                inputs.push(InputSource::Down {
-                    group,
-                    pos: stepi,
-                });
+                inputs.push(InputSource::Down { group, pos: stepi });
                 if let Some(bit) = b {
                     constraints.push(Formula::lit(base + stepi, *bit));
                 }
@@ -374,8 +369,7 @@ pub fn step(m: &Atm, enc: &Encoding) -> TypedFormula {
                             m.delta[q][v][z]
                         };
                         (0..m.alphabet).any(|u| {
-                            m.delta[a.state][u][0].state == q0
-                                && m.delta[a.state][u][1].state == q1
+                            m.delta[a.state][u][0].state == q0 && m.delta[a.state][u][1].state == q1
                         })
                     });
                     if !possible {
@@ -556,7 +550,9 @@ mod tests {
         for nm in [m0.unwrap(), m1.unwrap()] {
             sirup_atm::trees::attach_gamma(&mut beta.tree, nm, &enc.encode(&c, false));
         }
-        assert!(!correct::properly_computing(&beta.tree, root_main, &m, &enc));
+        assert!(!correct::properly_computing(
+            &beta.tree, root_main, &m, &enc
+        ));
         let phi = step(&m, &enc);
         assert!(phi.satisfied_somewhere_at(&beta.tree, root_main));
     }

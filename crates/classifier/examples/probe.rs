@@ -1,9 +1,9 @@
-use std::time::Instant;
 use sirup_classifier::theorem7::reduction_pair;
 use sirup_classifier::DitreeCqAnalysis;
 use sirup_core::program::DSirup;
 use sirup_engine::disjunctive::certain_answer_dsirup_stats;
 use sirup_workloads::reach::{dag_reduction_instance, Digraph};
+use std::time::Instant;
 
 fn main() {
     let q = sirup_workloads::q3();
@@ -14,7 +14,13 @@ fn main() {
         let ti = Instant::now();
         let d = dag_reduction_instance(&q, t, f, &g, 0, 5);
         let (ans, stats) = certain_answer_dsirup_stats(&DSirup::new(q.clone()), &d);
-        println!("seed {seed}: edges={} ans={ans} reach={} branches={} homs={} in {:?}",
-            g.edges.len(), g.reachable(0,5), stats.branches, stats.hom_checks, ti.elapsed());
+        println!(
+            "seed {seed}: edges={} ans={ans} reach={} branches={} homs={} in {:?}",
+            g.edges.len(),
+            g.reachable(0, 5),
+            stats.branches,
+            stats.hom_checks,
+            ti.elapsed()
+        );
     }
 }

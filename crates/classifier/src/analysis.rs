@@ -182,8 +182,7 @@ mod tests {
     fn branches_below_are_cut() {
         // Subtrees below t and f differ, but pruning removes them, so the
         // pair is symmetric.
-        let (q, n) =
-            parse_structure("F(x), R(y,x), R(y,z), T(z), R(x,u), R(u,v), R(z,w)").unwrap();
+        let (q, n) = parse_structure("F(x), R(y,x), R(y,z), T(z), R(x,u), R(u,v), R(z,w)").unwrap();
         let a = DitreeCqAnalysis::new(&q).unwrap();
         let (pruned, _, _) = a.pruned_for_symmetry(n["z"], n["x"]);
         assert_eq!(pruned.node_count(), 3);

@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn bounds_are_ordered_by_strength() {
         assert!(RewritabilityBound::Fo < RewritabilityBound::SymmetricLinearDatalog);
-        assert!(
-            RewritabilityBound::SymmetricLinearDatalog < RewritabilityBound::LinearDatalog
-        );
+        assert!(RewritabilityBound::SymmetricLinearDatalog < RewritabilityBound::LinearDatalog);
         assert!(RewritabilityBound::LinearDatalog < RewritabilityBound::Datalog);
         assert!(RewritabilityBound::Datalog < RewritabilityBound::DisjunctiveDatalog);
     }

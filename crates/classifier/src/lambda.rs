@@ -213,9 +213,7 @@ impl LambdaMachine {
                 }
             }
         }
-        self.blue = (0..n)
-            .map(|v| !self.types[v].is_root() && !w1[v] )
-            .collect();
+        self.blue = (0..n).map(|v| !self.types[v].is_root() && !w1[v]).collect();
     }
 
     /// Build the blow-up of a node/edge set: `nodes[i]` is a type index;
@@ -230,10 +228,7 @@ impl LambdaMachine {
         let focus = self.q.focus();
         for &(pa, j, ch) in edges {
             let y = self.q.solitary_t()[j];
-            b.glue(
-                Node(offsets[ch] + focus.0),
-                Node(offsets[pa] + y.0),
-            );
+            b.glue(Node(offsets[ch] + focus.0), Node(offsets[pa] + y.0));
         }
         let (s, _) = b.finish();
         s
@@ -276,8 +271,7 @@ impl LambdaMachine {
             let mut succ: Vec<Vec<Option<usize>>> = vec![vec![None; self.k]; self.types.len()];
             let mut included = vec![false; self.types.len()];
             included[src] = true;
-            if let Verdict::Witness(w) = self.explore(src, &mut succ, &mut included, &mut count)
-            {
+            if let Verdict::Witness(w) = self.explore(src, &mut succ, &mut included, &mut count) {
                 return Some(*w);
             }
         }
@@ -315,8 +309,7 @@ impl LambdaMachine {
             return if self.discharged(src, succ, included) {
                 Verdict::AllDischarged
             } else {
-                let nodes: Vec<usize> =
-                    (0..self.types.len()).filter(|&v| included[v]).collect();
+                let nodes: Vec<usize> = (0..self.types.len()).filter(|&v| included[v]).collect();
                 let index_of = |v: usize| nodes.iter().position(|&x| x == v).unwrap();
                 let succ_ref: &[Vec<Option<usize>>] = succ;
                 let edges: Vec<(usize, usize, usize)> = nodes
@@ -350,19 +343,13 @@ impl LambdaMachine {
     }
 
     /// Is the completed realisable subgraph discharged (FO-side)?
-    fn discharged(
-        &self,
-        src: usize,
-        succ: &[Vec<Option<usize>>],
-        included: &[bool],
-    ) -> bool {
+    fn discharged(&self, src: usize, succ: &[Vec<Option<usize>>], included: &[bool]) -> bool {
         let nodes: Vec<usize> = (0..self.types.len()).filter(|&v| included[v]).collect();
         let index_of = |v: usize| nodes.iter().position(|&x| x == v).unwrap();
         let edges: Vec<(usize, usize, usize)> = nodes
             .iter()
             .flat_map(|&v| {
-                bits(self.types[v].c, self.k)
-                    .filter_map(move |j| succ[v][j].map(|u| (v, j, u)))
+                bits(self.types[v].c, self.k).filter_map(move |j| succ[v][j].map(|u| (v, j, u)))
             })
             .map(|(v, j, u)| (index_of(v), j, index_of(u)))
             .collect();
@@ -375,8 +362,7 @@ impl LambdaMachine {
         for m in 0..n {
             for a in 0..n {
                 if reach[a][m] {
-                    let via: Vec<usize> =
-                        (0..n).filter(|&b| reach[m][b]).collect();
+                    let via: Vec<usize> = (0..n).filter(|&b| reach[m][b]).collect();
                     for b in via {
                         reach[a][b] = true;
                     }
@@ -427,11 +413,7 @@ impl LambdaMachine {
             .map(|&(a, j, b)| (p_index(a), j, p_index(b)))
             .collect();
         let p_blow = self.blow_up(&p_nodes, &p_edges);
-        if self
-            .root_segments
-            .iter()
-            .any(|rs| hom_exists(rs, &p_blow))
-        {
+        if self.root_segments.iter().any(|rs| hom_exists(rs, &p_blow)) {
             return true;
         }
         false
@@ -550,7 +532,9 @@ mod tests {
     #[allow(clippy::needless_range_loop)]
     fn q4_witness_has_a_cycle_through_the_periodic_type() {
         let m = LambdaMachine::new(&q4()).unwrap();
-        let w = m.find_witness().expect("q4 is L-hard, a witness must exist");
+        let w = m
+            .find_witness()
+            .expect("q4 is L-hard, a witness must exist");
         assert!(w.nodes[w.source].is_root());
         // Some node lies on a cycle (the periodic part is non-empty).
         let n = w.nodes.len();

@@ -18,8 +18,8 @@
 //!   the span).
 
 pub mod analysis;
-pub mod items22;
 pub mod delta_plus;
+pub mod items22;
 pub mod lambda;
 pub mod paths;
 pub mod theorem7;

@@ -58,13 +58,10 @@ pub fn reduction_pair(a: &DitreeCqAnalysis) -> Option<(Node, Node)> {
                     continue;
                 }
                 let (top, bot) = if a.tree.le(t, f) { (t, f) } else { (f, t) };
-                let clean = a
-                    .q
-                    .nodes()
-                    .filter(|&v| a.tree.lt(top, v) && a.tree.lt(v, bot))
-                    .all(|v| {
-                        !(a.solitary_t.contains(&v) || a.solitary_f.contains(&v))
-                    });
+                let clean =
+                    a.q.nodes()
+                        .filter(|&v| a.tree.lt(top, v) && a.tree.lt(v, bot))
+                        .all(|v| !(a.solitary_t.contains(&v) || a.solitary_f.contains(&v)));
                 if clean {
                     return Some((t, f));
                 }

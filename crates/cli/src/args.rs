@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn flags_with_values_and_booleans() {
-        let a =
-            parse_args(["bound", "F(x)", "--max-d", "3", "--sigma", "--cap", "100"]).unwrap();
+        let a = parse_args(["bound", "F(x)", "--max-d", "3", "--sigma", "--cap", "100"]).unwrap();
         assert_eq!(a.flag("max-d"), Some("3"));
         assert_eq!(a.flag("cap"), Some("100"));
         assert!(a.flag_bool("sigma"));
@@ -133,7 +132,10 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(parse_args(Vec::<String>::new()).unwrap_err(), ArgsError::NoCommand);
+        assert_eq!(
+            parse_args(Vec::<String>::new()).unwrap_err(),
+            ArgsError::NoCommand
+        );
         assert_eq!(
             parse_args(["x", "--k", "1", "--k", "2"]).unwrap_err(),
             ArgsError::DuplicateFlag("k".into())

@@ -4,8 +4,8 @@
 use crate::args::Args;
 use crate::dot::{skeleton_to_dot, structure_to_dot};
 use sirup_cactus::{
-    enumerate_cactuses, find_bound, is_focused_up_to, pi_rewriting, sigma_rewriting,
-    BoundSearch, Boundedness, Cactus,
+    enumerate_cactuses, find_bound, is_focused_up_to, pi_rewriting, sigma_rewriting, BoundSearch,
+    Boundedness, Cactus,
 };
 use sirup_classifier::{
     classify_delta_plus, classify_path_dsirup, classify_trichotomy, lambda_fo_rewritable,
@@ -189,7 +189,11 @@ fn cmd_classify(args: &Args) -> Result<String, CliError> {
                 "not a ditree CQ with ≥1 solitary F and ≥1 solitary T; the §4 deciders need one"
             )
             .unwrap();
-            writeln!(out, "(§3 applies to dag CQs, but deciding those is 2ExpTime-hard)").unwrap();
+            writeln!(
+                out,
+                "(§3 applies to dag CQs, but deciding those is 2ExpTime-hard)"
+            )
+            .unwrap();
         }
         Some(a) => {
             writeln!(out, "quasi-symmetric    : {}", a.is_quasi_symmetric()).unwrap();
@@ -218,10 +222,18 @@ fn cmd_bound(args: &Args) -> Result<String, CliError> {
     let q = one_cq_arg(args)?;
     let params = bound_params(args)?;
     let mut out = String::new();
-    let query_name = if params.sigma { "(Σ_q, P)" } else { "(Π_q, G)" };
+    let query_name = if params.sigma {
+        "(Σ_q, P)"
+    } else {
+        "(Π_q, G)"
+    };
     match is_focused_up_to(&q, params.horizon.min(3), params.cap) {
-        Some(focused) => writeln!(out, "(foc) up to depth {}: {focused}", params.horizon.min(3))
-            .unwrap(),
+        Some(focused) => writeln!(
+            out,
+            "(foc) up to depth {}: {focused}",
+            params.horizon.min(3)
+        )
+        .unwrap(),
         None => writeln!(out, "(foc): inconclusive (cap hit)").unwrap(),
     }
     match find_bound(&q, params) {
@@ -323,7 +335,11 @@ fn cmd_cactus(args: &Args) -> Result<String, CliError> {
         out,
         "cactuses of depth ≤ {depth}: {}{}",
         cs.len(),
-        if complete { "" } else { " (cap hit, incomplete)" }
+        if complete {
+            ""
+        } else {
+            " (cap hit, incomplete)"
+        }
     )
     .unwrap();
     for d in 0..=depth {
@@ -389,7 +405,11 @@ fn cmd_zoo() -> String {
         ("q2", paper::q2(), "P-complete"),
         ("q3", paper::q3(), "NL-complete"),
         ("q4", paper::q4(), "L-complete"),
-        ("q5", paper::q5().structure().clone(), "in AC0 (FO-rewritable)"),
+        (
+            "q5",
+            paper::q5().structure().clone(),
+            "in AC0 (FO-rewritable)",
+        ),
     ];
     for (name, s, paper_class) in entries {
         writeln!(out, "\n{name} [{paper_class}]: {s}").unwrap();
@@ -485,15 +505,29 @@ mod tests {
 
     #[test]
     fn bound_detects_unbounded_chain() {
-        let out = run_line(&["bound", "F(x), R(x,y), T(y)", "--max-d", "1", "--horizon", "3"])
-            .unwrap();
+        let out = run_line(&[
+            "bound",
+            "F(x), R(x,y), T(y)",
+            "--max-d",
+            "1",
+            "--horizon",
+            "3",
+        ])
+        .unwrap();
         assert!(out.contains("UNBOUNDED evidence"), "{out}");
     }
 
     #[test]
     fn bound_flag_validation() {
         assert!(matches!(
-            run_line(&["bound", "F(x), R(x,y), T(y)", "--max-d", "3", "--horizon", "2"]),
+            run_line(&[
+                "bound",
+                "F(x), R(x,y), T(y)",
+                "--max-d",
+                "3",
+                "--horizon",
+                "2"
+            ]),
             Err(CliError::BadFlag(_))
         ));
     }

@@ -34,13 +34,7 @@ pub fn structure_to_dot(s: &Structure, name: &str) -> String {
         } else {
             ""
         };
-        writeln!(
-            out,
-            "  n{} [label=\"{}\"{shape_attr}];",
-            v.0,
-            esc(&label)
-        )
-        .unwrap();
+        writeln!(out, "  n{} [label=\"{}\"{shape_attr}];", v.0, esc(&label)).unwrap();
     }
     for (p, u, v) in s.edges() {
         let pname = p.name();

@@ -157,6 +157,19 @@ impl OneCq {
     }
 }
 
+impl fmt::Display for OneCq {
+    /// Renders the underlying structure's atom list. [`OneCq::parse`]
+    /// accepts this output, so display/parse round-trips up to isomorphism
+    /// for CQs whose every node occurs in some atom (node names are
+    /// regenerated — the contract for CQs, which are defined up to variable
+    /// renaming). Isolated unlabelled nodes are not representable in the
+    /// atom-list format and are dropped, as with
+    /// [`crate::parse::to_text`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.q.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

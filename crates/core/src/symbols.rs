@@ -7,9 +7,9 @@
 //! with stable ids.
 
 use crate::fx::FxHashMap;
-use parking_lot::RwLock;
 use std::fmt;
 use std::sync::OnceLock;
+use std::sync::RwLock;
 
 /// An interned predicate symbol.
 ///
@@ -43,12 +43,12 @@ impl Pred {
     /// Intern `name`, returning the existing id if already interned.
     pub fn new(name: &str) -> Pred {
         {
-            let t = table().read();
+            let t = table().read().unwrap();
             if let Some(&id) = t.index.get(name) {
                 return Pred(id);
             }
         }
-        let mut t = table().write();
+        let mut t = table().write().unwrap();
         if let Some(&id) = t.index.get(name) {
             return Pred(id);
         }
@@ -60,7 +60,7 @@ impl Pred {
 
     /// The interned name.
     pub fn name(self) -> String {
-        table().read().names[self.0 as usize].clone()
+        table().read().unwrap().names[self.0 as usize].clone()
     }
 
     /// The unary predicate `F` (“false” label).

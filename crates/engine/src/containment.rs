@@ -30,10 +30,7 @@ pub fn unary_cq_contained_in(a: &Structure, x: Node, b: &Structure, y: Node) -> 
 /// Boolean/unary mix the way [`Ucq::eval_at`] does: a Boolean disjunct
 /// answers every node, so a unary disjunct is contained in a Boolean one
 /// iff it is contained in its Boolean part).
-fn disjunct_contained(
-    a: &(Structure, Option<Node>),
-    b: &(Structure, Option<Node>),
-) -> bool {
+fn disjunct_contained(a: &(Structure, Option<Node>), b: &(Structure, Option<Node>)) -> bool {
     match (a.1, b.1) {
         (None, None) => cq_contained_in(&a.0, &b.0),
         (Some(x), Some(y)) => unary_cq_contained_in(&a.0, x, &b.0, y),
@@ -143,11 +140,7 @@ mod tests {
     #[test]
     fn minimise_drops_subsumed_disjuncts() {
         // The general R(x,y) subsumes both specific disjuncts.
-        let u = Ucq::boolean([
-            st("F(x), R(x,y), T(y)"),
-            st("R(x,y)"),
-            st("R(x,y), R(y,z)"),
-        ]);
+        let u = Ucq::boolean([st("F(x), R(x,y), T(y)"), st("R(x,y)"), st("R(x,y), R(y,z)")]);
         let m = minimise_ucq(&u);
         assert_eq!(m.len(), 1);
         assert!(ucq_equivalent(&u, &m));
@@ -176,9 +169,7 @@ mod tests {
         // q5's cactuses: C2 contains a hom image of C1, so C0 ∨ C1 ∨ C2
         // minimises to C0 ∨ C1 — the paper's Example 4 statement.
         use sirup_core::OneCq;
-        let q5 = OneCq::parse(
-            "T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)",
-        );
+        let q5 = OneCq::parse("T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)");
         // Local budding to avoid a dev-dependency cycle with sirup-cactus:
         // C_{k+1} = bud the single solitary T of C_k.
         fn bud_once(q: &OneCq, c: &Structure, t_nodes: &mut Vec<Node>) -> Structure {

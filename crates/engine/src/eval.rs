@@ -99,9 +99,7 @@ pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
         for (rule, (pattern, head_term)) in program.rules.iter().zip(&patterns) {
             if rule.head.args.is_empty() {
                 // Nullary head: derive once.
-                if !nullary.contains(&rule.head.pred)
-                    && HomFinder::new(pattern, &work).exists()
-                {
+                if !nullary.contains(&rule.head.pred) && HomFinder::new(pattern, &work).exists() {
                     nullary.push(rule.head.pred);
                     changed = true;
                 }
@@ -111,10 +109,7 @@ pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
                 // Candidates not yet carrying p.
                 let cands: Vec<Node> = work.nodes().filter(|&a| !work.has_label(a, p)).collect();
                 for a in cands {
-                    if HomFinder::new(pattern, &work)
-                        .fix(head_node, a)
-                        .exists()
-                    {
+                    if HomFinder::new(pattern, &work).fix(head_node, a).exists() {
                         work.add_label(a, p);
                         changed = true;
                     }
@@ -194,8 +189,7 @@ mod tests {
 
     #[test]
     fn sigma_certain_answers() {
-        let (d, n) =
-            parse_structure("A(a), R(m,a), R(m,z), T(z), A(b), R(k,b), R(k,a)").unwrap();
+        let (d, n) = parse_structure("A(a), R(m,a), R(m,z), T(z), A(b), R(k,b), R(k,a)").unwrap();
         let sig = sigma_q(&q4());
         let answers = certain_answers_unary(&sig, &d);
         // P(z) via rule 6; P(a) via rule 7 using P(z); P(b) via rule 7 using P(a).
@@ -249,9 +243,7 @@ mod tests {
         let no = st("F(f), R(f,u), T(u), S(f,v)");
         assert!(!certain_answer_goal(&pi, &no));
         // One level of budding on the S-branch.
-        let deep = st(
-            "F(f), R(f,u), T(u), S(f,a), A(a), R(a,u1), T(u1), S(a,u2), T(u2)",
-        );
+        let deep = st("F(f), R(f,u), T(u), S(f,a), A(a), R(a,u1), T(u1), S(a,u2), T(u2)");
         assert!(certain_answer_goal(&pi, &deep));
     }
 

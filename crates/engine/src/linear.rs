@@ -296,11 +296,9 @@ pub fn symmetric_closure_eval(program: &Program, data: &Structure, goal: Pred) -
 /// quasi-symmetric CQs this holds over the Appendix G reduction instances.
 pub fn fact_graph_is_symmetric(program: &Program, data: &Structure) -> bool {
     let ev = LinearEvaluator::new(program, data);
-    ev.edges.iter().all(|e| {
-        ev.edges
-            .iter()
-            .any(|r| r.from == e.to && r.to == e.from)
-    })
+    ev.edges
+        .iter()
+        .all(|e| ev.edges.iter().any(|r| r.from == e.to && r.to == e.from))
 }
 
 /// Convenience: evaluate a linear program and cross-check against the

@@ -137,9 +137,7 @@ impl Fo {
         match self {
             Fo::Top | Fo::Bottom | Fo::Unary(..) | Fo::Binary(..) | Fo::Eq(..) => 0,
             Fo::Not(a) => a.quantifier_rank(),
-            Fo::And(xs) | Fo::Or(xs) => {
-                xs.iter().map(Fo::quantifier_rank).max().unwrap_or(0)
-            }
+            Fo::And(xs) | Fo::Or(xs) => xs.iter().map(Fo::quantifier_rank).max().unwrap_or(0),
             Fo::Exists(_, a) | Fo::Forall(_, a) => 1 + a.quantifier_rank(),
         }
     }

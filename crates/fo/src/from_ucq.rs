@@ -208,8 +208,7 @@ mod tests {
         assert_eq!(phi.free_vars(), vec![Var(0)]);
         // The formula has 2 bound variables (x, y shifted), rank 2.
         assert_eq!(phi.quantifier_rank(), 2);
-        let (d, dn) =
-            parse_structure("R(u,m), R(m,v), F(u), T(v), A(m), A(lone)").unwrap();
+        let (d, dn) = parse_structure("R(u,m), R(m,v), F(u), T(v), A(m), A(lone)").unwrap();
         assert!(phi.eval_at(&d, dn["m"]));
         assert!(!phi.eval_at(&d, dn["lone"]));
     }

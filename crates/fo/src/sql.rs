@@ -72,15 +72,13 @@ fn compile_cq(s: &Structure) -> CompiledCq {
     let mut conditions = Vec::new();
     let mut binding: Vec<Option<String>> = vec![None; s.node_count()];
     let mut alias = 0usize;
-    let bind = |v: Node,
-                    col: String,
-                    binding: &mut Vec<Option<String>>,
-                    conditions: &mut Vec<String>| {
-        match &binding[v.index()] {
-            None => binding[v.index()] = Some(col),
-            Some(prev) => conditions.push(format!("{prev} = {col}")),
-        }
-    };
+    let bind =
+        |v: Node, col: String, binding: &mut Vec<Option<String>>, conditions: &mut Vec<String>| {
+            match &binding[v.index()] {
+                None => binding[v.index()] = Some(col),
+                Some(prev) => conditions.push(format!("{prev} = {col}")),
+            }
+        };
     for (p, v) in s.unary_atoms() {
         let t = format!("t{alias}");
         alias += 1;

@@ -212,10 +212,21 @@ mod tests {
         let atom_t = Fo::Unary(Pred::T, Var(1));
         let edge = Fo::Binary(Pred::R, Var(0), Var(1));
         vec![
-            Fo::exists_all([Var(0), Var(1)], atom_f.clone().and(edge.clone()).and(atom_t.clone())),
-            Fo::forall(Var(0), Fo::Unary(Pred::A, Var(0)).negate().or(Fo::exists(Var(1), edge.clone()))),
+            Fo::exists_all(
+                [Var(0), Var(1)],
+                atom_f.clone().and(edge.clone()).and(atom_t.clone()),
+            ),
+            Fo::forall(
+                Var(0),
+                Fo::Unary(Pred::A, Var(0))
+                    .negate()
+                    .or(Fo::exists(Var(1), edge.clone())),
+            ),
             Fo::exists(Var(0), atom_f.clone().negate()).negate(),
-            Fo::forall(Var(0), Fo::exists(Var(1), edge.clone().or(Fo::Eq(Var(0), Var(1))))),
+            Fo::forall(
+                Var(0),
+                Fo::exists(Var(1), edge.clone().or(Fo::Eq(Var(0), Var(1)))),
+            ),
             Fo::exists(Var(0), Fo::And(vec![]).and(atom_f.clone())),
             Fo::exists(Var(0), Fo::Or(vec![]).or(atom_f)),
         ]
@@ -227,7 +238,11 @@ mod tests {
             let n = to_nnf(&phi);
             assert!(is_nnf(&n), "not NNF: {n}");
             for d in instances() {
-                assert_eq!(phi.eval_sentence(&d), n.eval_sentence(&d), "{phi} vs {n} on {d}");
+                assert_eq!(
+                    phi.eval_sentence(&d),
+                    n.eval_sentence(&d),
+                    "{phi} vs {n} on {d}"
+                );
             }
         }
     }
@@ -237,7 +252,11 @@ mod tests {
         for phi in sample_sentences() {
             let s = simplify(&phi);
             for d in instances() {
-                assert_eq!(phi.eval_sentence(&d), s.eval_sentence(&d), "{phi} vs {s} on {d}");
+                assert_eq!(
+                    phi.eval_sentence(&d),
+                    s.eval_sentence(&d),
+                    "{phi} vs {s} on {d}"
+                );
             }
         }
     }
@@ -276,7 +295,11 @@ mod tests {
             assert_eq!(matrix.quantifier_rank(), 0, "matrix not quantifier-free");
             let p = from_prenex(&prefix, matrix);
             for d in instances() {
-                assert_eq!(phi.eval_sentence(&d), p.eval_sentence(&d), "{phi} vs {p} on {d}");
+                assert_eq!(
+                    phi.eval_sentence(&d),
+                    p.eval_sentence(&d),
+                    "{phi} vs {p} on {d}"
+                );
             }
         }
     }

@@ -145,7 +145,7 @@ mod tests {
         // so checking agreement against direct embedding must pass.
         let q = bounded_cq();
         let rewriting = Ucq::boolean([q.structure().clone()]);
-        let fam = vec![st("F(x), R(x,y), T(y)"), family()[1].clone()];
+        let fam = [st("F(x), R(x,y), T(y)"), family()[1].clone()];
         let n = verify_boolean_rewriting(
             &rewriting,
             |d| sirup_hom::hom_exists(q.structure(), d),
@@ -163,16 +163,12 @@ mod tests {
         let rewriting = Ucq::boolean([q.structure().clone()]);
         let pi = pi_q(&q);
         // A depth-1 cactus: engine says yes, depth-0 rewriting says no.
-        let fam = vec![
+        let fam = [
             st("F(f), R(m,f), R(m,t), T(t)"),
             st("F(f), R(m1,f), R(m1,a), A(a), R(m2,a), R(m2,t), T(t)"),
         ];
-        let err = verify_boolean_rewriting(
-            &rewriting,
-            |d| certain_answer_goal(&pi, d),
-            fam.iter(),
-        )
-        .unwrap_err();
+        let err = verify_boolean_rewriting(&rewriting, |d| certain_answer_goal(&pi, d), fam.iter())
+            .unwrap_err();
         assert_eq!(err.instance_index, 1);
         assert!(err.reference);
         assert!(!err.rewriting);
@@ -257,9 +253,8 @@ mod tests {
     fn disagreement_display_mentions_instance() {
         let q = st("T(x)");
         let rewriting = Ucq::boolean([q]);
-        let fam = vec![st("F(a)")];
-        let err =
-            verify_boolean_rewriting(&rewriting, |_| true, fam.iter()).unwrap_err();
+        let fam = [st("F(a)")];
+        let err = verify_boolean_rewriting(&rewriting, |_| true, fam.iter()).unwrap_err();
         let text = format!("{err}");
         assert!(text.contains("instance #0"));
         assert!(text.contains("reference says true"));

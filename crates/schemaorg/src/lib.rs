@@ -121,7 +121,10 @@ mod tests {
         let d = st("T(s), R(s,a), A(a), R(a,b), A(b), R(b,t), F(t)");
         assert!(certain_answer_dsirup(&DSirup::new(q.clone()), &d));
         let dp = to_schemaorg_instance(&d);
-        assert!(certain_answer_schemaorg(&SchemaOrgQuery::new(q.clone()), &dp));
+        assert!(certain_answer_schemaorg(
+            &SchemaOrgQuery::new(q.clone()),
+            &dp
+        ));
         // And negative instances stay negative.
         let d2 = st("T(s), R(s,a), A(a), R(a,b), A(b), R(b,t)");
         let dp2 = to_schemaorg_instance(&d2);

@@ -4,9 +4,28 @@ use sirup_workloads::paper;
 
 fn report(name: &str, q: &sirup_core::OneCq, horizon: u32) {
     let foc = is_focused_up_to(q, 2, 100_000);
-    let pi = find_bound(q, BoundSearch { max_d: 2, horizon, cap: 100_000, sigma: false });
-    let sig = find_bound(q, BoundSearch { max_d: 2, horizon, cap: 100_000, sigma: true });
-    println!("{name}: span={} focused={foc:?} pi={pi:?} sigma={sig:?}", q.span());
+    let pi = find_bound(
+        q,
+        BoundSearch {
+            max_d: 2,
+            horizon,
+            cap: 100_000,
+            sigma: false,
+        },
+    );
+    let sig = find_bound(
+        q,
+        BoundSearch {
+            max_d: 2,
+            horizon,
+            cap: 100_000,
+            sigma: true,
+        },
+    );
+    println!(
+        "{name}: span={} focused={foc:?} pi={pi:?} sigma={sig:?}",
+        q.span()
+    );
 }
 
 fn main() {

@@ -127,10 +127,8 @@ pub fn q8() -> OneCq {
 /// `f1 → f2 → a1 → a2 → t5 → t6` plus the chord `a1 → t6`, with
 /// `F(f1), F(f2), A(a1), A(a2), T(t5), T(t6)`.
 pub fn d1() -> Structure {
-    st(
-        "F(f1), F(f2), A(a1), A(a2), T(t5), T(t6), \
-         R(f1,f2), R(f2,a1), R(a1,a2), R(a2,t5), R(t5,t6), R(a1,t6)",
-    )
+    st("F(f1), F(f2), A(a1), A(a2), T(t5), T(t6), \
+         R(f1,f2), R(f2,a1), R(a1,a2), R(a2,t5), R(t5,t6), R(a1,t6)")
 }
 
 /// `D2` (Examples 2 and 3): the depth-1 cactus of `q2` obtained by budding

@@ -10,7 +10,6 @@ use monadic_sirups::classifier::{
 use monadic_sirups::core::Structure;
 use monadic_sirups::workloads as paper;
 
-
 fn row(name: &str, q: &Structure, paper_class: &str) {
     let tri = classify_trichotomy(q);
     let analysis = DitreeCqAnalysis::new(q);

@@ -40,8 +40,16 @@ fn report(name: &str, m: &Atm, w: &[usize]) {
 }
 
 fn main() {
-    report("M_reject (rejects everything)", &Atm::trivially_rejecting(), &[0]);
-    report("M_accept (accepts everything)", &Atm::trivially_accepting(), &[0]);
+    report(
+        "M_reject (rejects everything)",
+        &Atm::trivially_rejecting(),
+        &[0],
+    );
+    report(
+        "M_accept (accepts everything)",
+        &Atm::trivially_accepting(),
+        &[0],
+    );
     report(
         "M_first (accepts iff w starts with 1)",
         &Atm::first_symbol_machine(),

@@ -28,7 +28,10 @@ fn main() {
     // Evaluate over a small instance with one A-node.
     let d = st("F(f), R(m1,f), R(m1,a), A(a), R(m2,a), R(m2,t), T(t)");
     println!("\ndata D = {d}");
-    println!("Π_q certain answer over D: {}", certain_answer_goal(&pi, &d));
+    println!(
+        "Π_q certain answer over D: {}",
+        certain_answer_goal(&pi, &d)
+    );
     println!(
         "Δ_q certain answer over D: {}",
         certain_answer_dsirup(&DSirup::new(q.structure().clone()), &d)

@@ -8,8 +8,8 @@ use monadic_sirups::classifier::theorem7::reduction_pair;
 use monadic_sirups::classifier::DitreeCqAnalysis;
 use monadic_sirups::core::program::DSirup;
 use monadic_sirups::engine::disjunctive::certain_answer_dsirup;
-use monadic_sirups::workloads::reach::{dag_reduction_instance, Digraph};
 use monadic_sirups::workloads::q3;
+use monadic_sirups::workloads::reach::{dag_reduction_instance, Digraph};
 
 fn main() {
     // q3 (Example 1, NL-complete) satisfies Theorem 7 (i): its solitary

@@ -17,7 +17,11 @@ fn main() {
     // q5 is bounded with depth 1: the rewriting is C0 ∨ C1.
     let q5 = paper::q5();
     let r = pi_rewriting(&q5, 1, 1000).unwrap();
-    println!("q5 Π-rewriting: {} disjuncts, {} atoms total", r.len(), r.size());
+    println!(
+        "q5 Π-rewriting: {} disjuncts, {} atoms total",
+        r.len(),
+        r.size()
+    );
     let s = sigma_rewriting(&q5, 1, 1000).unwrap();
     println!("q5 Σ-rewriting: {} disjuncts (incl. T(r))", s.len());
 

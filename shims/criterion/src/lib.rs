@@ -1,0 +1,331 @@
+//! Offline shim for the subset of the `criterion` crate (0.5 API) used by
+//! this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this minimal wall-clock harness instead of the real statistics engine. It
+//! keeps the criterion *shape* — groups, `BenchmarkId`, `Bencher::iter`,
+//! `sample_size` / `warm_up_time` / `measurement_time` — and measures each
+//! benchmark as `sample_size` samples of auto-calibrated iteration batches,
+//! reporting the per-iteration mean, min and max.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SHIM_MEASURE_MS` — override every group's measurement window
+//!   (useful for a quick smoke baseline);
+//! * `CRITERION_SHIM_JSON` — path to which one JSON line per benchmark is
+//!   appended (`{"id": ..., "mean_ns": ..., ...}`), consumed by
+//!   `BENCH_baseline.json` tooling.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker type standing in for criterion's wall-clock measurement.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier `function_name/parameter` for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name: `&str`, `String`, `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value barrier (best-effort without inline asm).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Settings {
+    fn apply_env(mut self) -> Self {
+        if let Ok(ms) = std::env::var("CRITERION_SHIM_MEASURE_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                self.measurement_time = Duration::from_millis(ms);
+                self.warm_up_time = Duration::from_millis((ms / 4).max(1));
+            }
+        }
+        if let Ok(n) = std::env::var("CRITERION_SHIM_SAMPLES") {
+            if let Ok(n) = n.parse::<usize>() {
+                self.sample_size = n.max(2);
+            }
+        }
+        self
+    }
+}
+
+/// The top-level harness object threaded through `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_benchmark_id();
+        run_benchmark(&name, Settings::default().apply_env(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&name, self.settings.apply_env(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    // Warm-up and calibration: run single iterations until the warm-up
+    // window closes, tracking the observed per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        f(&mut bencher);
+        warm_iters += 1;
+        if warm_start.elapsed() > settings.warm_up_time * 4 {
+            break; // a single iteration dwarfs the window; stop calibrating
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+    // Size each sample so the whole measurement fits the window.
+    let per_sample = settings.measurement_time / settings.sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        bencher.iters = iters_per_sample;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    println!(
+        "bench: {name:<50} mean {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        samples_ns.len(),
+        iters_per_sample,
+    );
+
+    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                mean,
+                min,
+                max,
+                samples_ns.len(),
+                iters_per_sample,
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a function `$name` running each target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups (harness = false entry point).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and test-harness flags) to bench
+            // binaries; this shim takes no arguments and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion;
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "10");
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        let mut hits = 0u64;
+        g.bench_function("count", |b| b.iter(|| hits += 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert!(hits > 0, "benchmark closure never ran");
+    }
+}

@@ -18,9 +18,7 @@ mod e1_zoo {
     fn q3_is_nl_complete() {
         assert_eq!(
             classify_trichotomy(&paper::q3()),
-            Err(monadic_sirups::classifier::trichotomy::TrichotomyError::WrongSolitaryCounts(
-                2, 1
-            ))
+            Err(monadic_sirups::classifier::trichotomy::TrichotomyError::WrongSolitaryCounts(2, 1))
         );
         // q3 has two solitary Ts; Theorem 7 (i) still gives NL-hardness.
         let a = DitreeCqAnalysis::new(&paper::q3()).unwrap();
@@ -448,8 +446,7 @@ mod equivalence_pi_delta {
             for seed in 0..10 {
                 let d = random_instance(7, 14, 0.6, 0.35, 1000 + seed);
                 let via_pi = certain_answer_goal(&pi, &d);
-                let via_delta =
-                    certain_answer_dsirup(&DSirup::new(q.structure().clone()), &d);
+                let via_delta = certain_answer_dsirup(&DSirup::new(q.structure().clone()), &d);
                 assert_eq!(via_pi, via_delta, "{qname} seed {seed}");
             }
         }
@@ -480,7 +477,10 @@ mod c8_delta_plus {
         // Over inconsistent data Δ⁺ entails everything.
         let q = paper::q1();
         let d = monadic_sirups::core::parse::st("T(u), F(u)");
-        assert!(certain_answer_dsirup(&DSirup::with_disjointness(q.clone()), &d));
+        assert!(certain_answer_dsirup(
+            &DSirup::with_disjointness(q.clone()),
+            &d
+        ));
         assert!(!certain_answer_dsirup(&DSirup::new(q), &d));
     }
 }

@@ -56,12 +56,8 @@ fn q5_sigma_rewriting_verifies() {
     let rewriting = sigma_rewriting(&q, 1, 10_000).unwrap();
     let sigma = sigma_q(&q);
     let fam = family(&q, 20..32);
-    verify_unary_rewriting(
-        &rewriting,
-        |i| certain_answers_unary(&sigma, i),
-        fam.iter(),
-    )
-    .expect("q5 is focused and bounded: the Σ-rewriting must verify");
+    verify_unary_rewriting(&rewriting, |i| certain_answers_unary(&sigma, i), fam.iter())
+        .expect("q5 is focused and bounded: the Σ-rewriting must verify");
 }
 
 #[test]
@@ -82,10 +78,9 @@ fn unbounded_q4_rewriting_fails_with_a_cactus_witness() {
     let rewriting = pi_rewriting(&q, 2, 10_000).unwrap();
     let pi = pi_q(&q);
     let deep = monadic_sirups::cactus::enumerate::full_cactus(&q, 4);
-    let fam = vec![deep.structure().clone()];
-    let err =
-        verify_boolean_rewriting(&rewriting, |i| certain_answer_goal(&pi, i), fam.iter())
-            .unwrap_err();
+    let fam = [deep.structure().clone()];
+    let err = verify_boolean_rewriting(&rewriting, |i| certain_answer_goal(&pi, i), fam.iter())
+        .unwrap_err();
     assert!(err.reference, "engine must answer 'yes' on the deep cactus");
     assert!(!err.rewriting, "depth-2 rewriting must miss it");
 }

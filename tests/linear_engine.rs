@@ -99,8 +99,5 @@ fn derivation_rounds_vs_reachability_depth() {
     let lin = LinearEvaluator::new(&sigma, &d);
     assert!(ev.rounds >= 2);
     assert!(lin.derived.contains(&(Pred::P, n["c6"])));
-    assert_eq!(
-        lin.goal_nodes(Pred::P),
-        certain_answers_unary(&sigma, &d)
-    );
+    assert_eq!(lin.goal_nodes(Pred::P), certain_answers_unary(&sigma, &d));
 }

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 /// Strategy: a random small structure with F/T/A labels and R/S edges.
 fn arb_structure(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Structure> {
     (2..=max_nodes).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            ((0..n), (0..n), prop::bool::ANY),
-            0..=max_edges,
-        );
+        let edges = proptest::collection::vec(((0..n), (0..n), prop::bool::ANY), 0..=max_edges);
         let labels = proptest::collection::vec(0..n, 0..=n);
         (edges, labels, proptest::collection::vec(0..n, 0..=n)).prop_map(
             move |(edges, t_labels, f_labels)| {
@@ -93,6 +90,67 @@ proptest! {
         }
         for (p, u, v) in b.edges() {
             prop_assert!(g.has_edge(p, map[(ob + u.0) as usize], map[(ob + v.0) as usize]));
+        }
+    }
+}
+
+mod hom_props {
+    use super::*;
+    use monadic_sirups::core::OneCq;
+    use monadic_sirups::hom::{find_isomorphism, isomorphic};
+    use monadic_sirups::workloads::random::{random_ditree_cq, DitreeCqParams};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Taking the core is idempotent up to isomorphism: the core of a
+        /// core is the core itself (not merely of equal size).
+        #[test]
+        fn core_of_core_idempotent(s in arb_structure(5, 8)) {
+            let (c, _) = core_of(&s);
+            let (cc, _) = core_of(&c);
+            prop_assert!(isomorphic(&c, &cc), "core not idempotent: {c} vs {cc}");
+        }
+
+        /// Hom search is consistent with isomorphism: an explicit
+        /// isomorphism is a valid hom in both directions, isomorphism is
+        /// symmetric, and every structure is isomorphic to itself.
+        #[test]
+        fn hom_search_consistent_with_isomorphism(
+            s in arb_structure(5, 8),
+            t in arb_structure(5, 8),
+        ) {
+            prop_assert!(isomorphic(&s, &s));
+            if let Some(f) = find_isomorphism(&s, &t) {
+                prop_assert!(s.is_hom(&t, &f));
+                prop_assert!(hom_exists(&s, &t));
+                prop_assert!(hom_exists(&t, &s));
+                prop_assert!(isomorphic(&t, &s), "isomorphism must be symmetric");
+            }
+        }
+
+        /// `OneCq::parse` round-trips through `Display` up to isomorphism,
+        /// preserving span and focus labelling.
+        #[test]
+        fn one_cq_parse_display_round_trip(
+            seed in 0u64..10_000,
+            nodes in 3usize..8,
+            solitary_ts in 1usize..3,
+        ) {
+            let params = DitreeCqParams { nodes, solitary_ts, ..Default::default() };
+            let q = random_ditree_cq(params, seed);
+            // Generator misses are discarded (and retried), not counted as
+            // vacuous passes.
+            prop_assume!(q.is_some());
+            let q = q.unwrap();
+            let text = q.to_string();
+            let back = OneCq::parse(&text);
+            prop_assert!(
+                isomorphic(q.structure(), back.structure()),
+                "{q} vs {back}"
+            );
+            prop_assert_eq!(q.span(), back.span());
+            prop_assert_eq!(q.twins().len(), back.twins().len());
         }
     }
 }

@@ -1,9 +1,9 @@
 //! T3 continued — gadget-level checks of the §3.5 construction at a
 //! feasible scale, plus the ATM ↔ 01-tree ↔ circuit pipeline it rests on.
 
+use monadic_sirups::atm::correct;
 use monadic_sirups::atm::machine::Atm;
 use monadic_sirups::atm::trees::{build_beta, Encoding};
-use monadic_sirups::atm::correct;
 use monadic_sirups::cactus::{is_focused_up_to, Cactus};
 use monadic_sirups::circuits::families;
 use monadic_sirups::circuits::formula::Formula;
@@ -145,7 +145,9 @@ fn corrupting_a_configuration_is_detected() {
     for nm in [m0.unwrap(), m1.unwrap()] {
         monadic_sirups::atm::trees::attach_gamma(&mut beta.tree, nm, &enc.encode(&c, false));
     }
-    assert!(!correct::properly_computing(&beta.tree, root_main, &m, &enc));
+    assert!(!correct::properly_computing(
+        &beta.tree, root_main, &m, &enc
+    ));
     let phi = families::step(&m, &enc);
     assert!(phi.satisfied_somewhere_at(&beta.tree, root_main));
 }
