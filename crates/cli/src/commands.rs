@@ -17,6 +17,10 @@ use sirup_core::shape::{is_dag, DitreeView};
 use sirup_core::{OneCq, Structure};
 use sirup_fo::{render_sql, ucq_to_fo, SqlDialect};
 use sirup_schemaorg::SchemaOrgQuery;
+use sirup_server::{PlanOptions, ReplayMode, Server, ServerConfig};
+use sirup_workloads::traffic::{
+    mixed_traffic, parse_workload, render_workload, TrafficParams, TrafficSpec,
+};
 use std::fmt;
 use std::fmt::Write;
 
@@ -31,6 +35,8 @@ pub enum CliError {
     BadInput(String),
     /// A flag value is malformed.
     BadFlag(String),
+    /// A workload file could not be read or parsed, or the service failed.
+    Workload(String),
 }
 
 impl fmt::Display for CliError {
@@ -42,6 +48,7 @@ impl fmt::Display for CliError {
             CliError::MissingArgument(what) => write!(f, "missing argument: {what}"),
             CliError::BadInput(m) => write!(f, "bad input: {m}"),
             CliError::BadFlag(m) => write!(f, "{m}"),
+            CliError::Workload(m) => write!(f, "workload: {m}"),
         }
     }
 }
@@ -60,6 +67,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "dot" => cmd_dot(args),
         "schemaorg" => cmd_schemaorg(args),
         "program" => cmd_program(args),
+        "serve" => cmd_serve(args),
+        "replay" => cmd_replay(args),
         "zoo" => Ok(cmd_zoo()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -85,6 +94,17 @@ COMMANDS
   dot <structure>               Graphviz DOT of a structure
   program <cq>                  print the programs Π_q and Σ_q (rules (5)–(7))
   schemaorg <cq>                the Δ'_q presentation (Prop. 5) in DL-Lite syntax
+  serve [--requests N] [--instances N] [--nodes N] [--edges N] [--gap-us N]
+        [--random-cqs N] [--seed N] [--emit] [SERVICE FLAGS]
+                                generate a mixed workload and run it through the
+                                query service (--emit prints the workload file
+                                instead of running it)
+  replay <file> [SERVICE FLAGS] replay a .sirupload workload file; reports
+                                throughput and p50/p99 latency
+
+  SERVICE FLAGS (serve and replay): --threads N, --shards N, --plan-cache N,
+    --open (pace by arrival offsets), and the plan knobs --max-depth N,
+    --horizon N, --cap N (Prop. 2 rewriting-adoption evidence search)
   zoo                           classify the paper's Example-1 CQs q1…q5
   help                          this text
 
@@ -392,6 +412,93 @@ fn cmd_schemaorg(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
+    let threads = args.flag_usize("threads", 4).map_err(CliError::BadFlag)?;
+    let shards = args.flag_usize("shards", 8).map_err(CliError::BadFlag)?;
+    let plan_cache = args
+        .flag_usize("plan-cache", 64)
+        .map_err(CliError::BadFlag)?;
+    let max_depth = args.flag_u32("max-depth", 1).map_err(CliError::BadFlag)?;
+    let horizon = args
+        .flag_u32("horizon", max_depth + 2)
+        .map_err(CliError::BadFlag)?;
+    let cap = args.flag_usize("cap", 600).map_err(CliError::BadFlag)?;
+    if horizon <= max_depth {
+        return Err(CliError::BadFlag(format!(
+            "--horizon ({horizon}) must exceed --max-depth ({max_depth})"
+        )));
+    }
+    let server = Server::new(ServerConfig {
+        threads,
+        shards,
+        plan_cache,
+        plan: PlanOptions {
+            max_depth,
+            horizon,
+            cap,
+        },
+    });
+    let mode = if args.flag_bool("open") {
+        ReplayMode::Open
+    } else {
+        ReplayMode::Closed
+    };
+    Ok((server, mode))
+}
+
+fn run_spec(spec: &TrafficSpec, args: &Args) -> Result<String, CliError> {
+    let (server, mode) = server_from_flags(args)?;
+    let report = server
+        .replay(spec, mode)
+        .map_err(|e| CliError::Workload(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "workload  : {} instance(s), {} request(s), {} mode",
+        spec.instances.len(),
+        spec.requests.len(),
+        match mode {
+            ReplayMode::Closed => "closed-loop",
+            ReplayMode::Open => "open-loop",
+        }
+    )
+    .unwrap();
+    out.push_str(&report.summary());
+    Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let params = TrafficParams {
+        instances: args.flag_usize("instances", 4).map_err(CliError::BadFlag)?,
+        instance_nodes: args.flag_usize("nodes", 24).map_err(CliError::BadFlag)?,
+        instance_edges: args.flag_usize("edges", 40).map_err(CliError::BadFlag)?,
+        requests: args
+            .flag_usize("requests", 200)
+            .map_err(CliError::BadFlag)?,
+        mean_gap_us: args.flag_u32("gap-us", 150).map_err(CliError::BadFlag)? as u64,
+        random_cqs: args
+            .flag_usize("random-cqs", 3)
+            .map_err(CliError::BadFlag)?,
+    };
+    let seed = args.flag_u32("seed", 1).map_err(CliError::BadFlag)? as u64;
+    let spec = mixed_traffic(params, seed);
+    if args.flag_bool("emit") {
+        return Ok(render_workload(&spec));
+    }
+    run_spec(&spec, args)
+}
+
+fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or(CliError::MissingArgument("a .sirupload workload file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Workload(format!("cannot read {path}: {e}")))?;
+    let spec = parse_workload(&text).map_err(CliError::Workload)?;
+    run_spec(&spec, args)
+}
+
 fn cmd_zoo() -> String {
     use sirup_workloads::paper;
     let mut out = String::new();
@@ -460,10 +567,90 @@ mod tests {
             "dot",
             "program",
             "schemaorg",
+            "serve",
+            "replay",
             "zoo",
         ] {
             assert!(h.contains(c), "help missing {c}");
         }
+    }
+
+    #[test]
+    fn replay_smoke_workload_reports_latency() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/smoke.sirupload"
+        );
+        let out = run_line(&["replay", path, "--threads", "4"]).unwrap();
+        assert!(out.contains("16 request(s)"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        // All three strategy paths fire on the smoke workload.
+        for s in ["rewriting", "semi-naive", "dpll"] {
+            assert!(out.contains(s), "missing strategy {s}: {out}");
+        }
+        // Open-loop mode paces by the arrival offsets and still completes.
+        let open = run_line(&["replay", path, "--open", "true"]).unwrap();
+        assert!(open.contains("open-loop"), "{open}");
+    }
+
+    #[test]
+    fn replay_errors_are_reported() {
+        assert!(matches!(
+            run_line(&["replay", "/nonexistent/x.sirupload"]),
+            Err(CliError::Workload(_))
+        ));
+        assert!(matches!(
+            run_line(&["replay"]),
+            Err(CliError::MissingArgument(_))
+        ));
+    }
+
+    #[test]
+    fn serve_emit_round_trips_and_runs() {
+        let emitted = run_line(&[
+            "serve",
+            "--requests",
+            "12",
+            "--instances",
+            "2",
+            "--emit",
+            "true",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(emitted.starts_with("# sirup workload v1"));
+        assert!(emitted.contains("instance d1 ="));
+        // The emitted text is a valid workload.
+        assert!(sirup_workloads::parse_workload(&emitted).is_ok());
+        let ran = run_line(&[
+            "serve",
+            "--requests",
+            "12",
+            "--instances",
+            "2",
+            "--seed",
+            "5",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(ran.contains("12 request(s)"), "{ran}");
+        assert!(ran.contains("plan cache"), "{ran}");
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(matches!(
+            run_line(&["serve", "--requests", "abc"]),
+            Err(CliError::BadFlag(_))
+        ));
+        assert!(matches!(
+            run_line(&["serve", "--max-depth", "3", "--horizon", "2"]),
+            Err(CliError::BadFlag(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! sirupctl cactus     'F(x), R(y,x), R(y,z), T(z)' --depth 2
 //! sirupctl dot        'F(x), R(x,y), T(y)'
 //! sirupctl schemaorg  'T(x), S(x,y), T(y), R(y,z), F(z)'
+//! sirupctl serve      --requests 500 --threads 8
+//! sirupctl replay     workloads/smoke.sirupload --threads 4
 //! sirupctl zoo
 //! ```
 

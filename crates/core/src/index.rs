@@ -1,0 +1,164 @@
+//! Prebuilt per-predicate indexes over a [`Structure`].
+//!
+//! A [`Structure`] stores its atoms as per-node adjacency and label lists —
+//! the right layout for *local* questions (`has_edge`, `out(u)`), but code
+//! that asks *global* per-predicate questions ("all `R`-edges", "all nodes
+//! labelled `T`", "all sources of `S`-edges") has to rescan every node. A
+//! [`PredIndex`] materialises those answers once so hot paths — homomorphism
+//! domain seeding, the server's evaluation strategies, rule-candidate
+//! selection in the datalog engine — can read them as sorted slices.
+//!
+//! The index is a snapshot: it is only valid for the structure it was built
+//! from, *as of the build*. Callers that mutate the structure (the engine's
+//! working copy, the DPLL labelling search) must not consult a stale index
+//! for the mutated parts; the intended pattern is to index immutable data
+//! instances (the server catalog) and pass the index alongside them.
+
+use crate::fx::FxHashMap;
+use crate::structure::{Node, Structure};
+use crate::symbols::Pred;
+
+/// Per-predicate index over one [`Structure`]: edge pair lists, source and
+/// sink lists per binary predicate, and node lists per unary predicate. All
+/// lists are sorted and duplicate-free.
+#[derive(Debug, Clone, Default)]
+pub struct PredIndex {
+    pairs: FxHashMap<Pred, Vec<(Node, Node)>>,
+    sources: FxHashMap<Pred, Vec<Node>>,
+    sinks: FxHashMap<Pred, Vec<Node>>,
+    labelled: FxHashMap<Pred, Vec<Node>>,
+    node_count: usize,
+}
+
+impl PredIndex {
+    /// Build the index for `s` in one pass over its atoms.
+    pub fn new(s: &Structure) -> PredIndex {
+        let mut pairs: FxHashMap<Pred, Vec<(Node, Node)>> = FxHashMap::default();
+        let mut sources: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
+        let mut sinks: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
+        let mut labelled: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
+        for (p, u, v) in s.edges() {
+            pairs.entry(p).or_default().push((u, v));
+            sources.entry(p).or_default().push(u);
+            sinks.entry(p).or_default().push(v);
+        }
+        for (p, v) in s.unary_atoms() {
+            labelled.entry(p).or_default().push(v);
+        }
+        // `edges()` iterates nodes in order and adjacency lists sorted by
+        // (pred, node), so `pairs` is already sorted; sources/sinks need a
+        // dedup pass (a node may source many p-edges).
+        for v in pairs.values_mut() {
+            v.sort_unstable();
+        }
+        for m in [&mut sources, &mut sinks, &mut labelled] {
+            for v in m.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
+        }
+        PredIndex {
+            pairs,
+            sources,
+            sinks,
+            labelled,
+            node_count: s.node_count(),
+        }
+    }
+
+    /// Node count of the indexed structure (for staleness assertions).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// All `(u, v)` with `p(u, v)`, sorted.
+    #[inline]
+    pub fn pairs(&self, p: Pred) -> &[(Node, Node)] {
+        self.pairs.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes with an outgoing `p`-edge, sorted, deduplicated.
+    #[inline]
+    pub fn sources(&self, p: Pred) -> &[Node] {
+        self.sources.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes with an incoming `p`-edge, sorted, deduplicated.
+    #[inline]
+    pub fn sinks(&self, p: Pred) -> &[Node] {
+        self.sinks.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes labelled `p`, sorted.
+    #[inline]
+    pub fn nodes_with_label(&self, p: Pred) -> &[Node] {
+        self.labelled.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Is node `v` labelled `p` (by the indexed snapshot)?
+    #[inline]
+    pub fn has_label(&self, v: Node, p: Pred) -> bool {
+        self.nodes_with_label(p).binary_search(&v).is_ok()
+    }
+
+    /// Binary predicates occurring in the snapshot, sorted.
+    pub fn binary_preds(&self) -> Vec<Pred> {
+        let mut ps: Vec<Pred> = self.pairs.keys().copied().collect();
+        ps.sort_unstable();
+        ps
+    }
+
+    /// Unary predicates occurring in the snapshot, sorted.
+    pub fn unary_preds(&self) -> Vec<Pred> {
+        let mut ps: Vec<Pred> = self.labelled.keys().copied().collect();
+        ps.sort_unstable();
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::st;
+
+    #[test]
+    fn index_matches_direct_scans() {
+        let s = st("F(a), R(a,b), T(b), R(b,c), S(c,a), T(c), A(c)");
+        let idx = PredIndex::new(&s);
+        assert_eq!(idx.node_count(), s.node_count());
+        for p in s.binary_preds() {
+            assert_eq!(idx.pairs(p), s.edges_by_pred(p).as_slice());
+            let mut srcs: Vec<Node> = s.edges_by_pred(p).iter().map(|&(u, _)| u).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            assert_eq!(idx.sources(p), srcs.as_slice());
+        }
+        for p in s.unary_preds() {
+            assert_eq!(idx.nodes_with_label(p), s.nodes_with_label(p).as_slice());
+        }
+        assert_eq!(idx.binary_preds(), s.binary_preds());
+        assert_eq!(idx.unary_preds(), s.unary_preds());
+    }
+
+    #[test]
+    fn missing_preds_are_empty() {
+        let s = st("R(a,b)");
+        let idx = PredIndex::new(&s);
+        assert!(idx.pairs(Pred::S).is_empty());
+        assert!(idx.nodes_with_label(Pred::F).is_empty());
+        assert!(idx.sources(Pred::S).is_empty());
+        assert!(idx.sinks(Pred::S).is_empty());
+        assert!(!idx.has_label(Node(0), Pred::T));
+    }
+
+    #[test]
+    fn sources_deduplicate_fanout() {
+        // One node sourcing three R-edges appears once in sources.
+        let s = st("R(a,b), R(a,c), R(a,d)");
+        let idx = PredIndex::new(&s);
+        assert_eq!(idx.sources(Pred::R).len(), 1);
+        assert_eq!(idx.sinks(Pred::R).len(), 3);
+        assert_eq!(idx.pairs(Pred::R).len(), 3);
+    }
+}

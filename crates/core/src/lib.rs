@@ -13,12 +13,16 @@
 //!   `F`-node) and general d-sirup CQs,
 //! * monadic datalog [`program::Program`]s and the constructors `Π_q`, `Σ_q`
 //!   and the disjunctive `Δ_q` of the paper (§2, rules (1)–(7)),
+//! * prebuilt per-predicate indexes over structures ([`index::PredIndex`]),
+//!   used by the hom engine and the query service for repeated global
+//!   per-predicate lookups,
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
 pub mod builder;
 pub mod cq;
 pub mod fx;
+pub mod index;
 pub mod parse;
 pub mod program;
 pub mod shape;
@@ -26,6 +30,7 @@ pub mod structure;
 pub mod symbols;
 
 pub use cq::OneCq;
+pub use index::PredIndex;
 pub use program::{Atom, Program, Rule, Term};
 pub use structure::{Node, Structure};
 pub use symbols::Pred;

@@ -201,6 +201,20 @@ impl Structure {
         self.nodes().filter(|&v| self.has_label(v, p)).collect()
     }
 
+    /// All binary atoms of predicate `p` as sorted `(u, v)` pairs. For
+    /// repeated per-predicate queries over an immutable structure, build a
+    /// [`crate::index::PredIndex`] once instead.
+    pub fn edges_by_pred(&self, p: Pred) -> Vec<(Node, Node)> {
+        self.nodes()
+            .flat_map(|u| {
+                let o = self.out(u);
+                let lo = o.partition_point(|&(q, _)| q < p);
+                let hi = o.partition_point(|&(q, _)| q <= p);
+                o[lo..hi].iter().map(move |&(_, v)| (u, v))
+            })
+            .collect()
+    }
+
     /// Sorted, deduplicated list of binary predicates that occur.
     pub fn binary_preds(&self) -> Vec<Pred> {
         let mut ps: Vec<Pred> = self.edges().map(|(p, _, _)| p).collect();

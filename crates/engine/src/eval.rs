@@ -11,13 +11,13 @@
 
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
-use sirup_core::{Node, Pred, Structure, Term};
+use sirup_core::{Node, Pred, PredIndex, Structure, Term};
 use sirup_hom::HomFinder;
 
 /// Result of evaluating a program over a data instance.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
-    /// Derived nullary facts (e.g. the goal `G`).
+    /// Derived nullary facts (e.g. the goal `G`), sorted.
     pub nullary: Vec<Pred>,
     /// Derived unary facts per IDB predicate, sorted node lists.
     pub unary: FxHashMap<Pred, Vec<Node>>,
@@ -28,7 +28,7 @@ pub struct Evaluation {
 impl Evaluation {
     /// Is the nullary predicate `g` derived?
     pub fn holds(&self, g: Pred) -> bool {
-        self.nullary.contains(&g)
+        self.nullary.binary_search(&g).is_ok()
     }
 
     /// Is `p(a)` derived?
@@ -69,6 +69,25 @@ fn body_pattern(rule: &Rule) -> (Structure, Vec<Node>) {
 /// IDB predicates must be nullary or unary (monadic programs); EDBs at most
 /// binary. Panics otherwise.
 pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
+    evaluate_inner(program, data, None)
+}
+
+/// As [`evaluate`], but seeded from a prebuilt [`PredIndex`] of `data`:
+/// each unary-headed rule derives only at nodes that carry every *EDB*
+/// label its body places on the head variable, read off the index instead
+/// of rescanned per fixpoint round. EDB labels are invariant during
+/// evaluation (only IDB labels are added), so the seeding is exact and the
+/// result is identical to [`evaluate`]'s.
+pub fn evaluate_with_index(program: &Program, data: &Structure, index: &PredIndex) -> Evaluation {
+    assert_eq!(
+        index.node_count(),
+        data.node_count(),
+        "PredIndex is not a snapshot of this data instance"
+    );
+    evaluate_inner(program, data, Some(index))
+}
+
+fn evaluate_inner(program: &Program, data: &Structure, index: Option<&PredIndex>) -> Evaluation {
     let idbs = program.idbs();
     for r in &program.rules {
         assert!(
@@ -90,24 +109,62 @@ pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
             (pat, head_term)
         })
         .collect();
+    // Per-rule candidate seeds from the index: nodes carrying every EDB
+    // label the body places on the head variable (`None` = all nodes).
+    let seeds: Vec<Option<Vec<Node>>> = program
+        .rules
+        .iter()
+        .map(|r| {
+            let idx = index?;
+            let head_term = *r.head.args.first()?;
+            let mut constraints: Vec<Pred> = r
+                .body
+                .iter()
+                .filter(|a| a.args.len() == 1 && a.args[0] == head_term)
+                .map(|a| a.pred)
+                .filter(|p| idbs.binary_search(p).is_err())
+                .collect();
+            constraints.sort_unstable();
+            constraints.dedup();
+            let (&first, rest) = constraints.split_first()?;
+            Some(
+                idx.nodes_with_label(first)
+                    .iter()
+                    .copied()
+                    .filter(|&a| rest.iter().all(|&l| idx.has_label(a, l)))
+                    .collect(),
+            )
+        })
+        .collect();
 
     let mut rounds = 0usize;
     let mut changed = true;
     while changed {
         changed = false;
         rounds += 1;
-        for (rule, (pattern, head_term)) in program.rules.iter().zip(&patterns) {
+        for ((rule, (pattern, head_term)), seed) in program.rules.iter().zip(&patterns).zip(&seeds)
+        {
             if rule.head.args.is_empty() {
                 // Nullary head: derive once.
-                if !nullary.contains(&rule.head.pred) && HomFinder::new(pattern, &work).exists() {
-                    nullary.push(rule.head.pred);
+                if nullary.binary_search(&rule.head.pred).is_err()
+                    && HomFinder::new(pattern, &work).exists()
+                {
+                    let pos = nullary.binary_search(&rule.head.pred).unwrap_err();
+                    nullary.insert(pos, rule.head.pred);
                     changed = true;
                 }
             } else {
                 let p = rule.head.pred;
                 let head_node = Node(head_term.0);
                 // Candidates not yet carrying p.
-                let cands: Vec<Node> = work.nodes().filter(|&a| !work.has_label(a, p)).collect();
+                let cands: Vec<Node> = match seed {
+                    Some(seed) => seed
+                        .iter()
+                        .copied()
+                        .filter(|&a| !work.has_label(a, p))
+                        .collect(),
+                    None => work.nodes().filter(|&a| !work.has_label(a, p)).collect(),
+                };
                 for a in cands {
                     if HomFinder::new(pattern, &work).fix(head_node, a).exists() {
                         work.add_label(a, p);
@@ -118,18 +175,13 @@ pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
         }
     }
 
+    // Report the full extension of each IDB predicate in the closure: facts
+    // already present in the data under an IDB predicate (e.g. T-facts when
+    // P's rule (6) fires) count just like derived ones.
     let mut unary: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
     for &p in &idbs {
-        let mut derived: Vec<Node> = work
-            .nodes()
-            .filter(|&a| work.has_label(a, p) && !data.has_label(a, p))
-            .collect();
-        // Facts already present in the data under an IDB predicate (e.g.
-        // T-facts when P's rule (6) fires) count as derived too for goal
-        // purposes; but we report the full extension of p in the closure.
         let mut full: Vec<Node> = work.nodes().filter(|&a| work.has_label(a, p)).collect();
         full.sort_unstable();
-        derived.sort_unstable();
         unary.insert(p, full);
     }
     Evaluation {
@@ -245,6 +297,38 @@ mod tests {
         // One level of budding on the S-branch.
         let deep = st("F(f), R(f,u), T(u), S(f,a), A(a), R(a,u1), T(u1), S(a,u2), T(u2)");
         assert!(certain_answer_goal(&pi, &deep));
+    }
+
+    #[test]
+    fn holds_uses_sorted_nullary() {
+        let d = st("F(x), R(y,x), R(y,z), T(z)");
+        let ev = evaluate(&pi_q(&q4()), &d);
+        let mut sorted = ev.nullary.clone();
+        sorted.sort_unstable();
+        assert_eq!(ev.nullary, sorted, "nullary facts must stay sorted");
+        assert!(ev.holds(sirup_core::Pred::GOAL));
+        assert!(!ev.holds(sirup_core::Pred::S));
+    }
+
+    #[test]
+    fn indexed_evaluation_agrees_with_plain() {
+        use sirup_core::PredIndex;
+        let q = q4();
+        let programs = [pi_q(&q), sigma_q(&q)];
+        let instances = [
+            st("F(f), R(m1,f), R(m1,a), A(a), R(m2,a), R(m2,t), T(t)"),
+            st("A(a), R(m,a), R(m,z), T(z), A(b), R(k,b), R(k,a)"),
+            st("F(x), R(x,y)"),
+        ];
+        for program in &programs {
+            for d in &instances {
+                let idx = PredIndex::new(d);
+                let plain = evaluate(program, d);
+                let fast = evaluate_with_index(program, d, &idx);
+                assert_eq!(plain.nullary, fast.nullary);
+                assert_eq!(plain.unary, fast.unary);
+            }
+        }
     }
 
     #[test]

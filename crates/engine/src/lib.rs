@@ -19,5 +19,5 @@ pub mod linear;
 pub mod ucq;
 
 pub use disjunctive::certain_answer_dsirup;
-pub use eval::{evaluate, Evaluation};
+pub use eval::{evaluate, evaluate_with_index, Evaluation};
 pub use ucq::Ucq;

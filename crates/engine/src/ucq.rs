@@ -5,8 +5,8 @@
 //! is a disjunction of Boolean CQs evaluated by homomorphism, or — with a
 //! distinguished free node per disjunct — a unary query.
 
-use sirup_core::{Node, Structure};
-use sirup_hom::{find_hom_fixing, hom_exists};
+use sirup_core::{Node, PredIndex, Structure};
+use sirup_hom::{find_hom_fixing, hom_exists, HomFinder};
 
 /// A union of conjunctive queries. Each disjunct optionally has one free
 /// (answer) variable.
@@ -64,6 +64,32 @@ impl Ucq {
     pub fn answers(&self, data: &Structure) -> Vec<Node> {
         data.nodes().filter(|&a| self.eval_at(data, a)).collect()
     }
+
+    /// As [`Ucq::eval_boolean`], seeding hom domains from a prebuilt
+    /// [`PredIndex`] of `data` (which must be a current snapshot).
+    pub fn eval_boolean_indexed(&self, data: &Structure, idx: &PredIndex) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|(s, _)| HomFinder::new(s, data).target_index(idx).exists())
+    }
+
+    /// As [`Ucq::eval_at`], seeding hom domains from a prebuilt index.
+    pub fn eval_at_indexed(&self, data: &Structure, idx: &PredIndex, a: Node) -> bool {
+        self.disjuncts.iter().any(|(s, free)| match free {
+            Some(x) => HomFinder::new(s, data)
+                .target_index(idx)
+                .fix(*x, a)
+                .exists(),
+            None => HomFinder::new(s, data).target_index(idx).exists(),
+        })
+    }
+
+    /// As [`Ucq::answers`], seeding hom domains from a prebuilt index.
+    pub fn answers_indexed(&self, data: &Structure, idx: &PredIndex) -> Vec<Node> {
+        data.nodes()
+            .filter(|&a| self.eval_at_indexed(data, idx, a))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +127,26 @@ mod tests {
     fn size_accumulates() {
         let u = Ucq::boolean([st("F(x), R(x,y)"), st("T(x)")]);
         assert_eq!(u.size(), 3);
+    }
+
+    #[test]
+    fn indexed_eval_agrees_with_plain() {
+        use sirup_core::PredIndex;
+        let (pat, pn) = parse_structure("R(x,y), T(y)").unwrap();
+        let u = Ucq {
+            disjuncts: vec![(pat, Some(pn["x"])), (st("F(a), S(a,b)"), None)],
+        };
+        for d in [
+            st("R(a,b), T(b), R(b,c)"),
+            st("F(a), S(a,b), R(b,c)"),
+            st("A(a), R(a,a)"),
+        ] {
+            let idx = PredIndex::new(&d);
+            assert_eq!(u.eval_boolean(&d), u.eval_boolean_indexed(&d, &idx));
+            assert_eq!(u.answers(&d), u.answers_indexed(&d, &idx));
+            for a in d.nodes() {
+                assert_eq!(u.eval_at(&d, a), u.eval_at_indexed(&d, &idx, a));
+            }
+        }
     }
 }

@@ -15,12 +15,13 @@
 //! Pinning (`fix`) restricts domains before filtering; `injective` makes the
 //! search look for injective homomorphisms (used for isomorphisms).
 
-use sirup_core::{Node, Pred, Structure};
+use sirup_core::{Node, Pred, PredIndex, Structure};
 
 /// Configurable homomorphism search from `pattern` into `target`.
 pub struct HomFinder<'a> {
     pattern: &'a Structure,
     target: &'a Structure,
+    index: Option<&'a PredIndex>,
     fixed: Vec<(Node, Node)>,
     forbidden: Vec<(Node, Node)>,
     injective: bool,
@@ -32,10 +33,25 @@ impl<'a> HomFinder<'a> {
         HomFinder {
             pattern,
             target,
+            index: None,
             fixed: Vec::new(),
             forbidden: Vec::new(),
             injective: false,
         }
+    }
+
+    /// Seed candidate domains from a prebuilt [`PredIndex`] of the target:
+    /// constrained pattern nodes enumerate only the nodes carrying one of
+    /// their required labels / incident predicates instead of scanning the
+    /// whole target. The index must be a current snapshot of `target`.
+    pub fn target_index(mut self, idx: &'a PredIndex) -> Self {
+        assert_eq!(
+            idx.node_count(),
+            self.target.node_count(),
+            "PredIndex is not a snapshot of this target"
+        );
+        self.index = Some(idx);
+        self
     }
 
     /// Require `h(u) = v`.
@@ -108,6 +124,30 @@ impl<'a> HomFinder<'a> {
         });
     }
 
+    /// The smallest index-backed candidate list for pattern node `u`, if
+    /// an index is attached and `u` is constrained at all. The list is an
+    /// over-approximation of the domain (one constraint, not all), so
+    /// members still go through the full admissibility check.
+    fn seed_candidates(&self, u: Node, preds_out: &[Pred], preds_in: &[Pred]) -> Option<&[Node]> {
+        let idx = self.index?;
+        let mut best: Option<&[Node]> = None;
+        let mut consider = |list: &'a [Node]| {
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        };
+        for &l in self.pattern.labels(u) {
+            consider(idx.nodes_with_label(l));
+        }
+        for &p in preds_out {
+            consider(idx.sources(p));
+        }
+        for &p in preds_in {
+            consider(idx.sinks(p));
+        }
+        best
+    }
+
     /// Per-node candidate domains after unary filtering and pinning.
     /// `None` means some domain is empty (no homomorphism).
     fn initial_domains(&self) -> Option<Vec<Vec<bool>>> {
@@ -117,26 +157,33 @@ impl<'a> HomFinder<'a> {
         for u in self.pattern.nodes() {
             let preds_out = distinct_preds(self.pattern.out(u));
             let preds_in = distinct_preds(self.pattern.inn(u));
+            let admissible = |t: Node| {
+                self.pattern
+                    .labels(u)
+                    .iter()
+                    .all(|&l| self.target.has_label(t, l))
+                    && preds_out.iter().all(|&p| has_pred(self.target.out(t), p))
+                    && preds_in.iter().all(|&p| has_pred(self.target.inn(t), p))
+            };
             let mut dom = vec![false; nt];
             let mut any = false;
-            'cands: for t in self.target.nodes() {
-                for &l in self.pattern.labels(u) {
-                    if !self.target.has_label(t, l) {
-                        continue 'cands;
+            match self.seed_candidates(u, &preds_out, &preds_in) {
+                Some(seed) => {
+                    for &t in seed {
+                        if admissible(t) {
+                            dom[t.index()] = true;
+                            any = true;
+                        }
                     }
                 }
-                for &p in &preds_out {
-                    if !has_pred(self.target.out(t), p) {
-                        continue 'cands;
+                None => {
+                    for t in self.target.nodes() {
+                        if admissible(t) {
+                            dom[t.index()] = true;
+                            any = true;
+                        }
                     }
                 }
-                for &p in &preds_in {
-                    if !has_pred(self.target.inn(t), p) {
-                        continue 'cands;
-                    }
-                }
-                dom[t.index()] = true;
-                any = true;
             }
             if !any {
                 return None;
@@ -452,6 +499,42 @@ mod tests {
         let p = st("S(a,b)");
         let t = st("R(x,y)");
         assert!(!hom_exists(&p, &t));
+    }
+
+    #[test]
+    fn indexed_search_agrees_with_plain() {
+        use sirup_core::PredIndex;
+        let patterns = [
+            st("F(a), R(a,b), T(b)"),
+            st("R(a,b), R(b,c), T(c)"),
+            st("T(a), T(b)"),
+            st("S(a,b)"),
+            sirup_core::Structure::new(),
+        ];
+        let targets = [
+            st("F(x), R(x,y), T(y), R(y,z), T(z)"),
+            st("R(x,y), R(y,x), T(x), T(y), R(y,z), T(z)"),
+            st("A(x)"),
+        ];
+        for p in &patterns {
+            for t in &targets {
+                let idx = PredIndex::new(t);
+                let plain = all_homs(p, t, 10_000);
+                let indexed = HomFinder::new(p, t).target_index(&idx).find_up_to(10_000);
+                assert_eq!(plain, indexed, "pattern {p} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn stale_index_is_rejected() {
+        use sirup_core::PredIndex;
+        let t = st("R(x,y)");
+        let idx = PredIndex::new(&t);
+        let bigger = st("R(x,y), R(y,z)");
+        let p = st("R(a,b)");
+        let _ = HomFinder::new(&p, &bigger).target_index(&idx).exists();
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The sharded instance catalog.
+//!
+//! The service holds many named data instances at once. Each instance is
+//! stored *indexed*: alongside the [`Structure`] sits a prebuilt
+//! [`PredIndex`] so every evaluation strategy reads per-predicate edge and
+//! label lists as sorted slices instead of rescanning adjacency. Instances
+//! are immutable once loaded (reloading a name replaces the `Arc` wholesale),
+//! which is what makes handing `Arc<IndexedInstance>`s to worker threads and
+//! caching the index sound.
+//!
+//! The map is split into shards, each behind its own `RwLock`, so concurrent
+//! lookups from worker threads and loads from the control path contend only
+//! per shard. Shard choice hashes the instance name with the workspace's
+//! `FxHasher`.
+
+use sirup_core::fx::{FxHashMap, FxHasher};
+use sirup_core::{PredIndex, Structure};
+use std::hash::Hasher as _;
+use std::sync::{Arc, RwLock};
+
+/// A named, immutable data instance with its prebuilt per-predicate index.
+#[derive(Debug)]
+pub struct IndexedInstance {
+    /// Catalog name.
+    pub name: String,
+    /// The data instance.
+    pub data: Structure,
+    /// Per-predicate index snapshot of `data`.
+    pub index: PredIndex,
+}
+
+impl IndexedInstance {
+    /// Index `data` under `name`.
+    pub fn new(name: impl Into<String>, data: Structure) -> IndexedInstance {
+        let index = PredIndex::new(&data);
+        IndexedInstance {
+            name: name.into(),
+            data,
+            index,
+        }
+    }
+}
+
+type Shard = RwLock<FxHashMap<String, Arc<IndexedInstance>>>;
+
+/// A sharded map from instance name to [`IndexedInstance`].
+#[derive(Debug)]
+pub struct Catalog {
+    shards: Vec<Shard>,
+}
+
+impl Catalog {
+    /// A catalog with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Catalog {
+        Catalog {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard_of(&self, name: &str) -> &Shard {
+        let mut h = FxHasher::default();
+        h.write(name.as_bytes());
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Load (or replace) an instance. Returns `true` if a previous instance
+    /// with this name was replaced.
+    pub fn insert(&self, name: impl Into<String>, data: Structure) -> bool {
+        let inst = IndexedInstance::new(name, data);
+        let name = inst.name.clone();
+        self.shard_of(&name)
+            .write()
+            .unwrap()
+            .insert(name, Arc::new(inst))
+            .is_some()
+    }
+
+    /// Look up an instance by name.
+    pub fn get(&self, name: &str) -> Option<Arc<IndexedInstance>> {
+        self.shard_of(name).read().unwrap().get(name).cloned()
+    }
+
+    /// Drop an instance. Returns `true` if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.shard_of(name).write().unwrap().remove(name).is_some()
+    }
+
+    /// Number of loaded instances.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All instance names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().unwrap().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    #[test]
+    fn insert_get_remove() {
+        let c = Catalog::new(4);
+        assert!(c.is_empty());
+        assert!(!c.insert("a", st("F(x), R(x,y), T(y)")));
+        assert!(!c.insert("b", st("T(u)")));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.shard_count(), 4);
+        let a = c.get("a").unwrap();
+        assert_eq!(a.name, "a");
+        assert_eq!(a.data.size(), 3);
+        assert_eq!(a.index.node_count(), a.data.node_count());
+        assert!(c.get("zzz").is_none());
+        // Replacing returns true and swaps the Arc.
+        assert!(c.insert("a", st("T(v)")));
+        assert_eq!(c.get("a").unwrap().data.size(), 1);
+        // The old Arc stays valid for holders.
+        assert_eq!(a.data.size(), 3);
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.names(), vec!["b"]);
+    }
+
+    #[test]
+    fn names_cross_shards() {
+        let c = Catalog::new(3);
+        for i in 0..20 {
+            c.insert(format!("inst{i:02}"), st("T(u)"));
+        }
+        let names = c.names();
+        assert_eq!(names.len(), 20);
+        assert!(names.windows(2).all(|w| w[0] < w[1]));
+        // All shards hold something with 20 names over 3 shards (FxHash is
+        // not adversarial on these keys).
+        assert_eq!(c.len(), 20);
+    }
+
+    #[test]
+    fn single_shard_floor() {
+        let c = Catalog::new(0);
+        assert_eq!(c.shard_count(), 1);
+        c.insert("x", st("T(u)"));
+        assert!(c.get("x").is_some());
+    }
+}

@@ -1,0 +1,155 @@
+//! The fixed worker pool.
+//!
+//! A [`Pool`] owns `threads` OS threads (`std::thread`) that drain a shared
+//! submission queue (an `mpsc` channel behind a mutex — the classic
+//! work-queue shape the offline dependency set affords). A job pairs an
+//! `Arc<Plan>` with an `Arc<IndexedInstance>`; workers compute
+//! `plan.answer(instance)` and report on the job's reply channel with
+//! queue+service latency. The pool shuts down when dropped: the sender side
+//! of the queue closes, workers see the disconnect and exit, and `drop`
+//! joins them.
+
+use crate::catalog::IndexedInstance;
+use crate::plan::{Answer, Plan};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of work: answer `plan` over `instance`, reply on `reply`.
+pub(crate) struct Job {
+    /// Position of this request in its batch (for in-order reassembly).
+    pub idx: usize,
+    /// The (cached) plan.
+    pub plan: Arc<Plan>,
+    /// The catalog instance.
+    pub instance: Arc<IndexedInstance>,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Where to send the completion.
+    pub reply: Sender<Completion>,
+}
+
+/// A finished job.
+pub(crate) struct Completion {
+    /// The job's batch position.
+    pub idx: usize,
+    /// The computed answer.
+    pub answer: Answer,
+    /// Strategy that served it (stable name from [`Plan`]).
+    pub strategy: &'static str,
+    /// Queue wait + evaluation time.
+    pub latency: Duration,
+}
+
+/// A fixed pool of worker threads draining one submission queue.
+pub(crate) struct Pool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("sirup-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job.
+    pub fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(job)
+            .expect("workers outlive the pool handle");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only for the dequeue, not the evaluation.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: shut down
+        };
+        let answer = job.plan.answer(&job.instance);
+        // The batch collector may have given up (panic elsewhere); a closed
+        // reply channel is not this worker's problem.
+        let _ = job.reply.send(Completion {
+            idx: job.idx,
+            answer,
+            strategy: job.plan.strategy.name(),
+            latency: job.enqueued.elapsed(),
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Plan, PlanOptions, Query};
+    use sirup_core::parse::st;
+
+    #[test]
+    fn pool_answers_and_shuts_down() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let plan = Arc::new(Plan::build(
+            Query::Delta {
+                cq: st("F(x), R(x,y), T(y)"),
+                disjoint: false,
+            },
+            &PlanOptions::default(),
+        ));
+        let inst = Arc::new(IndexedInstance::new("i", st("F(u), R(u,v), T(v)")));
+        let (reply, done) = channel();
+        for idx in 0..16 {
+            pool.submit(Job {
+                idx,
+                plan: Arc::clone(&plan),
+                instance: Arc::clone(&inst),
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let mut seen: Vec<usize> = done
+            .iter()
+            .map(|c| {
+                assert_eq!(c.answer, Answer::Bool(true));
+                assert_eq!(c.strategy, "dpll");
+                c.idx
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        drop(pool); // joins workers without hanging
+    }
+}

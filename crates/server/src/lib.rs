@@ -1,0 +1,51 @@
+//! # sirup-server
+//!
+//! A concurrent certain-answer query service over the workspace's engines —
+//! the paper's one-shot library calls packaged as a multi-instance,
+//! multi-threaded service (no network layer; the in-process [`Server`] *is*
+//! the service, and `sirupctl serve`/`replay` front it).
+//!
+//! Three layers (see `DESIGN.md`, "Service layer"):
+//!
+//! * [`catalog`] — a **sharded instance catalog**: named immutable
+//!   [`sirup_core::Structure`]s behind per-shard `RwLock`s, each stored with
+//!   a prebuilt [`sirup_core::PredIndex`] so no evaluation strategy ever
+//!   rescans edge lists;
+//! * [`plan`] — a **plan cache**: an LRU of per-program [`plan::Plan`]s
+//!   memoising the §4 classifier verdicts, the CQ's core, and — given
+//!   Prop. 2 boundedness evidence — the UCQ/FO rewriting, so bounded
+//!   programs are answered by rewriting instead of fixpoint;
+//! * [`executor`] + [`server`] — a **batch executor**: a fixed
+//!   `std::thread` pool draining a submission queue; batches are grouped by
+//!   program so one plan serves the whole group, and each request routes to
+//!   the cheapest strategy (rewriting → semi-naive fixpoint → DPLL for
+//!   disjunctive sirups).
+//!
+//! The differential test-suite pins batched, concurrent answers — cold
+//! cache, warm cache, and rewriting-served — to direct single-threaded
+//! `sirup-engine` evaluation.
+//!
+//! ```
+//! use sirup_server::{Server, Request, Query, Answer};
+//! use sirup_core::{parse::st, OneCq};
+//!
+//! let server = Server::with_defaults();
+//! server.load_instance("d", st("F(u), R(u,v), T(v)"));
+//! let req = Request {
+//!     query: Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")),
+//!     instance: "d".into(),
+//! };
+//! let resp = server.submit(&[req]).unwrap();
+//! assert_eq!(resp[0].answer, Answer::Bool(true));
+//! ```
+
+pub mod catalog;
+mod executor;
+pub mod metrics;
+pub mod plan;
+pub mod server;
+
+pub use catalog::{Catalog, IndexedInstance};
+pub use metrics::LatencyStats;
+pub use plan::{Answer, Plan, PlanCache, PlanOptions, Query, Strategy, Verdicts};
+pub use server::{ReplayMode, ReplayReport, Request, Response, Server, ServerConfig, ServerError};

@@ -1,0 +1,70 @@
+//! Latency and throughput summaries for batch runs.
+
+use std::time::Duration;
+
+/// Order statistics over a set of request latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Summarise a sample set (empty ⇒ all zeros).
+    pub fn from_durations(samples: &[Duration]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut us: Vec<u64> = samples.iter().map(|d| d.as_micros() as u64).collect();
+        us.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let rank = (p / 100.0 * (us.len() - 1) as f64).round() as usize;
+            us[rank.min(us.len() - 1)]
+        };
+        LatencyStats {
+            count: us.len(),
+            mean_us: us.iter().sum::<u64>() / us.len() as u64,
+            p50_us: pct(50.0),
+            p95_us: pct(95.0),
+            p99_us: pct(99.0),
+            max_us: *us.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencyStats::from_durations(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51); // rank round(0.5 * 99) = 50 → value 51
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.mean_us, 50);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+        let s = LatencyStats::from_durations(&[Duration::from_micros(7)]);
+        assert_eq!(s.p50_us, 7);
+        assert_eq!(s.p99_us, 7);
+        assert_eq!(s.max_us, 7);
+        assert_eq!(s.count, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Query plans and the plan cache.
+//!
+//! A [`Plan`] is everything expensive about a program that does not depend
+//! on the data instance: the §4 classifier verdicts, the core of the CQ
+//! (from `sirup-hom`), and — when Prop. 2 boundedness evidence is found at
+//! the configured horizon — the UCQ rewriting (from `sirup-cactus`) with its
+//! FO rendering (from `sirup-fo`). Building a plan costs cactus enumeration
+//! and hom searches; answering with one costs a few hom checks. The
+//! [`PlanCache`] (LRU, keyed by the query's canonical atom text) amortises
+//! that build across every request for the same program.
+//!
+//! Strategy routing, cheapest first:
+//!
+//! 1. **Rewriting** — bounded `Π`/`Σ` queries are answered by evaluating the
+//!    depth-`d` UCQ rewriting against the instance's prebuilt index; no
+//!    fixpoint at all.
+//! 2. **Semi-naive** — unbounded (or unproven) `Π`/`Σ` queries run the
+//!    `sirup-engine` fixpoint, candidate-seeded from the index.
+//! 3. **DPLL** — disjunctive sirups run the labelling search over the *core*
+//!    of `q` (hom-equivalent, so certain answers are unchanged — often
+//!    strictly smaller, which shrinks every hom check in the search).
+//!
+//! Rewriting adoption is *evidence-based* (Prop. 2 at a finite horizon, the
+//! honest laptop-scale substitute for the 2ExpTime decision — see
+//! `sirup-cactus::bounded`); the differential test-suite pins the served
+//! answers to the engine's on every path.
+
+use crate::catalog::IndexedInstance;
+use sirup_cactus::{find_bound, pi_rewriting, sigma_rewriting, BoundSearch, Boundedness};
+use sirup_classifier::{classify_trichotomy, TrichotomyClass};
+use sirup_core::fx::FxHashMap;
+use sirup_core::program::{pi_q, sigma_q, DSirup};
+use sirup_core::{Node, OneCq, Pred, Program, Structure};
+use sirup_engine::containment::minimise_ucq;
+use sirup_engine::linear::{linearity, Linearity};
+use sirup_engine::ucq::Ucq;
+use sirup_engine::{disjunctive, evaluate_with_index};
+use sirup_hom::core_of;
+use std::sync::Mutex;
+
+/// A certain-answer query the service can plan and execute.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Boolean certain answer to `(Π_q, G)`.
+    PiGoal(OneCq),
+    /// Unary certain answers to `(Σ_q, P)`.
+    SigmaAnswers(OneCq),
+    /// Boolean certain answer to `(Δ_q, G)` (`disjoint` adds rule (3)).
+    Delta {
+        /// The CQ of rule (2).
+        cq: Structure,
+        /// Include the disjointness constraint (`Δ⁺_q`).
+        disjoint: bool,
+    },
+}
+
+impl Query {
+    /// The CQ underlying the query.
+    pub fn cq(&self) -> &Structure {
+        match self {
+            Query::PiGoal(q) | Query::SigmaAnswers(q) => q.structure(),
+            Query::Delta { cq, .. } => cq,
+        }
+    }
+
+    /// Short kind name (`pi`, `sigma`, `delta`, `delta+`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Query::PiGoal(_) => "pi",
+            Query::SigmaAnswers(_) => "sigma",
+            Query::Delta {
+                disjoint: false, ..
+            } => "delta",
+            Query::Delta { disjoint: true, .. } => "delta+",
+        }
+    }
+
+    /// Canonical cache key: kind plus the CQ's atom text. Two requests share
+    /// a plan iff their keys are equal (syntactic identity; isomorphic but
+    /// differently numbered CQs plan separately, which is sound).
+    pub fn cache_key(&self) -> String {
+        format!("{} {}", self.kind_name(), self.cq())
+    }
+}
+
+/// The answer to a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Boolean certain answer (`pi`, `delta`, `delta+`).
+    Bool(bool),
+    /// Unary certain answers, sorted by node (`sigma`).
+    Nodes(Vec<Node>),
+}
+
+/// How a plan answers requests.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Evaluate the depth-`d` UCQ rewriting (bounded queries).
+    Rewriting {
+        /// The (minimised) rewriting.
+        ucq: Ucq,
+        /// The Prop. 2 depth at which it was extracted.
+        depth: u32,
+    },
+    /// Run the semi-naive datalog fixpoint.
+    SemiNaive {
+        /// `Π_q` or `Σ_q`.
+        program: Program,
+    },
+    /// Run the DPLL labelling search on the cored disjunctive sirup.
+    Dpll {
+        /// The d-sirup with `cq` replaced by its core.
+        dsirup: DSirup,
+    },
+}
+
+impl Strategy {
+    /// Stable short name for reports (`rewriting`, `semi-naive`, `dpll`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Rewriting { .. } => "rewriting",
+            Strategy::SemiNaive { .. } => "semi-naive",
+            Strategy::Dpll { .. } => "dpll",
+        }
+    }
+}
+
+/// Per-program classifier facts memoised in the plan.
+#[derive(Debug, Clone)]
+pub struct Verdicts {
+    /// Linearity of `Σ_q` (for `pi`/`sigma` queries).
+    pub linearity: Option<Linearity>,
+    /// Theorem 11 verdict for the CQ, when the decider applies.
+    pub trichotomy: Option<TrichotomyClass>,
+    /// Node count of the CQ's core.
+    pub core_nodes: usize,
+    /// Whether the CQ is its own core (minimal).
+    pub minimal: bool,
+}
+
+/// Knobs for plan construction.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Largest Prop. 2 depth bound to certify.
+    pub max_depth: u32,
+    /// Horizon for boundedness evidence (must exceed `max_depth`).
+    pub horizon: u32,
+    /// Cactus-shape cap for enumeration (hit ⇒ fall back to the fixpoint).
+    pub cap: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            max_depth: 1,
+            horizon: 3,
+            cap: 600,
+        }
+    }
+}
+
+/// A fully built, instance-independent query plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The planned query.
+    pub query: Query,
+    /// The chosen evaluation strategy.
+    pub strategy: Strategy,
+    /// Memoised classifier facts.
+    pub verdicts: Verdicts,
+    /// FO rendering of the rewriting, when one was adopted.
+    pub fo: Option<String>,
+}
+
+impl Plan {
+    /// Build the plan for `query`.
+    pub fn build(query: Query, opts: &PlanOptions) -> Plan {
+        let (core, _) = core_of(query.cq());
+        let minimal = core.node_count() == query.cq().node_count();
+        let trichotomy = classify_trichotomy(query.cq()).ok();
+        match &query {
+            Query::PiGoal(q) | Query::SigmaAnswers(q) => {
+                let sigma = matches!(query, Query::SigmaAnswers(_));
+                let lin = Some(linearity(&sigma_q(q)));
+                let search = BoundSearch {
+                    max_d: opts.max_depth,
+                    horizon: opts.horizon,
+                    cap: opts.cap,
+                    sigma,
+                };
+                let rewriting = match find_bound(q, search) {
+                    Boundedness::BoundedEvidence { d, .. } => if sigma {
+                        sigma_rewriting(q, d, opts.cap)
+                    } else {
+                        pi_rewriting(q, d, opts.cap)
+                    }
+                    .map(|ucq| (minimise_ucq(&ucq), d)),
+                    _ => None,
+                };
+                let (strategy, fo) = match rewriting {
+                    Some((ucq, depth)) => {
+                        let fo = format!("{}", sirup_fo::ucq_to_fo(&ucq));
+                        (Strategy::Rewriting { ucq, depth }, Some(fo))
+                    }
+                    None => {
+                        let program = if sigma { sigma_q(q) } else { pi_q(q) };
+                        (Strategy::SemiNaive { program }, None)
+                    }
+                };
+                Plan {
+                    verdicts: Verdicts {
+                        linearity: lin,
+                        trichotomy,
+                        core_nodes: core.node_count(),
+                        minimal,
+                    },
+                    query,
+                    strategy,
+                    fo,
+                }
+            }
+            Query::Delta { disjoint, .. } => {
+                // Coring is sound here: the DPLL search consults `q` only
+                // through `hom_exists(q, ·)`, which hom-equivalence
+                // preserves.
+                let dsirup = DSirup {
+                    cq: core.clone(),
+                    disjoint: *disjoint,
+                };
+                Plan {
+                    verdicts: Verdicts {
+                        linearity: None,
+                        trichotomy,
+                        core_nodes: core.node_count(),
+                        minimal,
+                    },
+                    query,
+                    strategy: Strategy::Dpll { dsirup },
+                    fo: None,
+                }
+            }
+        }
+    }
+
+    /// Answer the planned query over one catalog instance.
+    pub fn answer(&self, inst: &IndexedInstance) -> Answer {
+        match (&self.strategy, &self.query) {
+            (Strategy::Rewriting { ucq, .. }, Query::PiGoal(_)) => {
+                Answer::Bool(ucq.eval_boolean_indexed(&inst.data, &inst.index))
+            }
+            (Strategy::Rewriting { ucq, .. }, Query::SigmaAnswers(_)) => {
+                Answer::Nodes(ucq.answers_indexed(&inst.data, &inst.index))
+            }
+            (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
+                let ev = evaluate_with_index(program, &inst.data, &inst.index);
+                Answer::Bool(ev.holds(Pred::GOAL))
+            }
+            (Strategy::SemiNaive { program }, Query::SigmaAnswers(_)) => {
+                let ev = evaluate_with_index(program, &inst.data, &inst.index);
+                Answer::Nodes(ev.answers(Pred::P).to_vec())
+            }
+            (Strategy::Dpll { dsirup }, Query::Delta { .. }) => {
+                Answer::Bool(disjunctive::certain_answer_dsirup(dsirup, &inst.data))
+            }
+            _ => unreachable!("strategy/query kind mismatch"),
+        }
+    }
+}
+
+/// An LRU cache of built plans, keyed by [`Query::cache_key`].
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: FxHashMap<String, (std::sync::Arc<Plan>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (at least 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Fetch the plan for `query`, building (and caching) it on a miss.
+    pub fn get_or_build(&self, query: &Query, opts: &PlanOptions) -> std::sync::Arc<Plan> {
+        let key = query.cache_key();
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((plan, stamp)) = inner.map.get_mut(&key) {
+                *stamp = tick;
+                let plan = plan.clone();
+                inner.hits += 1;
+                return plan;
+            }
+            inner.misses += 1;
+        }
+        // Build outside the lock: plan construction runs cactus enumeration
+        // and hom searches, and must not serialise unrelated programs.
+        // Concurrent misses for the same key duplicate work harmlessly.
+        let plan = std::sync::Arc::new(Plan::build(query.clone(), opts));
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (plan.clone(), tick));
+        if inner.map.len() > self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        plan
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    fn q5() -> OneCq {
+        OneCq::parse("T(b), F(c), T(c), F(e), R(a,b), R(a,c), R(b,d), R(c,e), R(d,g)")
+    }
+
+    #[test]
+    fn bounded_pi_plans_to_rewriting() {
+        let plan = Plan::build(Query::PiGoal(q5()), &PlanOptions::default());
+        assert_eq!(plan.strategy.name(), "rewriting");
+        assert!(plan.fo.as_deref().is_some_and(|f| f.contains('∃')));
+    }
+
+    #[test]
+    fn unbounded_pi_plans_to_seminaive() {
+        let q4 = OneCq::parse("F(x), R(y,x), R(y,z), T(z)");
+        let plan = Plan::build(Query::PiGoal(q4.clone()), &PlanOptions::default());
+        assert_eq!(plan.strategy.name(), "semi-naive");
+        assert!(plan.fo.is_none());
+        assert_eq!(
+            plan.verdicts.linearity,
+            Some(sirup_engine::linear::Linearity::Linear)
+        );
+        let sigma = Plan::build(Query::SigmaAnswers(q4), &PlanOptions::default());
+        assert_eq!(sigma.strategy.name(), "semi-naive");
+    }
+
+    #[test]
+    fn delta_plans_to_cored_dpll() {
+        // Duplicated branches collapse in the core.
+        let q = st("F(x), R(x,y1), T(y1), R(x,y2), T(y2)");
+        let plan = Plan::build(
+            Query::Delta {
+                cq: q.clone(),
+                disjoint: false,
+            },
+            &PlanOptions::default(),
+        );
+        let Strategy::Dpll { dsirup } = &plan.strategy else {
+            panic!("expected dpll");
+        };
+        assert!(dsirup.cq.node_count() < q.node_count());
+        assert!(!plan.verdicts.minimal);
+        assert_eq!(plan.verdicts.core_nodes, dsirup.cq.node_count());
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction() {
+        let cache = PlanCache::new(2);
+        let opts = PlanOptions::default();
+        let qa = Query::Delta {
+            cq: st("F(x), R(x,y), T(y)"),
+            disjoint: false,
+        };
+        let qb = Query::Delta {
+            cq: st("T(x), R(x,y), F(y)"),
+            disjoint: false,
+        };
+        let qc = Query::Delta {
+            cq: st("F(x), S(x,y), T(y)"),
+            disjoint: false,
+        };
+        let a1 = cache.get_or_build(&qa, &opts);
+        let a2 = cache.get_or_build(&qa, &opts);
+        assert!(std::sync::Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.stats(), (1, 1));
+        cache.get_or_build(&qb, &opts);
+        // Touch qa so qb is the LRU victim when qc arrives.
+        cache.get_or_build(&qa, &opts);
+        cache.get_or_build(&qc, &opts);
+        assert_eq!(cache.len(), 2);
+        let (h0, m0) = cache.stats();
+        cache.get_or_build(&qb, &opts); // evicted → miss (and this evicts qa)
+        let (h1, m1) = cache.stats();
+        assert_eq!(h1, h0);
+        assert_eq!(m1, m0 + 1);
+        cache.get_or_build(&qc, &opts); // still cached → hit
+        assert_eq!(cache.stats().0, h1 + 1);
+    }
+
+    #[test]
+    fn delta_plus_key_differs_from_delta() {
+        let cq = st("F(x), R(x,y), T(y)");
+        let d = Query::Delta {
+            cq: cq.clone(),
+            disjoint: false,
+        };
+        let dp = Query::Delta { cq, disjoint: true };
+        assert_ne!(d.cache_key(), dp.cache_key());
+        assert_eq!(d.kind_name(), "delta");
+        assert_eq!(dp.kind_name(), "delta+");
+    }
+}

@@ -1,0 +1,459 @@
+//! The [`Server`]: catalog + plan cache + worker pool, and workload replay.
+//!
+//! `submit` is the batch entry point: it validates every request against the
+//! catalog, fetches (or builds) one plan per distinct program in the batch,
+//! fans the jobs out to the worker pool, and reassembles responses in
+//! request order. `replay` drives a whole [`TrafficSpec`] either closed-loop
+//! (one maximal batch — a throughput run) or open-loop (submission paced by
+//! the spec's virtual arrival offsets — a latency-under-load run) and
+//! aggregates a [`ReplayReport`].
+
+use crate::catalog::Catalog;
+use crate::executor::{Completion, Job, Pool};
+use crate::metrics::LatencyStats;
+use crate::plan::{Answer, PlanCache, PlanOptions, Query};
+use sirup_core::fx::FxHashMap;
+use sirup_core::{OneCq, Structure};
+use sirup_workloads::traffic::{QueryKind, TrafficRequest, TrafficSpec};
+use std::fmt::Write as _;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads in the pool (at least 1).
+    pub threads: usize,
+    /// Catalog shards (at least 1).
+    pub shards: usize,
+    /// Plan-cache capacity (at least 1).
+    pub plan_cache: usize,
+    /// Plan construction knobs.
+    pub plan: PlanOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            shards: 8,
+            plan_cache: 64,
+            plan: PlanOptions::default(),
+        }
+    }
+}
+
+/// One request: a query against a named catalog instance.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The query.
+    pub query: Query,
+    /// Target instance name.
+    pub instance: String,
+}
+
+impl Request {
+    /// Convert a workload request (re-validating 1-CQ kinds).
+    pub fn from_traffic(r: &TrafficRequest) -> Result<Request, ServerError> {
+        let query = match r.kind {
+            QueryKind::PiGoal => Query::PiGoal(
+                OneCq::new(r.cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
+            ),
+            QueryKind::SigmaAnswers => Query::SigmaAnswers(
+                OneCq::new(r.cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
+            ),
+            QueryKind::Delta => Query::Delta {
+                cq: r.cq.clone(),
+                disjoint: false,
+            },
+            QueryKind::DeltaPlus => Query::Delta {
+                cq: r.cq.clone(),
+                disjoint: true,
+            },
+        };
+        Ok(Request {
+            query,
+            instance: r.instance.clone(),
+        })
+    }
+}
+
+/// One response, positionally matching its request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The certain answer.
+    pub answer: Answer,
+    /// Which strategy served it (`rewriting`, `semi-naive`, `dpll`).
+    pub strategy: &'static str,
+    /// Queue wait + evaluation time.
+    pub latency: Duration,
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// A request targeted an instance the catalog does not hold.
+    UnknownInstance(String),
+    /// A `pi`/`sigma` request whose CQ is not a 1-CQ.
+    BadQuery(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownInstance(n) => write!(f, "unknown instance {n:?}"),
+            ServerError::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// How [`Server::replay`] paces submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Submit the whole stream as one batch and drain at full speed.
+    Closed,
+    /// Pace submission by the spec's virtual arrival offsets.
+    Open,
+}
+
+/// Aggregate results of a replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Requests served.
+    pub total: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Request counts per query kind keyword.
+    pub per_kind: Vec<(String, usize)>,
+    /// Request counts per serving strategy.
+    pub per_strategy: Vec<(String, usize)>,
+    /// Latency order statistics.
+    pub latency: LatencyStats,
+    /// Plan-cache `(hits, misses)` over the whole server lifetime.
+    pub plan_cache: (u64, u64),
+    /// Distinct plans resident after the run.
+    pub plans_resident: usize,
+    /// Answers in request order (for differential checking).
+    pub answers: Vec<Answer>,
+}
+
+impl ReplayReport {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.total as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "replayed {} requests on {} worker thread(s) in {:.3} ms ({:.0} req/s)",
+            self.total,
+            self.threads,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput()
+        )
+        .unwrap();
+        let fmt_counts = |pairs: &[(String, usize)]| {
+            pairs
+                .iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(out, "kinds     : {}", fmt_counts(&self.per_kind)).unwrap();
+        writeln!(out, "strategies: {}", fmt_counts(&self.per_strategy)).unwrap();
+        writeln!(
+            out,
+            "latency   : p50 {}µs  p95 {}µs  p99 {}µs  max {}µs  mean {}µs",
+            self.latency.p50_us,
+            self.latency.p95_us,
+            self.latency.p99_us,
+            self.latency.max_us,
+            self.latency.mean_us
+        )
+        .unwrap();
+        let (hits, misses) = self.plan_cache;
+        writeln!(
+            out,
+            "plan cache: {} resident, {hits} hit(s) / {misses} miss(es)",
+            self.plans_resident
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// The concurrent certain-answer query service.
+pub struct Server {
+    config: ServerConfig,
+    catalog: Catalog,
+    plans: PlanCache,
+    pool: Pool,
+}
+
+impl Server {
+    /// Build a server (spawns the worker pool immediately).
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            catalog: Catalog::new(config.shards),
+            plans: PlanCache::new(config.plan_cache),
+            pool: Pool::new(config.threads),
+            config,
+        }
+    }
+
+    /// A server with [`ServerConfig::default`].
+    pub fn with_defaults() -> Server {
+        Server::new(ServerConfig::default())
+    }
+
+    /// The instance catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Load (or replace) a named instance.
+    pub fn load_instance(&self, name: impl Into<String>, data: Structure) -> bool {
+        self.catalog.insert(name, data)
+    }
+
+    /// Resolve every request's instance (whole batch fails on the first
+    /// unknown name — no partial execution).
+    fn resolve_instances(
+        &self,
+        requests: &[Request],
+    ) -> Result<Vec<Arc<crate::catalog::IndexedInstance>>, ServerError> {
+        requests
+            .iter()
+            .map(|r| {
+                self.catalog
+                    .get(&r.instance)
+                    .ok_or_else(|| ServerError::UnknownInstance(r.instance.clone()))
+            })
+            .collect()
+    }
+
+    /// Fetch one plan per distinct program in the batch (so a batch pays
+    /// each program's planning cost at most once), mapped per request.
+    fn resolve_plans(&self, requests: &[Request]) -> Vec<Arc<crate::plan::Plan>> {
+        let mut by_key: FxHashMap<String, Arc<crate::plan::Plan>> = FxHashMap::default();
+        requests
+            .iter()
+            .map(|req| {
+                by_key
+                    .entry(req.query.cache_key())
+                    .or_insert_with(|| self.plans.get_or_build(&req.query, &self.config.plan))
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Drain `n` completions into responses ordered by request index.
+    fn collect_responses(done: std::sync::mpsc::Receiver<Completion>, n: usize) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = vec![None; n];
+        for c in done {
+            responses[c.idx] = Some(Response {
+                answer: c.answer,
+                strategy: c.strategy,
+                latency: c.latency,
+            });
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every job completes"))
+            .collect()
+    }
+
+    /// Answer a batch. Requests are validated up front (no partial
+    /// execution on error); responses come back in request order. Requests
+    /// sharing a program share one plan fetch, so a batch pays each
+    /// distinct program's planning cost once.
+    pub fn submit(&self, requests: &[Request]) -> Result<Vec<Response>, ServerError> {
+        let instances = self.resolve_instances(requests)?;
+        let plans = self.resolve_plans(requests);
+        let (reply, done) = channel::<Completion>();
+        for (idx, (plan, inst)) in plans.into_iter().zip(instances).enumerate() {
+            self.pool.submit(Job {
+                idx,
+                plan,
+                instance: inst,
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        Ok(Self::collect_responses(done, requests.len()))
+    }
+
+    /// Load a spec's instances and replay its request stream.
+    pub fn replay(
+        &self,
+        spec: &TrafficSpec,
+        mode: ReplayMode,
+    ) -> Result<ReplayReport, ServerError> {
+        for (name, data) in &spec.instances {
+            self.load_instance(name.clone(), data.clone());
+        }
+        let requests: Vec<Request> = spec
+            .requests
+            .iter()
+            .map(Request::from_traffic)
+            .collect::<Result<_, _>>()?;
+        let started = Instant::now();
+        let responses = match mode {
+            ReplayMode::Closed => self.submit(&requests)?,
+            ReplayMode::Open => self.submit_paced(&requests, spec)?,
+        };
+        let elapsed = started.elapsed();
+
+        let mut per_kind: FxHashMap<&str, usize> = FxHashMap::default();
+        for r in &spec.requests {
+            *per_kind.entry(r.kind.keyword()).or_default() += 1;
+        }
+        let mut per_strategy: FxHashMap<&str, usize> = FxHashMap::default();
+        for r in &responses {
+            *per_strategy.entry(r.strategy).or_default() += 1;
+        }
+        let sorted = |m: FxHashMap<&str, usize>| {
+            let mut v: Vec<(String, usize)> =
+                m.into_iter().map(|(k, n)| (k.to_owned(), n)).collect();
+            v.sort_unstable();
+            v
+        };
+        let latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+        Ok(ReplayReport {
+            total: responses.len(),
+            threads: self.threads(),
+            elapsed,
+            per_kind: sorted(per_kind),
+            per_strategy: sorted(per_strategy),
+            latency: LatencyStats::from_durations(&latencies),
+            plan_cache: self.plans.stats(),
+            plans_resident: self.plans.len(),
+            answers: responses.into_iter().map(|r| r.answer).collect(),
+        })
+    }
+
+    /// Open-loop submission: requests enter the queue at (roughly) their
+    /// virtual arrival offsets; a late stream never sleeps to catch up.
+    /// Plans are resolved *before* the pacing clock starts, so cold plan
+    /// builds cannot distort the arrival process being measured.
+    fn submit_paced(
+        &self,
+        requests: &[Request],
+        spec: &TrafficSpec,
+    ) -> Result<Vec<Response>, ServerError> {
+        let instances = self.resolve_instances(requests)?;
+        let plans = self.resolve_plans(requests);
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| spec.requests[i].arrival_us);
+        let (reply, done) = channel::<Completion>();
+        let start = Instant::now();
+        for &i in &order {
+            let due = Duration::from_micros(spec.requests[i].arrival_us);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            self.pool.submit(Job {
+                idx: i,
+                plan: plans[i].clone(),
+                instance: instances[i].clone(),
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        Ok(Self::collect_responses(done, requests.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+
+    fn tiny_server() -> Server {
+        let s = Server::new(ServerConfig {
+            threads: 2,
+            shards: 2,
+            plan_cache: 8,
+            plan: PlanOptions::default(),
+        });
+        s.load_instance("yes", st("F(u), R(u,v), T(v)"));
+        s.load_instance("no", st("F(u), R(v,u), T(v)"));
+        s
+    }
+
+    fn pi_req(instance: &str) -> Request {
+        Request {
+            query: Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")),
+            instance: instance.to_owned(),
+        }
+    }
+
+    #[test]
+    fn submit_answers_in_request_order() {
+        let s = tiny_server();
+        let reqs = vec![pi_req("yes"), pi_req("no"), pi_req("yes")];
+        let resp = s.submit(&reqs).unwrap();
+        assert_eq!(resp.len(), 3);
+        assert_eq!(resp[0].answer, Answer::Bool(true));
+        assert_eq!(resp[1].answer, Answer::Bool(false));
+        assert_eq!(resp[2].answer, Answer::Bool(true));
+        // One program in the batch ⇒ one plan build, shared.
+        assert_eq!(s.plan_cache().stats().1, 1);
+    }
+
+    #[test]
+    fn unknown_instance_fails_whole_batch() {
+        let s = tiny_server();
+        let err = s.submit(&[pi_req("yes"), pi_req("missing")]).unwrap_err();
+        assert_eq!(err, ServerError::UnknownInstance("missing".to_owned()));
+    }
+
+    #[test]
+    fn replay_reports_both_modes() {
+        use sirup_workloads::traffic::{mixed_traffic, TrafficParams};
+        let spec = mixed_traffic(
+            TrafficParams {
+                instances: 2,
+                requests: 40,
+                mean_gap_us: 30,
+                ..Default::default()
+            },
+            11,
+        );
+        let s = Server::with_defaults();
+        let closed = s.replay(&spec, ReplayMode::Closed).unwrap();
+        assert_eq!(closed.total, 40);
+        assert_eq!(closed.answers.len(), 40);
+        assert!(closed.throughput() > 0.0);
+        assert!(!closed.per_kind.is_empty());
+        assert!(!closed.per_strategy.is_empty());
+        let open = s.replay(&spec, ReplayMode::Open).unwrap();
+        assert_eq!(open.total, 40);
+        // Identical answers regardless of pacing and cache temperature.
+        assert_eq!(closed.answers, open.answers);
+        let text = closed.summary();
+        for needle in ["req/s", "p50", "p99", "plan cache"] {
+            assert!(text.contains(needle), "summary missing {needle}: {text}");
+        }
+    }
+}

@@ -9,13 +9,21 @@
 //!   `D_G` of Theorem 7 / Theorem 11 / Appendix G (reachability → d-sirup
 //!   evaluation);
 //! * [`random`]: seeded random generators for ditree CQs, Λ-CQs, path CQs
-//!   and data instances, used by property tests and benchmarks.
+//!   and data instances, used by property tests and benchmarks;
+//! * [`traffic`]: mixed request streams over the paper's named programs and
+//!   random instances, plus the workload text format replayed by
+//!   `sirup-server` and `sirupctl serve`/`replay`.
 
 pub mod appendix_e;
 pub mod paper;
 pub mod random;
 pub mod reach;
+pub mod traffic;
 
 pub use appendix_e::appendix_e_instance;
 pub use paper::{d1, d2, q1, q2, q2_cq, q3, q3_cq, q4, q4_cq, q5, q6, q7, q8};
 pub use reach::{dag_reduction_instance, undirected_reduction_instance, Digraph};
+pub use traffic::{
+    mixed_traffic, parse_workload, render_workload, QueryKind, TrafficParams, TrafficRequest,
+    TrafficSpec,
+};

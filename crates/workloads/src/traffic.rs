@@ -1,0 +1,366 @@
+//! Traffic generation and the workload file format for the query service.
+//!
+//! A [`TrafficSpec`] is a self-contained workload: a catalog of named data
+//! instances plus a stream of certain-answer requests against them, each
+//! tagged with a virtual arrival offset. `sirup-server` replays specs either
+//! **closed-loop** (the whole stream is submitted as one batch and drained
+//! at full speed — a throughput measurement) or **open-loop** (submission is
+//! paced by the arrival offsets — a latency-under-load measurement).
+//!
+//! [`mixed_traffic`] emits seeded random specs mixing the paper's named
+//! programs (`q2`–`q5`, `q7`, `q8`, and `q1`–`q4` as disjunctive sirups)
+//! with random ditree CQs over random instances — the standing workload for
+//! the service-layer benchmarks and differential tests.
+//!
+//! The text format (one item per line, `#` comments) round-trips through
+//! [`render_workload`] / [`parse_workload`]:
+//!
+//! ```text
+//! # sirup workload v1
+//! instance d1 = F(f1), R(f1,a1), A(a1), R(a1,t1), T(t1)
+//! request pi d1 @0 = F(x), R(x,y), T(y)
+//! request sigma d1 @180 = F(x), R(y,x), R(y,z), T(z)
+//! request delta d1 @420 = T(x), R(x,y), F(y)
+//! request delta+ d1 @500 = T(x), R(x,y), F(y)
+//! ```
+
+use crate::paper;
+use crate::random::{random_ditree_cq, random_instance, DitreeCqParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sirup_core::parse::parse_structure;
+use sirup_core::{OneCq, Structure};
+use std::fmt::Write as _;
+
+/// The certain-answer query kinds the service answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Boolean certain answer to `(Π_q, G)` — needs a 1-CQ.
+    PiGoal,
+    /// Unary certain answers to `(Σ_q, P)` — needs a 1-CQ.
+    SigmaAnswers,
+    /// Boolean certain answer to the disjunctive `(Δ_q, G)`.
+    Delta,
+    /// Boolean certain answer to `(Δ⁺_q, G)` (with disjointness (3)).
+    DeltaPlus,
+}
+
+impl QueryKind {
+    /// The format keyword (`pi`, `sigma`, `delta`, `delta+`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            QueryKind::PiGoal => "pi",
+            QueryKind::SigmaAnswers => "sigma",
+            QueryKind::Delta => "delta",
+            QueryKind::DeltaPlus => "delta+",
+        }
+    }
+
+    /// Parse a format keyword.
+    pub fn from_keyword(kw: &str) -> Option<QueryKind> {
+        match kw {
+            "pi" => Some(QueryKind::PiGoal),
+            "sigma" => Some(QueryKind::SigmaAnswers),
+            "delta" => Some(QueryKind::Delta),
+            "delta+" => Some(QueryKind::DeltaPlus),
+            _ => None,
+        }
+    }
+}
+
+/// One request of a workload: a query kind, the CQ defining the program,
+/// the name of the target instance, and a virtual arrival offset.
+#[derive(Debug, Clone)]
+pub struct TrafficRequest {
+    /// Which certain-answer query to run.
+    pub kind: QueryKind,
+    /// The CQ `q` (validated as a 1-CQ for `pi`/`sigma` requests).
+    pub cq: Structure,
+    /// Name of the target instance in the spec's catalog.
+    pub instance: String,
+    /// Virtual arrival time in microseconds from stream start (open-loop
+    /// pacing; ignored by closed-loop replay).
+    pub arrival_us: u64,
+}
+
+/// A workload: named instances plus a request stream sorted by arrival.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficSpec {
+    /// The instance catalog content, in definition order.
+    pub instances: Vec<(String, Structure)>,
+    /// The request stream.
+    pub requests: Vec<TrafficRequest>,
+}
+
+/// Parameters for [`mixed_traffic`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficParams {
+    /// Number of random instances to generate (besides `d1`/`d2`).
+    pub instances: usize,
+    /// Nodes per random instance.
+    pub instance_nodes: usize,
+    /// Edges per random instance.
+    pub instance_edges: usize,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Mean virtual inter-arrival gap in microseconds.
+    pub mean_gap_us: u64,
+    /// Number of random ditree CQs to add to the program pool.
+    pub random_cqs: usize,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            instances: 4,
+            instance_nodes: 24,
+            instance_edges: 40,
+            requests: 200,
+            mean_gap_us: 150,
+            random_cqs: 3,
+        }
+    }
+}
+
+/// Generate a seeded mixed workload over the paper's named programs plus
+/// random ditree CQs and random instances. Deterministic in `(params, seed)`.
+pub fn mixed_traffic(params: TrafficParams, seed: u64) -> TrafficSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = TrafficSpec::default();
+    spec.instances.push(("d1".to_owned(), paper::d1()));
+    spec.instances.push(("d2".to_owned(), paper::d2()));
+    for i in 0..params.instances {
+        // Moderate A-density keeps the DPLL labelling search tractable.
+        let s = random_instance(
+            params.instance_nodes,
+            params.instance_edges,
+            0.45,
+            0.25,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9e37),
+        );
+        spec.instances.push((format!("rand{i}"), s));
+    }
+
+    // Program pools. 1-CQs serve every kind; q1 (two solitary Fs) only the
+    // disjunctive kinds.
+    let mut one_cqs: Vec<OneCq> = vec![
+        paper::q2_cq(),
+        paper::q3_cq(),
+        paper::q4_cq(),
+        paper::q5(),
+        paper::q7(),
+        paper::q8(),
+    ];
+    let mut tries = 0u64;
+    while one_cqs.len() < 6 + params.random_cqs && tries < 200 {
+        let cq_seed = seed.wrapping_mul(31).wrapping_add(tries);
+        if let Some(q) = random_ditree_cq(DitreeCqParams::default(), cq_seed) {
+            one_cqs.push(q);
+        }
+        tries += 1;
+    }
+    let delta_only: Vec<Structure> = vec![paper::q1()];
+
+    let mut arrival = 0u64;
+    for _ in 0..params.requests {
+        arrival += rng.gen_range(0..=2 * params.mean_gap_us);
+        let kind = match rng.gen_range(0..100u32) {
+            0..=29 => QueryKind::PiGoal,
+            30..=54 => QueryKind::SigmaAnswers,
+            55..=89 => QueryKind::Delta,
+            _ => QueryKind::DeltaPlus,
+        };
+        let cq = match kind {
+            QueryKind::PiGoal | QueryKind::SigmaAnswers => {
+                one_cqs[rng.gen_range(0..one_cqs.len())].structure().clone()
+            }
+            QueryKind::Delta | QueryKind::DeltaPlus => {
+                // Disjunctive kinds draw from both pools.
+                let total = one_cqs.len() + delta_only.len();
+                let i = rng.gen_range(0..total);
+                if i < one_cqs.len() {
+                    one_cqs[i].structure().clone()
+                } else {
+                    delta_only[i - one_cqs.len()].clone()
+                }
+            }
+        };
+        let instance = spec.instances[rng.gen_range(0..spec.instances.len())]
+            .0
+            .clone();
+        spec.requests.push(TrafficRequest {
+            kind,
+            cq,
+            instance,
+            arrival_us: arrival,
+        });
+    }
+    spec
+}
+
+/// Render a spec in the workload text format.
+pub fn render_workload(spec: &TrafficSpec) -> String {
+    let mut out = String::from("# sirup workload v1\n");
+    for (name, s) in &spec.instances {
+        writeln!(out, "instance {name} = {s}").unwrap();
+    }
+    for r in &spec.requests {
+        writeln!(
+            out,
+            "request {} {} @{} = {}",
+            r.kind.keyword(),
+            r.instance,
+            r.arrival_us,
+            r.cq
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Parse the workload text format. Validates that every request targets a
+/// defined instance and that `pi`/`sigma` CQs are 1-CQs.
+pub fn parse_workload(text: &str) -> Result<TrafficSpec, String> {
+    let mut spec = TrafficSpec::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, body) = line
+            .split_once('=')
+            .ok_or_else(|| at("expected `... = <atoms>`".into()))?;
+        let atoms = parse_structure(body).map_err(|e| at(e.to_string()))?.0;
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        match fields.as_slice() {
+            ["instance", name] => {
+                if spec.instances.iter().any(|(n, _)| n == name) {
+                    return Err(at(format!("instance {name} defined twice")));
+                }
+                spec.instances.push(((*name).to_owned(), atoms));
+            }
+            ["request", kw, instance, arrival] => {
+                let kind = QueryKind::from_keyword(kw)
+                    .ok_or_else(|| at(format!("unknown query kind {kw:?}")))?;
+                let arrival_us = arrival
+                    .strip_prefix('@')
+                    .and_then(|a| a.parse().ok())
+                    .ok_or_else(|| at(format!("bad arrival {arrival:?} (expected @<µs>)")))?;
+                if !spec.instances.iter().any(|(n, _)| n == instance) {
+                    return Err(at(format!(
+                        "request targets undefined instance {instance:?}"
+                    )));
+                }
+                if matches!(kind, QueryKind::PiGoal | QueryKind::SigmaAnswers) {
+                    OneCq::new(atoms.clone())
+                        .map_err(|e| at(format!("{kw} request needs a 1-CQ: {e}")))?;
+                }
+                spec.requests.push(TrafficRequest {
+                    kind,
+                    cq: atoms,
+                    instance: (*instance).to_owned(),
+                    arrival_us,
+                });
+            }
+            _ => return Err(at(format!("unrecognised item {head:?}"))),
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_traffic_is_deterministic_and_well_formed() {
+        let a = mixed_traffic(TrafficParams::default(), 7);
+        let b = mixed_traffic(TrafficParams::default(), 7);
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.requests.len(), TrafficParams::default().requests);
+        for (ra, rb) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(ra.kind, rb.kind);
+            assert_eq!(ra.cq, rb.cq);
+            assert_eq!(ra.instance, rb.instance);
+            assert_eq!(ra.arrival_us, rb.arrival_us);
+        }
+        // Arrivals are nondecreasing; every request targets a known instance.
+        let mut last = 0;
+        for r in &a.requests {
+            assert!(r.arrival_us >= last);
+            last = r.arrival_us;
+            assert!(a.instances.iter().any(|(n, _)| *n == r.instance));
+            if matches!(r.kind, QueryKind::PiGoal | QueryKind::SigmaAnswers) {
+                assert!(OneCq::new(r.cq.clone()).is_ok());
+            }
+        }
+        // The mix covers all four kinds at default size.
+        for kind in [
+            QueryKind::PiGoal,
+            QueryKind::SigmaAnswers,
+            QueryKind::Delta,
+            QueryKind::DeltaPlus,
+        ] {
+            assert!(
+                a.requests.iter().any(|r| r.kind == kind),
+                "{kind:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_format_round_trips() {
+        let spec = mixed_traffic(
+            TrafficParams {
+                instances: 2,
+                requests: 25,
+                ..Default::default()
+            },
+            3,
+        );
+        let text = render_workload(&spec);
+        let back = parse_workload(&text).expect("rendered workload parses");
+        assert_eq!(back.instances.len(), spec.instances.len());
+        assert_eq!(back.requests.len(), spec.requests.len());
+        // Node identity is not preserved (rendering names nodes by their
+        // atoms, and isolated unlabeled nodes are dropped), but the atom
+        // sets — the semantics — are.
+        for ((na, sa), (nb, sb)) in spec.instances.iter().zip(&back.instances) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.size(), sb.size());
+        }
+        for (ra, rb) in spec.requests.iter().zip(&back.requests) {
+            assert_eq!(ra.kind, rb.kind);
+            assert_eq!(ra.instance, rb.instance);
+            assert_eq!(ra.arrival_us, rb.arrival_us);
+            assert_eq!(ra.cq.size(), rb.cq.size());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_workloads() {
+        assert!(parse_workload("garbage").is_err());
+        assert!(parse_workload("instance a = F(x\n").is_err());
+        // Undefined instance.
+        assert!(parse_workload("request pi nope @0 = F(x), R(x,y), T(y)").is_err());
+        // pi needs a 1-CQ (two solitary Fs here).
+        let two_f = "instance d = T(u)\nrequest pi d @0 = F(x), R(x,y), F(y)";
+        assert!(parse_workload(two_f).is_err());
+        // delta accepts it.
+        let delta = "instance d = T(u)\nrequest delta d @0 = F(x), R(x,y), F(y)";
+        assert!(parse_workload(delta).is_ok());
+        // Duplicate instance.
+        assert!(parse_workload("instance d = T(u)\ninstance d = T(v)").is_err());
+        // Bad arrival.
+        assert!(parse_workload("instance d = T(u)\nrequest pi d 0 = F(x), R(x,y), T(y)").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n  # indented comment\ninstance d = T(u)\n";
+        let spec = parse_workload(text).unwrap();
+        assert_eq!(spec.instances.len(), 1);
+        assert!(spec.requests.is_empty());
+    }
+}

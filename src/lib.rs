@@ -16,8 +16,10 @@
 //! * [`circuits`] — the §3.4 Boolean formula families;
 //! * [`reduction`] — the §3.5 2ExpTime-hardness query construction;
 //! * [`schemaorg`] — Prop. 5 (Schema.org / DL-Lite_bool presentations);
-//! * [`workloads`] — the paper's named objects (q1…q8, D1, D2) and
-//!   generators.
+//! * [`workloads`] — the paper's named objects (q1…q8, D1, D2), generators,
+//!   and the traffic/workload-file machinery;
+//! * [`server`] — the concurrent certain-answer query service (sharded
+//!   instance catalog, plan cache, batch executor).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-claim vs. measured index.
@@ -42,4 +44,5 @@ pub use sirup_fo as fo;
 pub use sirup_hom as hom;
 pub use sirup_reduction as reduction;
 pub use sirup_schemaorg as schemaorg;
+pub use sirup_server as server;
 pub use sirup_workloads as workloads;
