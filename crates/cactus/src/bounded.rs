@@ -16,7 +16,7 @@
 use crate::cactus::Cactus;
 use crate::enumerate::enumerate_cactuses;
 use sirup_core::OneCq;
-use sirup_hom::HomFinder;
+use sirup_hom::QueryPlan;
 
 /// Parameters for the bounded-horizon Prop. 2 check.
 #[derive(Debug, Clone, Copy)]
@@ -73,11 +73,24 @@ pub fn find_bound(q: &OneCq, params: BoundSearch) -> Boundedness {
     if !complete {
         return Boundedness::Inconclusive;
     }
+    // Each "small" cactus's search plan is compiled lazily on first use
+    // and then replayed against every deeper cactus, for every candidate
+    // bound that includes it — so a query certified at small `d` never
+    // pays compilation for the deeper cactuses.
+    let plans: Vec<std::cell::OnceCell<QueryPlan>> =
+        (0..cactuses.len()).map(|_| Default::default()).collect();
     'next_d: for d in 0..=params.max_d {
-        let smalls: Vec<&Cactus> = cactuses.iter().filter(|c| c.depth() <= d).collect();
+        let smalls: Vec<(&Cactus, &std::cell::OnceCell<QueryPlan>)> = cactuses
+            .iter()
+            .zip(&plans)
+            .filter(|(c, _)| c.depth() <= d)
+            .collect();
         let mut witness_depth = None;
         for big in cactuses.iter().filter(|c| c.depth() > d) {
-            let image_found = smalls.iter().any(|small| embeds(small, big, params.sigma));
+            let image_found = smalls.iter().any(|(small, cell)| {
+                let plan = cell.get_or_init(|| QueryPlan::compile(small.structure()));
+                embeds_planned(small, plan, big, params.sigma)
+            });
             if !image_found {
                 witness_depth = Some(big.depth());
                 if d == params.max_d {
@@ -99,13 +112,19 @@ pub fn find_bound(q: &OneCq, params: BoundSearch) -> Boundedness {
 }
 
 /// Does `small` map homomorphically into `big` (optionally with root-focus
-/// fixed to root-focus)?
+/// fixed to root-focus)? Compiles `small`'s plan per call; enumeration
+/// loops compile once and use [`embeds_planned`].
 pub fn embeds(small: &Cactus, big: &Cactus, fix_root: bool) -> bool {
-    let finder = HomFinder::new(small.structure(), big.structure());
+    embeds_planned(small, &QueryPlan::compile(small.structure()), big, fix_root)
+}
+
+/// As [`embeds`], with a precompiled plan for `small.structure()`.
+pub fn embeds_planned(small: &Cactus, plan: &QueryPlan, big: &Cactus, fix_root: bool) -> bool {
+    let exec = plan.on(big.structure());
     if fix_root {
-        finder.fix(small.root_focus(), big.root_focus()).exists()
+        exec.fix(small.root_focus(), big.root_focus()).exists()
     } else {
-        finder.exists()
+        exec.exists()
     }
 }
 
@@ -119,9 +138,12 @@ pub fn is_focused_up_to(q: &OneCq, horizon: u32, cap: usize) -> Option<bool> {
         return None;
     }
     for c in &cactuses {
+        // One compiled plan of `c` serves the whole inner loop.
+        let plan = QueryPlan::compile(c.structure());
         for c2 in &cactuses {
             // A focus-violating hom exists iff one exists with h(r) ≠ r′.
-            let violating = HomFinder::new(c.structure(), c2.structure())
+            let violating = plan
+                .on(c2.structure())
                 .forbid(c.root_focus(), c2.root_focus())
                 .exists();
             if violating {

@@ -87,7 +87,7 @@ impl TypedFormula {
     /// Does some gathering around `v` in `tree` satisfy the formula?
     /// (Downpaths are chosen existentially, independently per group;
     /// the uppath is unique. Mirrors §3.4: “property P fails at 𝔞 iff there
-    /// is some b gathered … with φ_P[b] = 1”.)
+    /// is some b gathered … with φ_P\[b\] = 1”.)
     ///
     /// The search assigns groups one at a time and prunes with three-valued
     /// partial evaluation — without this, formulas with many downpath groups

@@ -1,4 +1,4 @@
-//! The rewritability *upper bounds* from [22] that §4 builds on (the list
+//! The rewritability *upper bounds* from \[22\] that §4 builds on (the list
 //! (a)–(d) on p. 12 of the paper):
 //!
 //! * (a) no solitary `F` ⇒ `(Δ_q, G)` is FO-rewritable;
@@ -17,7 +17,7 @@ use sirup_core::cq::{solitary_f, solitary_t};
 use sirup_core::program::{pi_q, Program};
 use sirup_core::{OneCq, Structure};
 
-/// The strongest syntactic rewritability upper bound from [22].
+/// The strongest syntactic rewritability upper bound from \[22\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RewritabilityBound {
     /// (a) — FO-rewritable, in AC0.

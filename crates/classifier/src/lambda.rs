@@ -34,7 +34,7 @@ use sirup_core::builder::GlueBuilder;
 use sirup_core::shape::DitreeView;
 use sirup_core::{Node, OneCq, Pred, Structure};
 use sirup_engine::eval::certain_answer_goal;
-use sirup_hom::{core_of, hom_exists};
+use sirup_hom::{core_of, QueryPlan};
 
 /// A segment type `(P, i, C)`: `P`, `C` are bitmasks over slots `0..k`;
 /// `i` is the spawning slot plus one (`0` = root type, so `P = 0`).
@@ -79,8 +79,10 @@ pub struct LambdaMachine {
     k: usize,
     /// All types, root types first.
     pub types: Vec<SegType>,
-    /// Root-segment patterns `q_S` for every budded subset `S`.
-    root_segments: Vec<Structure>,
+    /// Compiled search plans of the root-segment patterns `q_S`, one per
+    /// budded subset `S` (fixed per machine; replayed against every
+    /// blow-up the deciders enumerate — each plan owns its pattern).
+    root_plans: Vec<QueryPlan>,
     /// Per-type segment structure (the blow-up of the single type).
     seg_structs: Vec<Structure>,
     /// black\[t\]: some root segment maps into the blow-up of `t`.
@@ -132,6 +134,7 @@ impl LambdaMachine {
         let root_segments: Vec<Structure> = (0..=full)
             .map(|s| q.segment(Pred::F, &mask_to_bools(s, k)))
             .collect();
+        let root_plans: Vec<QueryPlan> = root_segments.iter().map(QueryPlan::compile).collect();
         let seg_structs: Vec<Structure> = types
             .iter()
             .map(|t| {
@@ -143,7 +146,7 @@ impl LambdaMachine {
             q,
             k,
             types,
-            root_segments,
+            root_plans,
             seg_structs,
             black: Vec::new(),
             blue: Vec::new(),
@@ -186,7 +189,7 @@ impl LambdaMachine {
                     return false; // anchored folds do not count
                 }
                 let target = &self.seg_structs[ti];
-                self.root_segments.iter().any(|rs| hom_exists(rs, target))
+                self.root_plans.iter().any(|plan| plan.on(target).exists())
             })
             .collect();
     }
@@ -413,7 +416,7 @@ impl LambdaMachine {
             .map(|&(a, j, b)| (p_index(a), j, p_index(b)))
             .collect();
         let p_blow = self.blow_up(&p_nodes, &p_edges);
-        if self.root_segments.iter().any(|rs| hom_exists(rs, &p_blow)) {
+        if self.root_plans.iter().any(|plan| plan.on(&p_blow).exists()) {
             return true;
         }
         false

@@ -1,18 +1,18 @@
 //! Path d-sirups: the classification the paper's theorems induce on
 //! directed-path CQs.
 //!
-//! §4 recalls that [22] gave "a complete classification of monadic
+//! §4 recalls that \[22\] gave "a complete classification of monadic
 //! disjunctive sirups Δ_q with a path CQ q and an extra disjointness
 //! constraint" and uses path CQs as the degenerate base case throughout.
 //! On a directed path every pair of nodes is `≺`-comparable, which makes
 //! the general machinery collapse to clean case analysis:
 //!
-//! * no solitary `F` (or no solitary `T`) ⇒ FO-rewritable ([22] item (a),
+//! * no solitary `F` (or no solitary `T`) ⇒ FO-rewritable (\[22\] item (a),
 //!   symmetric form);
 //! * otherwise some solitary pair is `≺`-comparable (everything on a path
 //!   is), so by Theorem 7(i) evaluation is **NL-hard** when the path CQ is
 //!   minimal; with exactly one solitary `F` and one solitary `T` the
-//!   linear-datalog upper bound ([22] item (c)) makes it **NL-complete**;
+//!   linear-datalog upper bound (\[22\] item (c)) makes it **NL-complete**;
 //! * with one solitary `F` and several solitary `T`s only the datalog
 //!   upper bound (P) is generic; q2 (P-complete, Example 1) shows the
 //!   hardness side is attained;
@@ -35,14 +35,14 @@ use sirup_core::Structure;
 pub enum PathClass {
     /// FO-rewritable (in AC0).
     FoRewritable,
-    /// NL-complete: NL-hard by Theorem 7(i), in NL by [22] item (c).
+    /// NL-complete: NL-hard by Theorem 7(i), in NL by \[22\] item (c).
     NlComplete,
     /// Between NL (hard, Theorem 7(i)) and P (datalog upper bound, item (b)).
     NlHardInP,
     /// Between NL (hard) and coNP (generic disjunctive bound).
     NlHardInConp,
     /// No lower bound established by this workspace's deciders; the upper
-    /// bound from [22] applies. (Only reachable for non-minimal paths whose
+    /// bound from \[22\] applies. (Only reachable for non-minimal paths whose
     /// cores leave the path fragment.)
     UpperBoundOnly(RewritabilityBound),
 }

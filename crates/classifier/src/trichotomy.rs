@@ -19,7 +19,7 @@
 use crate::analysis::DitreeCqAnalysis;
 use sirup_core::builder::GlueBuilder;
 use sirup_core::{Node, Pred, Structure};
-use sirup_hom::{core_of, hom_exists};
+use sirup_hom::{core_of, QueryPlan};
 
 /// The Theorem 11 classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +80,10 @@ pub fn classify_trichotomy(q: &Structure) -> Result<TrichotomyClass, TrichotomyE
 
 /// Does `q` map into one of the two canonical models over `H(t,f)`?
 pub fn h_tf_test(q: &Structure, t: Node, f: Node) -> bool {
-    hom_exists(q, &h_tf_model(q, t, f, Pred::F)) || hom_exists(q, &h_tf_model(q, t, f, Pred::T))
+    // One compiled plan of q serves both model checks.
+    let plan = QueryPlan::compile(q);
+    plan.on(&h_tf_model(q, t, f, Pred::F)).exists()
+        || plan.on(&h_tf_model(q, t, f, Pred::T)).exists()
 }
 
 /// Build the model `I` over `H(t,f)`: three copies of `q` with the `T`/`F`

@@ -61,6 +61,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(help_text()),
         "parse" => cmd_parse(args),
         "classify" => cmd_classify(args),
+        "plan" => cmd_plan(args),
         "bound" => cmd_bound(args),
         "rewrite" => cmd_rewrite(args),
         "cactus" => cmd_cactus(args),
@@ -84,6 +85,9 @@ USAGE: sirupctl <command> [args] [--flags]
 COMMANDS
   parse <cq>                    validate a CQ; report shape, solitary nodes, twins
   classify <cq>                 run the §4 deciders (Cor. 8, Thm. 9, Thm. 11)
+  plan <cq> [--sigma]           print the compiled hom-search plan of the CQ
+                                (variable order, domain constraints, estimated
+                                fan-out) and of each rule body of Π_q / Σ_q
   bound <cq> [--max-d N] [--horizon N] [--cap N] [--sigma]
                                 Prop. 2 boundedness evidence at a finite horizon
   rewrite <cq> --depth N [--format ucq|fo|sql] [--sigma] [--minimise]
@@ -234,6 +238,32 @@ fn cmd_classify(args: &Args) -> Result<String, CliError> {
         if v != LambdaVerdict::NotLambda {
             writeln!(out, "Theorem 9 (Λ-CQ)   : {v:?}").unwrap();
         }
+    }
+    Ok(out)
+}
+
+fn cmd_plan(args: &Args) -> Result<String, CliError> {
+    use sirup_engine::CompiledProgram;
+    use sirup_hom::QueryPlan;
+    let s = structure_arg(args)?;
+    let mut out = String::new();
+    writeln!(out, "CQ: {s}").unwrap();
+    writeln!(out, "compiled plan (execution order):").unwrap();
+    write!(out, "{}", QueryPlan::compile(&s).explain()).unwrap();
+    let Ok(q) = OneCq::new(s) else {
+        writeln!(out, "\n(not a 1-CQ: no Π_q / Σ_q rule plans)").unwrap();
+        return Ok(out);
+    };
+    let (name, program) = if args.flag_bool("sigma") {
+        ("Σ_q", sirup_core::program::sigma_q(&q))
+    } else {
+        ("Π_q", sirup_core::program::pi_q(&q))
+    };
+    let compiled = CompiledProgram::new(&program);
+    writeln!(out, "\nrule-body plans of {name}:").unwrap();
+    for (i, rule) in program.rules.iter().enumerate() {
+        writeln!(out, "rule {i}: {rule}").unwrap();
+        write!(out, "{}", compiled.rule_plan(i).explain()).unwrap();
     }
     Ok(out)
 }
@@ -561,6 +591,7 @@ mod tests {
         for c in [
             "parse",
             "classify",
+            "plan",
             "bound",
             "rewrite",
             "cactus",
@@ -688,6 +719,24 @@ mod tests {
         assert!(out.contains("quasi-symmetric    : true"));
         assert!(out.contains("LComplete"));
         assert!(out.contains("Theorem 9"));
+    }
+
+    #[test]
+    fn plan_prints_order_and_fanout() {
+        let out = run_line(&["plan", "F(x), R(y,x), R(y,z), T(z)"]).unwrap();
+        assert!(out.contains("compiled plan"), "{out}");
+        assert!(out.contains("fan-out"), "{out}");
+        assert!(out.contains("adjacency-bounded"), "{out}");
+        assert!(out.contains("rule-body plans of Π_q"), "{out}");
+        let sig = run_line(&["plan", "F(x), R(y,x), R(y,z), T(z)", "--sigma"]).unwrap();
+        assert!(sig.contains("rule-body plans of Σ_q"), "{sig}");
+        // Non-1-CQ patterns still get their own plan, without rule plans.
+        let d = run_line(&["plan", "F(x), F(y), R(x,y)"]).unwrap();
+        assert!(d.contains("not a 1-CQ"), "{d}");
+        assert!(matches!(
+            run_line(&["plan"]),
+            Err(CliError::MissingArgument(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Dense bitsets over a structure's node range.
+//!
+//! The homomorphism planner ([`sirup-hom`]'s `QueryPlan`) keeps one candidate
+//! domain per pattern variable. Domains are subsets of a *dense* `0..n` node
+//! universe, so a packed `u64`-word bitset beats both `Vec<bool>` (8× the
+//! memory) and hash sets (pointer chasing) on the hot membership tests and
+//! in-order iteration the arc-consistency prefilter and the backtracking
+//! search perform.
+//!
+//! [`sirup-hom`]: ../../sirup_hom/index.html
+
+use crate::structure::Node;
+
+/// A dense bitset over node indices `0..n` (fixed at construction).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `n` nodes.
+    pub fn empty(n: usize) -> NodeSet {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert node `v`. Returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: Node) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        let had = self.words[w] >> b & 1;
+        self.words[w] |= 1 << b;
+        had == 0
+    }
+
+    /// Remove node `v`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: Node) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        let had = self.words[w] >> b & 1;
+        self.words[w] &= !(1 << b);
+        had == 1
+    }
+
+    /// Is node `v` in the set?
+    #[inline]
+    pub fn contains(&self, v: Node) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate the set's nodes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(Node((i * 64 + b) as u32))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::empty(70);
+        assert!(s.is_empty());
+        assert!(s.insert(Node(0)));
+        assert!(s.insert(Node(69)));
+        assert!(!s.insert(Node(69)));
+        assert!(s.contains(Node(0)));
+        assert!(s.contains(Node(69)));
+        assert!(!s.contains(Node(1)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(Node(0)));
+        assert!(!s.remove(Node(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_across_words() {
+        let mut s = NodeSet::empty(130);
+        for v in [129u32, 5, 100, 1, 64] {
+            s.insert(Node(v));
+        }
+        let got: Vec<u32> = s.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![1, 5, 64, 100, 129]);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = NodeSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

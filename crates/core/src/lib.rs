@@ -19,6 +19,7 @@
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
+pub mod bitset;
 pub mod builder;
 pub mod cq;
 pub mod fx;
@@ -29,6 +30,7 @@ pub mod shape;
 pub mod structure;
 pub mod symbols;
 
+pub use bitset::NodeSet;
 pub use cq::OneCq;
 pub use index::PredIndex;
 pub use program::{Atom, Program, Rule, Term};

@@ -172,6 +172,29 @@ impl Structure {
         &self.inn[v.index()]
     }
 
+    /// The sub-slice of `u`'s out-neighbourhood carrying predicate `p`
+    /// (adjacency lists are sorted by `(pred, node)`).
+    #[inline]
+    pub fn out_pred(&self, u: Node, p: Pred) -> &[(Pred, Node)] {
+        pred_slice(self.out(u), p)
+    }
+
+    /// The sub-slice of `v`'s in-neighbourhood carrying predicate `p`.
+    #[inline]
+    pub fn inn_pred(&self, v: Node, p: Pred) -> &[(Pred, Node)] {
+        pred_slice(self.inn(v), p)
+    }
+
+    /// Sorted, deduplicated predicates of `u`'s outgoing edges.
+    pub fn out_preds(&self, u: Node) -> Vec<Pred> {
+        distinct_preds(self.out(u))
+    }
+
+    /// Sorted, deduplicated predicates of `v`'s incoming edges.
+    pub fn in_preds(&self, v: Node) -> Vec<Pred> {
+        distinct_preds(self.inn(v))
+    }
+
     /// Out-degree of `u`.
     #[inline]
     pub fn out_degree(&self, u: Node) -> usize {
@@ -206,12 +229,7 @@ impl Structure {
     /// [`crate::index::PredIndex`] once instead.
     pub fn edges_by_pred(&self, p: Pred) -> Vec<(Node, Node)> {
         self.nodes()
-            .flat_map(|u| {
-                let o = self.out(u);
-                let lo = o.partition_point(|&(q, _)| q < p);
-                let hi = o.partition_point(|&(q, _)| q <= p);
-                o[lo..hi].iter().map(move |&(_, v)| (u, v))
-            })
+            .flat_map(|u| self.out_pred(u, p).iter().map(move |&(_, v)| (u, v)))
             .collect()
     }
 
@@ -314,6 +332,21 @@ impl Structure {
         }
         true
     }
+}
+
+/// The sub-slice of a sorted `(pred, node)` adjacency list carrying `p`.
+#[inline]
+fn pred_slice(adj: &[(Pred, Node)], p: Pred) -> &[(Pred, Node)] {
+    let lo = adj.partition_point(|&(q, _)| q < p);
+    let hi = adj.partition_point(|&(q, _)| q <= p);
+    &adj[lo..hi]
+}
+
+/// Sorted, deduplicated predicates of a sorted adjacency list.
+fn distinct_preds(adj: &[(Pred, Node)]) -> Vec<Pred> {
+    let mut ps: Vec<Pred> = adj.iter().map(|&(p, _)| p).collect();
+    ps.dedup(); // sorted by (pred, node) ⇒ equal preds are adjacent
+    ps
 }
 
 impl fmt::Debug for Structure {

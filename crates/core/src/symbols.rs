@@ -17,9 +17,12 @@ use std::sync::RwLock;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pred(pub u32);
 
+// Interned names are leaked (`&'static str`): the table is process-global
+// and append-only, so each distinct predicate name is a one-off, bounded
+// leak — and lookups hand out references that outlive the table lock.
 struct Interner {
-    names: Vec<String>,
-    index: FxHashMap<String, u32>,
+    names: Vec<&'static str>,
+    index: FxHashMap<&'static str, u32>,
 }
 
 fn table() -> &'static RwLock<Interner> {
@@ -32,8 +35,8 @@ fn table() -> &'static RwLock<Interner> {
         // Pre-intern the paper's distinguished symbols with stable ids.
         for name in ["F", "T", "A", "R", "S", "G", "P"] {
             let id = it.names.len() as u32;
-            it.names.push(name.to_owned());
-            it.index.insert(name.to_owned(), id);
+            it.names.push(name);
+            it.index.insert(name, id);
         }
         RwLock::new(it)
     })
@@ -53,14 +56,23 @@ impl Pred {
             return Pred(id);
         }
         let id = t.names.len() as u32;
-        t.names.push(name.to_owned());
-        t.index.insert(name.to_owned(), id);
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        t.names.push(leaked);
+        t.index.insert(leaked, id);
         Pred(id)
     }
 
-    /// The interned name.
+    /// The interned name. The symbol-table lock is held only for the
+    /// lookup (names are `'static`), so this is safe to call anywhere —
+    /// but hot paths should still compare and hash `Pred` ids directly.
+    pub fn as_str(self) -> &'static str {
+        table().read().unwrap().names[self.0 as usize]
+    }
+
+    /// The interned name as an owned `String` (for rendering APIs that
+    /// want ownership; prefer [`Pred::as_str`]).
     pub fn name(self) -> String {
-        table().read().unwrap().names[self.0 as usize].clone()
+        self.as_str().to_owned()
     }
 
     /// The unary predicate `F` (“false” label).
@@ -81,13 +93,17 @@ impl Pred {
 
 impl fmt::Debug for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        fmt::Display::fmt(self, f)
     }
 }
 
 impl fmt::Display for Pred {
+    /// Writes the interned `'static` name — no allocation, and the table
+    /// lock is released before the formatter runs, so formatting
+    /// structures (e.g. the server's plan-cache keys) is cheap and can
+    /// never hold the interner lock across caller I/O.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        f.write_str(self.as_str())
     }
 }
 

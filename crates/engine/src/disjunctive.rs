@@ -18,7 +18,7 @@
 
 use sirup_core::program::DSirup;
 use sirup_core::{Node, Pred, Structure};
-use sirup_hom::hom_exists;
+use sirup_hom::QueryPlan;
 
 /// Statistics from a disjunctive evaluation (for the benchmark harness).
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,7 +35,32 @@ pub fn certain_answer_dsirup(dsirup: &DSirup, data: &Structure) -> bool {
 }
 
 /// As [`certain_answer_dsirup`], also returning search statistics.
+/// Compiles `q`'s search plan first; callers that evaluate the same d-sirup
+/// repeatedly should compile once and use
+/// [`certain_answer_dsirup_planned_stats`].
 pub fn certain_answer_dsirup_stats(dsirup: &DSirup, data: &Structure) -> (bool, DisjunctiveStats) {
+    let plan = QueryPlan::compile(&dsirup.cq);
+    certain_answer_dsirup_planned_stats(dsirup, &plan, data)
+}
+
+/// As [`certain_answer_dsirup`], with a precompiled plan for `dsirup.cq`
+/// (the server's DPLL strategy caches one per program).
+pub fn certain_answer_dsirup_planned(dsirup: &DSirup, plan: &QueryPlan, data: &Structure) -> bool {
+    certain_answer_dsirup_planned_stats(dsirup, plan, data).0
+}
+
+/// As [`certain_answer_dsirup_stats`], with a precompiled plan for
+/// `dsirup.cq`.
+pub fn certain_answer_dsirup_planned_stats(
+    dsirup: &DSirup,
+    plan: &QueryPlan,
+    data: &Structure,
+) -> (bool, DisjunctiveStats) {
+    assert_eq!(
+        plan.pattern(),
+        &dsirup.cq,
+        "plan was not compiled from this d-sirup's CQ"
+    );
     let mut stats = DisjunctiveStats::default();
     if dsirup.disjoint {
         // Δ⁺ is inconsistent over data containing an FT-twin: entails G.
@@ -62,14 +87,14 @@ pub fn certain_answer_dsirup_stats(dsirup: &DSirup, data: &Structure) -> (bool, 
         high.add_label(v, Pred::F);
     }
 
-    let found_counter = search(&dsirup.cq, &a_nodes, 0, &mut low, &mut high, &mut stats);
+    let found_counter = search(plan, &a_nodes, 0, &mut low, &mut high, &mut stats);
     (!found_counter, stats)
 }
 
 /// Returns true iff some completion of the current partial labelling has no
 /// `q`-match (a countermodel exists below this branch).
 fn search(
-    q: &Structure,
+    q: &QueryPlan,
     a_nodes: &[Node],
     next: usize,
     low: &mut Structure,
@@ -78,12 +103,12 @@ fn search(
 ) -> bool {
     stats.branches += 1;
     stats.hom_checks += 1;
-    if hom_exists(q, low) {
+    if q.on(low).exists() {
         // Every completion embeds q: no countermodel here.
         return false;
     }
     stats.hom_checks += 1;
-    if !hom_exists(q, high) {
+    if !q.on(high).exists() {
         // No completion embeds q: the all-unassigned-free completion — e.g.
         // assign every remaining node T — is a countermodel.
         return true;

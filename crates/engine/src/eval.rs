@@ -8,11 +8,17 @@
 //! single homomorphism check. Only candidates not yet derived are re-checked
 //! per round (the semi-naive idea specialised to the monadic case, where a
 //! fact is a (predicate, node) pair and rounds are bounded by `#facts`).
+//!
+//! Rule bodies are compiled **once** into [`sirup_hom::QueryPlan`]s (a
+//! [`CompiledProgram`]); the fixpoint then replays those plans against the
+//! working instance, so no per-round or per-candidate search planning
+//! happens. Long-lived callers (the query service) build a
+//! [`CompiledProgram`] up front and reuse it across requests.
 
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
 use sirup_core::{Node, Pred, PredIndex, Structure, Term};
-use sirup_hom::HomFinder;
+use sirup_hom::QueryPlan;
 
 /// Result of evaluating a program over a data instance.
 #[derive(Debug, Clone)]
@@ -64,131 +70,181 @@ fn body_pattern(rule: &Rule) -> (Structure, Vec<Node>) {
     (s, (0..nvars as u32).map(Node).collect())
 }
 
-/// Evaluate `program` over `data`, returning all derived IDB facts.
-///
-/// IDB predicates must be nullary or unary (monadic programs); EDBs at most
-/// binary. Panics otherwise.
-pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
-    evaluate_inner(program, data, None)
+/// One rule, compiled: its body's reusable hom-search plan plus the
+/// instance-independent facts the fixpoint needs per round.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    /// The body pattern's compiled search plan.
+    plan: QueryPlan,
+    head_pred: Pred,
+    /// Head variable's pattern node (`None` for nullary heads).
+    head_node: Option<Node>,
+    /// Sorted, deduplicated EDB labels the body places on the head
+    /// variable — exact candidate pre-filters (EDB labels never change
+    /// during evaluation).
+    head_edb_labels: Vec<Pred>,
 }
 
-/// As [`evaluate`], but seeded from a prebuilt [`PredIndex`] of `data`:
-/// each unary-headed rule derives only at nodes that carry every *EDB*
-/// label its body places on the head variable, read off the index instead
-/// of rescanned per fixpoint round. EDB labels are invariant during
-/// evaluation (only IDB labels are added), so the seeding is exact and the
-/// result is identical to [`evaluate`]'s.
-pub fn evaluate_with_index(program: &Program, data: &Structure, index: &PredIndex) -> Evaluation {
-    assert_eq!(
-        index.node_count(),
-        data.node_count(),
-        "PredIndex is not a snapshot of this data instance"
-    );
-    evaluate_inner(program, data, Some(index))
+/// A monadic program with every rule body compiled once into a
+/// [`QueryPlan`]. Build once per program, evaluate against any number of
+/// data instances; the server's plan cache stores these across requests.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    rules: Vec<CompiledRule>,
+    idbs: Vec<Pred>,
 }
 
-fn evaluate_inner(program: &Program, data: &Structure, index: Option<&PredIndex>) -> Evaluation {
-    let idbs = program.idbs();
-    for r in &program.rules {
-        assert!(
-            r.head.args.len() <= 1,
-            "monadic evaluation requires ≤ unary heads, got {:?}",
-            r.head
-        );
+impl CompiledProgram {
+    /// Compile `program`. IDB predicates must be nullary or unary (monadic
+    /// programs); EDBs at most binary. Panics otherwise.
+    pub fn new(program: &Program) -> CompiledProgram {
+        let idbs = program.idbs();
+        let rules = program
+            .rules
+            .iter()
+            .map(|r| {
+                assert!(
+                    r.head.args.len() <= 1,
+                    "monadic evaluation requires ≤ unary heads, got {:?}",
+                    r.head
+                );
+                let (pattern, _) = body_pattern(r);
+                let head_term: Option<Term> = r.head.args.first().copied();
+                let mut head_edb_labels: Vec<Pred> = r
+                    .body
+                    .iter()
+                    .filter(|a| a.args.len() == 1 && Some(a.args[0]) == head_term)
+                    .map(|a| a.pred)
+                    .filter(|p| idbs.binary_search(p).is_err())
+                    .collect();
+                head_edb_labels.sort_unstable();
+                head_edb_labels.dedup();
+                CompiledRule {
+                    plan: QueryPlan::compile(&pattern),
+                    head_pred: r.head.pred,
+                    head_node: head_term.map(|t| Node(t.0)),
+                    head_edb_labels,
+                }
+            })
+            .collect();
+        CompiledProgram { rules, idbs }
     }
 
-    // Working structure: data plus derived labels.
-    let mut work = data.clone();
-    let mut nullary: Vec<Pred> = Vec::new();
-    let patterns: Vec<(Structure, Term)> = program
-        .rules
-        .iter()
-        .map(|r| {
-            let (pat, _) = body_pattern(r);
-            let head_term = r.head.args.first().copied().unwrap_or(Term(u32::MAX));
-            (pat, head_term)
-        })
-        .collect();
-    // Per-rule candidate seeds from the index: nodes carrying every EDB
-    // label the body places on the head variable (`None` = all nodes).
-    let seeds: Vec<Option<Vec<Node>>> = program
-        .rules
-        .iter()
-        .map(|r| {
-            let idx = index?;
-            let head_term = *r.head.args.first()?;
-            let mut constraints: Vec<Pred> = r
-                .body
-                .iter()
-                .filter(|a| a.args.len() == 1 && a.args[0] == head_term)
-                .map(|a| a.pred)
-                .filter(|p| idbs.binary_search(p).is_err())
-                .collect();
-            constraints.sort_unstable();
-            constraints.dedup();
-            let (&first, rest) = constraints.split_first()?;
-            Some(
-                idx.nodes_with_label(first)
-                    .iter()
-                    .copied()
-                    .filter(|&a| rest.iter().all(|&l| idx.has_label(a, l)))
-                    .collect(),
-            )
-        })
-        .collect();
+    /// The compiled plan of rule `i`'s body (for plan inspection/debugging).
+    pub fn rule_plan(&self, i: usize) -> &QueryPlan {
+        &self.rules[i].plan
+    }
 
-    let mut rounds = 0usize;
-    let mut changed = true;
-    while changed {
-        changed = false;
-        rounds += 1;
-        for ((rule, (pattern, head_term)), seed) in program.rules.iter().zip(&patterns).zip(&seeds)
-        {
-            if rule.head.args.is_empty() {
-                // Nullary head: derive once.
-                if nullary.binary_search(&rule.head.pred).is_err()
-                    && HomFinder::new(pattern, &work).exists()
-                {
-                    let pos = nullary.binary_search(&rule.head.pred).unwrap_err();
-                    nullary.insert(pos, rule.head.pred);
-                    changed = true;
-                }
-            } else {
-                let p = rule.head.pred;
-                let head_node = Node(head_term.0);
-                // Candidates not yet carrying p.
-                let cands: Vec<Node> = match seed {
-                    Some(seed) => seed
+    /// Evaluate over `data`, returning all derived IDB facts.
+    pub fn evaluate(&self, data: &Structure) -> Evaluation {
+        self.evaluate_inner(data, None)
+    }
+
+    /// As [`CompiledProgram::evaluate`], but seeded from a prebuilt
+    /// [`PredIndex`] of `data`: each unary-headed rule derives only at nodes
+    /// that carry every *EDB* label its body places on the head variable,
+    /// read off the index instead of rescanned per fixpoint round. EDB
+    /// labels are invariant during evaluation (only IDB labels are added),
+    /// so the seeding is exact and the result identical to `evaluate`'s.
+    pub fn evaluate_with_index(&self, data: &Structure, index: &PredIndex) -> Evaluation {
+        assert_eq!(
+            index.node_count(),
+            data.node_count(),
+            "PredIndex is not a snapshot of this data instance"
+        );
+        self.evaluate_inner(data, Some(index))
+    }
+
+    fn evaluate_inner(&self, data: &Structure, index: Option<&PredIndex>) -> Evaluation {
+        // Working structure: data plus derived labels.
+        let mut work = data.clone();
+        let mut nullary: Vec<Pred> = Vec::new();
+        // Per-rule candidate seeds from the index: nodes carrying every EDB
+        // label the body places on the head variable (`None` = all nodes).
+        let seeds: Vec<Option<Vec<Node>>> = self
+            .rules
+            .iter()
+            .map(|c| {
+                let idx = index?;
+                c.head_node?;
+                let (&first, rest) = c.head_edb_labels.split_first()?;
+                Some(
+                    idx.nodes_with_label(first)
                         .iter()
                         .copied()
-                        .filter(|&a| !work.has_label(a, p))
+                        .filter(|&a| rest.iter().all(|&l| idx.has_label(a, l)))
                         .collect(),
-                    None => work.nodes().filter(|&a| !work.has_label(a, p)).collect(),
-                };
-                for a in cands {
-                    if HomFinder::new(pattern, &work).fix(head_node, a).exists() {
-                        work.add_label(a, p);
-                        changed = true;
+                )
+            })
+            .collect();
+
+        let mut rounds = 0usize;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            rounds += 1;
+            for (c, seed) in self.rules.iter().zip(&seeds) {
+                match c.head_node {
+                    None => {
+                        // Nullary head: derive once.
+                        if nullary.binary_search(&c.head_pred).is_err() && c.plan.on(&work).exists()
+                        {
+                            let pos = nullary.binary_search(&c.head_pred).unwrap_err();
+                            nullary.insert(pos, c.head_pred);
+                            changed = true;
+                        }
+                    }
+                    Some(head_node) => {
+                        let p = c.head_pred;
+                        // Candidates not yet carrying p.
+                        let cands: Vec<Node> = match seed {
+                            Some(seed) => seed
+                                .iter()
+                                .copied()
+                                .filter(|&a| !work.has_label(a, p))
+                                .collect(),
+                            None => work.nodes().filter(|&a| !work.has_label(a, p)).collect(),
+                        };
+                        for a in cands {
+                            if c.plan.on(&work).fix(head_node, a).exists() {
+                                work.add_label(a, p);
+                                changed = true;
+                            }
+                        }
                     }
                 }
             }
         }
-    }
 
-    // Report the full extension of each IDB predicate in the closure: facts
-    // already present in the data under an IDB predicate (e.g. T-facts when
-    // P's rule (6) fires) count just like derived ones.
-    let mut unary: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
-    for &p in &idbs {
-        let mut full: Vec<Node> = work.nodes().filter(|&a| work.has_label(a, p)).collect();
-        full.sort_unstable();
-        unary.insert(p, full);
+        // Report the full extension of each IDB predicate in the closure:
+        // facts already present in the data under an IDB predicate (e.g.
+        // T-facts when P's rule (6) fires) count just like derived ones.
+        let mut unary: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
+        for &p in &self.idbs {
+            let mut full: Vec<Node> = work.nodes().filter(|&a| work.has_label(a, p)).collect();
+            full.sort_unstable();
+            unary.insert(p, full);
+        }
+        Evaluation {
+            nullary,
+            unary,
+            rounds,
+        }
     }
-    Evaluation {
-        nullary,
-        unary,
-        rounds,
-    }
+}
+
+/// Evaluate `program` over `data`, returning all derived IDB facts.
+///
+/// Compiles the program first; callers that evaluate the same program
+/// repeatedly should build a [`CompiledProgram`] once instead.
+pub fn evaluate(program: &Program, data: &Structure) -> Evaluation {
+    CompiledProgram::new(program).evaluate(data)
+}
+
+/// As [`evaluate`], seeded from a prebuilt [`PredIndex`] of `data`. See
+/// [`CompiledProgram::evaluate_with_index`].
+pub fn evaluate_with_index(program: &Program, data: &Structure, index: &PredIndex) -> Evaluation {
+    CompiledProgram::new(program).evaluate_with_index(data, index)
 }
 
 /// Certain answer to the Boolean query `(program, program.goal)` over `data`

@@ -4,7 +4,8 @@
 //!
 //! * [`eval`]: bottom-up (semi-naive flavoured) evaluation of monadic datalog
 //!   programs with at most binary EDBs over finite data instances — certain
-//!   answers for `(Π_q, G)` and `(Σ_q, P)` (§2).
+//!   answers for `(Π_q, G)` and `(Σ_q, P)` (§2). Rule bodies are compiled
+//!   once into reusable `sirup-hom` query plans ([`eval::CompiledProgram`]).
 //! * [`disjunctive`]: certain-answer evaluation of monadic disjunctive
 //!   sirups `(Δ_q, G)` and `(Δ⁺_q, G)` by DPLL-style search over the
 //!   `T`/`F`-labellings of `A`-nodes (the “proof by exhaustion” of
@@ -19,5 +20,5 @@ pub mod linear;
 pub mod ucq;
 
 pub use disjunctive::certain_answer_dsirup;
-pub use eval::{evaluate, evaluate_with_index, Evaluation};
-pub use ucq::Ucq;
+pub use eval::{evaluate, evaluate_with_index, CompiledProgram, Evaluation};
+pub use ucq::{CompiledUcq, Ucq};

@@ -1,6 +1,6 @@
 //! Linear and symmetric-linear monadic datalog.
 //!
-//! §4 (items (c) and (d) of the [22] classification recalled on p. 12):
+//! §4 (items (c) and (d) of the \[22\] classification recalled on p. 12):
 //! a d-sirup `(Δ_q, G)` whose CQ has **one solitary `F` and one solitary
 //! `T`** is *linear-datalog-rewritable* (so in NL), and if `q` is moreover
 //! *quasi-symmetric*, *symmetric-linear-datalog-rewritable* (so in L).
@@ -21,7 +21,7 @@ use crate::eval::certain_answers_unary;
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
 use sirup_core::{Node, Pred, Structure, Term};
-use sirup_hom::HomFinder;
+use sirup_hom::QueryPlan;
 
 /// Linearity classification of a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,19 +65,26 @@ struct CompiledLinearRule {
     head_node: Option<Node>,
     /// The IDB body atom's predicate and pattern node, if recursive.
     idb: Option<(Pred, Node)>,
-    /// EDB-only pattern (IDB atom removed).
-    pattern: Structure,
+    /// EDB-only pattern (IDB atom removed), compiled once per rule — the
+    /// fact-graph construction replays it per (head, body) node pair.
+    plan: QueryPlan,
+    /// For nullary heads: the *full* body pattern (IDB atoms kept as
+    /// labels), compiled once — it runs against the fact-augmented data
+    /// after the closure.
+    full_plan: Option<QueryPlan>,
 }
 
 fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledLinearRule {
     let nvars = rule.var_count();
     let mut pattern = Structure::with_nodes(nvars);
+    let mut full = Structure::with_nodes(nvars);
     let mut idb = None;
     for atom in &rule.body {
         let is_idb = idbs.binary_search(&atom.pred).is_ok();
         match atom.args.as_slice() {
             [] => {}
             [t] => {
+                full.add_label(Node(t.0), atom.pred);
                 if is_idb {
                     assert!(idb.is_none(), "rule is not linear");
                     idb = Some((atom.pred, Node(t.0)));
@@ -88,6 +95,7 @@ fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledLinearRule {
             [t1, t2] => {
                 assert!(!is_idb, "binary IDBs are not monadic");
                 pattern.add_edge(atom.pred, Node(t1.0), Node(t2.0));
+                full.add_edge(atom.pred, Node(t1.0), Node(t2.0));
             }
             _ => unreachable!("atoms have arity ≤ 2"),
         }
@@ -97,7 +105,8 @@ fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledLinearRule {
         head_pred: rule.head.pred,
         head_node,
         idb,
-        pattern,
+        plan: QueryPlan::compile(&pattern),
+        full_plan: head_node.is_none().then(|| QueryPlan::compile(&full)),
     }
 }
 
@@ -158,7 +167,7 @@ impl LinearEvaluator {
                     // Non-recursive unary rule: heads are all nodes where
                     // the pattern embeds with the head pinned.
                     for a in data.nodes() {
-                        if HomFinder::new(&c.pattern, data).fix(h, a).exists() {
+                        if c.plan.on(data).fix(h, a).exists() {
                             base.push((c.head_pred, a));
                         }
                     }
@@ -168,11 +177,7 @@ impl LinearEvaluator {
                     // embedding of the EDB pattern with both pinned.
                     for a in data.nodes() {
                         for b in data.nodes() {
-                            if HomFinder::new(&c.pattern, data)
-                                .fix(h, a)
-                                .fix(*bn, b)
-                                .exists()
-                            {
+                            if c.plan.on(data).fix(h, a).fix(*bn, b).exists() {
                                 edges.push(FactEdge {
                                     rule: ri,
                                     from: (*bp, b),
@@ -196,23 +201,9 @@ impl LinearEvaluator {
             work.add_label(a, p);
         }
         let mut nullary = Vec::new();
-        for (c, rule) in compiled.iter().zip(&program.rules) {
-            if c.head_node.is_none() {
-                // Re-compile with IDB atoms as labels over the augmented data.
-                let nvars = rule.var_count();
-                let mut pat = Structure::with_nodes(nvars);
-                for atom in &rule.body {
-                    match atom.args.as_slice() {
-                        [t] => {
-                            pat.add_label(Node(t.0), atom.pred);
-                        }
-                        [t1, t2] => {
-                            pat.add_edge(atom.pred, Node(t1.0), Node(t2.0));
-                        }
-                        _ => {}
-                    }
-                }
-                if HomFinder::new(&pat, &work).exists() && !nullary.contains(&c.head_pred) {
+        for c in &compiled {
+            if let Some(fp) = &c.full_plan {
+                if fp.on(&work).exists() && !nullary.contains(&c.head_pred) {
                     nullary.push(c.head_pred);
                 }
             }

@@ -4,9 +4,14 @@
 //! rewriting `∃(C_1 ∨ … ∨ C_m)` from the cactuses of depth ≤ d. A [`Ucq`]
 //! is a disjunction of Boolean CQs evaluated by homomorphism, or — with a
 //! distinguished free node per disjunct — a unary query.
+//!
+//! Evaluation runs on compiled query plans: [`Ucq::compile`] turns each
+//! disjunct into a reusable [`QueryPlan`] ([`CompiledUcq`]); the convenience
+//! `eval_*` methods on [`Ucq`] compile on the fly, long-lived callers (the
+//! server's rewriting strategy) keep the [`CompiledUcq`].
 
 use sirup_core::{Node, PredIndex, Structure};
-use sirup_hom::{find_hom_fixing, hom_exists, HomFinder};
+use sirup_hom::QueryPlan;
 
 /// A union of conjunctive queries. Each disjunct optionally has one free
 /// (answer) variable.
@@ -46,48 +51,108 @@ impl Ucq {
         self.disjuncts.iter().map(|(s, _)| s.size()).sum()
     }
 
+    /// Compile every disjunct into a reusable query plan.
+    pub fn compile(&self) -> CompiledUcq {
+        CompiledUcq {
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .map(|(s, free)| (QueryPlan::compile(s), *free))
+                .collect(),
+        }
+    }
+
+    /// One-shot evaluation: compile disjuncts lazily so the union
+    /// short-circuits on the first matching disjunct without paying for
+    /// the rest.
+    fn eval_lazy(&self, data: &Structure, idx: Option<&PredIndex>, at: Option<Node>) -> bool {
+        self.disjuncts.iter().any(|(s, free)| {
+            let plan = QueryPlan::compile(s);
+            let mut exec = plan.on(data);
+            if let Some(i) = idx {
+                exec = exec.target_index(i);
+            }
+            match (free, at) {
+                (Some(x), Some(a)) => exec.fix(*x, a).exists(),
+                _ => exec.exists(),
+            }
+        })
+    }
+
     /// Boolean evaluation: does some disjunct embed into `data`?
     pub fn eval_boolean(&self, data: &Structure) -> bool {
-        self.disjuncts.iter().any(|(s, _)| hom_exists(s, data))
+        self.eval_lazy(data, None, None)
     }
 
     /// Unary evaluation at `a`: does some disjunct embed with its free node
     /// mapped to `a`? Boolean disjuncts count as matching any `a`.
     pub fn eval_at(&self, data: &Structure, a: Node) -> bool {
-        self.disjuncts.iter().any(|(s, free)| match free {
-            Some(x) => find_hom_fixing(s, data, &[(*x, a)]).is_some(),
-            None => hom_exists(s, data),
-        })
+        self.eval_lazy(data, None, Some(a))
     }
 
-    /// All certain answers of a unary UCQ over `data`.
+    /// All certain answers of a unary UCQ over `data` (disjuncts compiled
+    /// once, reused across all nodes).
     pub fn answers(&self, data: &Structure) -> Vec<Node> {
-        data.nodes().filter(|&a| self.eval_at(data, a)).collect()
+        self.compile().answers(data, None)
     }
 
-    /// As [`Ucq::eval_boolean`], seeding hom domains from a prebuilt
+    /// As [`Ucq::eval_boolean`], seeding plan domains from a prebuilt
     /// [`PredIndex`] of `data` (which must be a current snapshot).
     pub fn eval_boolean_indexed(&self, data: &Structure, idx: &PredIndex) -> bool {
-        self.disjuncts
-            .iter()
-            .any(|(s, _)| HomFinder::new(s, data).target_index(idx).exists())
+        self.eval_lazy(data, Some(idx), None)
     }
 
-    /// As [`Ucq::eval_at`], seeding hom domains from a prebuilt index.
+    /// As [`Ucq::eval_at`], seeding plan domains from a prebuilt index.
     pub fn eval_at_indexed(&self, data: &Structure, idx: &PredIndex, a: Node) -> bool {
-        self.disjuncts.iter().any(|(s, free)| match free {
-            Some(x) => HomFinder::new(s, data)
-                .target_index(idx)
-                .fix(*x, a)
-                .exists(),
-            None => HomFinder::new(s, data).target_index(idx).exists(),
+        self.eval_lazy(data, Some(idx), Some(a))
+    }
+
+    /// As [`Ucq::answers`], seeding plan domains from a prebuilt index.
+    pub fn answers_indexed(&self, data: &Structure, idx: &PredIndex) -> Vec<Node> {
+        self.compile().answers(data, Some(idx))
+    }
+}
+
+/// A [`Ucq`] with each disjunct compiled into a [`QueryPlan`]. Build once
+/// per rewriting (the server caches these inside its plans), evaluate
+/// against any number of instances.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledUcq {
+    /// Compiled disjuncts with their optional free node.
+    pub disjuncts: Vec<(QueryPlan, Option<Node>)>,
+}
+
+impl CompiledUcq {
+    /// Boolean evaluation, optionally index-seeded.
+    pub fn eval_boolean(&self, data: &Structure, idx: Option<&PredIndex>) -> bool {
+        self.disjuncts.iter().any(|(plan, _)| {
+            let mut exec = plan.on(data);
+            if let Some(i) = idx {
+                exec = exec.target_index(i);
+            }
+            exec.exists()
         })
     }
 
-    /// As [`Ucq::answers`], seeding hom domains from a prebuilt index.
-    pub fn answers_indexed(&self, data: &Structure, idx: &PredIndex) -> Vec<Node> {
+    /// Unary evaluation at `a`, optionally index-seeded. Boolean disjuncts
+    /// count as matching any `a`.
+    pub fn eval_at(&self, data: &Structure, idx: Option<&PredIndex>, a: Node) -> bool {
+        self.disjuncts.iter().any(|(plan, free)| {
+            let mut exec = plan.on(data);
+            if let Some(i) = idx {
+                exec = exec.target_index(i);
+            }
+            match free {
+                Some(x) => exec.fix(*x, a).exists(),
+                None => exec.exists(),
+            }
+        })
+    }
+
+    /// All certain answers over `data`, optionally index-seeded.
+    pub fn answers(&self, data: &Structure, idx: Option<&PredIndex>) -> Vec<Node> {
         data.nodes()
-            .filter(|&a| self.eval_at_indexed(data, idx, a))
+            .filter(|&a| self.eval_at(data, idx, a))
             .collect()
     }
 }

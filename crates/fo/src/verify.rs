@@ -56,9 +56,11 @@ pub fn verify_boolean_rewriting<'a>(
     instances: impl IntoIterator<Item = &'a Structure>,
 ) -> Result<usize, Box<Disagreement>> {
     let phi = ucq_to_fo(rewriting);
+    // Compile the rewriting's disjunct plans once for the whole sweep.
+    let compiled = rewriting.compile();
     let mut checked = 0;
     for (i, d) in instances.into_iter().enumerate() {
-        let via_hom = rewriting.eval_boolean(d);
+        let via_hom = compiled.eval_boolean(d, None);
         let via_fo = phi.eval_sentence(d);
         assert_eq!(
             via_hom, via_fo,
@@ -87,11 +89,13 @@ pub fn verify_unary_rewriting<'a>(
     instances: impl IntoIterator<Item = &'a Structure>,
 ) -> Result<usize, Box<Disagreement>> {
     let phi = ucq_to_fo(rewriting);
+    // Compile the rewriting's disjunct plans once for the whole sweep.
+    let compiled = rewriting.compile();
     let mut checked = 0;
     for (i, d) in instances.into_iter().enumerate() {
         let expected = reference(d);
         for a in d.nodes() {
-            let via_hom = rewriting.eval_at(d, a);
+            let via_hom = compiled.eval_at(d, None, a);
             let via_fo = phi.eval_at(d, a);
             assert_eq!(
                 via_hom, via_fo,

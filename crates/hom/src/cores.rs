@@ -6,7 +6,7 @@
 //! being a **core**: every endomorphism of `q` is surjective. The core of a
 //! structure is its unique (up to isomorphism) minimal retract.
 
-use crate::search::HomFinder;
+use crate::plan::QueryPlan;
 use sirup_core::{Node, Structure};
 
 /// Find a non-surjective endomorphism of `s`, if one exists.
@@ -15,6 +15,9 @@ pub fn non_surjective_endomorphism(s: &Structure) -> Option<Vec<Node>> {
     if n == 0 {
         return None;
     }
+    // One compiled plan serves all n candidate-missed-node searches (only
+    // the `forbid` pin varies per run).
+    let plan = QueryPlan::compile(s);
     // An endomorphism is non-surjective iff it misses some node; try each
     // node as the missed one. Pruning: if h misses v, every node must map
     // elsewhere, which the `forbid` constraint on all nodes encodes; it is
@@ -22,7 +25,7 @@ pub fn non_surjective_endomorphism(s: &Structure) -> Option<Vec<Node>> {
     // image, which we check post-hoc per candidate v.
     for v in s.nodes() {
         let mut found = None;
-        HomFinder::new(s, s).forbid(v, v).for_each(|h| {
+        plan.on(s).forbid(v, v).for_each(|h| {
             if h.iter().all(|&t| t != v) {
                 found = Some(h.to_vec());
                 false

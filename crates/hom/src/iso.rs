@@ -5,7 +5,7 @@
 //! automorphism fixing the root and swapping t and f) and by tests comparing
 //! independently built structures (e.g. Example 3's cactus vs. D2).
 
-use crate::search::HomFinder;
+use crate::plan::QueryPlan;
 use sirup_core::{Node, Structure};
 
 /// Find an isomorphism `a → b` (returns the node map), if one exists.
@@ -22,7 +22,7 @@ pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<Node>> {
         return None;
     }
     let mut result = None;
-    HomFinder::new(a, b).injective().for_each(|h| {
+    QueryPlan::compile(a).on(b).injective().for_each(|h| {
         // Injective + equal atom counts ⇒ bijective and atom counts match;
         // still verify strongness defensively (cheap).
         if is_strong(a, b, h) {
@@ -42,7 +42,8 @@ pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
 
 /// Find an automorphism of `s` with the given pinned assignments.
 pub fn find_automorphism_fixing(s: &Structure, fixed: &[(Node, Node)]) -> Option<Vec<Node>> {
-    let mut f = HomFinder::new(s, s).injective();
+    let plan = QueryPlan::compile(s);
+    let mut f = plan.on(s).injective();
     for &(u, v) in fixed {
         f = f.fix(u, v);
     }

@@ -1,0 +1,791 @@
+//! Compile-once query plans for homomorphism search.
+//!
+//! [`search::HomFinder`](crate::search::HomFinder) replans on every call: it
+//! recomputes variable constraints, re-derives candidate domains, and picks
+//! its variable order dynamically (minimum-remaining-values) while searching.
+//! That planning cost is pure waste when the *pattern* is fixed and only the
+//! *target* varies — the shape of every hot loop in this workspace: a rule
+//! body checked against each fixpoint round, a UCQ disjunct against each
+//! instance, a small cactus against each enumerated big one, a d-sirup CQ
+//! against each DPLL labelling.
+//!
+//! A [`QueryPlan`] compiles a pattern once into:
+//!
+//! * a **static variable order**, chosen greedily by connectivity and
+//!   selectivity: the most constrained variable first, then always a
+//!   variable with the most edges into the already-ordered prefix, so each
+//!   new variable is join-bounded by an assigned neighbour whenever the
+//!   pattern is connected;
+//! * **per-variable domain constraints** — required labels and incident
+//!   binary predicates — precomputed so seeding a domain is a filter, not a
+//!   rediscovery;
+//! * **join programs** — for each position, the pattern edges back into the
+//!   ordered prefix, so candidates are read off the target adjacency of an
+//!   already-assigned neighbour instead of scanned from the whole domain.
+//!
+//! Execution ([`QueryPlan::on`]) seeds dense [`NodeSet`] bitset domains
+//! (optionally from a prebuilt [`PredIndex`]), runs an AC-3 pass over the
+//! pattern edges, and then backtracks in the compiled order. It supports the
+//! same pinning (`fix`), exclusion (`forbid`), and injectivity modes as the
+//! legacy finder, which is kept as the differential-test oracle.
+
+use sirup_core::{Node, NodeSet, Pred, PredIndex, Structure};
+use std::fmt;
+
+/// How a variable's candidates are produced at its position in the order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Iterate the (pre-filtered) domain bitset — first variable of each
+    /// connected component.
+    Scan,
+    /// Enumerate target adjacency of an already-assigned neighbour.
+    Join,
+}
+
+/// A pattern edge from the variable at some position back into the ordered
+/// prefix (or to itself, for loops).
+#[derive(Debug, Clone, Copy)]
+struct Join {
+    pred: Pred,
+    /// The earlier (already assigned) variable; equals the position's own
+    /// variable for self-loops.
+    other: Node,
+    /// `true`: pattern edge `pred(var, other)` — candidates need an
+    /// *outgoing* edge to `other`'s image. `false`: `pred(other, var)`.
+    out: bool,
+}
+
+/// Compile-time constraints of one pattern variable.
+#[derive(Debug, Clone, Default)]
+struct VarConstraint {
+    labels: Vec<Pred>,
+    preds_out: Vec<Pred>,
+    preds_in: Vec<Pred>,
+}
+
+impl VarConstraint {
+    /// Static selectivity score: number of unary + incident binary
+    /// constraints. Higher means a smaller expected domain.
+    fn selectivity(&self) -> usize {
+        self.labels.len() + self.preds_out.len() + self.preds_in.len()
+    }
+}
+
+/// A compiled, reusable homomorphism search plan for one pattern.
+///
+/// Build once with [`QueryPlan::compile`]; execute any number of times
+/// against different targets with [`QueryPlan::on`]. The plan owns a copy of
+/// the pattern, so it is `'static` and can live in caches (the server's
+/// [`PlanCache`] stores plans across requests).
+///
+/// [`PlanCache`]: ../../sirup_server/plan/struct.PlanCache.html
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    pattern: Structure,
+    /// Static variable order (every pattern node exactly once).
+    order: Vec<Node>,
+    /// Per pattern node (by node index): its domain constraints.
+    constraints: Vec<VarConstraint>,
+    /// Per order position: edges back into the ordered prefix.
+    joins: Vec<Vec<Join>>,
+    /// All pattern edges, for the AC-3 prefilter.
+    edges: Vec<(Pred, Node, Node)>,
+    /// Per pattern node: the AC-3 arcs `(edge index, forward?)` whose
+    /// support sets read that node's domain — re-enqueued when it shrinks.
+    dependents: Vec<Vec<(u32, bool)>>,
+}
+
+impl QueryPlan {
+    /// Compile `pattern` into a reusable plan.
+    pub fn compile(pattern: &Structure) -> QueryPlan {
+        let np = pattern.node_count();
+        let constraints: Vec<VarConstraint> = pattern
+            .nodes()
+            .map(|u| VarConstraint {
+                labels: pattern.labels(u).to_vec(),
+                preds_out: pattern.out_preds(u),
+                preds_in: pattern.in_preds(u),
+            })
+            .collect();
+
+        // Greedy order: seed with the most selective variable; then always
+        // take the variable with the most edges into the chosen prefix
+        // (connectivity), breaking ties by selectivity, then degree, then
+        // node index (for determinism).
+        let degree = |u: Node| -> usize { pattern.out_degree(u) + pattern.in_degree(u) };
+        let mut chosen = vec![false; np];
+        let mut order: Vec<Node> = Vec::with_capacity(np);
+        for _ in 0..np {
+            let mut best: Option<(usize, usize, usize, usize)> = None; // (links, sel, deg, -idx) max
+            let mut best_u = None;
+            for u in pattern.nodes() {
+                if chosen[u.index()] {
+                    continue;
+                }
+                let links = pattern
+                    .out(u)
+                    .iter()
+                    .filter(|&&(_, v)| chosen[v.index()])
+                    .count()
+                    + pattern
+                        .inn(u)
+                        .iter()
+                        .filter(|&&(_, w)| chosen[w.index()])
+                        .count();
+                let key = (
+                    links,
+                    constraints[u.index()].selectivity(),
+                    degree(u),
+                    np - u.index(), // prefer smaller index on full ties
+                );
+                if best.is_none_or(|b| key > b) {
+                    best = Some(key);
+                    best_u = Some(u);
+                }
+            }
+            let u = best_u.expect("unchosen variable exists");
+            chosen[u.index()] = true;
+            order.push(u);
+        }
+
+        // Join programs per position.
+        let mut position = vec![usize::MAX; np];
+        for (k, &u) in order.iter().enumerate() {
+            position[u.index()] = k;
+        }
+        let joins: Vec<Vec<Join>> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &u)| {
+                let mut js = Vec::new();
+                for &(p, v) in pattern.out(u) {
+                    if position[v.index()] <= k {
+                        js.push(Join {
+                            pred: p,
+                            other: v,
+                            out: true,
+                        });
+                    }
+                }
+                for &(p, w) in pattern.inn(u) {
+                    // Skip self-loops here: already recorded from `out`.
+                    if position[w.index()] < k {
+                        js.push(Join {
+                            pred: p,
+                            other: w,
+                            out: false,
+                        });
+                    }
+                }
+                js
+            })
+            .collect();
+
+        let edges: Vec<(Pred, Node, Node)> = pattern.edges().collect();
+        let mut dependents: Vec<Vec<(u32, bool)>> = vec![Vec::new(); np];
+        for (ei, &(_, u, v)) in edges.iter().enumerate() {
+            // The forward arc (revising u) reads dom[v]; the backward arc
+            // (revising v) reads dom[u].
+            dependents[v.index()].push((ei as u32, true));
+            dependents[u.index()].push((ei as u32, false));
+        }
+
+        QueryPlan {
+            edges,
+            pattern: pattern.clone(),
+            order,
+            constraints,
+            joins,
+            dependents,
+        }
+    }
+
+    /// The compiled pattern.
+    pub fn pattern(&self) -> &Structure {
+        &self.pattern
+    }
+
+    /// The static variable order.
+    pub fn order(&self) -> &[Node] {
+        &self.order
+    }
+
+    /// Begin an execution of this plan against `target`.
+    pub fn on<'a>(&'a self, target: &'a Structure) -> PlanExec<'a> {
+        PlanExec {
+            plan: self,
+            target,
+            index: None,
+            fixed: Vec::new(),
+            forbidden: Vec::new(),
+            injective: false,
+        }
+    }
+
+    /// A human-readable account of the plan (variable order, constraints,
+    /// access paths) for `sirupctl plan` and debugging.
+    pub fn explain(&self) -> PlanExplain {
+        let vars = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(k, &u)| {
+                let c = &self.constraints[u.index()];
+                let joins = self.joins[k].len();
+                let access = if self.joins[k].iter().any(|j| j.other != u) {
+                    Access::Join
+                } else {
+                    Access::Scan
+                };
+                VarPlan {
+                    node: u,
+                    labels: c.labels.clone(),
+                    preds_out: c.preds_out.clone(),
+                    preds_in: c.preds_in.clone(),
+                    selectivity: c.selectivity(),
+                    joins,
+                    access,
+                }
+            })
+            .collect();
+        PlanExplain { vars }
+    }
+}
+
+/// One variable's row in a [`PlanExplain`].
+#[derive(Debug, Clone)]
+pub struct VarPlan {
+    /// The pattern variable.
+    pub node: Node,
+    /// Required labels.
+    pub labels: Vec<Pred>,
+    /// Required outgoing binary predicates.
+    pub preds_out: Vec<Pred>,
+    /// Required incoming binary predicates.
+    pub preds_in: Vec<Pred>,
+    /// Static selectivity score (unary + incident binary constraints).
+    pub selectivity: usize,
+    /// Pattern edges back into the ordered prefix (including self-loops).
+    pub joins: usize,
+    /// How candidates are produced.
+    pub access: Access,
+}
+
+/// Explanation of a compiled plan, one row per variable in order.
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    /// Rows in execution order.
+    pub vars: Vec<VarPlan>,
+}
+
+impl fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_preds = |ps: &[Pred]| -> String {
+            ps.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        for (k, v) in self.vars.iter().enumerate() {
+            let fanout = match v.access {
+                Access::Join => format!("adjacency-bounded ({} join(s))", v.joins),
+                Access::Scan if v.selectivity > 0 => {
+                    format!("domain scan (selectivity {})", v.selectivity)
+                }
+                Access::Scan => "full scan (unconstrained)".to_owned(),
+            };
+            writeln!(
+                f,
+                "  {k}. n{}  labels[{}] out[{}] in[{}]  fan-out: {fanout}",
+                v.node.0,
+                fmt_preds(&v.labels),
+                fmt_preds(&v.preds_out),
+                fmt_preds(&v.preds_in),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One execution of a [`QueryPlan`] against a target, with the same
+/// configuration surface as the legacy `HomFinder`.
+pub struct PlanExec<'a> {
+    plan: &'a QueryPlan,
+    target: &'a Structure,
+    index: Option<&'a PredIndex>,
+    fixed: Vec<(Node, Node)>,
+    forbidden: Vec<(Node, Node)>,
+    injective: bool,
+}
+
+impl<'a> PlanExec<'a> {
+    /// Seed candidate domains from a prebuilt [`PredIndex`] of the target
+    /// (must be a current snapshot of it).
+    pub fn target_index(mut self, idx: &'a PredIndex) -> Self {
+        assert_eq!(
+            idx.node_count(),
+            self.target.node_count(),
+            "PredIndex is not a snapshot of this target"
+        );
+        self.index = Some(idx);
+        self
+    }
+
+    /// Require `h(u) = v`.
+    pub fn fix(mut self, u: Node, v: Node) -> Self {
+        self.fixed.push((u, v));
+        self
+    }
+
+    /// Require `h(u) ≠ v`.
+    pub fn forbid(mut self, u: Node, v: Node) -> Self {
+        self.forbidden.push((u, v));
+        self
+    }
+
+    /// Only look for injective homomorphisms.
+    pub fn injective(mut self) -> Self {
+        self.injective = true;
+        self
+    }
+
+    /// Find one homomorphism, if any.
+    pub fn find(&self) -> Option<Vec<Node>> {
+        let mut out = None;
+        self.for_each(|h| {
+            out = Some(h.to_vec());
+            false
+        });
+        out
+    }
+
+    /// Does any homomorphism exist?
+    pub fn exists(&self) -> bool {
+        self.find().is_some()
+    }
+
+    /// Enumerate up to `cap` homomorphisms.
+    pub fn find_up_to(&self, cap: usize) -> Vec<Vec<Node>> {
+        let mut out = Vec::new();
+        if cap == 0 {
+            return out;
+        }
+        self.for_each(|h| {
+            out.push(h.to_vec());
+            out.len() < cap
+        });
+        out
+    }
+
+    /// Visit every homomorphism with a callback; return `false` from the
+    /// callback to stop early. Returns `true` iff enumeration ran to
+    /// completion. Enumeration order follows the compiled variable order
+    /// (it generally differs from the legacy finder's dynamic order; the
+    /// *set* of homomorphisms is identical).
+    pub fn for_each(&self, mut f: impl FnMut(&[Node]) -> bool) -> bool {
+        let np = self.plan.pattern.node_count();
+        let nt = self.target.node_count();
+        if np == 0 {
+            return f(&[]);
+        }
+        if nt == 0 {
+            return true;
+        }
+        let Some(mut domains) = self.initial_domains() else {
+            return true;
+        };
+        if !self.ac3(&mut domains) {
+            return true;
+        }
+        let mut assignment: Vec<Node> = vec![Node(0); np];
+        let mut used: Vec<bool> = vec![false; nt];
+        self.backtrack(0, &domains, &mut assignment, &mut used, &mut f)
+    }
+
+    /// Smallest index-backed candidate list for pattern node `u`, if an
+    /// index is attached and `u` is constrained at all.
+    fn seed_candidates(&self, c: &VarConstraint) -> Option<&'a [Node]> {
+        let idx = self.index?;
+        let mut best: Option<&[Node]> = None;
+        let mut consider = |list: &'a [Node]| {
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        };
+        for &l in &c.labels {
+            consider(idx.nodes_with_label(l));
+        }
+        for &p in &c.preds_out {
+            consider(idx.sources(p));
+        }
+        for &p in &c.preds_in {
+            consider(idx.sinks(p));
+        }
+        best
+    }
+
+    /// Per-node candidate domains after unary/degree filtering and pinning.
+    /// `None` means some domain is empty (no homomorphism exists).
+    fn initial_domains(&self) -> Option<Vec<NodeSet>> {
+        let np = self.plan.pattern.node_count();
+        let nt = self.target.node_count();
+        // Resolve pins first: a pinned variable's domain is a singleton, so
+        // it never pays the full admissibility scan (this is the hot shape
+        // of the datalog fixpoint, which pins the head variable per
+        // candidate).
+        let mut pinned: Vec<Option<Node>> = vec![None; np];
+        for &(u, v) in &self.fixed {
+            match pinned[u.index()] {
+                None => pinned[u.index()] = Some(v),
+                Some(w) if w == v => {}
+                Some(_) => return None, // conflicting pins
+            }
+        }
+        let mut domains: Vec<NodeSet> = Vec::with_capacity(np);
+        for u in self.plan.pattern.nodes() {
+            let c = &self.plan.constraints[u.index()];
+            let admissible = |t: Node| {
+                c.labels.iter().all(|&l| self.target.has_label(t, l))
+                    && c.preds_out
+                        .iter()
+                        .all(|&p| !self.target.out_pred(t, p).is_empty())
+                    && c.preds_in
+                        .iter()
+                        .all(|&p| !self.target.inn_pred(t, p).is_empty())
+            };
+            let mut dom = NodeSet::empty(nt);
+            match pinned[u.index()] {
+                Some(v) => {
+                    if admissible(v) {
+                        dom.insert(v);
+                    }
+                }
+                None => match self.seed_candidates(c) {
+                    Some(seed) => {
+                        for &t in seed {
+                            if admissible(t) {
+                                dom.insert(t);
+                            }
+                        }
+                    }
+                    None => {
+                        for t in self.target.nodes() {
+                            if admissible(t) {
+                                dom.insert(t);
+                            }
+                        }
+                    }
+                },
+            }
+            if dom.is_empty() {
+                return None;
+            }
+            domains.push(dom);
+        }
+        for &(u, v) in &self.forbidden {
+            domains[u.index()].remove(v);
+            if domains[u.index()].is_empty() {
+                return None;
+            }
+        }
+        Some(domains)
+    }
+
+    /// AC-3 arc consistency over the compiled pattern edges: a worklist of
+    /// directed arcs, where a shrunk domain re-enqueues only the arcs whose
+    /// support sets read it (precomputed per node at compile time). Returns
+    /// `false` if some domain becomes empty.
+    fn ac3(&self, domains: &mut [NodeSet]) -> bool {
+        let edges = &self.plan.edges;
+        if edges.is_empty() {
+            return true;
+        }
+        // Arc encoding: edge index * 2, +0 forward (revise u against v),
+        // +1 backward (revise v against u).
+        let mut queued = vec![true; 2 * edges.len()];
+        let mut queue: std::collections::VecDeque<usize> = (0..2 * edges.len()).collect();
+        let mut removals: Vec<Node> = Vec::new();
+        while let Some(arc) = queue.pop_front() {
+            queued[arc] = false;
+            let (p, u, v) = edges[arc / 2];
+            let forward = arc % 2 == 0;
+            let (revised, other) = if forward { (u, v) } else { (v, u) };
+            removals.clear();
+            for a in domains[revised.index()].iter() {
+                let adj = if forward {
+                    self.target.out_pred(a, p)
+                } else {
+                    self.target.inn_pred(a, p)
+                };
+                if !adj.iter().any(|&(_, b)| domains[other.index()].contains(b)) {
+                    removals.push(a);
+                }
+            }
+            if removals.is_empty() {
+                continue;
+            }
+            for &a in &removals {
+                domains[revised.index()].remove(a);
+            }
+            if domains[revised.index()].is_empty() {
+                return false;
+            }
+            for &(ej, forward_j) in &self.plan.dependents[revised.index()] {
+                let arc2 = (ej as usize) * 2 + usize::from(!forward_j);
+                if !queued[arc2] {
+                    queued[arc2] = true;
+                    queue.push_back(arc2);
+                }
+            }
+        }
+        true
+    }
+
+    /// Does candidate `t` for the variable at position `k` satisfy every
+    /// join back into the assigned prefix?
+    fn joins_hold(&self, k: usize, u: Node, t: Node, assignment: &[Node]) -> bool {
+        self.plan.joins[k].iter().all(|j| {
+            let other_img = if j.other == u {
+                t
+            } else {
+                assignment[j.other.index()]
+            };
+            if j.out {
+                self.target.has_edge(j.pred, t, other_img)
+            } else {
+                self.target.has_edge(j.pred, other_img, t)
+            }
+        })
+    }
+
+    fn backtrack(
+        &self,
+        k: usize,
+        domains: &[NodeSet],
+        assignment: &mut Vec<Node>,
+        used: &mut [bool],
+        f: &mut impl FnMut(&[Node]) -> bool,
+    ) -> bool {
+        if k == self.plan.order.len() {
+            return f(assignment);
+        }
+        let u = self.plan.order[k];
+        // Candidate source: the smallest adjacency slice of an assigned
+        // neighbour, else the domain bitset.
+        let best_join = self.plan.joins[k]
+            .iter()
+            .filter(|j| j.other != u)
+            .map(|j| {
+                let img = assignment[j.other.index()];
+                // Candidates must have an edge *to* img (j.out) — read
+                // img's in-list; or an edge *from* img — read its out-list.
+                let adj = if j.out {
+                    self.target.inn_pred(img, j.pred)
+                } else {
+                    self.target.out_pred(img, j.pred)
+                };
+                adj
+            })
+            .min_by_key(|adj| adj.len());
+        match best_join {
+            Some(adj) => {
+                for &(_, t) in adj {
+                    if !domains[u.index()].contains(t)
+                        || (self.injective && used[t.index()])
+                        || !self.joins_hold(k, u, t, assignment)
+                    {
+                        continue;
+                    }
+                    assignment[u.index()] = t;
+                    used[t.index()] = true;
+                    let keep_going = self.backtrack(k + 1, domains, assignment, used, f);
+                    used[t.index()] = false;
+                    if !keep_going {
+                        return false;
+                    }
+                }
+            }
+            None => {
+                for t in domains[u.index()].iter() {
+                    if (self.injective && used[t.index()]) || !self.joins_hold(k, u, t, assignment)
+                    {
+                        continue;
+                    }
+                    assignment[u.index()] = t;
+                    used[t.index()] = true;
+                    let keep_going = self.backtrack(k + 1, domains, assignment, used, f);
+                    used[t.index()] = false;
+                    if !keep_going {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{all_homs, HomFinder};
+    use sirup_core::parse::{parse_structure, st};
+
+    fn sorted(mut homs: Vec<Vec<Node>>) -> Vec<Vec<Node>> {
+        homs.sort();
+        homs
+    }
+
+    #[test]
+    fn plan_agrees_with_legacy_on_fixtures() {
+        let patterns = [
+            st("F(a), R(a,b), T(b)"),
+            st("R(a,b), R(b,c), T(c)"),
+            st("T(a), T(b)"),
+            st("S(a,b)"),
+            st("R(a,a)"),
+            Structure::new(),
+        ];
+        let targets = [
+            st("F(x), R(x,y), T(y), R(y,z), T(z)"),
+            st("R(x,y), R(y,x), T(x), T(y), R(y,z), T(z)"),
+            st("A(x)"),
+            st("R(x,x), T(x), F(x)"),
+            Structure::new(),
+        ];
+        for p in &patterns {
+            let plan = QueryPlan::compile(p);
+            for t in &targets {
+                let legacy = sorted(all_homs(p, t, 100_000));
+                let planned = sorted(plan.on(t).find_up_to(100_000));
+                assert_eq!(legacy, planned, "pattern {p} target {t}");
+                let idx = PredIndex::new(t);
+                let indexed = sorted(plan.on(t).target_index(&idx).find_up_to(100_000));
+                assert_eq!(legacy, indexed, "indexed: pattern {p} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_planned_hom_is_valid_and_distinct() {
+        let p = st("R(a,b), R(b,c), T(c)");
+        let t = st("R(x,y), R(y,x), T(x), T(y), R(y,z), T(z)");
+        let plan = QueryPlan::compile(&p);
+        let homs = plan.on(&t).find_up_to(10_000);
+        assert!(!homs.is_empty());
+        for h in &homs {
+            assert!(p.is_hom(&t, h));
+        }
+        let deduped = sorted(homs.clone());
+        assert_eq!(deduped.len(), homs.len());
+    }
+
+    #[test]
+    fn fixing_and_forbidding() {
+        let (p, pn) = parse_structure("R(a,b)").unwrap();
+        let (t, tn) = parse_structure("R(x,y), R(y,z)").unwrap();
+        let plan = QueryPlan::compile(&p);
+        let h = plan.on(&t).fix(pn["a"], tn["y"]).find().unwrap();
+        assert_eq!(h[pn["a"].index()], tn["y"]);
+        assert_eq!(h[pn["b"].index()], tn["z"]);
+        assert!(plan.on(&t).fix(pn["a"], tn["z"]).find().is_none());
+        assert_eq!(plan.on(&t).forbid(pn["a"], tn["x"]).find_up_to(10).len(), 1);
+    }
+
+    #[test]
+    fn injective_mode() {
+        let p = st("T(a), T(b)");
+        let t1 = st("T(x)");
+        let plan = QueryPlan::compile(&p);
+        assert!(plan.on(&t1).exists());
+        assert!(!plan.on(&t1).injective().exists());
+        let t2 = st("T(x), T(y)");
+        assert!(plan.on(&t2).injective().exists());
+    }
+
+    #[test]
+    fn self_loops_are_enforced() {
+        let p = st("R(a,a)");
+        let plan = QueryPlan::compile(&p);
+        assert!(plan.on(&st("R(x,x)")).exists());
+        assert!(!plan.on(&st("R(x,y), R(y,x)")).exists());
+    }
+
+    #[test]
+    fn order_starts_selective_and_stays_connected() {
+        // b is the most constrained (two labels + an incident edge); the
+        // remaining variables must each join the prefix.
+        let (p, pn) = parse_structure("F(b), T(b), R(a,b), R(b,c), R(c,d)").unwrap();
+        let plan = QueryPlan::compile(&p);
+        assert_eq!(plan.order()[0], pn["b"]);
+        let ex = plan.explain();
+        assert_eq!(ex.vars[0].access, Access::Scan);
+        for v in &ex.vars[1..] {
+            assert_eq!(v.access, Access::Join, "var n{} not join-bounded", v.node.0);
+        }
+        let text = ex.to_string();
+        assert!(text.contains("domain scan"), "{text}");
+        assert!(text.contains("adjacency-bounded"), "{text}");
+    }
+
+    #[test]
+    fn disconnected_components_each_scan_once() {
+        let p = st("T(a), R(b,c)");
+        let plan = QueryPlan::compile(&p);
+        let scans = plan
+            .explain()
+            .vars
+            .iter()
+            .filter(|v| v.access == Access::Scan)
+            .count();
+        assert_eq!(scans, 2);
+        let t = st("T(x), R(y,z), T(z)");
+        assert_eq!(
+            sorted(plan.on(&t).find_up_to(100)),
+            sorted(all_homs(&p, &t, 100))
+        );
+    }
+
+    #[test]
+    fn for_each_early_stop_and_empty_pattern() {
+        let p = st("R(a,b)");
+        let t = st("R(x,y), R(y,z), R(z,w)");
+        let plan = QueryPlan::compile(&p);
+        let mut n = 0;
+        let completed = plan.on(&t).for_each(|_| {
+            n += 1;
+            n < 2
+        });
+        assert!(!completed);
+        assert_eq!(n, 2);
+        let empty = QueryPlan::compile(&Structure::new());
+        assert_eq!(empty.on(&t).find_up_to(10).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn stale_index_is_rejected() {
+        let t = st("R(x,y)");
+        let idx = PredIndex::new(&t);
+        let bigger = st("R(x,y), R(y,z)");
+        let plan = QueryPlan::compile(&st("R(a,b)"));
+        let _ = plan.on(&bigger).target_index(&idx).exists();
+    }
+
+    #[test]
+    fn plan_matches_legacy_under_pins() {
+        let p = st("F(a), R(a,b), R(b,c), T(c)");
+        let t = st("F(x), R(x,y), R(y,z), T(z), R(x,z), T(y), F(y)");
+        let plan = QueryPlan::compile(&p);
+        for u in p.nodes() {
+            for v in t.nodes() {
+                let legacy = HomFinder::new(&p, &t).fix(u, v).exists();
+                let planned = plan.on(&t).fix(u, v).exists();
+                assert_eq!(legacy, planned, "pin n{} -> n{}", u.0, v.0);
+                let legacy_f = HomFinder::new(&p, &t).forbid(u, v).exists();
+                let planned_f = plan.on(&t).forbid(u, v).exists();
+                assert_eq!(legacy_f, planned_f, "forbid n{} -> n{}", u.0, v.0);
+            }
+        }
+    }
+}

@@ -155,8 +155,8 @@ impl<'a> HomFinder<'a> {
         let nt = self.target.node_count();
         let mut domains: Vec<Vec<bool>> = Vec::with_capacity(np);
         for u in self.pattern.nodes() {
-            let preds_out = distinct_preds(self.pattern.out(u));
-            let preds_in = distinct_preds(self.pattern.inn(u));
+            let preds_out = self.pattern.out_preds(u);
+            let preds_in = self.pattern.in_preds(u);
             let admissible = |t: Node| {
                 self.pattern
                     .labels(u)
@@ -309,12 +309,6 @@ impl<'a> HomFinder<'a> {
         }
         true
     }
-}
-
-fn distinct_preds(adj: &[(Pred, Node)]) -> Vec<Pred> {
-    let mut ps: Vec<Pred> = adj.iter().map(|&(p, _)| p).collect();
-    ps.dedup(); // adjacency lists are sorted by (pred, node)
-    ps
 }
 
 fn has_pred(adj: &[(Pred, Node)], p: Pred) -> bool {

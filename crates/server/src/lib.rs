@@ -15,7 +15,7 @@
 //!   memoising the §4 classifier verdicts, the CQ's core, and — given
 //!   Prop. 2 boundedness evidence — the UCQ/FO rewriting, so bounded
 //!   programs are answered by rewriting instead of fixpoint;
-//! * [`executor`] + [`server`] — a **batch executor**: a fixed
+//! * `executor` + [`server`] — a **batch executor**: a fixed
 //!   `std::thread` pool draining a submission queue; batches are grouped by
 //!   program so one plan serves the whole group, and each request routes to
 //!   the cheapest strategy (rewriting → semi-naive fixpoint → DPLL for

@@ -2,12 +2,16 @@
 //!
 //! A [`Plan`] is everything expensive about a program that does not depend
 //! on the data instance: the §4 classifier verdicts, the core of the CQ
-//! (from `sirup-hom`), and — when Prop. 2 boundedness evidence is found at
-//! the configured horizon — the UCQ rewriting (from `sirup-cactus`) with its
-//! FO rendering (from `sirup-fo`). Building a plan costs cactus enumeration
-//! and hom searches; answering with one costs a few hom checks. The
-//! [`PlanCache`] (LRU, keyed by the query's canonical atom text) amortises
-//! that build across every request for the same program.
+//! (from `sirup-hom`), the **compiled hom-search plans** every strategy
+//! executes (`sirup-hom::QueryPlan` — static variable order, per-variable
+//! domain constraints, join programs), and — when Prop. 2 boundedness
+//! evidence is found at the configured horizon — the UCQ rewriting (from
+//! `sirup-cactus`) with its FO rendering (from `sirup-fo`). Building a plan
+//! costs cactus enumeration, hom searches, and plan compilation; answering
+//! with one only *executes* compiled plans. The [`PlanCache`] (LRU, keyed
+//! by the query's canonical atom text) amortises all of that across every
+//! request for the same program, so warm-path requests skip planning
+//! entirely.
 //!
 //! Strategy routing, cheapest first:
 //!
@@ -30,12 +34,12 @@ use sirup_cactus::{find_bound, pi_rewriting, sigma_rewriting, BoundSearch, Bound
 use sirup_classifier::{classify_trichotomy, TrichotomyClass};
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{pi_q, sigma_q, DSirup};
-use sirup_core::{Node, OneCq, Pred, Program, Structure};
+use sirup_core::{Node, OneCq, Pred, Structure};
 use sirup_engine::containment::minimise_ucq;
 use sirup_engine::linear::{linearity, Linearity};
-use sirup_engine::ucq::Ucq;
-use sirup_engine::{disjunctive, evaluate_with_index};
-use sirup_hom::core_of;
+use sirup_engine::ucq::CompiledUcq;
+use sirup_engine::{disjunctive, CompiledProgram};
+use sirup_hom::{core_of, QueryPlan};
 use std::sync::Mutex;
 
 /// A certain-answer query the service can plan and execute.
@@ -92,25 +96,33 @@ pub enum Answer {
     Nodes(Vec<Node>),
 }
 
-/// How a plan answers requests.
+/// How a plan answers requests. Every variant carries its *compiled*
+/// search artifacts (`sirup-hom` query plans), so the plan cache amortises
+/// not just classifier verdicts and rewritings but the whole hom-search
+/// compilation: warm-path requests execute plans and never plan again.
 #[derive(Debug, Clone)]
 pub enum Strategy {
     /// Evaluate the depth-`d` UCQ rewriting (bounded queries).
     Rewriting {
-        /// The (minimised) rewriting.
-        ucq: Ucq,
+        /// The (minimised) rewriting with each disjunct compiled to a
+        /// query plan. The disjunct patterns remain reachable through the
+        /// plans; the FO rendering is memoised separately in [`Plan::fo`].
+        compiled: CompiledUcq,
         /// The Prop. 2 depth at which it was extracted.
         depth: u32,
     },
     /// Run the semi-naive datalog fixpoint.
     SemiNaive {
-        /// `Π_q` or `Σ_q`.
-        program: Program,
+        /// `Π_q` or `Σ_q` with every rule body compiled to a query plan.
+        program: CompiledProgram,
     },
     /// Run the DPLL labelling search on the cored disjunctive sirup.
     Dpll {
         /// The d-sirup with `cq` replaced by its core.
         dsirup: DSirup,
+        /// The compiled search plan of the cored CQ (boxed to keep the
+        /// enum's variants comparably sized).
+        plan: Box<QueryPlan>,
     },
 }
 
@@ -200,11 +212,17 @@ impl Plan {
                 let (strategy, fo) = match rewriting {
                     Some((ucq, depth)) => {
                         let fo = format!("{}", sirup_fo::ucq_to_fo(&ucq));
-                        (Strategy::Rewriting { ucq, depth }, Some(fo))
+                        let compiled = ucq.compile();
+                        (Strategy::Rewriting { compiled, depth }, Some(fo))
                     }
                     None => {
                         let program = if sigma { sigma_q(q) } else { pi_q(q) };
-                        (Strategy::SemiNaive { program }, None)
+                        (
+                            Strategy::SemiNaive {
+                                program: CompiledProgram::new(&program),
+                            },
+                            None,
+                        )
                     }
                 };
                 Plan {
@@ -227,6 +245,7 @@ impl Plan {
                     cq: core.clone(),
                     disjoint: *disjoint,
                 };
+                let plan = Box::new(QueryPlan::compile(&dsirup.cq));
                 Plan {
                     verdicts: Verdicts {
                         linearity: None,
@@ -235,33 +254,34 @@ impl Plan {
                         minimal,
                     },
                     query,
-                    strategy: Strategy::Dpll { dsirup },
+                    strategy: Strategy::Dpll { dsirup, plan },
                     fo: None,
                 }
             }
         }
     }
 
-    /// Answer the planned query over one catalog instance.
+    /// Answer the planned query over one catalog instance. Warm path: only
+    /// compiled plans execute here — no search planning of any kind.
     pub fn answer(&self, inst: &IndexedInstance) -> Answer {
         match (&self.strategy, &self.query) {
-            (Strategy::Rewriting { ucq, .. }, Query::PiGoal(_)) => {
-                Answer::Bool(ucq.eval_boolean_indexed(&inst.data, &inst.index))
+            (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => {
+                Answer::Bool(compiled.eval_boolean(&inst.data, Some(&inst.index)))
             }
-            (Strategy::Rewriting { ucq, .. }, Query::SigmaAnswers(_)) => {
-                Answer::Nodes(ucq.answers_indexed(&inst.data, &inst.index))
+            (Strategy::Rewriting { compiled, .. }, Query::SigmaAnswers(_)) => {
+                Answer::Nodes(compiled.answers(&inst.data, Some(&inst.index)))
             }
             (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
-                let ev = evaluate_with_index(program, &inst.data, &inst.index);
+                let ev = program.evaluate_with_index(&inst.data, &inst.index);
                 Answer::Bool(ev.holds(Pred::GOAL))
             }
             (Strategy::SemiNaive { program }, Query::SigmaAnswers(_)) => {
-                let ev = evaluate_with_index(program, &inst.data, &inst.index);
+                let ev = program.evaluate_with_index(&inst.data, &inst.index);
                 Answer::Nodes(ev.answers(Pred::P).to_vec())
             }
-            (Strategy::Dpll { dsirup }, Query::Delta { .. }) => {
-                Answer::Bool(disjunctive::certain_answer_dsirup(dsirup, &inst.data))
-            }
+            (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => Answer::Bool(
+                disjunctive::certain_answer_dsirup_planned(dsirup, plan, &inst.data),
+            ),
             _ => unreachable!("strategy/query kind mismatch"),
         }
     }
@@ -385,7 +405,7 @@ mod tests {
             },
             &PlanOptions::default(),
         );
-        let Strategy::Dpll { dsirup } = &plan.strategy else {
+        let Strategy::Dpll { dsirup, .. } = &plan.strategy else {
             panic!("expected dpll");
         };
         assert!(dsirup.cq.node_count() < q.node_count());

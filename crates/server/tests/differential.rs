@@ -218,6 +218,65 @@ fn unbounded_queries_stay_on_the_fixpoint_path() {
 }
 
 #[test]
+fn cached_compiled_plans_serve_warm_path_like_fresh_builds() {
+    // The cache stores *compiled* plans (hom-search plans, compiled rule
+    // bodies, compiled UCQ disjuncts). The warm path must (a) hand back the
+    // very same compiled artifact (no re-planning), and (b) answer exactly
+    // like a freshly built plan and the direct engine, on every strategy
+    // path.
+    use sirup_server::{IndexedInstance, Plan, PlanCache};
+    let cache = PlanCache::new(16);
+    let opts = PlanOptions::default();
+    let indexed: Vec<IndexedInstance> = test_instances()
+        .into_iter()
+        .map(|(name, data)| IndexedInstance::new(name, data))
+        .collect();
+    let queries = [
+        Query::PiGoal(paper::q5()),    // bounded → rewriting strategy
+        Query::PiGoal(paper::q4_cq()), // unbounded → semi-naive
+        Query::SigmaAnswers(paper::q4_cq()),
+        Query::Delta {
+            cq: paper::q2(),
+            disjoint: false,
+        }, // dpll
+        Query::Delta {
+            cq: paper::q2(),
+            disjoint: true,
+        },
+    ];
+    for query in queries {
+        let cold = cache.get_or_build(&query, &opts);
+        let warm = cache.get_or_build(&query, &opts);
+        assert!(
+            std::sync::Arc::ptr_eq(&cold, &warm),
+            "warm fetch must reuse the compiled plan ({})",
+            query.kind_name()
+        );
+        let fresh = Plan::build(query.clone(), &opts);
+        for inst in &indexed {
+            let served = warm.answer(inst);
+            assert_eq!(
+                served,
+                fresh.answer(inst),
+                "cached plan ≠ fresh build on {} ({})",
+                inst.name,
+                query.kind_name()
+            );
+            assert_eq!(
+                served,
+                engine_answer(&query, &inst.data),
+                "cached plan ≠ engine on {} ({})",
+                inst.name,
+                query.kind_name()
+            );
+        }
+    }
+    let (hits, misses) = cache.stats();
+    assert_eq!(misses, 5);
+    assert_eq!(hits, 5);
+}
+
+#[test]
 fn mixed_replay_matches_engine_in_both_modes() {
     let spec = mixed_traffic(
         TrafficParams {
