@@ -1,0 +1,91 @@
+//! S4 — mutation traffic through the service layer.
+//!
+//! Measured shapes: (1) `mutation_submit_32req/{threads}` — a batch of 32
+//! ticketed single-op mutations against one instance with two warm
+//! semi-naive materialisations attached: each op pays the copy-on-write
+//! snapshot (data clone + index deltas) plus *incremental* maintenance of
+//! both materialisations; (2) `replay_mixed_mutations_4t` — closed-loop
+//! replay of the standing mixed read/write workload (30% mutations, hot
+//! instance skew), instances re-loaded per iteration — the headline
+//! mutation-throughput figure tracked in `BENCH_incremental.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_core::{FactOp, Node, Pred};
+use sirup_server::{PlanOptions, Query, ReplayMode, Request, Server, ServerConfig};
+use sirup_workloads::paper;
+use sirup_workloads::traffic::{mixed_traffic, TrafficParams};
+
+fn server(threads: usize) -> Server {
+    Server::new(ServerConfig {
+        threads,
+        shards: 8,
+        plan_cache: 64,
+        answer_cache: 0, // measure evaluation + mutation cost, not cache hits
+        plan: PlanOptions::default(),
+    })
+}
+
+fn server_mutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_mutation");
+    bench_opts(&mut g);
+
+    // Ticketed mutation batches against a live instance with warm
+    // materialisations.
+    for threads in [1usize, 4] {
+        let s = server(threads);
+        s.load_instance("d1", paper::d1());
+        for q in [
+            Query::PiGoal(paper::q4_cq()),
+            Query::SigmaAnswers(paper::q4_cq()),
+        ] {
+            s.submit(&[Request::query(q, "d1")]).unwrap(); // attach materialisation
+        }
+        let requests: Vec<Request> = (0..32)
+            .map(|i| {
+                let op = if i % 2 == 0 {
+                    FactOp::AddEdge(Pred::S, Node(0), Node(1))
+                } else {
+                    FactOp::RemoveEdge(Pred::S, Node(0), Node(1))
+                };
+                Request::mutation(vec![op], "d1")
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("mutation_submit_32req", threads),
+            &requests,
+            |b, reqs| {
+                b.iter(|| s.submit(reqs).unwrap());
+            },
+        );
+    }
+
+    // Closed-loop mixed read/write replay (instances re-loaded per
+    // iteration by `replay`, so every run mutates from the same state).
+    let spec = mixed_traffic(
+        TrafficParams {
+            instances: 3,
+            instance_nodes: 20,
+            instance_edges: 32,
+            requests: 96,
+            mean_gap_us: 0,
+            random_cqs: 2,
+            mutation_ratio: 0.3,
+            hot_weight: 0.4,
+        },
+        4243,
+    );
+    let s = server(4);
+    s.replay(&spec, ReplayMode::Closed).unwrap(); // warm plans
+    g.bench_function(
+        BenchmarkId::from_parameter("replay_mixed_mutations_4t"),
+        |b| {
+            b.iter(|| s.replay(&spec, ReplayMode::Closed).unwrap());
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, server_mutation);
+criterion_main!(benches);

@@ -20,6 +20,7 @@ fn spec_params(requests: usize) -> TrafficParams {
         requests,
         mean_gap_us: 0,
         random_cqs: 2,
+        ..Default::default()
     }
 }
 
@@ -28,6 +29,9 @@ fn server(threads: usize) -> Server {
         threads,
         shards: 8,
         plan_cache: 64,
+        // Answer caching off: these points measure evaluation + executor
+        // cost (and stay comparable with the pre-answer-cache baselines).
+        answer_cache: 0,
         plan: PlanOptions::default(),
     })
 }
@@ -71,10 +75,7 @@ fn server_throughput(c: &mut Criterion) {
     {
         let s = server(4);
         s.load_instance("d1", paper::d1());
-        let req = Request {
-            query: q5.clone(),
-            instance: "d1".to_owned(),
-        };
+        let req = Request::query(q5.clone(), "d1");
         s.submit(std::slice::from_ref(&req)).unwrap(); // warm
         g.bench_function(BenchmarkId::from_parameter("plan_warm_fetch_q5"), |b| {
             b.iter(|| s.submit(std::slice::from_ref(&req)).unwrap());

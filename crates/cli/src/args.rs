@@ -98,6 +98,16 @@ impl Args {
                 .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
+
+    /// Floating-point flag with a default (for ratios/probabilities).
+    pub fn flag_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +131,15 @@ mod tests {
         assert!(!a.flag_bool("absent"));
         assert_eq!(a.flag_u32("max-d", 1).unwrap(), 3);
         assert_eq!(a.flag_u32("horizon", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn float_flags() {
+        let a = parse_args(["serve", "--mutation-ratio", "0.25"]).unwrap();
+        assert_eq!(a.flag_f64("mutation-ratio", 0.0).unwrap(), 0.25);
+        assert_eq!(a.flag_f64("hot", 0.5).unwrap(), 0.5);
+        let bad = parse_args(["serve", "--hot", "x"]).unwrap();
+        assert!(bad.flag_f64("hot", 0.0).is_err());
     }
 
     #[test]

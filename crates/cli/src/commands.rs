@@ -70,6 +70,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "program" => cmd_program(args),
         "serve" => cmd_serve(args),
         "replay" => cmd_replay(args),
+        "stats" => cmd_stats(args),
         "zoo" => Ok(cmd_zoo()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -99,16 +100,25 @@ COMMANDS
   program <cq>                  print the programs Π_q and Σ_q (rules (5)–(7))
   schemaorg <cq>                the Δ'_q presentation (Prop. 5) in DL-Lite syntax
   serve [--requests N] [--instances N] [--nodes N] [--edges N] [--gap-us N]
-        [--random-cqs N] [--seed N] [--emit] [SERVICE FLAGS]
+        [--random-cqs N] [--seed N] [--mutation-ratio F] [--hot F] [--emit]
+        [SERVICE FLAGS]
                                 generate a mixed workload and run it through the
-                                query service (--emit prints the workload file
+                                query service; --mutation-ratio F interleaves
+                                insert/retract traffic, --hot F skews towards a
+                                hot instance (--emit prints the workload file
                                 instead of running it)
-  replay <file> [SERVICE FLAGS] replay a .sirupload workload file; reports
-                                throughput and p50/p99 latency
+  replay <file> [SERVICE FLAGS] replay a .sirupload workload file (queries and
+                                mutations); reports throughput, mutation rate,
+                                and p50/p99 latency
+  stats <file> [--instance NAME] [SERVICE FLAGS]
+                                replay a workload, then dump each live instance:
+                                catalog version, materialized-predicate sizes,
+                                support-count memory
 
-  SERVICE FLAGS (serve and replay): --threads N, --shards N, --plan-cache N,
-    --open (pace by arrival offsets), and the plan knobs --max-depth N,
-    --horizon N, --cap N (Prop. 2 rewriting-adoption evidence search)
+  SERVICE FLAGS (serve, replay, stats): --threads N, --shards N,
+    --plan-cache N, --answer-cache N (0 disables), --open (pace by arrival
+    offsets), and the plan knobs --max-depth N, --horizon N, --cap N
+    (Prop. 2 rewriting-adoption evidence search)
   zoo                           classify the paper's Example-1 CQs q1…q5
   help                          this text
 
@@ -448,6 +458,9 @@ fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
     let plan_cache = args
         .flag_usize("plan-cache", 64)
         .map_err(CliError::BadFlag)?;
+    let answer_cache = args
+        .flag_usize("answer-cache", 256)
+        .map_err(CliError::BadFlag)?;
     let max_depth = args.flag_u32("max-depth", 1).map_err(CliError::BadFlag)?;
     let horizon = args
         .flag_u32("horizon", max_depth + 2)
@@ -462,6 +475,7 @@ fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
         threads,
         shards,
         plan_cache,
+        answer_cache,
         plan: PlanOptions {
             max_depth,
             horizon,
@@ -509,7 +523,16 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         random_cqs: args
             .flag_usize("random-cqs", 3)
             .map_err(CliError::BadFlag)?,
+        mutation_ratio: args
+            .flag_f64("mutation-ratio", 0.0)
+            .map_err(CliError::BadFlag)?,
+        hot_weight: args.flag_f64("hot", 0.0).map_err(CliError::BadFlag)?,
     };
+    if !(0.0..=1.0).contains(&params.mutation_ratio) || !(0.0..=1.0).contains(&params.hot_weight) {
+        return Err(CliError::BadFlag(
+            "--mutation-ratio and --hot expect values in [0, 1]".to_owned(),
+        ));
+    }
     let seed = args.flag_u32("seed", 1).map_err(CliError::BadFlag)? as u64;
     let spec = mixed_traffic(params, seed);
     if args.flag_bool("emit") {
@@ -527,6 +550,90 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::Workload(format!("cannot read {path}: {e}")))?;
     let spec = parse_workload(&text).map_err(CliError::Workload)?;
     run_spec(&spec, args)
+}
+
+/// `stats <file>`: replay a workload closed-loop, then dump each live
+/// instance — catalog version, sizes, attached materialisations with their
+/// derived-set sizes and support-count memory.
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or(CliError::MissingArgument("a .sirupload workload file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Workload(format!("cannot read {path}: {e}")))?;
+    let spec = parse_workload(&text).map_err(CliError::Workload)?;
+    let (server, mode) = server_from_flags(args)?;
+    let report = server
+        .replay(&spec, mode)
+        .map_err(|e| CliError::Workload(e.to_string()))?;
+    let filter = args.flag("instance");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "replayed {} request(s) ({} mutation(s), {} op(s) applied); live catalog:",
+        report.total, report.mutations, report.mutation_ops_applied
+    )
+    .unwrap();
+    let names = server.catalog().names();
+    let mut shown = 0usize;
+    for name in &names {
+        if filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        let Some(stats) = server.instance_stats(name) else {
+            continue;
+        };
+        shown += 1;
+        writeln!(
+            out,
+            "\ninstance {name}: version {}, {} node(s), {} unary + {} binary atom(s)",
+            stats.version, stats.nodes, stats.unary_atoms, stats.binary_atoms
+        )
+        .unwrap();
+        if stats.materializations.is_empty() {
+            writeln!(out, "  (no live materialisations)").unwrap();
+        }
+        for (key, m) in &stats.materializations {
+            let ext = m
+                .extension_sizes
+                .iter()
+                .map(|(p, n)| format!("{p} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let nullary = if m.nullary.is_empty() {
+                "-".to_owned()
+            } else {
+                m.nullary
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            writeln!(out, "  materialisation [{key}]").unwrap();
+            writeln!(
+                out,
+                "    extensions: {ext}  nullary: {nullary}  ops applied: {}",
+                m.ops_applied
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    supports  : {} fact(s), {} derivation(s), ~{} B",
+                m.support_entries, m.support_total, m.support_bytes
+            )
+            .unwrap();
+        }
+    }
+    if let Some(f) = filter {
+        if shown == 0 {
+            return Err(CliError::Workload(format!(
+                "instance {f:?} not in the replayed catalog (have: {})",
+                names.join(", ")
+            )));
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_zoo() -> String {
@@ -600,10 +707,87 @@ mod tests {
             "schemaorg",
             "serve",
             "replay",
+            "stats",
             "zoo",
         ] {
             assert!(h.contains(c), "help missing {c}");
         }
+    }
+
+    #[test]
+    fn serve_generates_and_runs_mutation_traffic() {
+        let out = run_line(&[
+            "serve",
+            "--requests",
+            "40",
+            "--instances",
+            "2",
+            "--mutation-ratio",
+            "0.4",
+            "--hot",
+            "0.5",
+            "--seed",
+            "8",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("mutations :"), "{out}");
+        assert!(!out.contains("mutations : 0 request(s)"), "{out}");
+        // Emitted mutation workloads round-trip through the file format.
+        let emitted = run_line(&[
+            "serve",
+            "--requests",
+            "40",
+            "--instances",
+            "2",
+            "--mutation-ratio",
+            "0.4",
+            "--seed",
+            "8",
+            "--emit",
+            "true",
+        ])
+        .unwrap();
+        assert!(emitted.contains("request mutate"), "{emitted}");
+        assert!(sirup_workloads::parse_workload(&emitted).is_ok());
+        // Ratio validation.
+        assert!(matches!(
+            run_line(&["serve", "--mutation-ratio", "1.5"]),
+            Err(CliError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reports_live_instances() {
+        let dir = std::env::temp_dir().join("sirupctl-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.sirupload");
+        let text = "\
+instance d = T(t), A(a), R(a,t)
+request sigma d @0 = F(x), R(x,y), T(y)
+request mutate d @10 = +A(b), +R(b,a)
+request sigma d @20 = F(x), R(x,y), T(y)
+";
+        std::fs::write(&path, text).unwrap();
+        let out = run_line(&["stats", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("1 mutation(s)"), "{out}");
+        assert!(out.contains("instance d: version"), "{out}");
+        assert!(out.contains("materialisation ["), "{out}");
+        assert!(out.contains("supports  :"), "{out}");
+        // q = F(x),R(x,y),T(y) is unbounded ⇒ semi-naive ⇒ P extension shown.
+        assert!(out.contains("P "), "{out}");
+        // Filtering works, and unknown filters are reported.
+        let filtered = run_line(&["stats", path.to_str().unwrap(), "--instance", "d"]).unwrap();
+        assert!(filtered.contains("instance d:"), "{filtered}");
+        assert!(matches!(
+            run_line(&["stats", path.to_str().unwrap(), "--instance", "nope"]),
+            Err(CliError::Workload(_))
+        ));
+        assert!(matches!(
+            run_line(&["stats"]),
+            Err(CliError::MissingArgument(_))
+        ));
     }
 
     #[test]

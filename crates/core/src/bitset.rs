@@ -25,6 +25,15 @@ impl NodeSet {
         }
     }
 
+    /// Grow the universe to at least `n` nodes (no-op if already as large).
+    /// Existing membership is preserved; new nodes start absent.
+    pub fn grow(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
     /// Insert node `v`. Returns `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, v: Node) -> bool {
@@ -106,6 +115,18 @@ mod tests {
         }
         let got: Vec<u32> = s.iter().map(|n| n.0).collect();
         assert_eq!(got, vec![1, 5, 64, 100, 129]);
+    }
+
+    #[test]
+    fn grow_preserves_membership() {
+        let mut s = NodeSet::empty(10);
+        s.insert(Node(3));
+        s.grow(200);
+        assert!(s.contains(Node(3)));
+        assert!(s.insert(Node(199)));
+        s.grow(50); // never shrinks
+        assert!(s.contains(Node(199)));
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! for the mutated parts; the intended pattern is to index immutable data
 //! instances (the server catalog) and pass the index alongside them.
 
+use crate::delta::FactOp;
 use crate::fx::FxHashMap;
 use crate::structure::{Node, Structure};
 use crate::symbols::Pred;
@@ -27,6 +28,12 @@ pub struct PredIndex {
     sources: FxHashMap<Pred, Vec<Node>>,
     sinks: FxHashMap<Pred, Vec<Node>>,
     labelled: FxHashMap<Pred, Vec<Node>>,
+    /// Per-predicate in-degree counts, mirroring `sinks`: membership in
+    /// the sink list ⟺ a positive count. Kept so edge *retraction* can
+    /// decide sink liveness in O(1) instead of scanning the pair list
+    /// (`pairs` is sorted by source, so only the source side is
+    /// binary-searchable).
+    indegree: FxHashMap<Pred, FxHashMap<Node, u32>>,
     node_count: usize,
 }
 
@@ -37,10 +44,12 @@ impl PredIndex {
         let mut sources: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
         let mut sinks: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
         let mut labelled: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
+        let mut indegree: FxHashMap<Pred, FxHashMap<Node, u32>> = FxHashMap::default();
         for (p, u, v) in s.edges() {
             pairs.entry(p).or_default().push((u, v));
             sources.entry(p).or_default().push(u);
             sinks.entry(p).or_default().push(v);
+            *indegree.entry(p).or_default().entry(v).or_default() += 1;
         }
         for (p, v) in s.unary_atoms() {
             labelled.entry(p).or_default().push(v);
@@ -62,6 +71,7 @@ impl PredIndex {
             sources,
             sinks,
             labelled,
+            indegree,
             node_count: s.node_count(),
         }
     }
@@ -102,6 +112,64 @@ impl PredIndex {
         self.nodes_with_label(p).binary_search(&v).is_ok()
     }
 
+    /// Apply one [`FactOp`] delta, keeping the index a current snapshot of
+    /// a structure mutated by the same op (same set/no-op and node-growth
+    /// semantics as [`Structure::apply`]). Returns `true` iff the index
+    /// changed. Cost is a few binary searches plus list shifts — far below
+    /// the full [`PredIndex::new`] rebuild the mutation path would
+    /// otherwise pay per catalog update.
+    pub fn apply(&mut self, op: FactOp) -> bool {
+        if op.is_insert() {
+            self.node_count = self.node_count.max(op.max_node().index() + 1);
+        }
+        match op {
+            FactOp::AddLabel(p, v) => insert_sorted(self.labelled.entry(p).or_default(), v),
+            FactOp::RemoveLabel(p, v) => self
+                .labelled
+                .get_mut(&p)
+                .is_some_and(|l| remove_sorted(l, v)),
+            FactOp::AddEdge(p, u, v) => {
+                if !insert_sorted(self.pairs.entry(p).or_default(), (u, v)) {
+                    return false;
+                }
+                insert_sorted(self.sources.entry(p).or_default(), u);
+                insert_sorted(self.sinks.entry(p).or_default(), v);
+                *self.indegree.entry(p).or_default().entry(v).or_default() += 1;
+                true
+            }
+            FactOp::RemoveEdge(p, u, v) => {
+                let Some(pairs) = self.pairs.get_mut(&p) else {
+                    return false;
+                };
+                if !remove_sorted(pairs, (u, v)) {
+                    return false;
+                }
+                // Drop u/v from the deduplicated source/sink lists only when
+                // their last p-edge in that role went away: the source side
+                // reads the sorted pair list, the sink side its in-degree
+                // count.
+                let lo = pairs.partition_point(|&(a, _)| a < u);
+                if pairs[lo..].first().is_none_or(|&(a, _)| a != u) {
+                    remove_sorted(self.sources.get_mut(&p).unwrap(), u);
+                }
+                let indeg = self.indegree.get_mut(&p).unwrap();
+                let count = indeg.get_mut(&v).expect("sink has an in-degree entry");
+                *count -= 1;
+                if *count == 0 {
+                    indeg.remove(&v);
+                    remove_sorted(self.sinks.get_mut(&p).unwrap(), v);
+                }
+                true
+            }
+        }
+    }
+
+    /// Apply a sequence of deltas in order; returns how many changed the
+    /// index.
+    pub fn apply_all(&mut self, ops: &[FactOp]) -> usize {
+        ops.iter().filter(|&&op| self.apply(op)).count()
+    }
+
     /// Binary predicates occurring in the snapshot, sorted.
     pub fn binary_preds(&self) -> Vec<Pred> {
         let mut ps: Vec<Pred> = self.pairs.keys().copied().collect();
@@ -114,6 +182,28 @@ impl PredIndex {
         let mut ps: Vec<Pred> = self.labelled.keys().copied().collect();
         ps.sort_unstable();
         ps
+    }
+}
+
+/// Insert into a sorted, duplicate-free list. `true` iff inserted.
+fn insert_sorted<T: Ord>(list: &mut Vec<T>, x: T) -> bool {
+    match list.binary_search(&x) {
+        Ok(_) => false,
+        Err(pos) => {
+            list.insert(pos, x);
+            true
+        }
+    }
+}
+
+/// Remove from a sorted list. `true` iff removed.
+fn remove_sorted<T: Ord>(list: &mut Vec<T>, x: T) -> bool {
+    match list.binary_search(&x) {
+        Ok(pos) => {
+            list.remove(pos);
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -150,6 +240,46 @@ mod tests {
         assert!(idx.sources(Pred::S).is_empty());
         assert!(idx.sinks(Pred::S).is_empty());
         assert!(!idx.has_label(Node(0), Pred::T));
+    }
+
+    #[test]
+    fn applied_deltas_match_rebuild() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut s = st("F(a), R(a,b), T(b), R(b,c), S(c,a), A(c)");
+        let mut idx = PredIndex::new(&s);
+        let preds_u = [Pred::F, Pred::T, Pred::A];
+        let preds_b = [Pred::R, Pred::S];
+        for step in 0..400 {
+            let n = s.node_count() as u32 + 1; // may grow by one
+            let v = Node(rng.gen_range(0..n));
+            let u = Node(rng.gen_range(0..n));
+            let op = match rng.gen_range(0..4u32) {
+                0 => FactOp::AddLabel(preds_u[rng.gen_range(0..3usize)], v),
+                1 => FactOp::RemoveLabel(preds_u[rng.gen_range(0..3usize)], v),
+                2 => FactOp::AddEdge(preds_b[rng.gen_range(0..2usize)], u, v),
+                _ => FactOp::RemoveEdge(preds_b[rng.gen_range(0..2usize)], u, v),
+            };
+            let changed_s = s.apply(op);
+            let changed_i = idx.apply(op);
+            assert_eq!(changed_s, changed_i, "step {step}: {op}");
+            // The applied index must be indistinguishable from a rebuild.
+            let fresh = PredIndex::new(&s);
+            assert_eq!(idx.node_count(), fresh.node_count(), "step {step}: {op}");
+            for p in preds_b {
+                assert_eq!(idx.pairs(p), fresh.pairs(p), "step {step}: {op}");
+                assert_eq!(idx.sources(p), fresh.sources(p), "step {step}: {op}");
+                assert_eq!(idx.sinks(p), fresh.sinks(p), "step {step}: {op}");
+            }
+            for p in preds_u {
+                assert_eq!(
+                    idx.nodes_with_label(p),
+                    fresh.nodes_with_label(p),
+                    "step {step}: {op}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,12 +16,16 @@
 //! * prebuilt per-predicate indexes over structures ([`index::PredIndex`]),
 //!   used by the hom engine and the query service for repeated global
 //!   per-predicate lookups,
+//! * fact-level deltas over structures ([`delta::FactOp`]) — the mutation
+//!   vocabulary shared by the incremental fixpoint maintenance, the
+//!   service-layer mutation traffic, and the workload file format,
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
 pub mod bitset;
 pub mod builder;
 pub mod cq;
+pub mod delta;
 pub mod fx;
 pub mod index;
 pub mod parse;
@@ -32,6 +36,7 @@ pub mod symbols;
 
 pub use bitset::NodeSet;
 pub use cq::OneCq;
+pub use delta::FactOp;
 pub use index::PredIndex;
 pub use program::{Atom, Program, Rule, Term};
 pub use structure::{Node, Structure};

@@ -154,6 +154,22 @@ impl Structure {
         }
     }
 
+    /// Remove the binary atom `p(u, v)` if present.
+    pub fn remove_edge(&mut self, p: Pred, u: Node, v: Node) -> bool {
+        let o = &mut self.out[u.index()];
+        match o.binary_search(&(p, v)) {
+            Ok(pos) => {
+                o.remove(pos);
+                let i = &mut self.inn[v.index()];
+                let ipos = i.binary_search(&(p, u)).expect("in-list mirrors out-list");
+                i.remove(ipos);
+                self.edge_count -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Does the binary atom `p(u, v)` hold?
     #[inline]
     pub fn has_edge(&self, p: Pred, u: Node, v: Node) -> bool {
@@ -408,6 +424,18 @@ mod tests {
         assert!(s.has_edge(Pred::R, Node(0), Node(1)));
         assert!(!s.has_edge(Pred::R, Node(1), Node(0)));
         assert!(!s.has_edge(Pred::S, Node(0), Node(1)));
+    }
+
+    #[test]
+    fn remove_edge_keeps_adjacency_consistent() {
+        let mut s = path3();
+        assert!(s.remove_edge(Pred::R, Node(0), Node(1)));
+        assert!(!s.remove_edge(Pred::R, Node(0), Node(1)));
+        assert!(!s.remove_edge(Pred::S, Node(1), Node(2)));
+        assert_eq!(s.edge_count(), 1);
+        assert!(s.out(Node(0)).is_empty());
+        assert!(s.inn(Node(1)).is_empty());
+        assert!(s.has_edge(Pred::R, Node(1), Node(2)));
     }
 
     #[test]

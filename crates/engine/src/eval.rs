@@ -71,14 +71,16 @@ fn body_pattern(rule: &Rule) -> (Structure, Vec<Node>) {
 }
 
 /// One rule, compiled: its body's reusable hom-search plan plus the
-/// instance-independent facts the fixpoint needs per round.
+/// instance-independent facts the fixpoint needs per round. Shared with the
+/// incremental maintenance layer ([`crate::incremental`]), which replays the
+/// same plans under delta pins.
 #[derive(Debug, Clone)]
-struct CompiledRule {
+pub(crate) struct CompiledRule {
     /// The body pattern's compiled search plan.
-    plan: QueryPlan,
-    head_pred: Pred,
+    pub(crate) plan: QueryPlan,
+    pub(crate) head_pred: Pred,
     /// Head variable's pattern node (`None` for nullary heads).
-    head_node: Option<Node>,
+    pub(crate) head_node: Option<Node>,
     /// Sorted, deduplicated EDB labels the body places on the head
     /// variable — exact candidate pre-filters (EDB labels never change
     /// during evaluation).
@@ -133,6 +135,16 @@ impl CompiledProgram {
     /// The compiled plan of rule `i`'s body (for plan inspection/debugging).
     pub fn rule_plan(&self, i: usize) -> &QueryPlan {
         &self.rules[i].plan
+    }
+
+    /// The compiled rules (for the incremental maintenance layer).
+    pub(crate) fn compiled_rules(&self) -> &[CompiledRule] {
+        &self.rules
+    }
+
+    /// The program's IDB predicates, sorted.
+    pub(crate) fn idb_preds(&self) -> &[Pred] {
+        &self.idbs
     }
 
     /// Evaluate over `data`, returning all derived IDB facts.

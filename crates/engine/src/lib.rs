@@ -12,13 +12,19 @@
 //!   Example 2), with monotone lower/upper-bound pruning.
 //! * [`ucq`]: evaluation of unions of conjunctive queries (FO-rewritings per
 //!   Prop. 2 are UCQs).
+//! * [`incremental`]: live maintenance of materialised fixpoints under fact
+//!   insertion/retraction — delta-rule insertion plus DRed-style
+//!   overdelete/rederive deletion with exact support counts
+//!   ([`MaterializedFixpoint`]).
 
 pub mod containment;
 pub mod disjunctive;
 pub mod eval;
+pub mod incremental;
 pub mod linear;
 pub mod ucq;
 
 pub use disjunctive::certain_answer_dsirup;
 pub use eval::{evaluate, evaluate_with_index, CompiledProgram, Evaluation};
+pub use incremental::{MaterializationStats, MaterializedFixpoint};
 pub use ucq::{CompiledUcq, Ucq};

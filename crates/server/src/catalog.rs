@@ -1,24 +1,50 @@
-//! The sharded instance catalog.
+//! The sharded, versioned instance catalog.
 //!
 //! The service holds many named data instances at once. Each instance is
 //! stored *indexed*: alongside the [`Structure`] sits a prebuilt
 //! [`PredIndex`] so every evaluation strategy reads per-predicate edge and
-//! label lists as sorted slices instead of rescanning adjacency. Instances
-//! are immutable once loaded (reloading a name replaces the `Arc` wholesale),
-//! which is what makes handing `Arc<IndexedInstance>`s to worker threads and
-//! caching the index sound.
+//! label lists as sorted slices instead of rescanning adjacency, plus the
+//! instance's **live materialisations** — one incrementally maintained
+//! [`MaterializedFixpoint`] per semi-naive program that has queried it.
+//!
+//! Instances are **immutable snapshots**: a mutation builds a new
+//! [`IndexedInstance`] — data cloned and patched, index updated by
+//! [`PredIndex::apply`] deltas (not rebuilt), every materialisation carried
+//! forward by *incremental* maintenance (not re-evaluated) — under a fresh
+//! catalog-wide version, and swaps the `Arc` (copy-on-write). In-flight
+//! readers keep the snapshot they resolved: data, index, and
+//! materialisations are mutually consistent by construction, with no
+//! version checks on the read path.
+//!
+//! Mutations to the *same* instance are serialised in ticket order (see
+//! [`Catalog::reserve_ticket`]): the batch executor may run mutation
+//! requests on any worker thread, but their effects apply in submission
+//! order, which keeps replayed mutation streams deterministic. Mutations to
+//! different instances proceed in parallel (the expensive copy-forward work
+//! happens outside the shard lock).
 //!
 //! The map is split into shards, each behind its own `RwLock`, so concurrent
 //! lookups from worker threads and loads from the control path contend only
 //! per shard. Shard choice hashes the instance name with the workspace's
 //! `FxHasher`.
 
+use crate::cache::StampedLru;
 use sirup_core::fx::{FxHashMap, FxHasher};
-use sirup_core::{PredIndex, Structure};
+use sirup_core::{FactOp, PredIndex, Structure};
+use sirup_engine::{MaterializationStats, MaterializedFixpoint};
 use std::hash::Hasher as _;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-/// A named, immutable data instance with its prebuilt per-predicate index.
+/// Most live materialisations one instance retains (LRU beyond this):
+/// every mutation carries each attached materialisation forward, so an
+/// unbounded set — one per distinct semi-naive program ever queried —
+/// would make per-op mutation cost and memory grow without bound.
+const MAX_LIVE_MATERIALIZATIONS: usize = 32;
+
+/// A named, immutable snapshot of a data instance: the structure, its
+/// prebuilt per-predicate index, and the live materialisations attached to
+/// this version.
 #[derive(Debug)]
 pub struct IndexedInstance {
     /// Catalog name.
@@ -27,26 +53,97 @@ pub struct IndexedInstance {
     pub data: Structure,
     /// Per-predicate index snapshot of `data`.
     pub index: PredIndex,
+    /// Catalog-wide version of this snapshot (strictly increases across
+    /// loads and mutations of any instance; a reload always changes it).
+    pub version: u64,
+    /// Live materialisations keyed by program cache key, built lazily by
+    /// the first semi-naive query and carried forward incrementally by
+    /// mutations. Each is immutable once built (mutation clones it); the
+    /// set is LRU-bounded by [`MAX_LIVE_MATERIALIZATIONS`].
+    mats: StampedLru<Arc<MaterializedFixpoint>>,
 }
 
 impl IndexedInstance {
-    /// Index `data` under `name`.
+    /// Index `data` under `name` at version 0 (for direct library use; the
+    /// catalog assigns real versions).
     pub fn new(name: impl Into<String>, data: Structure) -> IndexedInstance {
+        IndexedInstance::with_version(name, data, 0)
+    }
+
+    /// Index `data` under `name` at an explicit version.
+    pub fn with_version(name: impl Into<String>, data: Structure, version: u64) -> IndexedInstance {
         let index = PredIndex::new(&data);
         IndexedInstance {
             name: name.into(),
             data,
             index,
+            version,
+            mats: StampedLru::new(MAX_LIVE_MATERIALIZATIONS),
         }
     }
+
+    /// The materialisation for `key`, building it with `build` on first
+    /// use. Concurrent first uses may build twice; the first insert wins,
+    /// which is sound because both are built from this immutable snapshot.
+    pub fn materialization(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> MaterializedFixpoint,
+    ) -> Arc<MaterializedFixpoint> {
+        if let Some(m) = self.mats.get(key) {
+            return m;
+        }
+        let built = Arc::new(build());
+        self.mats.insert(key.to_owned(), Arc::clone(&built));
+        built
+    }
+
+    /// Stats of every attached materialisation, sorted by program key.
+    pub fn materialization_stats(&self) -> Vec<(String, MaterializationStats)> {
+        let mut out: Vec<(String, MaterializationStats)> = self
+            .mats
+            .entries()
+            .into_iter()
+            .map(|(k, m)| (k, m.stats()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of attached materialisations.
+    pub fn materialization_count(&self) -> usize {
+        self.mats.len()
+    }
+}
+
+/// The result of one applied mutation batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Ops that changed the instance (set semantics: duplicate inserts and
+    /// absent retracts are no-ops).
+    pub applied: usize,
+    /// The version of the new snapshot.
+    pub version: u64,
 }
 
 type Shard = RwLock<FxHashMap<String, Arc<IndexedInstance>>>;
 
-/// A sharded map from instance name to [`IndexedInstance`].
+/// Per-instance mutation ticket state: tickets are handed out in
+/// submission order and applied strictly in that order.
+#[derive(Debug, Default)]
+struct Tickets {
+    issued: FxHashMap<String, u64>,
+    applied: FxHashMap<String, u64>,
+}
+
+/// A sharded map from instance name to versioned [`IndexedInstance`]
+/// snapshots, with ticket-ordered copy-on-write mutation.
 #[derive(Debug)]
 pub struct Catalog {
     shards: Vec<Shard>,
+    versions: AtomicU64,
+    tickets: Mutex<Tickets>,
+    ticket_cv: Condvar,
 }
 
 impl Catalog {
@@ -54,6 +151,9 @@ impl Catalog {
     pub fn new(shards: usize) -> Catalog {
         Catalog {
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            versions: AtomicU64::new(0),
+            tickets: Mutex::new(Tickets::default()),
+            ticket_cv: Condvar::new(),
         }
     }
 
@@ -63,10 +163,14 @@ impl Catalog {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Load (or replace) an instance. Returns `true` if a previous instance
-    /// with this name was replaced.
+    fn next_version(&self) -> u64 {
+        self.versions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Load (or replace) an instance under a fresh version. Returns `true`
+    /// if a previous instance with this name was replaced.
     pub fn insert(&self, name: impl Into<String>, data: Structure) -> bool {
-        let inst = IndexedInstance::new(name, data);
+        let inst = IndexedInstance::with_version(name, data, self.next_version());
         let name = inst.name.clone();
         self.shard_of(&name)
             .write()
@@ -80,9 +184,93 @@ impl Catalog {
         self.shard_of(name).read().unwrap().get(name).cloned()
     }
 
-    /// Drop an instance. Returns `true` if it existed.
+    /// Reserve the next mutation ticket for `name`. Tickets must each be
+    /// redeemed by exactly one later [`Catalog::mutate_ticketed`] call (in
+    /// any thread); redemption happens in ticket order.
+    pub fn reserve_ticket(&self, name: &str) -> u64 {
+        let mut t = self.tickets.lock().unwrap();
+        let counter = t.issued.entry(name.to_owned()).or_insert(0);
+        let ticket = *counter;
+        *counter += 1;
+        ticket
+    }
+
+    /// Apply a mutation batch under a previously reserved ticket: waits
+    /// until every earlier ticket for this instance has been applied, then
+    /// swaps in the mutated snapshot. Returns `None` if the instance is
+    /// (no longer) present — the ticket is still consumed.
+    pub fn mutate_ticketed(
+        &self,
+        name: &str,
+        ops: &[FactOp],
+        ticket: u64,
+    ) -> Option<MutationOutcome> {
+        {
+            let mut t = self.tickets.lock().unwrap();
+            while *t.applied.get(name).unwrap_or(&0) != ticket {
+                t = self.ticket_cv.wait(t).unwrap();
+            }
+        }
+        let outcome = self.apply_mutation(name, ops);
+        let mut t = self.tickets.lock().unwrap();
+        *t.applied.entry(name.to_owned()).or_insert(0) += 1;
+        self.ticket_cv.notify_all();
+        drop(t);
+        outcome
+    }
+
+    /// Reserve a ticket and apply `ops` (the one-call path for direct
+    /// library use; the batch executor reserves at submission time).
+    pub fn mutate(&self, name: &str, ops: &[FactOp]) -> Option<MutationOutcome> {
+        let ticket = self.reserve_ticket(name);
+        self.mutate_ticketed(name, ops, ticket)
+    }
+
+    /// Copy-on-write application: clone the current snapshot's data, patch
+    /// it, delta-update the index, carry every materialisation forward
+    /// incrementally, and swap the new snapshot in. Runs outside the shard
+    /// lock except for the final swap; same-instance ordering is the ticket
+    /// sequencer's job.
+    fn apply_mutation(&self, name: &str, ops: &[FactOp]) -> Option<MutationOutcome> {
+        let old = self.get(name)?;
+        let mut data = old.data.clone();
+        let applied = data.apply_all(ops);
+        let mut index = old.index.clone();
+        let index_applied = index.apply_all(ops);
+        debug_assert_eq!(applied, index_applied, "index deltas diverged from data");
+        let mats = StampedLru::new(MAX_LIVE_MATERIALIZATIONS);
+        for (k, m) in old.mats.entries() {
+            let mut fwd = (*m).clone();
+            fwd.apply(ops);
+            mats.insert(k, Arc::new(fwd));
+        }
+        let version = self.next_version();
+        let inst = IndexedInstance {
+            name: name.to_owned(),
+            data,
+            index,
+            version,
+            mats,
+        };
+        self.shard_of(name)
+            .write()
+            .unwrap()
+            .insert(name.to_owned(), Arc::new(inst));
+        Some(MutationOutcome { applied, version })
+    }
+
+    /// Drop an instance. Returns `true` if it existed. Quiescent ticket
+    /// state for the name is pruned (a churn of generated names must not
+    /// leak counter entries); with tickets still outstanding the entry
+    /// stays, so in-flight `mutate_ticketed` waiters keep their numbering.
     pub fn remove(&self, name: &str) -> bool {
-        self.shard_of(name).write().unwrap().remove(name).is_some()
+        let existed = self.shard_of(name).write().unwrap().remove(name).is_some();
+        let mut t = self.tickets.lock().unwrap();
+        if t.issued.get(name) == t.applied.get(name) {
+            t.issued.remove(name);
+            t.applied.remove(name);
+        }
+        existed
     }
 
     /// Number of loaded instances.
@@ -116,6 +304,7 @@ impl Catalog {
 mod tests {
     use super::*;
     use sirup_core::parse::st;
+    use sirup_core::{Node, Pred};
 
     #[test]
     fn insert_get_remove() {
@@ -130,14 +319,101 @@ mod tests {
         assert_eq!(a.data.size(), 3);
         assert_eq!(a.index.node_count(), a.data.node_count());
         assert!(c.get("zzz").is_none());
-        // Replacing returns true and swaps the Arc.
+        // Replacing returns true, swaps the Arc, and bumps the version.
         assert!(c.insert("a", st("T(v)")));
-        assert_eq!(c.get("a").unwrap().data.size(), 1);
+        let a2 = c.get("a").unwrap();
+        assert_eq!(a2.data.size(), 1);
+        assert!(a2.version > a.version);
         // The old Arc stays valid for holders.
         assert_eq!(a.data.size(), 3);
         assert!(c.remove("a"));
         assert!(!c.remove("a"));
         assert_eq!(c.names(), vec!["b"]);
+    }
+
+    #[test]
+    fn mutate_swaps_a_consistent_snapshot() {
+        let c = Catalog::new(2);
+        c.insert("d", st("F(a), R(a,b), T(b)"));
+        let before = c.get("d").unwrap();
+        let out = c
+            .mutate(
+                "d",
+                &[
+                    FactOp::AddLabel(Pred::A, Node(1)),
+                    FactOp::AddLabel(Pred::A, Node(1)), // duplicate: no-op
+                    FactOp::RemoveEdge(Pred::R, Node(0), Node(1)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.applied, 2);
+        let after = c.get("d").unwrap();
+        assert_eq!(after.version, out.version);
+        assert!(after.version > before.version);
+        assert!(after.data.has_label(Node(1), Pred::A));
+        assert_eq!(after.data.edge_count(), 0);
+        // Index was delta-updated, not stale.
+        assert!(after.index.pairs(Pred::R).is_empty());
+        assert_eq!(after.index.nodes_with_label(Pred::A), &[Node(1)]);
+        // The pre-mutation snapshot is untouched.
+        assert!(before.data.has_edge(Pred::R, Node(0), Node(1)));
+        // Mutating a missing instance consumes the ticket and reports so.
+        assert!(c
+            .mutate("missing", &[FactOp::AddLabel(Pred::T, Node(0))])
+            .is_none());
+    }
+
+    #[test]
+    fn mutation_carries_materializations_forward() {
+        use sirup_core::program::sigma_q;
+        use sirup_core::OneCq;
+        let q = OneCq::parse("F(x), R(x,y), T(y)");
+        let sigma = sigma_q(&q);
+        let c = Catalog::new(1);
+        c.insert("d", st("T(t), A(a), R(a,t)"));
+        let inst = c.get("d").unwrap();
+        let mat = inst.materialization("sigma", || MaterializedFixpoint::new(&sigma, &inst.data));
+        assert_eq!(mat.answers(Pred::P).len(), 2); // P(t), P(a)
+        assert_eq!(inst.materialization_count(), 1);
+        // The mutation forwards the materialisation incrementally.
+        c.mutate("d", &[FactOp::RemoveLabel(Pred::T, Node(0))])
+            .unwrap();
+        let fresh = c.get("d").unwrap();
+        assert_eq!(fresh.materialization_count(), 1);
+        let fwd = fresh.materialization("sigma", || panic!("must be carried forward"));
+        assert!(fwd.answers(Pred::P).is_empty());
+        // Old snapshot still answers from its own version.
+        assert_eq!(mat.answers(Pred::P).len(), 2);
+    }
+
+    #[test]
+    fn tickets_serialise_same_instance_mutations() {
+        let c = Arc::new(Catalog::new(2));
+        c.insert("d", st("T(a)"));
+        // Reserve in order, redeem from racing threads in reverse order:
+        // ticket order must still win.
+        let t0 = c.reserve_ticket("d");
+        let t1 = c.reserve_ticket("d");
+        assert_eq!((t0, t1), (0, 1));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || {
+            // Applies second despite starting first.
+            c2.mutate_ticketed("d", &[FactOp::RemoveLabel(Pred::T, Node(0))], t1)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.mutate_ticketed("d", &[FactOp::AddLabel(Pred::T, Node(0))], t0)
+            .unwrap();
+        h.join().unwrap().unwrap();
+        // t0 (re-insert, no-op) then t1 (remove): the label is gone.
+        assert!(!c.get("d").unwrap().data.has_label(Node(0), Pred::T));
+        // Removing the instance prunes its quiescent ticket state, and a
+        // re-created instance starts a fresh ticket sequence.
+        assert!(c.remove("d"));
+        c.insert("d", st("T(a)"));
+        assert_eq!(c.reserve_ticket("d"), 0);
+        assert!(c
+            .mutate_ticketed("d", &[FactOp::RemoveLabel(Pred::T, Node(0))], 0)
+            .is_some());
     }
 
     #[test]
@@ -149,8 +425,6 @@ mod tests {
         let names = c.names();
         assert_eq!(names.len(), 20);
         assert!(names.windows(2).all(|w| w[0] < w[1]));
-        // All shards hold something with 20 names over 3 shards (FxHash is
-        // not adversarial on these keys).
         assert_eq!(c.len(), 20);
     }
 

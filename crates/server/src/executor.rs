@@ -2,28 +2,55 @@
 //!
 //! A [`Pool`] owns `threads` OS threads (`std::thread`) that drain a shared
 //! submission queue (an `mpsc` channel behind a mutex — the classic
-//! work-queue shape the offline dependency set affords). A job pairs an
-//! `Arc<Plan>` with an `Arc<IndexedInstance>`; workers compute
-//! `plan.answer(instance)` and report on the job's reply channel with
-//! queue+service latency. The pool shuts down when dropped: the sender side
-//! of the queue closes, workers see the disconnect and exit, and `drop`
-//! joins them.
+//! work-queue shape the offline dependency set affords). A job is either a
+//! **query** (an `Arc<Plan>` paired with an `Arc<IndexedInstance>` snapshot;
+//! workers compute `plan.answer(instance)`) or a **mutation** (a ticketed
+//! fact batch applied through the catalog's copy-on-write swap). Both
+//! report on the job's reply channel with queue+service latency.
+//!
+//! The pool shuts down when dropped: the sender side of the queue closes,
+//! workers **drain the remaining queue** and then exit on the disconnect,
+//! and `drop` joins them. Draining matters for mutations: every reserved
+//! ticket is redeemed, so no later mutation can block on a ticket that
+//! never runs, and every in-flight request still gets its response — the
+//! shutdown-ordering test pins this.
 
-use crate::catalog::IndexedInstance;
+use crate::catalog::{Catalog, IndexedInstance};
 use crate::plan::{Answer, Plan};
+use sirup_core::FactOp;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One unit of work: answer `plan` over `instance`, reply on `reply`.
+/// What a job does when a worker picks it up.
+pub(crate) enum Work {
+    /// Answer `plan` over the resolved `instance` snapshot.
+    Answer {
+        /// The (cached) plan.
+        plan: Arc<Plan>,
+        /// The catalog snapshot resolved at submission time.
+        instance: Arc<IndexedInstance>,
+    },
+    /// Apply a mutation batch under a submission-time ticket.
+    Mutate {
+        /// The catalog to mutate (mutations resolve at *execution* time).
+        catalog: Arc<Catalog>,
+        /// Target instance name.
+        instance: String,
+        /// The fact batch.
+        ops: Arc<Vec<FactOp>>,
+        /// Ticket reserved at submission (fixes the same-instance order).
+        ticket: u64,
+    },
+}
+
+/// One unit of work plus its reporting envelope.
 pub(crate) struct Job {
     /// Position of this request in its batch (for in-order reassembly).
     pub idx: usize,
-    /// The (cached) plan.
-    pub plan: Arc<Plan>,
-    /// The catalog instance.
-    pub instance: Arc<IndexedInstance>,
+    /// The work item.
+    pub work: Work,
     /// When the job entered the queue.
     pub enqueued: Instant,
     /// Where to send the completion.
@@ -36,7 +63,7 @@ pub(crate) struct Completion {
     pub idx: usize,
     /// The computed answer.
     pub answer: Answer,
-    /// Strategy that served it (stable name from [`Plan`]).
+    /// Strategy that served it (stable name from [`Plan`], or `mutation`).
     pub strategy: &'static str,
     /// Queue wait + evaluation time.
     pub latency: Duration,
@@ -88,15 +115,37 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         // Hold the queue lock only for the dequeue, not the evaluation.
         let job = match rx.lock().unwrap().recv() {
             Ok(job) => job,
-            Err(_) => return, // queue closed: shut down
+            Err(_) => return, // queue closed and drained: shut down
         };
-        let answer = job.plan.answer(&job.instance);
+        let (answer, strategy) = match &job.work {
+            Work::Answer { plan, instance } => (plan.answer(instance), plan.strategy.name()),
+            Work::Mutate {
+                catalog,
+                instance,
+                ops,
+                ticket,
+            } => {
+                let answer = match catalog.mutate_ticketed(instance, ops, *ticket) {
+                    Some(out) => Answer::Applied {
+                        applied: out.applied,
+                        version: out.version,
+                    },
+                    // Instance vanished between validation and execution
+                    // (concurrent remove); the ticket is consumed either way.
+                    None => Answer::Applied {
+                        applied: 0,
+                        version: 0,
+                    },
+                };
+                (answer, "mutation")
+            }
+        };
         // The batch collector may have given up (panic elsewhere); a closed
         // reply channel is not this worker's problem.
         let _ = job.reply.send(Completion {
             idx: job.idx,
             answer,
-            strategy: job.plan.strategy.name(),
+            strategy,
             latency: job.enqueued.elapsed(),
         });
     }
@@ -116,6 +165,7 @@ mod tests {
     use super::*;
     use crate::plan::{Plan, PlanOptions, Query};
     use sirup_core::parse::st;
+    use sirup_core::{Node, Pred};
 
     #[test]
     fn pool_answers_and_shuts_down() {
@@ -133,8 +183,10 @@ mod tests {
         for idx in 0..16 {
             pool.submit(Job {
                 idx,
-                plan: Arc::clone(&plan),
-                instance: Arc::clone(&inst),
+                work: Work::Answer {
+                    plan: Arc::clone(&plan),
+                    instance: Arc::clone(&inst),
+                },
                 enqueued: Instant::now(),
                 reply: reply.clone(),
             });
@@ -151,5 +203,65 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..16).collect::<Vec<_>>());
         drop(pool); // joins workers without hanging
+    }
+
+    /// Shutdown/drop ordering under in-flight mutations: dropping the pool
+    /// while ticketed mutation jobs are still queued must (a) not deadlock
+    /// — queued tickets are drained in order, so no waiter starves — and
+    /// (b) lose no responses: every submitted job completes.
+    #[test]
+    fn drop_with_in_flight_mutations_drains_cleanly() {
+        let catalog = Arc::new(Catalog::new(2));
+        catalog.insert("d", st("T(a), A(b), R(b,a)"));
+        let pool = Pool::new(2);
+        let (reply, done) = channel();
+        let total = 24usize;
+        for idx in 0..total {
+            // Alternate inserts and retracts of the same label so every op
+            // is effective, all against one instance (maximal ticket
+            // contention).
+            let op = if idx % 2 == 0 {
+                FactOp::RemoveLabel(Pred::T, Node(0))
+            } else {
+                FactOp::AddLabel(Pred::T, Node(0))
+            };
+            let ticket = catalog.reserve_ticket("d");
+            pool.submit(Job {
+                idx,
+                work: Work::Mutate {
+                    catalog: Arc::clone(&catalog),
+                    instance: "d".to_owned(),
+                    ops: Arc::new(vec![op]),
+                    ticket,
+                },
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        // Drop the pool immediately: most jobs are still queued. Drop joins
+        // the workers, which drain the queue first.
+        drop(pool);
+        let completions: Vec<Completion> = done.iter().collect();
+        assert_eq!(completions.len(), total, "lost responses on shutdown");
+        let mut seen: Vec<usize> = completions.iter().map(|c| c.idx).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        for c in &completions {
+            assert_eq!(c.strategy, "mutation");
+            let Answer::Applied { applied, version } = c.answer else {
+                panic!("mutation job answered {:?}", c.answer);
+            };
+            assert_eq!(applied, 1, "every alternating op must be effective");
+            assert!(version > 0);
+        }
+        // Ticket order ⇒ deterministic final state: even total ends on an
+        // Add, so the label is present.
+        assert!(catalog.get("d").unwrap().data.has_label(Node(0), Pred::T));
+        // And the whole ticket range was redeemed: a fresh mutation does
+        // not block.
+        assert!(catalog
+            .mutate("d", &[FactOp::AddLabel(Pred::A, Node(0))])
+            .is_some());
     }
 }

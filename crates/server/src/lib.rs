@@ -5,47 +5,61 @@
 //! multi-threaded service (no network layer; the in-process [`Server`] *is*
 //! the service, and `sirupctl serve`/`replay` front it).
 //!
-//! Three layers (see `DESIGN.md`, "Service layer"):
+//! Three layers (see `DESIGN.md`, "Service layer" and "Incremental
+//! maintenance"):
 //!
-//! * [`catalog`] — a **sharded instance catalog**: named immutable
-//!   [`sirup_core::Structure`]s behind per-shard `RwLock`s, each stored with
-//!   a prebuilt [`sirup_core::PredIndex`] so no evaluation strategy ever
-//!   rescans edge lists;
+//! * [`catalog`] — a **sharded, versioned instance catalog**: named
+//!   [`sirup_core::Structure`] snapshots behind per-shard `RwLock`s, each
+//!   stored with a prebuilt [`sirup_core::PredIndex`] and the instance's
+//!   live [`sirup_engine::MaterializedFixpoint`]s. Mutations are
+//!   copy-on-write `Arc` swaps under fresh versions: data patched, index
+//!   delta-updated, materialisations carried forward *incrementally*
+//!   (delta rules + DRed), same-instance order fixed by tickets;
 //! * [`plan`] — a **plan cache**: an LRU of per-program [`plan::Plan`]s
 //!   memoising the §4 classifier verdicts, the CQ's core, and — given
 //!   Prop. 2 boundedness evidence — the UCQ/FO rewriting, so bounded
-//!   programs are answered by rewriting instead of fixpoint;
+//!   programs are answered by rewriting instead of fixpoint (and need no
+//!   maintenance at all under mutation);
 //! * `executor` + [`server`] — a **batch executor**: a fixed
-//!   `std::thread` pool draining a submission queue; batches are grouped by
-//!   program so one plan serves the whole group, and each request routes to
-//!   the cheapest strategy (rewriting → semi-naive fixpoint → DPLL for
-//!   disjunctive sirups).
+//!   `std::thread` pool draining a submission queue of queries *and*
+//!   mutations; batches are grouped by program so one plan serves the
+//!   whole group, each query routes to the cheapest strategy (answer cache
+//!   → rewriting → materialised semi-naive → DPLL for disjunctive sirups),
+//!   and the answer cache is keyed by instance version so mutations
+//!   invalidate it by construction.
 //!
 //! The differential test-suite pins batched, concurrent answers — cold
-//! cache, warm cache, and rewriting-served — to direct single-threaded
-//! `sirup-engine` evaluation.
+//! cache, warm cache, rewriting-served, and under mutation — to direct
+//! single-threaded `sirup-engine` evaluation.
 //!
 //! ```
 //! use sirup_server::{Server, Request, Query, Answer};
-//! use sirup_core::{parse::st, OneCq};
+//! use sirup_core::{parse::st, FactOp, Node, OneCq, Pred};
 //!
 //! let server = Server::with_defaults();
 //! server.load_instance("d", st("F(u), R(u,v), T(v)"));
-//! let req = Request {
-//!     query: Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")),
-//!     instance: "d".into(),
-//! };
-//! let resp = server.submit(&[req]).unwrap();
+//! let req = Request::query(Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")), "d");
+//! let resp = server.submit(std::slice::from_ref(&req)).unwrap();
 //! assert_eq!(resp[0].answer, Answer::Bool(true));
+//!
+//! // The catalog is live: retract the T-fact and the answer flips.
+//! let retract = Request::mutation(vec![FactOp::RemoveLabel(Pred::T, Node(1))], "d");
+//! server.submit(&[retract]).unwrap();
+//! let resp = server.submit(&[req]).unwrap();
+//! assert_eq!(resp[0].answer, Answer::Bool(false));
 //! ```
 
+mod cache;
 pub mod catalog;
 mod executor;
 pub mod metrics;
 pub mod plan;
 pub mod server;
 
-pub use catalog::{Catalog, IndexedInstance};
+pub use catalog::{Catalog, IndexedInstance, MutationOutcome};
 pub use metrics::LatencyStats;
 pub use plan::{Answer, Plan, PlanCache, PlanOptions, Query, Strategy, Verdicts};
-pub use server::{ReplayMode, ReplayReport, Request, Response, Server, ServerConfig, ServerError};
+pub use server::{
+    Action, InstanceStats, ReplayMode, ReplayReport, Request, Response, Server, ServerConfig,
+    ServerError,
+};

@@ -29,10 +29,10 @@
 //! `sirup-cactus::bounded`); the differential test-suite pins the served
 //! answers to the engine's on every path.
 
+use crate::cache::StampedLru;
 use crate::catalog::IndexedInstance;
 use sirup_cactus::{find_bound, pi_rewriting, sigma_rewriting, BoundSearch, Boundedness};
 use sirup_classifier::{classify_trichotomy, TrichotomyClass};
-use sirup_core::fx::FxHashMap;
 use sirup_core::program::{pi_q, sigma_q, DSirup};
 use sirup_core::{Node, OneCq, Pred, Structure};
 use sirup_engine::containment::minimise_ucq;
@@ -40,7 +40,6 @@ use sirup_engine::linear::{linearity, Linearity};
 use sirup_engine::ucq::CompiledUcq;
 use sirup_engine::{disjunctive, CompiledProgram};
 use sirup_hom::{core_of, QueryPlan};
-use std::sync::Mutex;
 
 /// A certain-answer query the service can plan and execute.
 #[derive(Debug, Clone)]
@@ -94,6 +93,15 @@ pub enum Answer {
     Bool(bool),
     /// Unary certain answers, sorted by node (`sigma`).
     Nodes(Vec<Node>),
+    /// Outcome of a mutation request: ops that changed the instance and the
+    /// new catalog version (`0` with `applied == 0` means the instance
+    /// vanished between validation and execution).
+    Applied {
+        /// Ops that changed the instance (set semantics).
+        applied: usize,
+        /// Version of the new snapshot.
+        version: u64,
+    },
 }
 
 /// How a plan answers requests. Every variant carries its *compiled*
@@ -174,6 +182,10 @@ impl Default for PlanOptions {
 /// A fully built, instance-independent query plan.
 #[derive(Debug, Clone)]
 pub struct Plan {
+    /// The query's [`Query::cache_key`], rendered once at build time (the
+    /// warm materialisation path probes per request and must not re-format
+    /// the CQ every time).
+    cache_key: String,
     /// The planned query.
     pub query: Query,
     /// The chosen evaluation strategy.
@@ -187,6 +199,7 @@ pub struct Plan {
 impl Plan {
     /// Build the plan for `query`.
     pub fn build(query: Query, opts: &PlanOptions) -> Plan {
+        let cache_key = query.cache_key();
         let (core, _) = core_of(query.cq());
         let minimal = core.node_count() == query.cq().node_count();
         let trichotomy = classify_trichotomy(query.cq()).ok();
@@ -226,6 +239,7 @@ impl Plan {
                     }
                 };
                 Plan {
+                    cache_key,
                     verdicts: Verdicts {
                         linearity: lin,
                         trichotomy,
@@ -247,6 +261,7 @@ impl Plan {
                 };
                 let plan = Box::new(QueryPlan::compile(&dsirup.cq));
                 Plan {
+                    cache_key,
                     verdicts: Verdicts {
                         linearity: None,
                         trichotomy,
@@ -263,6 +278,18 @@ impl Plan {
 
     /// Answer the planned query over one catalog instance. Warm path: only
     /// compiled plans execute here — no search planning of any kind.
+    ///
+    /// Strategy interaction with the live-instance machinery:
+    ///
+    /// * **Rewriting** (bounded programs) answers straight from the
+    ///   snapshot's data + index — the mutation fast path: rewritten
+    ///   programs need no fixpoint, so mutations never pay maintenance for
+    ///   them and a fresh snapshot answers correctly with zero extra work.
+    /// * **Semi-naive** answers from the snapshot's live
+    ///   [`sirup_engine::MaterializedFixpoint`] for this program: built on first use,
+    ///   carried forward *incrementally* by catalog mutations, so repeated
+    ///   reads are lookups instead of fixpoint runs.
+    /// * **DPLL** searches the labellings of the snapshot's data directly.
     pub fn answer(&self, inst: &IndexedInstance) -> Answer {
         match (&self.strategy, &self.query) {
             (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => {
@@ -272,12 +299,10 @@ impl Plan {
                 Answer::Nodes(compiled.answers(&inst.data, Some(&inst.index)))
             }
             (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
-                let ev = program.evaluate_with_index(&inst.data, &inst.index);
-                Answer::Bool(ev.holds(Pred::GOAL))
+                Answer::Bool(self.materialization(program, inst).holds(Pred::GOAL))
             }
             (Strategy::SemiNaive { program }, Query::SigmaAnswers(_)) => {
-                let ev = program.evaluate_with_index(&inst.data, &inst.index);
-                Answer::Nodes(ev.answers(Pred::P).to_vec())
+                Answer::Nodes(self.materialization(program, inst).answers(Pred::P))
             }
             (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => Answer::Bool(
                 disjunctive::certain_answer_dsirup_planned(dsirup, plan, &inst.data),
@@ -285,77 +310,60 @@ impl Plan {
             _ => unreachable!("strategy/query kind mismatch"),
         }
     }
+
+    /// The live materialisation of this plan's program over `inst`.
+    fn materialization(
+        &self,
+        program: &CompiledProgram,
+        inst: &IndexedInstance,
+    ) -> std::sync::Arc<sirup_engine::MaterializedFixpoint> {
+        inst.materialization(&self.cache_key, || {
+            sirup_engine::MaterializedFixpoint::from_compiled_indexed(
+                program.clone(),
+                &inst.data,
+                &inst.index,
+            )
+        })
+    }
 }
 
 /// An LRU cache of built plans, keyed by [`Query::cache_key`].
 #[derive(Debug)]
 pub struct PlanCache {
-    capacity: usize,
-    inner: Mutex<CacheInner>,
-}
-
-#[derive(Debug, Default)]
-struct CacheInner {
-    map: FxHashMap<String, (std::sync::Arc<Plan>, u64)>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
+    lru: StampedLru<std::sync::Arc<Plan>>,
 }
 
 impl PlanCache {
     /// A cache holding at most `capacity` plans (at least 1).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner::default()),
+            lru: StampedLru::new(capacity.max(1)),
         }
     }
 
     /// Fetch the plan for `query`, building (and caching) it on a miss.
+    /// The build runs outside the cache lock: plan construction runs
+    /// cactus enumeration and hom searches, and must not serialise
+    /// unrelated programs. Concurrent misses for the same key duplicate
+    /// work harmlessly.
     pub fn get_or_build(&self, query: &Query, opts: &PlanOptions) -> std::sync::Arc<Plan> {
         let key = query.cache_key();
-        {
-            let mut inner = self.inner.lock().unwrap();
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some((plan, stamp)) = inner.map.get_mut(&key) {
-                *stamp = tick;
-                let plan = plan.clone();
-                inner.hits += 1;
-                return plan;
-            }
-            inner.misses += 1;
+        if let Some(plan) = self.lru.get(&key) {
+            return plan;
         }
-        // Build outside the lock: plan construction runs cactus enumeration
-        // and hom searches, and must not serialise unrelated programs.
-        // Concurrent misses for the same key duplicate work harmlessly.
         let plan = std::sync::Arc::new(Plan::build(query.clone(), opts));
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(key, (plan.clone(), tick));
-        if inner.map.len() > self.capacity {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&oldest);
-            }
-        }
+        self.lru.insert(key, plan.clone());
         plan
     }
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().unwrap();
-        (inner.hits, inner.misses)
+        self.lru.stats()
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.lru.len()
     }
 
     /// Is the cache empty?

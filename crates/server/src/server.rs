@@ -1,23 +1,37 @@
-//! The [`Server`]: catalog + plan cache + worker pool, and workload replay.
+//! The [`Server`]: catalog + plan cache + answer cache + worker pool, and
+//! workload replay.
 //!
 //! `submit` is the batch entry point: it validates every request against the
-//! catalog, fetches (or builds) one plan per distinct program in the batch,
-//! fans the jobs out to the worker pool, and reassembles responses in
-//! request order. `replay` drives a whole [`TrafficSpec`] either closed-loop
-//! (one maximal batch — a throughput run) or open-loop (submission paced by
-//! the spec's virtual arrival offsets — a latency-under-load run) and
-//! aggregates a [`ReplayReport`].
+//! catalog, resolves one snapshot per request (reads see the catalog as of
+//! submission; mutations reserve in-order tickets), fetches (or builds) one
+//! plan per distinct program in the batch, probes the version-keyed answer
+//! cache, fans the remaining jobs out to the worker pool, and reassembles
+//! responses in request order. `replay` drives a whole [`TrafficSpec`]
+//! either closed-loop (one maximal batch — a throughput run) or open-loop
+//! (submission paced by the spec's virtual arrival offsets — a
+//! latency-under-load run) and aggregates a [`ReplayReport`].
+//!
+//! ## Read/write semantics
+//!
+//! A query in a batch answers against the instance snapshot current at
+//! submission time; mutations apply in submission order per instance
+//! (ticketed) and produce a fresh snapshot version. Queries submitted
+//! *after* a mutation's batch observe its effects; queries racing it in the
+//! same batch observe the pre-batch snapshot. The answer cache is keyed by
+//! `(program, instance, version)`, so a mutation invalidates cached answers
+//! simply by bumping the version — stale entries can never be served.
 
 use crate::catalog::Catalog;
-use crate::executor::{Completion, Job, Pool};
+use crate::executor::{Completion, Job, Pool, Work};
 use crate::metrics::LatencyStats;
 use crate::plan::{Answer, PlanCache, PlanOptions, Query};
 use sirup_core::fx::FxHashMap;
-use sirup_core::{OneCq, Structure};
-use sirup_workloads::traffic::{QueryKind, TrafficRequest, TrafficSpec};
+use sirup_core::{FactOp, OneCq, Structure};
+use sirup_engine::MaterializationStats;
+use sirup_workloads::traffic::{QueryKind, TrafficAction, TrafficRequest, TrafficSpec};
 use std::fmt::Write as _;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server construction knobs.
@@ -29,6 +43,9 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Plan-cache capacity (at least 1).
     pub plan_cache: usize,
+    /// Answer-cache capacity (0 disables answer caching — benches that
+    /// measure evaluation cost, not cache hits, run with 0).
+    pub answer_cache: usize,
     /// Plan construction knobs.
     pub plan: PlanOptions,
 }
@@ -39,41 +56,70 @@ impl Default for ServerConfig {
             threads: 4,
             shards: 8,
             plan_cache: 64,
+            answer_cache: 256,
             plan: PlanOptions::default(),
         }
     }
 }
 
-/// One request: a query against a named catalog instance.
+/// What a request asks of its target instance.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// A certain-answer query.
+    Query(Query),
+    /// A fact-level mutation batch, applied in order.
+    Mutate(Vec<FactOp>),
+}
+
+/// One request: an action against a named catalog instance.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// The query.
-    pub query: Query,
+    /// The action.
+    pub action: Action,
     /// Target instance name.
     pub instance: String,
 }
 
 impl Request {
+    /// A query request.
+    pub fn query(query: Query, instance: impl Into<String>) -> Request {
+        Request {
+            action: Action::Query(query),
+            instance: instance.into(),
+        }
+    }
+
+    /// A mutation request.
+    pub fn mutation(ops: Vec<FactOp>, instance: impl Into<String>) -> Request {
+        Request {
+            action: Action::Mutate(ops),
+            instance: instance.into(),
+        }
+    }
+
     /// Convert a workload request (re-validating 1-CQ kinds).
     pub fn from_traffic(r: &TrafficRequest) -> Result<Request, ServerError> {
-        let query = match r.kind {
-            QueryKind::PiGoal => Query::PiGoal(
-                OneCq::new(r.cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
-            ),
-            QueryKind::SigmaAnswers => Query::SigmaAnswers(
-                OneCq::new(r.cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
-            ),
-            QueryKind::Delta => Query::Delta {
-                cq: r.cq.clone(),
-                disjoint: false,
-            },
-            QueryKind::DeltaPlus => Query::Delta {
-                cq: r.cq.clone(),
-                disjoint: true,
-            },
+        let action = match &r.action {
+            TrafficAction::Query { kind, cq } => Action::Query(match kind {
+                QueryKind::PiGoal => Query::PiGoal(
+                    OneCq::new(cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
+                ),
+                QueryKind::SigmaAnswers => Query::SigmaAnswers(
+                    OneCq::new(cq.clone()).map_err(|e| ServerError::BadQuery(e.to_string()))?,
+                ),
+                QueryKind::Delta => Query::Delta {
+                    cq: cq.clone(),
+                    disjoint: false,
+                },
+                QueryKind::DeltaPlus => Query::Delta {
+                    cq: cq.clone(),
+                    disjoint: true,
+                },
+            }),
+            TrafficAction::Mutate { ops } => Action::Mutate(ops.clone()),
         };
         Ok(Request {
-            query,
+            action,
             instance: r.instance.clone(),
         })
     }
@@ -82,9 +128,10 @@ impl Request {
 /// One response, positionally matching its request.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// The certain answer.
+    /// The certain answer (or mutation outcome).
     pub answer: Answer,
-    /// Which strategy served it (`rewriting`, `semi-naive`, `dpll`).
+    /// Which strategy served it (`rewriting`, `semi-naive`, `dpll`,
+    /// `mutation`, `cached`).
     pub strategy: &'static str,
     /// Queue wait + evaluation time.
     pub latency: Duration,
@@ -122,20 +169,26 @@ pub enum ReplayMode {
 /// Aggregate results of a replay run.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
-    /// Requests served.
+    /// Requests served (queries + mutations).
     pub total: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
-    /// Request counts per query kind keyword.
+    /// Request counts per action keyword (`pi`, …, `mutate`).
     pub per_kind: Vec<(String, usize)>,
     /// Request counts per serving strategy.
     pub per_strategy: Vec<(String, usize)>,
+    /// Mutation requests served.
+    pub mutations: usize,
+    /// Mutation ops that changed an instance.
+    pub mutation_ops_applied: usize,
     /// Latency order statistics.
     pub latency: LatencyStats,
     /// Plan-cache `(hits, misses)` over the whole server lifetime.
     pub plan_cache: (u64, u64),
+    /// Answer-cache `(hits, misses)` over the whole server lifetime.
+    pub answer_cache: (u64, u64),
     /// Distinct plans resident after the run.
     pub plans_resident: usize,
     /// Answers in request order (for differential checking).
@@ -146,6 +199,11 @@ impl ReplayReport {
     /// Requests per second.
     pub fn throughput(&self) -> f64 {
         self.total as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mutation requests per second.
+    pub fn mutation_throughput(&self) -> f64 {
+        self.mutations as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
     /// Human-readable multi-line summary.
@@ -171,6 +229,14 @@ impl ReplayReport {
         writeln!(out, "strategies: {}", fmt_counts(&self.per_strategy)).unwrap();
         writeln!(
             out,
+            "mutations : {} request(s), {} op(s) applied ({:.0} mut/s)",
+            self.mutations,
+            self.mutation_ops_applied,
+            self.mutation_throughput()
+        )
+        .unwrap();
+        writeln!(
+            out,
             "latency   : p50 {}µs  p95 {}µs  p99 {}µs  max {}µs  mean {}µs",
             self.latency.p50_us,
             self.latency.p95_us,
@@ -180,9 +246,11 @@ impl ReplayReport {
         )
         .unwrap();
         let (hits, misses) = self.plan_cache;
+        let (ahits, amisses) = self.answer_cache;
         writeln!(
             out,
-            "plan cache: {} resident, {hits} hit(s) / {misses} miss(es)",
+            "plan cache: {} resident, {hits} hit(s) / {misses} miss(es); \
+             answer cache {ahits} hit(s) / {amisses} miss(es)",
             self.plans_resident
         )
         .unwrap();
@@ -190,21 +258,61 @@ impl ReplayReport {
     }
 }
 
-/// The concurrent certain-answer query service.
+/// Point-in-time statistics of one live catalog instance (for
+/// `sirupctl stats`).
+#[derive(Debug, Clone)]
+pub struct InstanceStats {
+    /// Instance name.
+    pub name: String,
+    /// Current snapshot version.
+    pub version: u64,
+    /// Nodes in the instance.
+    pub nodes: usize,
+    /// Unary atoms.
+    pub unary_atoms: usize,
+    /// Binary atoms.
+    pub binary_atoms: usize,
+    /// Per-program materialisation stats, sorted by program key.
+    pub materializations: Vec<(String, MaterializationStats)>,
+}
+
+/// A version-keyed LRU of full answers: `(program, instance, version) →`
+/// [`Answer`]. Mutations invalidate by construction — they bump the
+/// instance version, so stale keys are never probed again and age out of
+/// the LRU. Capacity 0 disables it.
+type AnswerCache = crate::cache::StampedLru<Answer>;
+
+/// The concurrent certain-answer query-and-mutation service.
 pub struct Server {
     config: ServerConfig,
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     plans: PlanCache,
+    answers: AnswerCache,
     pool: Pool,
+    /// Serialises mutation-ticket reservation with the queue append (see
+    /// [`Server::enqueue`]): per instance, ticket order must equal queue
+    /// order, or a worker blocked on a predecessor ticket could starve the
+    /// pool.
+    mutation_order: Mutex<()>,
+}
+
+/// How one submitted request executes.
+enum Route {
+    /// Serve from the answer cache (hit at submission time).
+    Cached(Answer),
+    /// Evaluate on the pool; remember the answer under this key (if some).
+    Evaluate(Work, Option<String>),
 }
 
 impl Server {
     /// Build a server (spawns the worker pool immediately).
     pub fn new(config: ServerConfig) -> Server {
         Server {
-            catalog: Catalog::new(config.shards),
+            catalog: Arc::new(Catalog::new(config.shards)),
             plans: PlanCache::new(config.plan_cache),
+            answers: AnswerCache::new(config.answer_cache),
             pool: Pool::new(config.threads),
+            mutation_order: Mutex::new(()),
             config,
         }
     }
@@ -224,6 +332,11 @@ impl Server {
         &self.plans
     }
 
+    /// Answer-cache `(hits, misses)` so far.
+    pub fn answer_cache_stats(&self) -> (u64, u64) {
+        self.answers.stats()
+    }
+
     /// Worker-thread count.
     pub fn threads(&self) -> usize {
         self.pool.threads()
@@ -234,72 +347,178 @@ impl Server {
         self.catalog.insert(name, data)
     }
 
-    /// Resolve every request's instance (whole batch fails on the first
-    /// unknown name — no partial execution).
-    fn resolve_instances(
+    /// Apply a mutation batch directly (outside any request batch), in
+    /// ticket order with respect to concurrent mutation requests.
+    pub fn mutate_instance(
         &self,
-        requests: &[Request],
-    ) -> Result<Vec<Arc<crate::catalog::IndexedInstance>>, ServerError> {
-        requests
-            .iter()
-            .map(|r| {
+        name: &str,
+        ops: &[FactOp],
+    ) -> Result<crate::catalog::MutationOutcome, ServerError> {
+        self.catalog
+            .mutate(name, ops)
+            .ok_or_else(|| ServerError::UnknownInstance(name.to_owned()))
+    }
+
+    /// Stats of one live instance.
+    pub fn instance_stats(&self, name: &str) -> Option<InstanceStats> {
+        let inst = self.catalog.get(name)?;
+        Some(InstanceStats {
+            name: inst.name.clone(),
+            version: inst.version,
+            nodes: inst.data.node_count(),
+            unary_atoms: inst.data.label_count(),
+            binary_atoms: inst.data.edge_count(),
+            materializations: inst.materialization_stats(),
+        })
+    }
+
+    /// Resolve every request into a [`Route`]: validate instances (whole
+    /// batch fails on the first unknown name — no partial execution),
+    /// resolve snapshots and plans, and — when `probe_cache` is set —
+    /// probe the answer cache. Mutation tickets are *not* reserved here;
+    /// [`Server::enqueue`] reserves them atomically with the queue append.
+    fn resolve(&self, requests: &[Request], probe_cache: bool) -> Result<Vec<Route>, ServerError> {
+        let mut instances = Vec::with_capacity(requests.len());
+        for r in requests {
+            instances.push(
                 self.catalog
                     .get(&r.instance)
-                    .ok_or_else(|| ServerError::UnknownInstance(r.instance.clone()))
-            })
-            .collect()
-    }
-
-    /// Fetch one plan per distinct program in the batch (so a batch pays
-    /// each program's planning cost at most once), mapped per request.
-    fn resolve_plans(&self, requests: &[Request]) -> Vec<Arc<crate::plan::Plan>> {
+                    .ok_or_else(|| ServerError::UnknownInstance(r.instance.clone()))?,
+            );
+        }
+        // One plan fetch per distinct program in the batch.
         let mut by_key: FxHashMap<String, Arc<crate::plan::Plan>> = FxHashMap::default();
-        requests
+        let routes = requests
             .iter()
-            .map(|req| {
-                by_key
-                    .entry(req.query.cache_key())
-                    .or_insert_with(|| self.plans.get_or_build(&req.query, &self.config.plan))
-                    .clone()
+            .zip(instances)
+            .map(|(req, inst)| match &req.action {
+                Action::Query(query) => {
+                    let cache_key = query.cache_key();
+                    let answer_key = (probe_cache && self.answers.enabled())
+                        .then(|| format!("{cache_key}|{}#{}", inst.name, inst.version));
+                    if let Some(key) = &answer_key {
+                        if let Some(answer) = self.answers.get(key) {
+                            return Route::Cached(answer);
+                        }
+                    }
+                    let plan = by_key
+                        .entry(cache_key)
+                        .or_insert_with(|| self.plans.get_or_build(query, &self.config.plan))
+                        .clone();
+                    Route::Evaluate(
+                        Work::Answer {
+                            plan,
+                            instance: inst,
+                        },
+                        answer_key,
+                    )
+                }
+                Action::Mutate(ops) => Route::Evaluate(
+                    Work::Mutate {
+                        catalog: Arc::clone(&self.catalog),
+                        instance: req.instance.clone(),
+                        ops: Arc::new(ops.clone()),
+                        ticket: 0, // reserved at enqueue time
+                    },
+                    None,
+                ),
             })
-            .collect()
+            .collect();
+        Ok(routes)
     }
 
-    /// Drain `n` completions into responses ordered by request index.
-    fn collect_responses(done: std::sync::mpsc::Receiver<Completion>, n: usize) -> Vec<Response> {
-        let mut responses: Vec<Option<Response>> = vec![None; n];
+    /// Append a job to the pool queue. For mutations, the ticket is
+    /// reserved *here*, under a lock covering both the reservation and the
+    /// queue append: workers redeem tickets strictly in order by blocking
+    /// in `mutate_ticketed`, which is deadlock-free only if, per instance,
+    /// tickets enter the FIFO queue in reservation order (the job holding
+    /// the next-to-apply ticket is then always dequeued — and therefore
+    /// finishable — before any job that waits on it). Reserving at
+    /// resolve time instead would let an arrival-sorted open-loop replay
+    /// or a racing second submitter enqueue tickets out of order and hang
+    /// the pool.
+    fn enqueue(&self, idx: usize, work: Work, reply: &std::sync::mpsc::Sender<Completion>) {
+        let job = |work: Work| Job {
+            idx,
+            work,
+            enqueued: Instant::now(),
+            reply: reply.clone(),
+        };
+        match work {
+            Work::Mutate {
+                catalog,
+                instance,
+                ops,
+                ..
+            } => {
+                let _order = self.mutation_order.lock().unwrap();
+                let ticket = self.catalog.reserve_ticket(&instance);
+                self.pool.submit(job(Work::Mutate {
+                    catalog,
+                    instance,
+                    ops,
+                    ticket,
+                }));
+            }
+            w => self.pool.submit(job(w)),
+        }
+    }
+
+    /// Drain completions into the response slots, remembering cacheable
+    /// answers.
+    fn collect(
+        &self,
+        done: std::sync::mpsc::Receiver<Completion>,
+        responses: &mut [Option<Response>],
+        keys: &mut FxHashMap<usize, String>,
+    ) {
         for c in done {
+            if let Some(key) = keys.remove(&c.idx) {
+                self.answers.insert(key, c.answer.clone());
+            }
             responses[c.idx] = Some(Response {
                 answer: c.answer,
                 strategy: c.strategy,
                 latency: c.latency,
             });
         }
-        responses
-            .into_iter()
-            .map(|r| r.expect("every job completes"))
-            .collect()
     }
 
     /// Answer a batch. Requests are validated up front (no partial
     /// execution on error); responses come back in request order. Requests
-    /// sharing a program share one plan fetch, so a batch pays each
-    /// distinct program's planning cost once.
+    /// sharing a program share one plan fetch; queries already answered
+    /// for the resolved instance version are served from the answer cache
+    /// without touching the pool; mutations apply in request order per
+    /// instance.
     pub fn submit(&self, requests: &[Request]) -> Result<Vec<Response>, ServerError> {
-        let instances = self.resolve_instances(requests)?;
-        let plans = self.resolve_plans(requests);
+        let routes = self.resolve(requests, true)?;
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut keys: FxHashMap<usize, String> = FxHashMap::default();
         let (reply, done) = channel::<Completion>();
-        for (idx, (plan, inst)) in plans.into_iter().zip(instances).enumerate() {
-            self.pool.submit(Job {
-                idx,
-                plan,
-                instance: inst,
-                enqueued: Instant::now(),
-                reply: reply.clone(),
-            });
+        let submitted = Instant::now();
+        for (idx, route) in routes.into_iter().enumerate() {
+            match route {
+                Route::Cached(answer) => {
+                    responses[idx] = Some(Response {
+                        answer,
+                        strategy: "cached",
+                        latency: submitted.elapsed(),
+                    });
+                }
+                Route::Evaluate(work, key) => {
+                    if let Some(key) = key {
+                        keys.insert(idx, key);
+                    }
+                    self.enqueue(idx, work, &reply);
+                }
+            }
         }
         drop(reply);
-        Ok(Self::collect_responses(done, requests.len()))
+        self.collect(done, &mut responses, &mut keys);
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every request completes"))
+            .collect())
     }
 
     /// Load a spec's instances and replay its request stream.
@@ -325,7 +544,7 @@ impl Server {
 
         let mut per_kind: FxHashMap<&str, usize> = FxHashMap::default();
         for r in &spec.requests {
-            *per_kind.entry(r.kind.keyword()).or_default() += 1;
+            *per_kind.entry(r.keyword()).or_default() += 1;
         }
         let mut per_strategy: FxHashMap<&str, usize> = FxHashMap::default();
         for r in &responses {
@@ -337,6 +556,17 @@ impl Server {
             v.sort_unstable();
             v
         };
+        let mutations = responses
+            .iter()
+            .filter(|r| r.strategy == "mutation")
+            .count();
+        let mutation_ops_applied = responses
+            .iter()
+            .map(|r| match r.answer {
+                Answer::Applied { applied, .. } => applied,
+                _ => 0,
+            })
+            .sum();
         let latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
         Ok(ReplayReport {
             total: responses.len(),
@@ -344,8 +574,11 @@ impl Server {
             elapsed,
             per_kind: sorted(per_kind),
             per_strategy: sorted(per_strategy),
+            mutations,
+            mutation_ops_applied,
             latency: LatencyStats::from_durations(&latencies),
             plan_cache: self.plans.stats(),
+            answer_cache: self.answers.stats(),
             plans_resident: self.plans.len(),
             answers: responses.into_iter().map(|r| r.answer).collect(),
         })
@@ -354,33 +587,51 @@ impl Server {
     /// Open-loop submission: requests enter the queue at (roughly) their
     /// virtual arrival offsets; a late stream never sleeps to catch up.
     /// Plans are resolved *before* the pacing clock starts, so cold plan
-    /// builds cannot distort the arrival process being measured.
+    /// builds cannot distort the arrival process being measured; mutation
+    /// tickets are reserved at each job's enqueue, so same-instance
+    /// mutations apply in **arrival order** (for specs with nondecreasing
+    /// arrivals — every generated/rendered one — this equals stream
+    /// order). The answer cache is deliberately not probed: open-loop runs
+    /// measure evaluation latency under load.
     fn submit_paced(
         &self,
         requests: &[Request],
         spec: &TrafficSpec,
     ) -> Result<Vec<Response>, ServerError> {
-        let instances = self.resolve_instances(requests)?;
-        let plans = self.resolve_plans(requests);
+        let mut routes: Vec<Option<Route>> = self
+            .resolve(requests, false)?
+            .into_iter()
+            .map(Some)
+            .collect();
         let mut order: Vec<usize> = (0..requests.len()).collect();
         order.sort_by_key(|&i| spec.requests[i].arrival_us);
         let (reply, done) = channel::<Completion>();
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut keys: FxHashMap<usize, String> = FxHashMap::default();
         let start = Instant::now();
         for &i in &order {
             let due = Duration::from_micros(spec.requests[i].arrival_us);
             if let Some(wait) = due.checked_sub(start.elapsed()) {
                 std::thread::sleep(wait);
             }
-            self.pool.submit(Job {
-                idx: i,
-                plan: plans[i].clone(),
-                instance: instances[i].clone(),
-                enqueued: Instant::now(),
-                reply: reply.clone(),
-            });
+            match routes[i].take().expect("each request submits once") {
+                Route::Cached(_) => {
+                    unreachable!("resolve(probe_cache = false) never produces cached routes")
+                }
+                Route::Evaluate(work, key) => {
+                    if let Some(key) = key {
+                        keys.insert(i, key);
+                    }
+                    self.enqueue(i, work, &reply);
+                }
+            }
         }
         drop(reply);
-        Ok(Self::collect_responses(done, requests.len()))
+        self.collect(done, &mut responses, &mut keys);
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every request completes"))
+            .collect())
     }
 }
 
@@ -388,12 +639,14 @@ impl Server {
 mod tests {
     use super::*;
     use sirup_core::parse::st;
+    use sirup_core::{Node, Pred};
 
     fn tiny_server() -> Server {
         let s = Server::new(ServerConfig {
             threads: 2,
             shards: 2,
             plan_cache: 8,
+            answer_cache: 16,
             plan: PlanOptions::default(),
         });
         s.load_instance("yes", st("F(u), R(u,v), T(v)"));
@@ -402,10 +655,7 @@ mod tests {
     }
 
     fn pi_req(instance: &str) -> Request {
-        Request {
-            query: Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")),
-            instance: instance.to_owned(),
-        }
+        Request::query(Query::PiGoal(OneCq::parse("F(x), R(x,y), T(y)")), instance)
     }
 
     #[test]
@@ -422,10 +672,67 @@ mod tests {
     }
 
     #[test]
+    fn answer_cache_serves_repeats_and_mutation_invalidates() {
+        let s = tiny_server();
+        let r = pi_req("yes");
+        let first = s.submit(std::slice::from_ref(&r)).unwrap();
+        assert_ne!(first[0].strategy, "cached");
+        let second = s.submit(std::slice::from_ref(&r)).unwrap();
+        assert_eq!(second[0].strategy, "cached");
+        assert_eq!(second[0].answer, first[0].answer);
+        // A mutation bumps the version: the cached answer cannot be served
+        // and the fresh evaluation sees the new data.
+        let m = Request::mutation(vec![FactOp::RemoveLabel(Pred::T, Node(1))], "yes");
+        let out = s.submit(std::slice::from_ref(&m)).unwrap();
+        let Answer::Applied { applied, version } = out[0].answer else {
+            panic!("mutation got {:?}", out[0].answer);
+        };
+        assert_eq!((applied, out[0].strategy), (1, "mutation"));
+        assert!(version > 0);
+        let third = s.submit(std::slice::from_ref(&r)).unwrap();
+        assert_ne!(third[0].strategy, "cached");
+        assert_eq!(third[0].answer, Answer::Bool(false));
+    }
+
+    #[test]
+    fn mutations_in_one_batch_apply_in_order() {
+        let s = tiny_server();
+        // Same-instance mutations race across workers but tickets force
+        // request order: remove, add, remove ⇒ label absent.
+        let ops = [
+            FactOp::RemoveLabel(Pred::T, Node(1)),
+            FactOp::AddLabel(Pred::T, Node(1)),
+            FactOp::RemoveLabel(Pred::T, Node(1)),
+        ];
+        let reqs: Vec<Request> = ops
+            .iter()
+            .map(|&op| Request::mutation(vec![op], "yes"))
+            .collect();
+        let resp = s.submit(&reqs).unwrap();
+        for r in &resp {
+            let Answer::Applied { applied, .. } = r.answer else {
+                panic!()
+            };
+            assert_eq!(applied, 1, "each alternating op is effective in order");
+        }
+        assert!(!s
+            .catalog()
+            .get("yes")
+            .unwrap()
+            .data
+            .has_label(Node(1), Pred::T));
+    }
+
+    #[test]
     fn unknown_instance_fails_whole_batch() {
         let s = tiny_server();
         let err = s.submit(&[pi_req("yes"), pi_req("missing")]).unwrap_err();
         assert_eq!(err, ServerError::UnknownInstance("missing".to_owned()));
+        // The failed batch reserved no tickets: a direct mutation proceeds.
+        assert!(s
+            .mutate_instance("yes", &[FactOp::AddLabel(Pred::A, Node(0))])
+            .is_ok());
+        assert!(s.mutate_instance("missing", &[]).is_err());
     }
 
     #[test]
@@ -447,13 +754,63 @@ mod tests {
         assert!(closed.throughput() > 0.0);
         assert!(!closed.per_kind.is_empty());
         assert!(!closed.per_strategy.is_empty());
+        assert_eq!(closed.mutations, 0);
         let open = s.replay(&spec, ReplayMode::Open).unwrap();
         assert_eq!(open.total, 40);
         // Identical answers regardless of pacing and cache temperature.
         assert_eq!(closed.answers, open.answers);
         let text = closed.summary();
-        for needle in ["req/s", "p50", "p99", "plan cache"] {
+        for needle in ["req/s", "p50", "p99", "plan cache", "mutations"] {
             assert!(text.contains(needle), "summary missing {needle}: {text}");
         }
+    }
+
+    #[test]
+    fn replay_with_mutations_reports_throughput() {
+        use sirup_workloads::traffic::{mixed_traffic, TrafficParams};
+        let spec = mixed_traffic(
+            TrafficParams {
+                instances: 2,
+                requests: 60,
+                mean_gap_us: 20,
+                mutation_ratio: 0.3,
+                hot_weight: 0.4,
+                ..Default::default()
+            },
+            23,
+        );
+        let s = Server::with_defaults();
+        let report = s.replay(&spec, ReplayMode::Closed).unwrap();
+        assert!(report.mutations > 0);
+        assert!(report.mutation_ops_applied > 0);
+        assert!(report.mutation_throughput() > 0.0);
+        assert!(report
+            .per_kind
+            .iter()
+            .any(|(k, n)| k == "mutate" && *n == report.mutations));
+        assert!(report
+            .per_strategy
+            .iter()
+            .any(|(k, n)| k == "mutation" && *n == report.mutations));
+        let text = report.summary();
+        assert!(text.contains("op(s) applied"), "{text}");
+    }
+
+    #[test]
+    fn instance_stats_expose_live_state() {
+        let s = tiny_server();
+        // A semi-naive query attaches a materialisation.
+        let q4 = Request::query(
+            Query::PiGoal(OneCq::parse("F(x), R(y,x), R(y,z), T(z)")),
+            "yes",
+        );
+        s.submit(&[q4]).unwrap();
+        let stats = s.instance_stats("yes").unwrap();
+        assert_eq!(stats.name, "yes");
+        assert!(stats.version > 0);
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.unary_atoms + stats.binary_atoms, 3);
+        assert_eq!(stats.materializations.len(), 1);
+        assert!(s.instance_stats("missing").is_none());
     }
 }

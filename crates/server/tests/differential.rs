@@ -19,6 +19,7 @@ fn four_thread_server() -> Server {
         threads: 4,
         shards: 4,
         plan_cache: 64, // all_queries() builds ~42 distinct plans; no evictions wanted here
+        answer_cache: 0, // strategy-path asserts want every submit evaluated
         plan: PlanOptions::default(),
     })
 }
@@ -112,10 +113,7 @@ fn batched_answers_match_engine_cold_and_warm() {
     for query in all_queries() {
         for (name, data) in &instances {
             expected.push(engine_answer(&query, data));
-            requests.push(Request {
-                query: query.clone(),
-                instance: name.clone(),
-            });
+            requests.push(Request::query(query.clone(), name.clone()));
         }
     }
     // Cold cache: every plan is built during this batch.
@@ -167,10 +165,7 @@ fn rewriting_served_path_matches_engine() {
             );
             let requests: Vec<Request> = instances
                 .iter()
-                .map(|(name, _)| Request {
-                    query: query.clone(),
-                    instance: name.clone(),
-                })
+                .map(|(name, _)| Request::query(query.clone(), name.clone()))
                 .collect();
             let responses = server.submit(&requests).unwrap();
             for ((name, data), resp) in instances.iter().zip(responses) {
@@ -201,10 +196,7 @@ fn unbounded_queries_stay_on_the_fixpoint_path() {
     ] {
         let requests: Vec<Request> = instances
             .iter()
-            .map(|(name, _)| Request {
-                query: query.clone(),
-                instance: name.clone(),
-            })
+            .map(|(name, _)| Request::query(query.clone(), name.clone()))
             .collect();
         for ((name, data), resp) in instances.iter().zip(server.submit(&requests).unwrap()) {
             assert_eq!(resp.strategy, "semi-naive");
@@ -286,6 +278,7 @@ fn mixed_replay_matches_engine_in_both_modes() {
             requests: 80,
             mean_gap_us: 40,
             random_cqs: 2,
+            ..Default::default()
         },
         2026,
     );
@@ -299,15 +292,18 @@ fn mixed_replay_matches_engine_in_both_modes() {
                 .find(|(n, _)| *n == r.instance)
                 .unwrap()
                 .1;
-            let query = match r.kind {
-                QueryKind::PiGoal => Query::PiGoal(OneCq::new(r.cq.clone()).unwrap()),
-                QueryKind::SigmaAnswers => Query::SigmaAnswers(OneCq::new(r.cq.clone()).unwrap()),
+            let sirup_workloads::traffic::TrafficAction::Query { kind, cq } = &r.action else {
+                panic!("read-only spec contains a mutation");
+            };
+            let query = match kind {
+                QueryKind::PiGoal => Query::PiGoal(OneCq::new(cq.clone()).unwrap()),
+                QueryKind::SigmaAnswers => Query::SigmaAnswers(OneCq::new(cq.clone()).unwrap()),
                 QueryKind::Delta => Query::Delta {
-                    cq: r.cq.clone(),
+                    cq: cq.clone(),
                     disjoint: false,
                 },
                 QueryKind::DeltaPlus => Query::Delta {
-                    cq: r.cq.clone(),
+                    cq: cq.clone(),
                     disjoint: true,
                 },
             };

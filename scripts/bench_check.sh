@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: run the criterion-shim benches in quick mode and
+# gate on two checks —
+#
+#  1. absolute: every *named hot-path point* must stay within
+#     BENCH_CHECK_FACTOR (default 2.0) of the mean committed in the
+#     corresponding BENCH_*.json (set the factor higher on noisy shared
+#     runners, lower for local pre-commit runs);
+#  2. relative (machine-independent): single-fact incremental maintenance
+#     must stay ≥ 5x faster per op than from-scratch re-evaluation on the
+#     fixpoint-shaped ladder — the acceptance bar of the incremental
+#     subsystem, measured within the fresh run so it cannot be fooled by a
+#     uniformly faster or slower machine.
+#
+# Usage: scripts/bench_check.sh
+#   env: BENCH_CHECK_FACTOR=2.0  CRITERION_SHIM_MEASURE_MS=25
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FACTOR="${BENCH_CHECK_FACTOR:-2.0}"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+export CRITERION_SHIM_MEASURE_MS="${CRITERION_SHIM_MEASURE_MS:-25}"
+export CRITERION_SHIM_JSON="$OUT"
+
+cargo bench -p sirup-bench \
+  --bench hom_plan \
+  --bench server_throughput \
+  --bench engine_incremental \
+  --bench server_mutation
+
+python3 - "$OUT" "$FACTOR" <<'EOF'
+import json, sys
+
+fresh_path, factor = sys.argv[1], float(sys.argv[2])
+fresh = {}
+for line in open(fresh_path):
+    line = line.strip()
+    if line:
+        p = json.loads(line)
+        fresh[p["id"]] = p["mean_ns"]
+
+# The named hot-path points, per committed baseline file.
+WATCH = {
+    "BENCH_hom.json": [
+        "hom_plan/planned_exists/4",
+        "hom_plan/planned_pinned_sweep",
+        "hom_plan/planned_enumerate",
+    ],
+    "BENCH_server.json": [
+        "server/submit_warm_96req/4",
+        "server/replay_closed_96req_4t",
+    ],
+    "BENCH_incremental.json": [
+        "incremental/maintain_local_pair/24",
+        "incremental/maintain_cascade_pair/24",
+        "server_mutation/mutation_submit_32req/4",
+        "server_mutation/replay_mixed_mutations_4t",
+    ],
+}
+
+failures = []
+print(f"\nbench_check: factor {factor}x vs committed means")
+for path, ids in WATCH.items():
+    committed = {r["id"]: r["mean_ns"] for r in json.load(open(path))["results"]}
+    for pid in ids:
+        if pid not in committed:
+            failures.append(f"{pid}: missing from {path}")
+            continue
+        if pid not in fresh:
+            failures.append(f"{pid}: not produced by this run")
+            continue
+        ratio = fresh[pid] / committed[pid]
+        verdict = "ok" if ratio <= factor else "REGRESSION"
+        print(f"  {verdict:>10}  {pid}: {fresh[pid]:,.0f} ns vs {committed[pid]:,.0f} ns ({ratio:.2f}x)")
+        if ratio > factor:
+            failures.append(f"{pid}: {ratio:.2f}x over the committed mean")
+
+# Machine-independent acceptance bar: per-op maintenance (the pair point
+# holds two ops) at least 5x below from-scratch on the same run.
+for layers in ("8", "24"):
+    scratch = fresh.get(f"incremental/from_scratch/{layers}")
+    pair = fresh.get(f"incremental/maintain_local_pair/{layers}")
+    if scratch is None or pair is None:
+        failures.append(f"incremental points for {layers} layers missing")
+        continue
+    speedup = scratch / (pair / 2.0)
+    verdict = "ok" if speedup >= 5.0 else "REGRESSION"
+    print(f"  {verdict:>10}  maintenance speedup @{layers} layers: {speedup:.1f}x (bar: 5x)")
+    if speedup < 5.0:
+        failures.append(
+            f"single-fact maintenance only {speedup:.1f}x faster than from-scratch at {layers} layers"
+        )
+
+if failures:
+    print("\nbench_check FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("\nbench_check passed")
+EOF
