@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sirup_bench::bench_opts;
 use sirup_core::{FactOp, Node, Pred};
-use sirup_server::{PlanOptions, Query, ReplayMode, Request, Server, ServerConfig};
+use sirup_server::{Query, ReplayMode, Request, Server, ServerConfig};
 use sirup_workloads::paper;
 use sirup_workloads::traffic::{mixed_traffic, TrafficParams};
 
@@ -22,7 +22,7 @@ fn server(threads: usize) -> Server {
         shards: 8,
         plan_cache: 64,
         answer_cache: 0, // measure evaluation + mutation cost, not cache hits
-        plan: PlanOptions::default(),
+        ..ServerConfig::default()
     })
 }
 

@@ -32,7 +32,7 @@ fn server(threads: usize) -> Server {
         // Answer caching off: these points measure evaluation + executor
         // cost (and stay comparable with the pre-answer-cache baselines).
         answer_cache: 0,
-        plan: PlanOptions::default(),
+        ..ServerConfig::default()
     })
 }
 

@@ -62,9 +62,51 @@ pub fn q4_ladder(layers: usize) -> Structure {
     s
 }
 
+/// A bipartite digraph with every node `T`-labelled and `deg` random
+/// `R`-edges per part-X node in each direction (X→Y and Y→X), `half` nodes
+/// per part. All closed walks have even length, so **no odd cycle maps
+/// homomorphically into it** — yet every node has in- and out-support, so
+/// the AC-3 prefilter keeps full domains. A triangle pattern therefore
+/// forces the backtracking search to refute every root candidate by
+/// exhaustion: the adversarial *miss* shape for the `parallel_scaling`
+/// exists bench (the work splits evenly across the root domain, and
+/// early-cancel cannot fire). Deterministic in `seed` (xorshift).
+pub fn bipartite_tangle(half: usize, deg: usize, seed: u64) -> Structure {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |m: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % m
+    };
+    let half = half.max(1);
+    let mut s = Structure::with_nodes(half * 2);
+    for v in 0..half * 2 {
+        s.add_label(Node(v as u32), Pred::T);
+    }
+    for x in 0..half {
+        for _ in 0..deg {
+            let y = half + next(half);
+            s.add_edge(Pred::R, Node(x as u32), Node(y as u32));
+            let x2 = next(half);
+            s.add_edge(Pred::R, Node(y as u32), Node(x2 as u32));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tangle_has_no_triangle_but_full_support() {
+        let t = bipartite_tangle(40, 4, 7);
+        let tri = sirup_core::parse::st("T(a), R(a,b), T(b), R(b,c), T(c), R(c,a)");
+        assert!(!sirup_hom::QueryPlan::compile(&tri).on(&t).exists());
+        let path = sirup_core::parse::st("T(a), R(a,b), T(b), R(b,c), T(c)");
+        assert!(sirup_hom::QueryPlan::compile(&path).on(&t).exists());
+    }
 
     #[test]
     fn a_chain_shape() {

@@ -101,21 +101,31 @@ COMMANDS
   schemaorg <cq>                the Δ'_q presentation (Prop. 5) in DL-Lite syntax
   serve [--requests N] [--instances N] [--nodes N] [--edges N] [--gap-us N]
         [--random-cqs N] [--seed N] [--mutation-ratio F] [--hot F] [--emit]
-        [SERVICE FLAGS]
+        [--scaling] [SERVICE FLAGS]
                                 generate a mixed workload and run it through the
                                 query service; --mutation-ratio F interleaves
                                 insert/retract traffic, --hot F skews towards a
                                 hot instance (--emit prints the workload file
-                                instead of running it)
-  replay <file> [SERVICE FLAGS] replay a .sirupload workload file (queries and
+                                instead of running it); --scaling generates the
+                                parallel-scaling shape instead — one large
+                                instance (--nodes) under heavy queries (this is
+                                the workloads/large.sirupload generator)
+  replay <file> [--threads-sweep 1,2,4,8] [--dump-answers] [SERVICE FLAGS]
+                                replay a .sirupload workload file (queries and
                                 mutations); reports throughput, mutation rate,
-                                and p50/p99 latency
+                                and p50/p99 latency. --threads-sweep replays
+                                once per worker count and prints a speedup
+                                table (req/s, p95); --dump-answers prints only
+                                the answer stream (for determinism diffing)
   stats <file> [--instance NAME] [SERVICE FLAGS]
-                                replay a workload, then dump each live instance:
-                                catalog version, materialized-predicate sizes,
-                                support-count memory
+                                replay a workload, then dump each live instance
+                                (catalog version, materialized-predicate sizes,
+                                support-count memory) and the shared scheduler's
+                                counters (tasks spawned, steals, queue depth)
 
-  SERVICE FLAGS (serve, replay, stats): --threads N, --shards N,
+  SERVICE FLAGS (serve, replay, stats): --threads N, --parallelism N
+    (intra-request fan-out on the shared scheduler; 1 = sequential requests),
+    --par-threshold N (min work-set size to split), --shards N,
     --plan-cache N, --answer-cache N (0 disables), --open (pace by arrival
     offsets), and the plan knobs --max-depth N, --horizon N, --cap N
     (Prop. 2 rewriting-adoption evidence search)
@@ -452,8 +462,20 @@ fn cmd_schemaorg(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
-    let threads = args.flag_usize("threads", 4).map_err(CliError::BadFlag)?;
+/// Parse the shared SERVICE FLAGS into a [`ServerConfig`]; `threads`
+/// overrides the `--threads` flag when given (the `--threads-sweep` loop
+/// rebuilds a server per worker count).
+fn config_from_flags(args: &Args, threads: Option<usize>) -> Result<ServerConfig, CliError> {
+    let threads = match threads {
+        Some(t) => t,
+        None => args.flag_usize("threads", 4).map_err(CliError::BadFlag)?,
+    };
+    let parallelism = args
+        .flag_usize("parallelism", 1)
+        .map_err(CliError::BadFlag)?;
+    let par_threshold = args
+        .flag_usize("par-threshold", 64)
+        .map_err(CliError::BadFlag)?;
     let shards = args.flag_usize("shards", 8).map_err(CliError::BadFlag)?;
     let plan_cache = args
         .flag_usize("plan-cache", 64)
@@ -471,8 +493,10 @@ fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
             "--horizon ({horizon}) must exceed --max-depth ({max_depth})"
         )));
     }
-    let server = Server::new(ServerConfig {
+    Ok(ServerConfig {
         threads,
+        parallelism,
+        par_threshold,
         shards,
         plan_cache,
         answer_cache,
@@ -481,13 +505,20 @@ fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
             horizon,
             cap,
         },
-    });
-    let mode = if args.flag_bool("open") {
+    })
+}
+
+fn replay_mode(args: &Args) -> ReplayMode {
+    if args.flag_bool("open") {
         ReplayMode::Open
     } else {
         ReplayMode::Closed
-    };
-    Ok((server, mode))
+    }
+}
+
+fn server_from_flags(args: &Args) -> Result<(Server, ReplayMode), CliError> {
+    let config = config_from_flags(args, None)?;
+    Ok((Server::new(config), replay_mode(args)))
 }
 
 fn run_spec(spec: &TrafficSpec, args: &Args) -> Result<String, CliError> {
@@ -512,6 +543,19 @@ fn run_spec(spec: &TrafficSpec, args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    if args.flag_bool("scaling") {
+        // The parallel-scaling shape: one large instance (--nodes), a
+        // stream of heavy queries. `--emit` renders it (this is how the
+        // bundled workloads/large.sirupload is generated).
+        let nodes = args.flag_usize("nodes", 192).map_err(CliError::BadFlag)?;
+        let requests = args.flag_usize("requests", 48).map_err(CliError::BadFlag)?;
+        let seed = args.flag_u32("seed", 1).map_err(CliError::BadFlag)? as u64;
+        let spec = sirup_workloads::scaling_traffic(nodes, requests, seed);
+        if args.flag_bool("emit") {
+            return Ok(render_workload(&spec));
+        }
+        return run_spec(&spec, args);
+    }
     let params = TrafficParams {
         instances: args.flag_usize("instances", 4).map_err(CliError::BadFlag)?,
         instance_nodes: args.flag_usize("nodes", 24).map_err(CliError::BadFlag)?,
@@ -549,7 +593,88 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Workload(format!("cannot read {path}: {e}")))?;
     let spec = parse_workload(&text).map_err(CliError::Workload)?;
+    if let Some(list) = args.flag("threads-sweep") {
+        return cmd_threads_sweep(&spec, list, args);
+    }
+    if args.flag_bool("dump-answers") {
+        // Answers only, one line per request — two runs of the same
+        // workload must produce identical output (the CI determinism smoke
+        // diffs them), so no timings or cache-temperature noise here.
+        let (server, mode) = server_from_flags(args)?;
+        let report = server
+            .replay(&spec, mode)
+            .map_err(|e| CliError::Workload(e.to_string()))?;
+        let mut out = String::new();
+        for (i, a) in report.answers.iter().enumerate() {
+            match a {
+                // Version stamps are drawn from the catalog-wide counter,
+                // so mutations on *different* instances race for them;
+                // per-instance effects (the applied count, every query
+                // answer) are deterministic — print only those.
+                sirup_server::Answer::Applied { applied, .. } => {
+                    writeln!(out, "{i}: Applied {applied}").unwrap()
+                }
+                other => writeln!(out, "{i}: {other:?}").unwrap(),
+            }
+        }
+        return Ok(out);
+    }
     run_spec(&spec, args)
+}
+
+/// `replay <file> --threads-sweep 1,2,4,8`: replay the same workload once
+/// per worker count and print a speedup table. Unless `--parallelism` is
+/// given explicitly, intra-request parallelism follows the swept worker
+/// count, so the sweep exercises the whole shared-scheduler stack.
+fn cmd_threads_sweep(spec: &TrafficSpec, list: &str, args: &Args) -> Result<String, CliError> {
+    let counts: Vec<usize> = list
+        .split(',')
+        .map(|s| {
+            s.trim().parse::<usize>().map_err(|_| {
+                CliError::BadFlag(format!(
+                    "--threads-sweep expects a list like 1,2,4,8; bad entry {s:?}"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() {
+        return Err(CliError::BadFlag(
+            "--threads-sweep expects at least one worker count".to_owned(),
+        ));
+    }
+    let mode = replay_mode(args);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "threads-sweep over {} request(s), {} mode:",
+        spec.requests.len(),
+        match mode {
+            ReplayMode::Closed => "closed-loop",
+            ReplayMode::Open => "open-loop",
+        }
+    )
+    .unwrap();
+    writeln!(out, "threads   req/s      p95(µs)   speedup").unwrap();
+    let mut base_rps: Option<f64> = None;
+    for &t in &counts {
+        let mut config = config_from_flags(args, Some(t))?;
+        if args.flag("parallelism").is_none() {
+            config.parallelism = t;
+        }
+        let server = Server::new(config);
+        let report = server
+            .replay(spec, mode)
+            .map_err(|e| CliError::Workload(e.to_string()))?;
+        let rps = report.throughput();
+        let speedup = rps / *base_rps.get_or_insert(rps);
+        writeln!(
+            out,
+            "{t:>7}   {rps:>9.0}  {p95:>8}   {speedup:>6.2}x",
+            p95 = report.latency.p95_us
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 /// `stats <file>`: replay a workload closed-loop, then dump each live
@@ -633,6 +758,18 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
             )));
         }
     }
+    let sched = server.scheduler_stats();
+    writeln!(
+        out,
+        "\nscheduler: {} worker(s), {} job(s) spawned, {} subtask(s), {} steal(s), \
+         max queue depth {}",
+        sched.workers,
+        sched.jobs_spawned,
+        sched.subtasks_spawned,
+        sched.steals,
+        sched.max_queue_depth
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -808,6 +945,89 @@ request sigma d @20 = F(x), R(x,y), T(y)
         // Open-loop mode paces by the arrival offsets and still completes.
         let open = run_line(&["replay", path, "--open", "true"]).unwrap();
         assert!(open.contains("open-loop"), "{open}");
+    }
+
+    #[test]
+    fn replay_threads_sweep_prints_speedup_table() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/smoke.sirupload"
+        );
+        let out = run_line(&["replay", path, "--threads-sweep", "1,2"]).unwrap();
+        assert!(out.contains("threads-sweep over 16 request(s)"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("p95"), "{out}");
+        assert!(out.contains("1.00x"), "{out}");
+        // Malformed sweep lists are rejected.
+        assert!(matches!(
+            run_line(&["replay", path, "--threads-sweep", "1,x"]),
+            Err(CliError::BadFlag(_))
+        ));
+    }
+
+    #[test]
+    fn replay_dump_answers_is_deterministic() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/mutations.sirupload"
+        );
+        let line = [
+            "replay",
+            path,
+            "--threads",
+            "4",
+            "--parallelism",
+            "4",
+            "--par-threshold",
+            "2",
+            "--dump-answers",
+            "true",
+        ];
+        let a = run_line(&line).unwrap();
+        let b = run_line(&line).unwrap();
+        assert_eq!(a, b, "parallel replay answers must be deterministic");
+        // Answers only: one `idx: Answer` line per request, no summary.
+        assert!(a.lines().count() > 0);
+        assert!(a.starts_with("0: "), "{a}");
+        assert!(!a.contains("req/s"), "{a}");
+    }
+
+    #[test]
+    fn serve_scaling_generates_the_large_workload_shape() {
+        let emitted = run_line(&[
+            "serve",
+            "--scaling",
+            "true",
+            "--nodes",
+            "32",
+            "--requests",
+            "8",
+            "--emit",
+            "true",
+        ])
+        .unwrap();
+        assert!(emitted.contains("instance big ="), "{emitted}");
+        assert_eq!(
+            emitted.matches("request ").count(),
+            8,
+            "request count knob ignored: {emitted}"
+        );
+        let spec = sirup_workloads::parse_workload(&emitted).unwrap();
+        assert!(spec.instances[0].1.node_count() >= 30);
+        // And it runs through a parallel server.
+        let ran = run_line(&[
+            "serve",
+            "--scaling",
+            "true",
+            "--nodes",
+            "32",
+            "--requests",
+            "8",
+            "--parallelism",
+            "2",
+        ])
+        .unwrap();
+        assert!(ran.contains("8 request(s)"), "{ran}");
     }
 
     #[test]

@@ -71,6 +71,34 @@ impl NodeSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Partition the set into at most `chunks` disjoint subsets of
+    /// near-equal cardinality, **in increasing node order**: chunk `i`
+    /// holds nodes strictly smaller than every node of chunk `i + 1`.
+    /// Parallel plan execution splits a candidate domain this way and
+    /// merges per-chunk results in chunk order, which makes the merged
+    /// enumeration sequence identical to the sequential one.
+    pub fn split_chunks(&self, chunks: usize) -> Vec<NodeSet> {
+        let total = self.len();
+        let chunks = chunks.clamp(1, total.max(1));
+        let per = total.div_ceil(chunks);
+        let universe = self.words.len() * 64;
+        let mut out: Vec<NodeSet> = Vec::with_capacity(chunks);
+        let mut current = NodeSet::empty(universe);
+        let mut filled = 0usize;
+        for v in self.iter() {
+            current.insert(v);
+            filled += 1;
+            if filled == per {
+                out.push(std::mem::replace(&mut current, NodeSet::empty(universe)));
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            out.push(current);
+        }
+        out
+    }
+
     /// Iterate the set's nodes in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &w)| {
@@ -127,6 +155,34 @@ mod tests {
         s.grow(50); // never shrinks
         assert!(s.contains(Node(199)));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn split_chunks_partitions_in_order() {
+        let mut s = NodeSet::empty(200);
+        for v in (0..200).step_by(3) {
+            s.insert(Node(v));
+        }
+        let total = s.len();
+        for chunks in [1usize, 2, 4, 8, 100] {
+            let parts = s.split_chunks(chunks);
+            assert!(parts.len() <= chunks.max(1));
+            let mut rebuilt: Vec<Node> = Vec::new();
+            for p in &parts {
+                let nodes: Vec<Node> = p.iter().collect();
+                if let (Some(&last), Some(first)) = (rebuilt.last(), nodes.first()) {
+                    assert!(last < *first, "chunks out of order");
+                }
+                rebuilt.extend(nodes);
+            }
+            assert_eq!(rebuilt.len(), total);
+            assert_eq!(rebuilt, s.iter().collect::<Vec<_>>());
+            // Near-equal: sizes differ by at most the ceiling step.
+            let max = parts.iter().map(NodeSet::len).max().unwrap();
+            let min = parts.iter().map(NodeSet::len).min().unwrap();
+            assert!(max - min <= total.div_ceil(chunks));
+        }
+        assert_eq!(NodeSet::empty(10).split_chunks(4).len(), 0);
     }
 
     #[test]

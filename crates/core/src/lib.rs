@@ -30,6 +30,7 @@ pub mod fx;
 pub mod index;
 pub mod parse;
 pub mod program;
+pub mod sched;
 pub mod shape;
 pub mod structure;
 pub mod symbols;
@@ -39,5 +40,6 @@ pub use cq::OneCq;
 pub use delta::FactOp;
 pub use index::PredIndex;
 pub use program::{Atom, Program, Rule, Term};
+pub use sched::{CancelToken, ParCtx, SchedStats, Scheduler};
 pub use structure::{Node, Structure};
 pub use symbols::Pred;

@@ -17,7 +17,7 @@
 //! label so the search itself is unchanged.
 
 use sirup_core::program::DSirup;
-use sirup_core::{Node, Pred, Structure};
+use sirup_core::{Node, ParCtx, Pred, Structure};
 use sirup_hom::QueryPlan;
 
 /// Statistics from a disjunctive evaluation (for the benchmark harness).
@@ -49,12 +49,35 @@ pub fn certain_answer_dsirup_planned(dsirup: &DSirup, plan: &QueryPlan, data: &S
     certain_answer_dsirup_planned_stats(dsirup, plan, data).0
 }
 
+/// As [`certain_answer_dsirup_planned`], optionally splitting each
+/// bound-check's homomorphism search over the shared scheduler. The DPLL
+/// branching itself stays sequential (its prunes depend on the branch
+/// order); the per-branch `q.on(low/high).exists()` checks — the hot inner
+/// loop on large instances — fan their root domains out.
+pub fn certain_answer_dsirup_planned_ctx(
+    dsirup: &DSirup,
+    plan: &QueryPlan,
+    data: &Structure,
+    par: Option<ParCtx<'_>>,
+) -> bool {
+    certain_answer_inner(dsirup, plan, data, par).0
+}
+
 /// As [`certain_answer_dsirup_stats`], with a precompiled plan for
 /// `dsirup.cq`.
 pub fn certain_answer_dsirup_planned_stats(
     dsirup: &DSirup,
     plan: &QueryPlan,
     data: &Structure,
+) -> (bool, DisjunctiveStats) {
+    certain_answer_inner(dsirup, plan, data, None)
+}
+
+fn certain_answer_inner(
+    dsirup: &DSirup,
+    plan: &QueryPlan,
+    data: &Structure,
+    par: Option<ParCtx<'_>>,
 ) -> (bool, DisjunctiveStats) {
     assert_eq!(
         plan.pattern(),
@@ -87,7 +110,7 @@ pub fn certain_answer_dsirup_planned_stats(
         high.add_label(v, Pred::F);
     }
 
-    let found_counter = search(plan, &a_nodes, 0, &mut low, &mut high, &mut stats);
+    let found_counter = search(plan, &a_nodes, 0, &mut low, &mut high, par, &mut stats);
     (!found_counter, stats)
 }
 
@@ -99,16 +122,17 @@ fn search(
     next: usize,
     low: &mut Structure,
     high: &mut Structure,
+    par: Option<ParCtx<'_>>,
     stats: &mut DisjunctiveStats,
 ) -> bool {
     stats.branches += 1;
     stats.hom_checks += 1;
-    if q.on(low).exists() {
+    if q.on(low).maybe_parallel(par).exists() {
         // Every completion embeds q: no countermodel here.
         return false;
     }
     stats.hom_checks += 1;
-    if !q.on(high).exists() {
+    if !q.on(high).maybe_parallel(par).exists() {
         // No completion embeds q: the all-unassigned-free completion — e.g.
         // assign every remaining node T — is a countermodel.
         return true;
@@ -122,7 +146,7 @@ fn search(
         let other = if label == Pred::T { Pred::F } else { Pred::T };
         let low_added = low.add_label(v, label);
         let high_removed = high.remove_label(v, other);
-        let found = search(q, a_nodes, next + 1, low, high, stats);
+        let found = search(q, a_nodes, next + 1, low, high, par, stats);
         if low_added {
             low.remove_label(v, label);
         }

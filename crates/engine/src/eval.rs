@@ -17,7 +17,7 @@
 
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
-use sirup_core::{Node, Pred, PredIndex, Structure, Term};
+use sirup_core::{Node, ParCtx, Pred, PredIndex, Structure, Term};
 use sirup_hom::QueryPlan;
 
 /// Result of evaluating a program over a data instance.
@@ -149,7 +149,7 @@ impl CompiledProgram {
 
     /// Evaluate over `data`, returning all derived IDB facts.
     pub fn evaluate(&self, data: &Structure) -> Evaluation {
-        self.evaluate_inner(data, None)
+        self.evaluate_inner(data, None, None)
     }
 
     /// As [`CompiledProgram::evaluate`], but seeded from a prebuilt
@@ -164,10 +164,40 @@ impl CompiledProgram {
             data.node_count(),
             "PredIndex is not a snapshot of this data instance"
         );
-        self.evaluate_inner(data, Some(index))
+        self.evaluate_inner(data, Some(index), None)
     }
 
-    fn evaluate_inner(&self, data: &Structure, index: Option<&PredIndex>) -> Evaluation {
+    /// Evaluate with optional index seeding **and** optional intra-request
+    /// parallelism: each semi-naive round partitions a rule's candidate
+    /// set across the shared scheduler's workers (above the context's
+    /// threshold), checks the candidates against the round-start working
+    /// instance, and merges the per-worker derivation buffers in chunk
+    /// order. Parallel rounds give up in-round propagation within a rule,
+    /// so [`Evaluation::rounds`] may differ from the sequential paths'
+    /// count — the fixpoint itself is unique and identical (the parallel
+    /// differential suite pins this).
+    pub fn evaluate_ctx(
+        &self,
+        data: &Structure,
+        index: Option<&PredIndex>,
+        par: Option<ParCtx<'_>>,
+    ) -> Evaluation {
+        if let Some(idx) = index {
+            assert_eq!(
+                idx.node_count(),
+                data.node_count(),
+                "PredIndex is not a snapshot of this data instance"
+            );
+        }
+        self.evaluate_inner(data, index, par)
+    }
+
+    fn evaluate_inner(
+        &self,
+        data: &Structure,
+        index: Option<&PredIndex>,
+        par: Option<ParCtx<'_>>,
+    ) -> Evaluation {
         // Working structure: data plus derived labels.
         let mut work = data.clone();
         let mut nullary: Vec<Pred> = Vec::new();
@@ -198,8 +228,11 @@ impl CompiledProgram {
             for (c, seed) in self.rules.iter().zip(&seeds) {
                 match c.head_node {
                     None => {
-                        // Nullary head: derive once.
-                        if nullary.binary_search(&c.head_pred).is_err() && c.plan.on(&work).exists()
+                        // Nullary head: derive once. The existence check
+                        // itself splits its root domain when a context is
+                        // attached.
+                        if nullary.binary_search(&c.head_pred).is_err()
+                            && c.plan.on(&work).maybe_parallel(par).exists()
                         {
                             let pos = nullary.binary_search(&c.head_pred).unwrap_err();
                             nullary.insert(pos, c.head_pred);
@@ -217,10 +250,35 @@ impl CompiledProgram {
                                 .collect(),
                             None => work.nodes().filter(|&a| !work.has_label(a, p)).collect(),
                         };
-                        for a in cands {
-                            if c.plan.on(&work).fix(head_node, a).exists() {
-                                work.add_label(a, p);
-                                changed = true;
+                        match par {
+                            Some(ctx) if ctx.should_split(cands.len()) => {
+                                // Check every candidate against the
+                                // round-start snapshot, in parallel chunks;
+                                // merge the per-chunk derivation buffers in
+                                // chunk order (deterministic) and apply.
+                                let work_ref = &work;
+                                let derived: Vec<Vec<Node>> =
+                                    ctx.sched.map_chunks(&cands, ctx.fanout(), |slice| {
+                                        slice
+                                            .iter()
+                                            .copied()
+                                            .filter(|&a| {
+                                                c.plan.on(work_ref).fix(head_node, a).exists()
+                                            })
+                                            .collect()
+                                    });
+                                for a in derived.into_iter().flatten() {
+                                    work.add_label(a, p);
+                                    changed = true;
+                                }
+                            }
+                            _ => {
+                                for a in cands {
+                                    if c.plan.on(&work).fix(head_node, a).exists() {
+                                        work.add_label(a, p);
+                                        changed = true;
+                                    }
+                                }
                             }
                         }
                     }

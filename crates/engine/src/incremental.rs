@@ -155,6 +155,19 @@ impl MaterializedFixpoint {
         MaterializedFixpoint::build(program, data, ev)
     }
 
+    /// As [`MaterializedFixpoint::from_compiled_indexed`], running the
+    /// initial fixpoint with optional intra-request parallelism (the
+    /// maintained closure is the same; only the one-off build fans out).
+    pub fn from_compiled_indexed_ctx(
+        program: CompiledProgram,
+        data: &Structure,
+        index: &sirup_core::PredIndex,
+        par: Option<sirup_core::ParCtx<'_>>,
+    ) -> MaterializedFixpoint {
+        let ev = program.evaluate_ctx(data, Some(index), par);
+        MaterializedFixpoint::build(program, data, ev)
+    }
+
     /// Materialise an already-compiled program over `data`, reusing its
     /// rule-body plans for both the initial fixpoint and all later delta
     /// replays.
@@ -287,16 +300,40 @@ impl MaterializedFixpoint {
         self.apply(ops)
     }
 
-    /// Apply a mixed mutation batch in order, maintaining the closure after
-    /// each op. Returns how many ops changed the instance (set semantics:
+    /// Apply a mixed mutation batch in order, maintaining the closure.
+    /// Returns how many ops changed the instance (set semantics:
     /// re-inserting a present fact or retracting an absent one is a no-op,
     /// matching [`Structure::apply`]).
+    ///
+    /// Consecutive **insert** ops batch their delta worklists: the whole
+    /// run's genuinely new facts seed *one* insertion cascade instead of
+    /// one cascade per op. The cascade's exactly-once counting discipline
+    /// (pending facts stay out of the working instance until popped) is
+    /// seed-count-agnostic, so the maintained state and support counts are
+    /// identical to the per-op result — the batch-vs-per-op differential
+    /// test pins this. Retracts flush the pending batch first and cascade
+    /// individually (DRed overdeletion is order-sensitive).
     pub fn apply(&mut self, ops: &[FactOp]) -> usize {
-        let mut applied = 0;
+        self.ensure_supports_seeded();
+        let mut applied = 0usize;
+        let mut seeds: Vec<Fact> = Vec::new();
         for &op in ops {
-            if self.apply_one(op) {
-                applied += 1;
+            if op.is_insert() {
+                if let Some(seed) = self.stage_insert(op, &mut applied) {
+                    seeds.push(seed);
+                }
+            } else {
+                if !seeds.is_empty() {
+                    self.insert_cascade(std::mem::take(&mut seeds));
+                }
+                if self.stage_retract(op) {
+                    applied += 1;
+                    self.ops_applied += 1;
+                }
             }
+        }
+        if !seeds.is_empty() {
+            self.insert_cascade(seeds);
         }
         applied
     }
@@ -319,33 +356,48 @@ impl MaterializedFixpoint {
         }
     }
 
-    fn apply_one(&mut self, op: FactOp) -> bool {
-        self.ensure_supports_seeded();
-        let changed = match op {
+    /// Patch the base with one insert op and return the worklist seed, if
+    /// the op introduced a genuinely new working-instance fact. Bumps the
+    /// counters for effective ops; the caller owns cascading the seeds.
+    fn stage_insert(&mut self, op: FactOp, applied: &mut usize) -> Option<Fact> {
+        let seed = match op {
             FactOp::AddLabel(p, v) => {
                 self.ensure_node(v);
                 if !self.base.add_label(v, p) {
-                    false
-                } else {
-                    if !self.work.has_label(v, p) {
-                        // Not already derived: a genuinely new fact.
-                        self.insert_cascade(vec![Fact::Label(p, v)]);
-                    } else if let Some(set) = self.extension.get_mut(&p) {
-                        set.insert(v); // asserted on top of derived: extension unchanged
+                    return None;
+                }
+                if self.work.has_label(v, p) {
+                    // Asserted on top of derived: the closure is unchanged,
+                    // only the extension bookkeeping needs the node.
+                    if let Some(set) = self.extension.get_mut(&p) {
+                        set.insert(v);
                     }
-                    true
+                    None
+                } else {
+                    Some(Fact::Label(p, v))
                 }
             }
             FactOp::AddEdge(p, u, v) => {
                 self.ensure_node(u.max(v));
                 if !self.base.add_edge(p, u, v) {
-                    false
-                } else {
-                    // Edges are never derived, so work cannot have it yet.
-                    self.insert_cascade(vec![Fact::Edge(p, u, v)]);
-                    true
+                    return None;
                 }
+                // Edges are never derived, so work cannot have it yet.
+                Some(Fact::Edge(p, u, v))
             }
+            FactOp::RemoveLabel(..) | FactOp::RemoveEdge(..) => {
+                unreachable!("stage_insert takes Add* ops")
+            }
+        };
+        *applied += 1;
+        self.ops_applied += 1;
+        seed
+    }
+
+    /// Patch the base with one retract op and run its DRed cascade.
+    /// Returns whether the op changed the instance.
+    fn stage_retract(&mut self, op: FactOp) -> bool {
+        match op {
             FactOp::RemoveLabel(p, v) => {
                 if v.index() >= self.base.node_count() || !self.base.remove_label(v, p) {
                     false
@@ -368,11 +420,10 @@ impl MaterializedFixpoint {
                     true
                 }
             }
-        };
-        if changed {
-            self.ops_applied += 1;
+            FactOp::AddLabel(..) | FactOp::AddEdge(..) => {
+                unreachable!("stage_retract takes Remove* ops")
+            }
         }
-        changed
     }
 
     fn ensure_node(&mut self, v: Node) {

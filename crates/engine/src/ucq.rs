@@ -10,8 +10,9 @@
 //! `eval_*` methods on [`Ucq`] compile on the fly, long-lived callers (the
 //! server's rewriting strategy) keep the [`CompiledUcq`].
 
-use sirup_core::{Node, PredIndex, Structure};
+use sirup_core::{CancelToken, Node, ParCtx, PredIndex, Structure};
 use sirup_hom::QueryPlan;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A union of conjunctive queries. Each disjunct optionally has one free
 /// (answer) variable.
@@ -125,13 +126,32 @@ pub struct CompiledUcq {
 impl CompiledUcq {
     /// Boolean evaluation, optionally index-seeded.
     pub fn eval_boolean(&self, data: &Structure, idx: Option<&PredIndex>) -> bool {
-        self.disjuncts.iter().any(|(plan, _)| {
-            let mut exec = plan.on(data);
-            if let Some(i) = idx {
-                exec = exec.target_index(i);
-            }
-            exec.exists()
-        })
+        self.eval_boolean_ctx(data, idx, None)
+    }
+
+    /// As [`CompiledUcq::eval_boolean`], optionally splitting over the
+    /// shared scheduler: disjuncts evaluate **concurrently**, the first
+    /// matching disjunct cancels the rest through a shared token (each
+    /// disjunct's plan execution polls it per backtracking node), and every
+    /// disjunct's own root domain may split further above the threshold.
+    pub fn eval_boolean_ctx(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        par: Option<ParCtx<'_>>,
+    ) -> bool {
+        match par {
+            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, ctx, None),
+            // Single disjunct: no disjunct-level fan-out, but the one
+            // plan's root domain still splits.
+            _ => self.disjuncts.iter().any(|(plan, _)| {
+                let mut exec = plan.on(data).maybe_parallel(par);
+                if let Some(i) = idx {
+                    exec = exec.target_index(i);
+                }
+                exec.exists()
+            }),
+        }
     }
 
     /// Unary evaluation at `a`, optionally index-seeded. Boolean disjuncts
@@ -149,11 +169,98 @@ impl CompiledUcq {
         })
     }
 
+    /// As [`CompiledUcq::eval_at`], with concurrent disjuncts and
+    /// first-match cancellation.
+    pub fn eval_at_ctx(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        a: Node,
+        par: Option<ParCtx<'_>>,
+    ) -> bool {
+        match par {
+            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, ctx, Some(a)),
+            _ => self.disjuncts.iter().any(|(plan, free)| {
+                let mut exec = plan.on(data).maybe_parallel(par);
+                if let Some(i) = idx {
+                    exec = exec.target_index(i);
+                }
+                match free {
+                    Some(x) => exec.fix(*x, a).exists(),
+                    None => exec.exists(),
+                }
+            }),
+        }
+    }
+
+    /// One task per disjunct; `at` fixes each disjunct's free node.
+    fn par_any(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        ctx: ParCtx<'_>,
+        at: Option<Node>,
+    ) -> bool {
+        let token = CancelToken::new();
+        let hit = AtomicBool::new(false);
+        ctx.sched.scope(|s| {
+            for (plan, free) in &self.disjuncts {
+                let (token, hit) = (&token, &hit);
+                s.spawn(move || {
+                    if token.is_cancelled() {
+                        return;
+                    }
+                    let mut exec = plan.on(data).cancel_token(token).parallel(ctx);
+                    if let Some(i) = idx {
+                        exec = exec.target_index(i);
+                    }
+                    if let (Some(x), Some(a)) = (free, at) {
+                        exec = exec.fix(*x, a);
+                    }
+                    if exec.exists() {
+                        hit.store(true, Ordering::Release);
+                        token.cancel();
+                    }
+                });
+            }
+        });
+        hit.load(Ordering::Acquire)
+    }
+
     /// All certain answers over `data`, optionally index-seeded.
     pub fn answers(&self, data: &Structure, idx: Option<&PredIndex>) -> Vec<Node> {
-        data.nodes()
-            .filter(|&a| self.eval_at(data, idx, a))
-            .collect()
+        self.answers_ctx(data, idx, None)
+    }
+
+    /// As [`CompiledUcq::answers`], optionally partitioning the candidate
+    /// nodes across the shared scheduler. Per-chunk answer buffers merge in
+    /// chunk order, so the (sorted) answer list is bit-identical to the
+    /// sequential one.
+    pub fn answers_ctx(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        par: Option<ParCtx<'_>>,
+    ) -> Vec<Node> {
+        let nodes: Vec<Node> = data.nodes().collect();
+        match par {
+            Some(ctx) if ctx.should_split(nodes.len()) => ctx
+                .sched
+                .map_chunks(&nodes, ctx.fanout(), |slice| {
+                    slice
+                        .iter()
+                        .copied()
+                        .filter(|&a| self.eval_at(data, idx, a))
+                        .collect::<Vec<Node>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect(),
+            _ => nodes
+                .into_iter()
+                .filter(|&a| self.eval_at(data, idx, a))
+                .collect(),
+        }
     }
 }
 

@@ -29,8 +29,10 @@
 //! same pinning (`fix`), exclusion (`forbid`), and injectivity modes as the
 //! legacy finder, which is kept as the differential-test oracle.
 
-use sirup_core::{Node, NodeSet, Pred, PredIndex, Structure};
+use sirup_core::{CancelToken, Node, NodeSet, ParCtx, Pred, PredIndex, Structure};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// How a variable's candidates are produced at its position in the order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +221,8 @@ impl QueryPlan {
             fixed: Vec::new(),
             forbidden: Vec::new(),
             injective: false,
+            par: None,
+            cancel: None,
         }
     }
 
@@ -316,6 +320,26 @@ pub struct PlanExec<'a> {
     fixed: Vec<(Node, Node)>,
     forbidden: Vec<(Node, Node)>,
     injective: bool,
+    /// When set, [`PlanExec::exists`] and [`PlanExec::find_up_to`] split
+    /// the first variable's post-AC-3 domain into work units on the shared
+    /// scheduler (above the context's threshold). [`PlanExec::for_each`]
+    /// and [`PlanExec::find`] always stay sequential — they are the
+    /// differential oracle for the parallel paths.
+    par: Option<ParCtx<'a>>,
+    /// External cooperative-cancellation flag, polled once per
+    /// backtracking node (parallel UCQ evaluation cancels losing disjuncts
+    /// through this).
+    cancel: Option<&'a CancelToken>,
+}
+
+/// The outcome of domain seeding + the AC-3 prefilter.
+enum Prep {
+    /// Empty pattern: exactly one (empty) homomorphism.
+    EmptyPattern,
+    /// Some domain is empty: no homomorphism exists.
+    NoMatch,
+    /// Consistent per-variable domains, ready to backtrack over.
+    Domains(Vec<NodeSet>),
 }
 
 impl<'a> PlanExec<'a> {
@@ -349,7 +373,34 @@ impl<'a> PlanExec<'a> {
         self
     }
 
-    /// Find one homomorphism, if any.
+    /// Split `exists`/`find_up_to` over the shared scheduler when the first
+    /// variable's domain reaches the context's threshold.
+    pub fn parallel(mut self, ctx: ParCtx<'a>) -> Self {
+        self.par = Some(ctx);
+        self
+    }
+
+    /// As [`PlanExec::parallel`], taking the optional context callers
+    /// thread through the evaluation stack (`None` keeps every path
+    /// sequential).
+    pub fn maybe_parallel(mut self, ctx: Option<ParCtx<'a>>) -> Self {
+        self.par = ctx;
+        self
+    }
+
+    /// Abandon the search when `token` is cancelled (the search then
+    /// reports "no homomorphism found so far" — callers that cancel must
+    /// not interpret the result). Sequential execution polls it once per
+    /// backtracking node; inside parallel root chunks it is polled once
+    /// per root candidate (the chunk-local early-stop flag covers the
+    /// per-node granularity there).
+    pub fn cancel_token(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Find one homomorphism, if any. Always sequential: returns the first
+    /// homomorphism in the compiled enumeration order.
     pub fn find(&self) -> Option<Vec<Node>> {
         let mut out = None;
         self.for_each(|h| {
@@ -359,47 +410,212 @@ impl<'a> PlanExec<'a> {
         out
     }
 
-    /// Does any homomorphism exist?
+    /// Does any homomorphism exist? With a [`ParCtx`] attached and a large
+    /// enough root domain, the domain is split into chunks searched
+    /// concurrently; the first witness cancels the remaining chunks.
     pub fn exists(&self) -> bool {
-        self.find().is_some()
+        match self.prepare() {
+            Prep::EmptyPattern => true,
+            Prep::NoMatch => false,
+            Prep::Domains(domains) => {
+                if let Some(chunks) = self.par_chunks(&domains) {
+                    return self.par_exists(&domains, chunks);
+                }
+                let mut found = false;
+                self.enumerate(&domains, self.cancel, &mut |_| {
+                    found = true;
+                    false
+                });
+                found
+            }
+        }
     }
 
-    /// Enumerate up to `cap` homomorphisms.
+    /// Enumerate up to `cap` homomorphisms. With a [`ParCtx`] attached the
+    /// root domain is split and per-chunk buffers are merged **in chunk
+    /// order**, so the result is bit-identical to the sequential
+    /// enumeration (including the `cap` prefix).
     pub fn find_up_to(&self, cap: usize) -> Vec<Vec<Node>> {
-        let mut out = Vec::new();
         if cap == 0 {
-            return out;
+            return Vec::new();
         }
-        self.for_each(|h| {
-            out.push(h.to_vec());
-            out.len() < cap
-        });
-        out
+        match self.prepare() {
+            Prep::EmptyPattern => vec![Vec::new()],
+            Prep::NoMatch => Vec::new(),
+            Prep::Domains(domains) => {
+                if cap > 1 {
+                    if let Some(chunks) = self.par_chunks(&domains) {
+                        return self.par_find_up_to(&domains, chunks, cap);
+                    }
+                }
+                let mut out = Vec::new();
+                self.enumerate(&domains, self.cancel, &mut |h| {
+                    out.push(h.to_vec());
+                    out.len() < cap
+                });
+                out
+            }
+        }
     }
 
     /// Visit every homomorphism with a callback; return `false` from the
     /// callback to stop early. Returns `true` iff enumeration ran to
     /// completion. Enumeration order follows the compiled variable order
     /// (it generally differs from the legacy finder's dynamic order; the
-    /// *set* of homomorphisms is identical).
+    /// *set* of homomorphisms is identical). Always sequential — the
+    /// callback may be arbitrary `FnMut` state; this path is the oracle
+    /// the parallel paths are differentially pinned against.
     pub fn for_each(&self, mut f: impl FnMut(&[Node]) -> bool) -> bool {
-        let np = self.plan.pattern.node_count();
-        let nt = self.target.node_count();
-        if np == 0 {
-            return f(&[]);
+        match self.prepare() {
+            Prep::EmptyPattern => f(&[]),
+            Prep::NoMatch => true,
+            Prep::Domains(domains) => self.enumerate(&domains, self.cancel, &mut f),
         }
-        if nt == 0 {
-            return true;
+    }
+
+    /// Seed and arc-filter the candidate domains.
+    fn prepare(&self) -> Prep {
+        if self.plan.pattern.node_count() == 0 {
+            return Prep::EmptyPattern;
+        }
+        if self.target.node_count() == 0 {
+            return Prep::NoMatch;
         }
         let Some(mut domains) = self.initial_domains() else {
-            return true;
+            return Prep::NoMatch;
         };
         if !self.ac3(&mut domains) {
-            return true;
+            return Prep::NoMatch;
         }
+        Prep::Domains(domains)
+    }
+
+    /// Sequential enumeration over prepared domains: the root variable
+    /// scans its full domain.
+    fn enumerate(
+        &self,
+        domains: &[NodeSet],
+        cancel: Option<&CancelToken>,
+        f: &mut impl FnMut(&[Node]) -> bool,
+    ) -> bool {
+        let root = self.plan.order[0];
+        self.run_roots(&domains[root.index()], domains, cancel, f)
+    }
+
+    /// The root-domain chunks to search in parallel, if a context is
+    /// attached and the domain is large enough to be worth splitting.
+    fn par_chunks(&self, domains: &[NodeSet]) -> Option<Vec<NodeSet>> {
+        let ctx = self.par?;
+        let root = self.plan.order[0];
+        let dom = &domains[root.index()];
+        if !ctx.should_split(dom.len()) {
+            return None;
+        }
+        Some(dom.split_chunks(ctx.fanout()))
+    }
+
+    /// Parallel existence: one task per root chunk, a shared token cancels
+    /// the rest on the first witness (and observes the external token).
+    fn par_exists(&self, domains: &[NodeSet], chunks: Vec<NodeSet>) -> bool {
+        let ctx = self.par.expect("par_chunks returned Some");
+        let stop = CancelToken::new();
+        let found = AtomicBool::new(false);
+        ctx.sched.scope(|s| {
+            for chunk in &chunks {
+                let (stop, found) = (&stop, &found);
+                s.spawn(move || {
+                    if stop.is_cancelled() || self.externally_cancelled() {
+                        return;
+                    }
+                    self.run_roots(chunk, domains, Some(stop), &mut |_| {
+                        found.store(true, Ordering::Release);
+                        stop.cancel();
+                        false
+                    });
+                });
+            }
+        });
+        found.load(Ordering::Acquire)
+    }
+
+    /// Parallel enumeration: each chunk collects up to `cap` homomorphisms
+    /// independently; merging in chunk order and truncating reproduces the
+    /// sequential prefix exactly.
+    fn par_find_up_to(
+        &self,
+        domains: &[NodeSet],
+        chunks: Vec<NodeSet>,
+        cap: usize,
+    ) -> Vec<Vec<Node>> {
+        let ctx = self.par.expect("par_chunks returned Some");
+        let slots: Vec<Mutex<Vec<Vec<Node>>>> = chunks.iter().map(|_| Mutex::default()).collect();
+        ctx.sched.scope(|s| {
+            for (chunk, slot) in chunks.iter().zip(&slots) {
+                s.spawn(move || {
+                    if self.externally_cancelled() {
+                        return;
+                    }
+                    let mut local: Vec<Vec<Node>> = Vec::new();
+                    self.run_roots(chunk, domains, self.cancel, &mut |h| {
+                        local.push(h.to_vec());
+                        local.len() < cap
+                    });
+                    *slot.lock().unwrap() = local;
+                });
+            }
+        });
+        let mut out: Vec<Vec<Node>> = Vec::new();
+        for slot in slots {
+            out.extend(slot.into_inner().unwrap());
+            if out.len() >= cap {
+                out.truncate(cap);
+                break;
+            }
+        }
+        out
+    }
+
+    fn externally_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Drive the search from every root candidate in `roots` (a subset of
+    /// the root variable's domain), in increasing node order. Shared by the
+    /// sequential path (`roots` = the whole domain) and every parallel
+    /// chunk task. `cancel` (the chunk-local early-stop flag, polled per
+    /// backtracking node) and the executor's external token (polled once
+    /// per root candidate, so a cancelled UCQ disjunct stops its in-flight
+    /// chunks too) both abandon the search.
+    fn run_roots(
+        &self,
+        roots: &NodeSet,
+        domains: &[NodeSet],
+        cancel: Option<&CancelToken>,
+        f: &mut impl FnMut(&[Node]) -> bool,
+    ) -> bool {
+        let np = self.plan.pattern.node_count();
+        let nt = self.target.node_count();
         let mut assignment: Vec<Node> = vec![Node(0); np];
         let mut used: Vec<bool> = vec![false; nt];
-        self.backtrack(0, &domains, &mut assignment, &mut used, &mut f)
+        let root = self.plan.order[0];
+        for t in roots.iter() {
+            if cancel.is_some_and(CancelToken::is_cancelled) || self.externally_cancelled() {
+                return false;
+            }
+            // Position 0 has no joins into a prefix except self-loops,
+            // which `joins_hold` covers.
+            if !self.joins_hold(0, root, t, &assignment) {
+                continue;
+            }
+            assignment[root.index()] = t;
+            used[t.index()] = true;
+            let keep_going = self.backtrack(1, domains, &mut assignment, &mut used, cancel, f);
+            used[t.index()] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
     }
 
     /// Smallest index-backed candidate list for pattern node `u`, if an
@@ -564,8 +780,12 @@ impl<'a> PlanExec<'a> {
         domains: &[NodeSet],
         assignment: &mut Vec<Node>,
         used: &mut [bool],
+        cancel: Option<&CancelToken>,
         f: &mut impl FnMut(&[Node]) -> bool,
     ) -> bool {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return false;
+        }
         if k == self.plan.order.len() {
             return f(assignment);
         }
@@ -598,7 +818,7 @@ impl<'a> PlanExec<'a> {
                     }
                     assignment[u.index()] = t;
                     used[t.index()] = true;
-                    let keep_going = self.backtrack(k + 1, domains, assignment, used, f);
+                    let keep_going = self.backtrack(k + 1, domains, assignment, used, cancel, f);
                     used[t.index()] = false;
                     if !keep_going {
                         return false;
@@ -613,7 +833,7 @@ impl<'a> PlanExec<'a> {
                     }
                     assignment[u.index()] = t;
                     used[t.index()] = true;
-                    let keep_going = self.backtrack(k + 1, domains, assignment, used, f);
+                    let keep_going = self.backtrack(k + 1, domains, assignment, used, cancel, f);
                     used[t.index()] = false;
                     if !keep_going {
                         return false;

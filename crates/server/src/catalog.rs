@@ -30,7 +30,7 @@
 
 use crate::cache::StampedLru;
 use sirup_core::fx::{FxHashMap, FxHasher};
-use sirup_core::{FactOp, PredIndex, Structure};
+use sirup_core::{FactOp, PredIndex, Scheduler, Structure};
 use sirup_engine::{MaterializationStats, MaterializedFixpoint};
 use std::hash::Hasher as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -144,6 +144,11 @@ pub struct Catalog {
     versions: AtomicU64,
     tickets: Mutex<Tickets>,
     ticket_cv: Condvar,
+    /// When set, a mutation carries the instance's live materialisations
+    /// forward as parallel subtasks on the shared scheduler (one per
+    /// materialisation — they are independent). `None` forwards them
+    /// sequentially, which is the differential oracle.
+    mat_sched: Option<Arc<Scheduler>>,
 }
 
 impl Catalog {
@@ -154,7 +159,18 @@ impl Catalog {
             versions: AtomicU64::new(0),
             tickets: Mutex::new(Tickets::default()),
             ticket_cv: Condvar::new(),
+            mat_sched: None,
         }
+    }
+
+    /// Forward live materialisations in parallel on `sched` during
+    /// mutations (the server enables this when its `parallelism` config
+    /// exceeds 1). Same-instance mutation *order* is untouched — tickets
+    /// still serialise whole mutations; only the independent per-program
+    /// carry-forward work inside one mutation fans out.
+    pub fn with_mat_parallelism(mut self, sched: Arc<Scheduler>) -> Catalog {
+        self.mat_sched = Some(sched);
+        self
     }
 
     fn shard_of(&self, name: &str) -> &Shard {
@@ -239,10 +255,33 @@ impl Catalog {
         let index_applied = index.apply_all(ops);
         debug_assert_eq!(applied, index_applied, "index deltas diverged from data");
         let mats = StampedLru::new(MAX_LIVE_MATERIALIZATIONS);
-        for (k, m) in old.mats.entries() {
-            let mut fwd = (*m).clone();
-            fwd.apply(ops);
-            mats.insert(k, Arc::new(fwd));
+        let entries = old.mats.entries();
+        match &self.mat_sched {
+            Some(sched) if entries.len() >= 2 => {
+                // Independent per-program maintenance: one subtask per
+                // materialisation; chunk order preserves the LRU insertion
+                // order of the sequential path.
+                let forwarded = sched.map_chunks(&entries, entries.len(), |slice| {
+                    slice
+                        .iter()
+                        .map(|(k, m)| {
+                            let mut fwd = (**m).clone();
+                            fwd.apply(ops);
+                            (k.clone(), fwd)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                for (k, fwd) in forwarded.into_iter().flatten() {
+                    mats.insert(k, Arc::new(fwd));
+                }
+            }
+            _ => {
+                for (k, m) in entries {
+                    let mut fwd = (*m).clone();
+                    fwd.apply(ops);
+                    mats.insert(k, Arc::new(fwd));
+                }
+            }
         }
         let version = self.next_version();
         let inst = IndexedInstance {

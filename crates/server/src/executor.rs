@@ -1,26 +1,39 @@
-//! The fixed worker pool.
+//! The batch executor on the shared work-stealing scheduler.
 //!
-//! A [`Pool`] owns `threads` OS threads (`std::thread`) that drain a shared
-//! submission queue (an `mpsc` channel behind a mutex — the classic
-//! work-queue shape the offline dependency set affords). A job is either a
-//! **query** (an `Arc<Plan>` paired with an `Arc<IndexedInstance>` snapshot;
-//! workers compute `plan.answer(instance)`) or a **mutation** (a ticketed
-//! fact batch applied through the catalog's copy-on-write swap). Both
-//! report on the job's reply channel with queue+service latency.
+//! A [`Pool`] is the request-level face of the workspace's shared
+//! [`Scheduler`] (`sirup-core::sched`): each submitted [`Job`] becomes a
+//! detached task on the scheduler's FIFO injector, and the *same* worker
+//! threads also run the intra-request subtasks those jobs fan out (parallel
+//! plan enumeration, semi-naive delta chunks, UCQ disjuncts) — one set of
+//! workers for both levels, so a single expensive request can saturate the
+//! machine while small ones keep their zero-overhead sequential path
+//! (gated by [`ServerConfig::parallelism`](crate::server::ServerConfig)
+//! and the spawn threshold).
 //!
-//! The pool shuts down when dropped: the sender side of the queue closes,
-//! workers **drain the remaining queue** and then exit on the disconnect,
-//! and `drop` joins them. Draining matters for mutations: every reserved
-//! ticket is redeemed, so no later mutation can block on a ticket that
-//! never runs, and every in-flight request still gets its response — the
+//! A job is either a **query** (an `Arc<Plan>` paired with an
+//! `Arc<IndexedInstance>` snapshot; workers compute `plan.answer_ctx`) or a
+//! **mutation** (a ticketed fact batch applied through the catalog's
+//! copy-on-write swap). Both report on the job's reply channel with
+//! queue+service latency.
+//!
+//! Ordering invariant (unchanged from the fixed-pool era, now carried by
+//! the scheduler's injector): mutation tickets are reserved atomically with
+//! the injector append (see [`Server::enqueue`](crate::server::Server)),
+//! workers start injector jobs strictly in FIFO order, and helping threads
+//! never pop the injector — so the job holding the next-to-apply ticket is
+//! always dequeued before any job that waits on it, and a blocked waiter
+//! can never starve the pool.
+//!
+//! The pool shuts down when dropped: the scheduler **drains the remaining
+//! queue** before joining its workers, so every reserved ticket is redeemed
+//! and every in-flight request still gets its response — the
 //! shutdown-ordering test pins this.
 
 use crate::catalog::{Catalog, IndexedInstance};
 use crate::plan::{Answer, Plan};
-use sirup_core::FactOp;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use sirup_core::{FactOp, ParCtx, SchedStats, Scheduler};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a job does when a worker picks it up.
@@ -69,94 +82,95 @@ pub(crate) struct Completion {
     pub latency: Duration,
 }
 
-/// A fixed pool of worker threads draining one submission queue.
+/// The request-level executor over the shared scheduler.
 pub(crate) struct Pool {
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+    /// Intra-request fan-out width; `<= 1` keeps every request on the
+    /// sequential path (no `ParCtx` is ever constructed).
+    parallelism: usize,
+    /// Minimum work-set size before a request-level task splits.
+    threshold: usize,
 }
 
 impl Pool {
-    /// Spawn `threads` workers (at least 1).
-    pub fn new(threads: usize) -> Pool {
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..threads.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("sirup-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+    /// Spawn a shared scheduler with `threads` workers (at least 1).
+    /// `parallelism > 1` lets each request split its own evaluation into
+    /// subtasks on the same workers; work sets below `threshold` stay
+    /// sequential.
+    pub fn new(threads: usize, parallelism: usize, threshold: usize) -> Pool {
         Pool {
-            tx: Some(tx),
-            workers,
+            sched: Arc::new(Scheduler::new(threads)),
+            parallelism,
+            threshold,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.sched.workers()
     }
 
-    /// Enqueue a job.
+    /// The shared scheduler (the catalog borrows it for parallel
+    /// materialisation carry-forward).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Scheduler lifetime counters.
+    pub fn stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Enqueue a job on the scheduler's FIFO injector.
     pub fn submit(&self, job: Job) {
-        self.tx
-            .as_ref()
-            .expect("pool is live until dropped")
-            .send(job)
-            .expect("workers outlive the pool handle");
-    }
-}
-
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
-    loop {
-        // Hold the queue lock only for the dequeue, not the evaluation.
-        let job = match rx.lock().unwrap().recv() {
-            Ok(job) => job,
-            Err(_) => return, // queue closed and drained: shut down
-        };
-        let (answer, strategy) = match &job.work {
-            Work::Answer { plan, instance } => (plan.answer(instance), plan.strategy.name()),
-            Work::Mutate {
-                catalog,
-                instance,
-                ops,
-                ticket,
-            } => {
-                let answer = match catalog.mutate_ticketed(instance, ops, *ticket) {
-                    Some(out) => Answer::Applied {
-                        applied: out.applied,
-                        version: out.version,
-                    },
-                    // Instance vanished between validation and execution
-                    // (concurrent remove); the ticket is consumed either way.
-                    None => Answer::Applied {
-                        applied: 0,
-                        version: 0,
-                    },
-                };
-                (answer, "mutation")
-            }
-        };
-        // The batch collector may have given up (panic elsewhere); a closed
-        // reply channel is not this worker's problem.
-        let _ = job.reply.send(Completion {
-            idx: job.idx,
-            answer,
-            strategy,
-            latency: job.enqueued.elapsed(),
+        let sched = Arc::clone(&self.sched);
+        let par_enabled = self.parallelism > 1;
+        let threshold = self.threshold;
+        self.sched.spawn(move || {
+            let par = par_enabled.then(|| ParCtx::new(&sched, threshold));
+            let (answer, strategy) = match &job.work {
+                Work::Answer { plan, instance } => {
+                    (plan.answer_ctx(instance, par), plan.strategy.name())
+                }
+                Work::Mutate {
+                    catalog,
+                    instance,
+                    ops,
+                    ticket,
+                } => {
+                    let answer = match catalog.mutate_ticketed(instance, ops, *ticket) {
+                        Some(out) => Answer::Applied {
+                            applied: out.applied,
+                            version: out.version,
+                        },
+                        // Instance vanished between validation and execution
+                        // (concurrent remove); the ticket is consumed either
+                        // way.
+                        None => Answer::Applied {
+                            applied: 0,
+                            version: 0,
+                        },
+                    };
+                    (answer, "mutation")
+                }
+            };
+            // The batch collector may have given up (panic elsewhere); a
+            // closed reply channel is not this worker's problem.
+            let _ = job.reply.send(Completion {
+                idx: job.idx,
+                answer,
+                strategy,
+                latency: job.enqueued.elapsed(),
+            });
         });
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        drop(self.tx.take());
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        // Drain-then-join: every queued job (and so every reserved mutation
+        // ticket) completes before the workers exit.
+        self.sched.shutdown();
     }
 }
 
@@ -166,10 +180,11 @@ mod tests {
     use crate::plan::{Plan, PlanOptions, Query};
     use sirup_core::parse::st;
     use sirup_core::{Node, Pred};
+    use std::sync::mpsc::channel;
 
     #[test]
     fn pool_answers_and_shuts_down() {
-        let pool = Pool::new(3);
+        let pool = Pool::new(3, 4, 2);
         assert_eq!(pool.threads(), 3);
         let plan = Arc::new(Plan::build(
             Query::Delta {
@@ -202,6 +217,7 @@ mod tests {
             .collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        assert!(pool.stats().jobs_spawned >= 16);
         drop(pool); // joins workers without hanging
     }
 
@@ -213,7 +229,7 @@ mod tests {
     fn drop_with_in_flight_mutations_drains_cleanly() {
         let catalog = Arc::new(Catalog::new(2));
         catalog.insert("d", st("T(a), A(b), R(b,a)"));
-        let pool = Pool::new(2);
+        let pool = Pool::new(2, 1, 64);
         let (reply, done) = channel();
         let total = 24usize;
         for idx in 0..total {

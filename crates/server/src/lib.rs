@@ -20,17 +20,24 @@
 //!   Prop. 2 boundedness evidence — the UCQ/FO rewriting, so bounded
 //!   programs are answered by rewriting instead of fixpoint (and need no
 //!   maintenance at all under mutation);
-//! * `executor` + [`server`] — a **batch executor**: a fixed
-//!   `std::thread` pool draining a submission queue of queries *and*
-//!   mutations; batches are grouped by program so one plan serves the
-//!   whole group, each query routes to the cheapest strategy (answer cache
-//!   → rewriting → materialised semi-naive → DPLL for disjunctive sirups),
-//!   and the answer cache is keyed by instance version so mutations
-//!   invalidate it by construction.
+//! * `executor` + [`server`] — a **batch executor on the shared
+//!   work-stealing scheduler** (`sirup-core::sched`): request-level jobs
+//!   (queries *and* ticketed mutations) enter the scheduler's FIFO
+//!   injector, and — with [`server::ServerConfig::parallelism`] `> 1` —
+//!   each request splits its own evaluation (plan enumeration chunks,
+//!   semi-naive delta chunks, UCQ disjuncts, materialisation
+//!   carry-forward) into subtasks on the *same* workers. Batches are
+//!   grouped by program so one plan serves the whole group, each query
+//!   routes to the cheapest strategy (answer cache → rewriting →
+//!   materialised semi-naive → DPLL for disjunctive sirups), and the
+//!   answer cache is keyed by instance version so mutations invalidate it
+//!   by construction.
 //!
 //! The differential test-suite pins batched, concurrent answers — cold
-//! cache, warm cache, rewriting-served, and under mutation — to direct
-//! single-threaded `sirup-engine` evaluation.
+//! cache, warm cache, rewriting-served, under mutation, and with
+//! intra-request parallelism on — to the engine's **sequential** evaluation
+//! paths, which remain available unchanged and serve as the oracle for
+//! every parallel path.
 //!
 //! ```
 //! use sirup_server::{Server, Request, Query, Answer};

@@ -291,21 +291,35 @@ impl Plan {
     ///   reads are lookups instead of fixpoint runs.
     /// * **DPLL** searches the labellings of the snapshot's data directly.
     pub fn answer(&self, inst: &IndexedInstance) -> Answer {
+        self.answer_ctx(inst, None)
+    }
+
+    /// As [`Plan::answer`], with optional **intra-request parallelism**: a
+    /// [`ParCtx`](sirup_core::ParCtx) splits the strategy's heavy loops —
+    /// rewriting disjuncts and answer sweeps, semi-naive delta checks and
+    /// first materialisation builds, DPLL bound checks — into subtasks on
+    /// the shared scheduler. `None` is the exact sequential path (the
+    /// differential oracle); answers are identical either way.
+    pub fn answer_ctx(
+        &self,
+        inst: &IndexedInstance,
+        par: Option<sirup_core::ParCtx<'_>>,
+    ) -> Answer {
         match (&self.strategy, &self.query) {
             (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => {
-                Answer::Bool(compiled.eval_boolean(&inst.data, Some(&inst.index)))
+                Answer::Bool(compiled.eval_boolean_ctx(&inst.data, Some(&inst.index), par))
             }
             (Strategy::Rewriting { compiled, .. }, Query::SigmaAnswers(_)) => {
-                Answer::Nodes(compiled.answers(&inst.data, Some(&inst.index)))
+                Answer::Nodes(compiled.answers_ctx(&inst.data, Some(&inst.index), par))
             }
             (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
-                Answer::Bool(self.materialization(program, inst).holds(Pred::GOAL))
+                Answer::Bool(self.materialization(program, inst, par).holds(Pred::GOAL))
             }
             (Strategy::SemiNaive { program }, Query::SigmaAnswers(_)) => {
-                Answer::Nodes(self.materialization(program, inst).answers(Pred::P))
+                Answer::Nodes(self.materialization(program, inst, par).answers(Pred::P))
             }
             (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => Answer::Bool(
-                disjunctive::certain_answer_dsirup_planned(dsirup, plan, &inst.data),
+                disjunctive::certain_answer_dsirup_planned_ctx(dsirup, plan, &inst.data, par),
             ),
             _ => unreachable!("strategy/query kind mismatch"),
         }
@@ -316,12 +330,14 @@ impl Plan {
         &self,
         program: &CompiledProgram,
         inst: &IndexedInstance,
+        par: Option<sirup_core::ParCtx<'_>>,
     ) -> std::sync::Arc<sirup_engine::MaterializedFixpoint> {
         inst.materialization(&self.cache_key, || {
-            sirup_engine::MaterializedFixpoint::from_compiled_indexed(
+            sirup_engine::MaterializedFixpoint::from_compiled_indexed_ctx(
                 program.clone(),
                 &inst.data,
                 &inst.index,
+                par,
             )
         })
     }

@@ -37,8 +37,21 @@ use std::time::{Duration, Instant};
 /// Server construction knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads in the pool (at least 1).
+    /// Worker threads in the shared scheduler (at least 1). The same
+    /// workers run request-level jobs *and* intra-request subtasks.
     pub threads: usize,
+    /// Intra-request fan-out: `> 1` lets one request split its own
+    /// evaluation (plan enumeration chunks, semi-naive delta chunks, UCQ
+    /// disjuncts, materialisation carry-forward) into subtasks on the
+    /// shared workers. `1` (the default) keeps every request on the exact
+    /// sequential evaluation path — zero scheduling overhead, the
+    /// pre-parallel behaviour.
+    pub parallelism: usize,
+    /// Minimum work-set size (root-domain cardinality, candidate count,
+    /// node count) before an intra-request split happens; below it even a
+    /// `parallelism > 1` server evaluates sequentially, so small instances
+    /// never pay fan-out overhead.
+    pub par_threshold: usize,
     /// Catalog shards (at least 1).
     pub shards: usize,
     /// Plan-cache capacity (at least 1).
@@ -54,6 +67,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             threads: 4,
+            parallelism: 1,
+            par_threshold: 64,
             shards: 8,
             plan_cache: 64,
             answer_cache: 256,
@@ -305,13 +320,18 @@ enum Route {
 }
 
 impl Server {
-    /// Build a server (spawns the worker pool immediately).
+    /// Build a server (spawns the shared scheduler's workers immediately).
     pub fn new(config: ServerConfig) -> Server {
+        let pool = Pool::new(config.threads, config.parallelism, config.par_threshold);
+        let mut catalog = Catalog::new(config.shards);
+        if config.parallelism > 1 {
+            catalog = catalog.with_mat_parallelism(Arc::clone(pool.scheduler()));
+        }
         Server {
-            catalog: Arc::new(Catalog::new(config.shards)),
+            catalog: Arc::new(catalog),
             plans: PlanCache::new(config.plan_cache),
             answers: AnswerCache::new(config.answer_cache),
-            pool: Pool::new(config.threads),
+            pool,
             mutation_order: Mutex::new(()),
             config,
         }
@@ -340,6 +360,12 @@ impl Server {
     /// Worker-thread count.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Lifetime counters of the shared scheduler (tasks spawned, steals,
+    /// queue high-water mark) — surfaced by `sirupctl stats`.
+    pub fn scheduler_stats(&self) -> sirup_core::SchedStats {
+        self.pool.stats()
     }
 
     /// Load (or replace) a named instance.
@@ -647,7 +673,7 @@ mod tests {
             shards: 2,
             plan_cache: 8,
             answer_cache: 16,
-            plan: PlanOptions::default(),
+            ..ServerConfig::default()
         });
         s.load_instance("yes", st("F(u), R(u,v), T(v)"));
         s.load_instance("no", st("F(u), R(v,u), T(v)"));

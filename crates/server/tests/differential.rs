@@ -1,7 +1,9 @@
 //! Differential tests: the batched, multi-threaded server must agree
-//! bit-for-bit with direct single-threaded `sirup-engine` evaluation —
-//! cold plan cache, warm plan cache, and on every strategy path
-//! (rewriting-served, semi-naive fixpoint, DPLL for disjunctive sirups).
+//! bit-for-bit with the engine's **sequential** evaluation paths (the
+//! oracle the parallel execution stack is pinned against) — cold plan
+//! cache, warm plan cache, on every strategy path (rewriting-served,
+//! semi-naive fixpoint, DPLL for disjunctive sirups), and with
+//! intra-request parallelism enabled.
 
 use sirup_core::program::{pi_q, sigma_q, DSirup};
 use sirup_core::{OneCq, Structure};
@@ -20,11 +22,11 @@ fn four_thread_server() -> Server {
         shards: 4,
         plan_cache: 64, // all_queries() builds ~42 distinct plans; no evictions wanted here
         answer_cache: 0, // strategy-path asserts want every submit evaluated
-        plan: PlanOptions::default(),
+        ..ServerConfig::default()
     })
 }
 
-/// Direct, single-threaded reference answer.
+/// Direct, sequential reference answer (the differential oracle).
 fn engine_answer(query: &Query, data: &Structure) -> Answer {
     match query {
         Query::PiGoal(q) => Answer::Bool(certain_answer_goal(&pi_q(q), data)),
@@ -318,4 +320,46 @@ fn mixed_replay_matches_engine_in_both_modes() {
     let open = server.replay(&spec, ReplayMode::Open).unwrap();
     assert_eq!(open.answers, expected, "open-loop replay ≠ engine");
     assert_eq!(server.plan_cache().stats().1, misses_before);
+}
+
+/// The whole battery again on a server with **intra-request parallelism**
+/// enabled (parallelism 4, threshold 2, so even small instances split):
+/// answers must stay bit-identical to the sequential engine oracle, and
+/// the scheduler must actually have fanned subtasks out.
+#[test]
+fn parallel_server_matches_engine() {
+    let server = Server::new(ServerConfig {
+        threads: 4,
+        parallelism: 4,
+        par_threshold: 2,
+        shards: 4,
+        plan_cache: 64,
+        answer_cache: 0,
+        ..ServerConfig::default()
+    });
+    let instances = test_instances();
+    for (name, data) in &instances {
+        server.load_instance(name.clone(), data.clone());
+    }
+    let mut requests = Vec::new();
+    let mut expected = Vec::new();
+    for query in all_queries() {
+        for (name, data) in &instances {
+            expected.push(engine_answer(&query, data));
+            requests.push(Request::query(query.clone(), name.clone()));
+        }
+    }
+    let got: Vec<Answer> = server
+        .submit(&requests)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.answer)
+        .collect();
+    assert_eq!(got, expected, "parallel server ≠ sequential engine");
+    let stats = server.scheduler_stats();
+    assert!(stats.jobs_spawned as usize >= requests.len());
+    assert!(
+        stats.subtasks_spawned > 0,
+        "parallelism 4 with threshold 2 must split some request"
+    );
 }

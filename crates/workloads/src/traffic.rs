@@ -339,6 +339,41 @@ pub fn mixed_traffic(params: TrafficParams, seed: u64) -> TrafficSpec {
     spec
 }
 
+/// A **scaling** workload: one large generated instance (the `nodes` knob)
+/// under a stream of heavy queries — the semi-naive fixpoint, the Σ answer
+/// sweep, a rewriting-served sweep, and the DPLL labelling search all hit
+/// the same big instance, so intra-request parallelism (not request mixing)
+/// dominates the runtime. `sirupctl serve --scaling --nodes N --emit`
+/// renders it (the bundled `workloads/large.sirupload` is this spec at its
+/// committed size), and the `parallel_scaling` bench measures the same
+/// shape directly. Deterministic in `(nodes, requests, seed)`.
+pub fn scaling_traffic(nodes: usize, requests: usize, seed: u64) -> TrafficSpec {
+    let nodes = nodes.max(8);
+    let big = random_instance(nodes, nodes * 2, 0.45, 0.25, seed);
+    let mut spec = TrafficSpec {
+        instances: vec![("big".to_owned(), big)],
+        requests: Vec::new(),
+    };
+    let heavy: [(QueryKind, Structure); 4] = [
+        (QueryKind::PiGoal, paper::q4_cq().structure().clone()),
+        (QueryKind::SigmaAnswers, paper::q4_cq().structure().clone()),
+        (QueryKind::SigmaAnswers, paper::q7().structure().clone()),
+        (QueryKind::Delta, paper::q2()),
+    ];
+    for i in 0..requests {
+        let (kind, cq) = &heavy[i % heavy.len()];
+        spec.requests.push(TrafficRequest {
+            action: TrafficAction::Query {
+                kind: *kind,
+                cq: cq.clone(),
+            },
+            instance: "big".to_owned(),
+            arrival_us: (i as u64) * 50,
+        });
+    }
+    spec
+}
+
 /// Render a spec in the workload text format.
 pub fn render_workload(spec: &TrafficSpec) -> String {
     let mut out = String::from("# sirup workload v1\n");
@@ -575,6 +610,25 @@ mod tests {
             "only {applied}/{} ops applied",
             spec.mutation_op_count()
         );
+    }
+
+    #[test]
+    fn scaling_traffic_is_deterministic_and_heavy() {
+        let a = scaling_traffic(64, 12, 5);
+        let b = scaling_traffic(64, 12, 5);
+        assert_eq!(render_workload(&a), render_workload(&b));
+        assert_eq!(a.instances.len(), 1);
+        assert_eq!(a.instances[0].0, "big");
+        assert_eq!(a.instances[0].1.node_count(), 64);
+        assert_eq!(a.requests.len(), 12);
+        assert!(a.requests.iter().all(|r| r.instance == "big"));
+        assert_eq!(a.mutation_op_count(), 0);
+        // All four heavy kinds cycle through the stream.
+        for kind in [QueryKind::PiGoal, QueryKind::SigmaAnswers, QueryKind::Delta] {
+            assert!(a.requests.iter().any(|r| query_kind(r) == Some(kind)));
+        }
+        // And the rendering round-trips through the file format.
+        assert!(parse_workload(&render_workload(&a)).is_ok());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Bench-regression smoke: run the criterion-shim benches in quick mode and
-# gate on two checks —
+# gate on three checks — every failure names the specific bar (and the
+# baseline file it came from), never a bare exit code:
 #
 #  1. absolute: every *named hot-path point* must stay within
 #     BENCH_CHECK_FACTOR (default 2.0) of the mean committed in the
@@ -10,30 +11,41 @@
 #     must stay ≥ 5x faster per op than from-scratch re-evaluation on the
 #     fixpoint-shaped ladder — the acceptance bar of the incremental
 #     subsystem, measured within the fresh run so it cannot be fooled by a
-#     uniformly faster or slower machine.
+#     uniformly faster or slower machine;
+#  3. parallel scaling (core-aware): on hosts with ≥ 4 CPUs, the
+#     large-instance exists and fixpoint points must run ≥
+#     BENCH_PARALLEL_MIN_SPEEDUP (default 2.0) x faster at 4 scheduler
+#     workers than at 1 — the intra-request-parallelism acceptance bar.
+#     On smaller hosts the ratio is reported informationally (a 1-core
+#     machine cannot exhibit wall-clock speedup).
 #
 # Usage: scripts/bench_check.sh
-#   env: BENCH_CHECK_FACTOR=2.0  CRITERION_SHIM_MEASURE_MS=25
+#   env: BENCH_CHECK_FACTOR=2.0  BENCH_PARALLEL_MIN_SPEEDUP=2.0
+#        CRITERION_SHIM_MEASURE_MS=25
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_CHECK_FACTOR:-2.0}"
+PAR_SPEEDUP="${BENCH_PARALLEL_MIN_SPEEDUP:-2.0}"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 export CRITERION_SHIM_MEASURE_MS="${CRITERION_SHIM_MEASURE_MS:-25}"
 export CRITERION_SHIM_JSON="$OUT"
+export BENCH_PARALLEL_MIN_SPEEDUP="$PAR_SPEEDUP"
 
 cargo bench -p sirup-bench \
   --bench hom_plan \
   --bench server_throughput \
   --bench engine_incremental \
-  --bench server_mutation
+  --bench server_mutation \
+  --bench parallel_scaling
 
 python3 - "$OUT" "$FACTOR" <<'EOF'
-import json, sys
+import json, os, sys
 
 fresh_path, factor = sys.argv[1], float(sys.argv[2])
+par_bar = float(os.environ.get("BENCH_PARALLEL_MIN_SPEEDUP", "2.0"))
 fresh = {}
 for line in open(fresh_path):
     line = line.strip()
@@ -58,43 +70,70 @@ WATCH = {
         "server_mutation/mutation_submit_32req/4",
         "server_mutation/replay_mixed_mutations_4t",
     ],
+    "BENCH_parallel.json": [
+        "parallel/seq_exists",
+        "parallel/seq_fixpoint",
+        "parallel/exists/4",
+        "parallel/fixpoint/4",
+    ],
 }
 
+# Every entry names the bar that failed and the baseline file it is
+# checked against, so a red CI run points straight at the culprit.
 failures = []
 print(f"\nbench_check: factor {factor}x vs committed means")
 for path, ids in WATCH.items():
     committed = {r["id"]: r["mean_ns"] for r in json.load(open(path))["results"]}
     for pid in ids:
+        bar = f"[{path}] {pid}"
         if pid not in committed:
-            failures.append(f"{pid}: missing from {path}")
+            failures.append(f"{bar}: baseline point missing from {path}")
             continue
         if pid not in fresh:
-            failures.append(f"{pid}: not produced by this run")
+            failures.append(f"{bar}: not produced by this run")
             continue
         ratio = fresh[pid] / committed[pid]
         verdict = "ok" if ratio <= factor else "REGRESSION"
-        print(f"  {verdict:>10}  {pid}: {fresh[pid]:,.0f} ns vs {committed[pid]:,.0f} ns ({ratio:.2f}x)")
+        print(f"  {verdict:>10}  {bar}: {fresh[pid]:,.0f} ns vs {committed[pid]:,.0f} ns ({ratio:.2f}x)")
         if ratio > factor:
-            failures.append(f"{pid}: {ratio:.2f}x over the committed mean")
+            failures.append(f"{bar}: {ratio:.2f}x over the committed mean (allowed {factor}x)")
 
 # Machine-independent acceptance bar: per-op maintenance (the pair point
 # holds two ops) at least 5x below from-scratch on the same run.
 for layers in ("8", "24"):
+    bar = f"[incremental] maintenance speedup @{layers} layers"
     scratch = fresh.get(f"incremental/from_scratch/{layers}")
     pair = fresh.get(f"incremental/maintain_local_pair/{layers}")
     if scratch is None or pair is None:
-        failures.append(f"incremental points for {layers} layers missing")
+        failures.append(f"{bar}: points missing from this run")
         continue
     speedup = scratch / (pair / 2.0)
     verdict = "ok" if speedup >= 5.0 else "REGRESSION"
-    print(f"  {verdict:>10}  maintenance speedup @{layers} layers: {speedup:.1f}x (bar: 5x)")
+    print(f"  {verdict:>10}  {bar}: {speedup:.1f}x (bar: 5x)")
     if speedup < 5.0:
-        failures.append(
-            f"single-fact maintenance only {speedup:.1f}x faster than from-scratch at {layers} layers"
-        )
+        failures.append(f"{bar}: only {speedup:.1f}x faster than from-scratch (bar: 5x)")
+
+# Intra-request parallel scaling, gated only where the hardware can show
+# it: 4 scheduler workers vs 1 on the same run's large-instance points.
+cores = os.cpu_count() or 1
+for point in ("exists", "fixpoint"):
+    bar = f"[parallel] {point} 4-vs-1-worker speedup"
+    one = fresh.get(f"parallel/{point}/1")
+    four = fresh.get(f"parallel/{point}/4")
+    if one is None or four is None:
+        failures.append(f"{bar}: points missing from this run")
+        continue
+    speedup = one / four
+    if cores >= 4:
+        verdict = "ok" if speedup >= par_bar else "REGRESSION"
+        print(f"  {verdict:>10}  {bar}: {speedup:.2f}x (bar: {par_bar}x, {cores} cores)")
+        if speedup < par_bar:
+            failures.append(f"{bar}: {speedup:.2f}x < {par_bar}x on a {cores}-core host")
+    else:
+        print(f"      info  {bar}: {speedup:.2f}x (not gated: only {cores} core(s))")
 
 if failures:
-    print("\nbench_check FAILED:")
+    print("\nbench_check FAILED — the bars that regressed:")
     for f in failures:
         print(f"  - {f}")
     sys.exit(1)
