@@ -1,0 +1,175 @@
+//! End-to-end durability acceptance through the real `sirupctl` binary:
+//! `crash-check` spawns a durable `serve --listen` child, streams
+//! mutations, SIGKILLs it mid-stream, restarts on the same data dir, and
+//! diffs the recovered catalog against the folded-ops oracle. Plus client
+//! subcommand round trips against a live daemon child.
+
+use std::io::{BufRead as _, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn sirupctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sirupctl"))
+}
+
+fn workload() -> String {
+    let root = env!("CARGO_MANIFEST_DIR");
+    format!("{root}/../../workloads/mutations.sirupload")
+}
+
+/// Kill-on-drop guard so a failing assertion never leaks a daemon child.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = sirupctl()
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sirupctl serve");
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening ")
+            .unwrap_or_else(|| panic!("no readiness line, got {line:?}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = sirupctl().args(args).output().expect("run sirupctl");
+    assert!(
+        out.status.success(),
+        "sirupctl {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn crash_check_passes_on_the_bundled_mutation_workload() {
+    let out = run_ok(&["crash-check", &workload(), "--kill-after", "4"]);
+    assert!(
+        out.contains("crash-check PASS"),
+        "no PASS verdict in:\n{out}"
+    );
+    assert!(
+        out.contains("exact match"),
+        "no per-instance report in:\n{out}"
+    );
+}
+
+#[test]
+fn client_subcommands_round_trip_against_a_live_daemon() {
+    let d = Daemon::spawn(&[]);
+    let connect = ["--connect", d.addr.as_str()];
+
+    let out = run_ok(&["connect", &d.addr, "ping"]);
+    assert_eq!(out, "ok pong\n");
+
+    let out = run_ok(&["load", "d", "F(a), R(a,b), T(b)", connect[0], connect[1]]);
+    assert_eq!(out, "ok loaded d nodes 2 atoms 3\n");
+
+    let out = run_ok(&[
+        "query",
+        "pi",
+        "d",
+        "F(x), R(x,y), T(y)",
+        connect[0],
+        connect[1],
+    ]);
+    assert_eq!(out, "answer bool true\n");
+
+    let out = run_ok(&["connect", &d.addr, "mutate", "d", "=", "-T(n1)"]);
+    assert_eq!(out, "answer applied 1 seq 1\n");
+
+    let out = run_ok(&[
+        "query",
+        "pi",
+        "d",
+        "F(x), R(x,y), T(y)",
+        connect[0],
+        connect[1],
+    ]);
+    assert_eq!(out, "answer bool false\n");
+
+    let out = run_ok(&["connect", &d.addr, "dump", "d"]);
+    assert!(out.starts_with("ok dump d nodes 2 seq 1\n"), "{out}");
+}
+
+#[test]
+fn tail_subcommand_streams_mutations() {
+    let d = Daemon::spawn(&[]);
+    run_ok(&["load", "d", "F(a), R(a,b)", "--connect", &d.addr]);
+
+    // Start the tailer first; it blocks until two events arrive.
+    let mut tailer = sirupctl()
+        .args(["tail", "d", "--connect", &d.addr, "--count", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(tailer.stdout.take().unwrap()).lines();
+    assert_eq!(lines.next().unwrap().unwrap(), "ok tail d seq 0");
+
+    run_ok(&["connect", &d.addr, "mutate", "d", "=", "+T(n1)"]);
+    run_ok(&["connect", &d.addr, "mutate", "d", "=", "-T(n1),+A(n0)"]);
+
+    assert_eq!(lines.next().unwrap().unwrap(), "op d 1 = +T(n1)");
+    assert_eq!(lines.next().unwrap().unwrap(), "op d 2 = -T(n1),+A(n0)");
+    // --count 2 makes the tailer exit on its own.
+    let status = wait_with_deadline(&mut tailer, Duration::from_secs(20));
+    assert!(status, "tailer did not exit after --count events");
+}
+
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> bool {
+    let start = std::time::Instant::now();
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => return status.success(),
+            None if start.elapsed() > deadline => {
+                let _ = child.kill();
+                return false;
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn wire_replay_and_durable_restart_match_dump_answers() {
+    // Replay the bundled workload over the wire against a durable daemon,
+    // then restart the daemon and check the catalog survived whole.
+    let dir = std::env::temp_dir().join(format!("sirup-cli-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap().to_owned();
+
+    let stats_before;
+    {
+        let d = Daemon::spawn(&["--data-dir", &dir_s]);
+        let out = run_ok(&["replay", &workload(), "--connect", &d.addr]);
+        assert!(out.contains("replayed "), "{out}");
+        stats_before = run_ok(&["connect", &d.addr, "dump", "d1"]);
+    }
+    {
+        let d = Daemon::spawn(&["--data-dir", &dir_s]);
+        let stats_after = run_ok(&["connect", &d.addr, "dump", "d1"]);
+        assert_eq!(stats_before, stats_after, "d1 changed across restart");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,6 +48,89 @@ impl FactOp {
     }
 }
 
+/// Binary encoding of [`FactOp`] sequences, shared by the write-ahead log
+/// and (inside text frames rendered through `Display`) the wire protocol's
+/// tail stream. Layout of one op: a `u8` kind tag (0 `AddLabel`, 1
+/// `RemoveLabel`, 2 `AddEdge`, 3 `RemoveEdge`), the predicate name as
+/// `u16 LE` length + UTF-8 bytes, then one or two `u32 LE` node indexes.
+impl FactOp {
+    /// Append the binary form of this op to `out`.
+    pub fn encode(self, out: &mut Vec<u8>) {
+        let (tag, p, nodes) = match self {
+            FactOp::AddLabel(p, v) => (0u8, p, [Some(v), None]),
+            FactOp::RemoveLabel(p, v) => (1, p, [Some(v), None]),
+            FactOp::AddEdge(p, u, v) => (2, p, [Some(u), Some(v)]),
+            FactOp::RemoveEdge(p, u, v) => (3, p, [Some(u), Some(v)]),
+        };
+        out.push(tag);
+        let name = p.as_str().as_bytes();
+        debug_assert!(name.len() <= u16::MAX as usize, "predicate name too long");
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        for v in nodes.into_iter().flatten() {
+            out.extend_from_slice(&v.0.to_le_bytes());
+        }
+    }
+
+    /// Decode one op from the front of `buf`; returns the op and how many
+    /// bytes it consumed. Fails (with a message naming the defect) on a
+    /// truncated buffer, an unknown tag, or a non-UTF-8 predicate name.
+    pub fn decode(buf: &[u8]) -> Result<(FactOp, usize), String> {
+        let take = |at: usize, n: usize| -> Result<&[u8], String> {
+            buf.get(at..at + n)
+                .ok_or_else(|| format!("op record truncated at byte {at}"))
+        };
+        let tag = take(0, 1)?[0];
+        let name_len = u16::from_le_bytes(take(1, 2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(3, name_len)?)
+            .map_err(|_| "op predicate name is not UTF-8".to_owned())?;
+        let p = Pred::new(name);
+        let mut at = 3 + name_len;
+        let node = |at: &mut usize| -> Result<Node, String> {
+            let v = u32::from_le_bytes(take(*at, 4)?.try_into().unwrap());
+            *at += 4;
+            Ok(Node(v))
+        };
+        let op = match tag {
+            0 => FactOp::AddLabel(p, node(&mut at)?),
+            1 => FactOp::RemoveLabel(p, node(&mut at)?),
+            2 => FactOp::AddEdge(p, node(&mut at)?, node(&mut at)?),
+            3 => FactOp::RemoveEdge(p, node(&mut at)?, node(&mut at)?),
+            t => return Err(format!("unknown op tag {t}")),
+        };
+        Ok((op, at))
+    }
+}
+
+/// Encode a sequence of ops: `u32 LE` count, then each op's binary form.
+pub fn encode_ops(ops: &[FactOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + ops.len() * 12);
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        op.encode(&mut out);
+    }
+    out
+}
+
+/// Decode a sequence encoded by [`encode_ops`] from the front of `buf`;
+/// returns the ops and the bytes consumed.
+pub fn decode_ops(buf: &[u8]) -> Result<(Vec<FactOp>, usize), String> {
+    let count = u32::from_le_bytes(
+        buf.get(0..4)
+            .ok_or("op sequence missing its count prefix")?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let mut ops = Vec::with_capacity(count.min(1 << 16));
+    let mut at = 4;
+    for _ in 0..count {
+        let (op, used) = FactOp::decode(&buf[at..])?;
+        ops.push(op);
+        at += used;
+    }
+    Ok((ops, at))
+}
+
 impl fmt::Debug for FactOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self}")
@@ -145,6 +228,19 @@ impl Structure {
     pub fn apply_all(&mut self, ops: &[FactOp]) -> usize {
         ops.iter().filter(|&&op| self.apply(op)).count()
     }
+
+    /// Every atom of the structure as an `Add*` op sequence. Replaying the
+    /// result with [`Structure::apply_all`] onto an empty structure of the
+    /// same node count reproduces this structure exactly — the WAL snapshot
+    /// and the wire `load` verb both serialise instances this way.
+    pub fn to_ops(&self) -> Vec<FactOp> {
+        let mut ops: Vec<FactOp> = self
+            .unary_atoms()
+            .map(|(p, v)| FactOp::AddLabel(p, v))
+            .collect();
+        ops.extend(self.edges().map(|(p, u, v)| FactOp::AddEdge(p, u, v)));
+        ops
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +307,38 @@ mod tests {
         assert_eq!(text, "+S(n2,n0)");
         let back = parse_op(&text, |n| Node(n[1..].parse().unwrap())).unwrap();
         assert_eq!(back, op);
+    }
+
+    #[test]
+    fn binary_encoding_round_trips() {
+        let ops = vec![
+            FactOp::AddLabel(Pred::T, Node(4)),
+            FactOp::RemoveLabel(Pred::F, Node(0)),
+            FactOp::AddEdge(Pred::R, Node(0), Node(7)),
+            FactOp::RemoveEdge(Pred::new("edge_with_long_name"), Node(3), Node(3)),
+        ];
+        let buf = encode_ops(&ops);
+        let (back, used) = decode_ops(&buf).unwrap();
+        assert_eq!(back, ops);
+        assert_eq!(used, buf.len());
+        // Truncation at any interior byte is a decode error, never a panic
+        // or a silent partial result.
+        for cut in 0..buf.len() {
+            assert!(decode_ops(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // An unknown tag is rejected.
+        let mut bad = Vec::new();
+        FactOp::AddLabel(Pred::T, Node(1)).encode(&mut bad);
+        bad[0] = 9;
+        assert!(FactOp::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn to_ops_reproduces_the_structure() {
+        let s = st("F(a), T(b), R(a,b), S(b,c), A(c)");
+        let mut rebuilt = Structure::with_nodes(s.node_count());
+        rebuilt.apply_all(&s.to_ops());
+        assert_eq!(rebuilt.to_string(), s.to_string());
     }
 
     #[test]

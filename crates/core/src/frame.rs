@@ -1,0 +1,211 @@
+//! Length-prefixed, checksummed byte frames.
+//!
+//! One frame is `[len: u32 LE][crc32(payload): u32 LE][payload: len bytes]`.
+//! The same framing carries both the service's wire protocol (TCP streams)
+//! and the write-ahead log (append-only files), because both need the same
+//! two properties:
+//!
+//! * **self-delimiting** — a reader recovers message boundaries without any
+//!   in-band escaping, whatever the payload bytes are;
+//! * **torn-tail detection** — a partial or bit-rotted final frame (a crash
+//!   mid-append, a cut connection) is *detected*, never silently decoded:
+//!   [`scan`] stops at the first incomplete or checksum-failing frame and
+//!   reports the clean prefix length, which is exactly what WAL recovery
+//!   truncates to.
+//!
+//! The checksum is CRC-32 (IEEE, the zlib/PNG polynomial), table-driven and
+//! computed at compile time — no dependency.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload (16 MiB). Both the reader and the
+/// writer enforce it, so a corrupt length prefix can never provoke a huge
+/// allocation.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one frame around `payload` to `out` (in-memory form of
+/// [`write_frame`], used by the WAL's batch appends).
+pub fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload over the cap");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Write one frame around `payload`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes over the cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one complete frame. `Ok(None)` is a clean end of stream (EOF at a
+/// frame boundary); a torn frame (EOF mid-header or mid-payload) is
+/// `UnexpectedEof`, a checksum or length-cap failure is `InvalidData`.
+/// Timeouts on sockets surface as the underlying `WouldBlock`/`TimedOut`
+/// error — the caller decides whether a stalled peer is fatal.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} over the cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != want_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Decode every complete, checksum-valid frame from the start of `buf`.
+/// Returns the payload slices and the byte length of the clean prefix they
+/// cover; scanning stops at the first torn or corrupt frame (WAL recovery
+/// truncates the file to the returned length before appending again).
+pub fn scan(buf: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while let Some(header) = buf.get(at..at + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let want_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            break;
+        }
+        let Some(payload) = buf.get(at + 8..at + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != want_crc {
+            break;
+        }
+        frames.push(payload);
+        at += 8 + len;
+    }
+    (frames, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        for payload in [&b"hello"[..], b"", b"\x00\xff framed \n bytes"] {
+            write_frame(&mut buf, payload).unwrap();
+        }
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            b"\x00\xff framed \n bytes"
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        let (frames, len) = scan(&buf);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn scan_stops_at_every_torn_cut() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        let boundary = buf.len();
+        write_frame(&mut buf, b"second-record").unwrap();
+        // Truncating anywhere inside the final frame must yield exactly the
+        // first frame and the boundary as the clean prefix.
+        for cut in boundary..buf.len() {
+            let (frames, len) = scan(&buf[..cut]);
+            assert_eq!(frames, vec![&b"first"[..]], "cut at {cut}");
+            assert_eq!(len, boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_and_length_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Flip a payload bit: checksum fails in both readers.
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(scan(&bad).0.len(), 0);
+        let err = read_frame(&mut &bad[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A huge length prefix is rejected without allocating.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0u8; 4]);
+        assert_eq!(scan(&huge).1, 0);
+        let err = read_frame(&mut &huge[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Torn header: EOF inside the 8-byte header.
+        let err = read_frame(&mut &buf[..5]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

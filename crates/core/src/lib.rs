@@ -18,7 +18,11 @@
 //!   per-predicate lookups,
 //! * fact-level deltas over structures ([`delta::FactOp`]) — the mutation
 //!   vocabulary shared by the incremental fixpoint maintenance, the
-//!   service-layer mutation traffic, and the workload file format,
+//!   service-layer mutation traffic, the workload file format, and (in the
+//!   binary encoding) the write-ahead log,
+//! * length-prefixed checksummed byte frames ([`frame`]) carrying both the
+//!   TCP wire protocol and the WAL's on-disk records,
+//! * poison-recovering lock helpers ([`sync`]) for long-lived service state,
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
@@ -26,6 +30,7 @@ pub mod bitset;
 pub mod builder;
 pub mod cq;
 pub mod delta;
+pub mod frame;
 pub mod fx;
 pub mod index;
 pub mod parse;
@@ -34,6 +39,7 @@ pub mod sched;
 pub mod shape;
 pub mod structure;
 pub mod symbols;
+pub mod sync;
 
 pub use bitset::NodeSet;
 pub use cq::OneCq;

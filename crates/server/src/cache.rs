@@ -5,8 +5,15 @@
 //! service runs with). Hit/miss counters live inside the same lock so
 //! reports are consistent. A capacity of 0 disables the cache entirely:
 //! probes return `None` without counting and inserts are dropped.
+//!
+//! The lock is taken through the poison-recovering helpers in
+//! `sirup_core::sync`: a request that panics while probing (e.g. inside a
+//! value's `Clone`) must not wedge every later cache access in a long-lived
+//! daemon — the cached maps and counters stay structurally valid whatever
+//! the panic interrupted.
 
 use sirup_core::fx::FxHashMap;
+use sirup_core::sync;
 use std::sync::Mutex;
 
 /// An LRU of `String`-keyed values with per-entry recency stamps.
@@ -49,7 +56,7 @@ impl<V: Clone> StampedLru<V> {
         if !self.enabled() {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -72,7 +79,7 @@ impl<V: Clone> StampedLru<V> {
         if !self.enabled() {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(key, (value, tick));
@@ -90,20 +97,18 @@ impl<V: Clone> StampedLru<V> {
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().unwrap();
+        let inner = sync::lock(&self.inner);
         (inner.hits, inner.misses)
     }
 
     /// Number of cached values.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Snapshot of all entries (unordered). Stamps are not refreshed.
     pub fn entries(&self) -> Vec<(String, V)> {
-        self.inner
-            .lock()
-            .unwrap()
+        sync::lock(&self.inner)
             .map
             .iter()
             .map(|(k, (v, _))| (k.clone(), v.clone()))
@@ -128,6 +133,40 @@ mod tests {
         assert_eq!(c.get("b"), None);
         assert_eq!(c.get("c"), Some(3));
         assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn cache_survives_a_panic_under_its_lock() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // A value whose Clone panics while armed — the panic fires inside
+        // `get`, with the cache's mutex held.
+        #[derive(Debug)]
+        struct Grenade(Arc<AtomicBool>);
+        impl Clone for Grenade {
+            fn clone(&self) -> Grenade {
+                if self.0.load(Ordering::SeqCst) {
+                    panic!("panic under the cache lock");
+                }
+                Grenade(Arc::clone(&self.0))
+            }
+        }
+
+        let armed = Arc::new(AtomicBool::new(false));
+        let c: Arc<StampedLru<Grenade>> = Arc::new(StampedLru::new(4));
+        c.insert("k".into(), Grenade(Arc::clone(&armed)));
+        armed.store(true, Ordering::SeqCst);
+        let c2 = Arc::clone(&c);
+        let result = std::thread::spawn(move || c2.get("k")).join();
+        assert!(result.is_err(), "the armed clone must panic");
+        armed.store(false, Ordering::SeqCst);
+        // The poisoned lock is recovered: probes, inserts, and stats all
+        // keep working (the interrupted probe never reached its counter).
+        assert!(c.get("k").is_some());
+        c.insert("other".into(), Grenade(Arc::new(AtomicBool::new(false))));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats(), (1, 0));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::cache::StampedLru;
 use sirup_core::fx::{FxHashMap, FxHasher};
+use sirup_core::sync;
 use sirup_core::{FactOp, PredIndex, Scheduler, Structure};
 use sirup_engine::{MaterializationStats, MaterializedFixpoint};
 use std::hash::Hasher as _;
@@ -55,7 +56,14 @@ pub struct IndexedInstance {
     pub index: PredIndex,
     /// Catalog-wide version of this snapshot (strictly increases across
     /// loads and mutations of any instance; a reload always changes it).
+    /// Used for cache keying — never reported to clients.
     pub version: u64,
+    /// Per-instance mutation sequence number: 0 after a fresh load, +1 per
+    /// applied mutation batch. This is the durable coordinate — the WAL
+    /// records it, recovery restores it, and `Answer::Applied` reports it —
+    /// so it is deterministic for a given mutation stream regardless of
+    /// what other instances the catalog serves concurrently.
+    pub seq: u64,
     /// Live materialisations keyed by program cache key, built lazily by
     /// the first semi-naive query and carried forward incrementally by
     /// mutations. Each is immutable once built (mutation clones it); the
@@ -70,14 +78,27 @@ impl IndexedInstance {
         IndexedInstance::with_version(name, data, 0)
     }
 
-    /// Index `data` under `name` at an explicit version.
+    /// Index `data` under `name` at an explicit version (mutation sequence
+    /// starts at 0, as after a fresh load).
     pub fn with_version(name: impl Into<String>, data: Structure, version: u64) -> IndexedInstance {
+        IndexedInstance::with_state(name, data, version, 0)
+    }
+
+    /// Index `data` under `name` at an explicit version and mutation
+    /// sequence (the recovery path re-creates instances mid-sequence).
+    pub fn with_state(
+        name: impl Into<String>,
+        data: Structure,
+        version: u64,
+        seq: u64,
+    ) -> IndexedInstance {
         let index = PredIndex::new(&data);
         IndexedInstance {
             name: name.into(),
             data,
             index,
             version,
+            seq,
             mats: StampedLru::new(MAX_LIVE_MATERIALIZATIONS),
         }
     }
@@ -122,8 +143,10 @@ pub struct MutationOutcome {
     /// Ops that changed the instance (set semantics: duplicate inserts and
     /// absent retracts are no-ops).
     pub applied: usize,
-    /// The version of the new snapshot.
-    pub version: u64,
+    /// The instance's mutation sequence number after this batch — the k-th
+    /// mutation since the instance was loaded carries `seq == k`,
+    /// independent of any other instance's traffic.
+    pub seq: u64,
 }
 
 type Shard = RwLock<FxHashMap<String, Arc<IndexedInstance>>>;
@@ -184,31 +207,62 @@ impl Catalog {
     }
 
     /// Load (or replace) an instance under a fresh version. Returns `true`
-    /// if a previous instance with this name was replaced.
+    /// if a previous instance with this name was replaced. The mutation
+    /// sequence restarts at 0 — a (re)load begins a new durable history —
+    /// so quiescent ticket state for the name is reset too; with tickets
+    /// still outstanding the counters stay, keeping in-flight waiters'
+    /// numbering intact.
     pub fn insert(&self, name: impl Into<String>, data: Structure) -> bool {
         let inst = IndexedInstance::with_version(name, data, self.next_version());
         let name = inst.name.clone();
-        self.shard_of(&name)
-            .write()
-            .unwrap()
-            .insert(name, Arc::new(inst))
-            .is_some()
+        let replaced = sync::write(self.shard_of(&name))
+            .insert(name.clone(), Arc::new(inst))
+            .is_some();
+        let mut t = sync::lock(&self.tickets);
+        if t.issued.get(&name) == t.applied.get(&name) {
+            t.issued.remove(&name);
+            t.applied.remove(&name);
+        }
+        replaced
+    }
+
+    /// Re-create an instance mid-history: data at mutation sequence `seq`,
+    /// ticket counters aligned so the next mutation applies as `seq + 1`.
+    /// This is the recovery path — the caller (WAL replay) owns the claim
+    /// that `data` really is the fold of the first `seq` mutation batches.
+    pub fn restore(&self, name: impl Into<String>, data: Structure, seq: u64) {
+        let inst = IndexedInstance::with_state(name, data, self.next_version(), seq);
+        let name = inst.name.clone();
+        sync::write(self.shard_of(&name)).insert(name.clone(), Arc::new(inst));
+        let mut t = sync::lock(&self.tickets);
+        t.issued.insert(name.clone(), seq);
+        t.applied.insert(name, seq);
     }
 
     /// Look up an instance by name.
     pub fn get(&self, name: &str) -> Option<Arc<IndexedInstance>> {
-        self.shard_of(name).read().unwrap().get(name).cloned()
+        sync::read(self.shard_of(name)).get(name).cloned()
     }
 
     /// Reserve the next mutation ticket for `name`. Tickets must each be
     /// redeemed by exactly one later [`Catalog::mutate_ticketed`] call (in
     /// any thread); redemption happens in ticket order.
     pub fn reserve_ticket(&self, name: &str) -> u64 {
-        let mut t = self.tickets.lock().unwrap();
+        let mut t = sync::lock(&self.tickets);
         let counter = t.issued.entry(name.to_owned()).or_insert(0);
         let ticket = *counter;
         *counter += 1;
         ticket
+    }
+
+    /// Block until every reserved ticket (for every instance) has been
+    /// redeemed. The snapshot path quiesces before serialising the catalog
+    /// so no acknowledged-but-unapplied mutation can be missed.
+    pub fn quiesce(&self) {
+        let mut t = sync::lock(&self.tickets);
+        while t.issued.iter().any(|(n, i)| t.applied.get(n) != Some(i)) {
+            t = sync::wait(&self.ticket_cv, t);
+        }
     }
 
     /// Apply a mutation batch under a previously reserved ticket: waits
@@ -222,13 +276,13 @@ impl Catalog {
         ticket: u64,
     ) -> Option<MutationOutcome> {
         {
-            let mut t = self.tickets.lock().unwrap();
+            let mut t = sync::lock(&self.tickets);
             while *t.applied.get(name).unwrap_or(&0) != ticket {
-                t = self.ticket_cv.wait(t).unwrap();
+                t = sync::wait(&self.ticket_cv, t);
             }
         }
         let outcome = self.apply_mutation(name, ops);
-        let mut t = self.tickets.lock().unwrap();
+        let mut t = sync::lock(&self.tickets);
         *t.applied.entry(name.to_owned()).or_insert(0) += 1;
         self.ticket_cv.notify_all();
         drop(t);
@@ -284,18 +338,17 @@ impl Catalog {
             }
         }
         let version = self.next_version();
+        let seq = old.seq + 1;
         let inst = IndexedInstance {
             name: name.to_owned(),
             data,
             index,
             version,
+            seq,
             mats,
         };
-        self.shard_of(name)
-            .write()
-            .unwrap()
-            .insert(name.to_owned(), Arc::new(inst));
-        Some(MutationOutcome { applied, version })
+        sync::write(self.shard_of(name)).insert(name.to_owned(), Arc::new(inst));
+        Some(MutationOutcome { applied, seq })
     }
 
     /// Drop an instance. Returns `true` if it existed. Quiescent ticket
@@ -303,8 +356,8 @@ impl Catalog {
     /// leak counter entries); with tickets still outstanding the entry
     /// stays, so in-flight `mutate_ticketed` waiters keep their numbering.
     pub fn remove(&self, name: &str) -> bool {
-        let existed = self.shard_of(name).write().unwrap().remove(name).is_some();
-        let mut t = self.tickets.lock().unwrap();
+        let existed = sync::write(self.shard_of(name)).remove(name).is_some();
+        let mut t = sync::lock(&self.tickets);
         if t.issued.get(name) == t.applied.get(name) {
             t.issued.remove(name);
             t.applied.remove(name);
@@ -314,7 +367,7 @@ impl Catalog {
 
     /// Number of loaded instances.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards.iter().map(|s| sync::read(s).len()).sum()
     }
 
     /// Is the catalog empty?
@@ -332,7 +385,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().unwrap().keys().cloned().collect::<Vec<_>>())
+            .flat_map(|s| sync::read(s).keys().cloned().collect::<Vec<_>>())
             .collect();
         names.sort_unstable();
         names
@@ -387,7 +440,8 @@ mod tests {
             .unwrap();
         assert_eq!(out.applied, 2);
         let after = c.get("d").unwrap();
-        assert_eq!(after.version, out.version);
+        assert_eq!(after.seq, out.seq);
+        assert_eq!(out.seq, 1, "first mutation since load");
         assert!(after.version > before.version);
         assert!(after.data.has_label(Node(1), Pred::A));
         assert_eq!(after.data.edge_count(), 0);
@@ -453,6 +507,49 @@ mod tests {
         assert!(c
             .mutate_ticketed("d", &[FactOp::RemoveLabel(Pred::T, Node(0))], 0)
             .is_some());
+    }
+
+    #[test]
+    fn seq_is_per_instance_and_survives_restore() {
+        let c = Catalog::new(2);
+        c.insert("a", st("T(u)"));
+        c.insert("b", st("T(u)"));
+        // Interleave traffic: each instance counts its own mutations.
+        assert_eq!(
+            c.mutate("a", &[FactOp::AddLabel(Pred::A, Node(0))])
+                .unwrap()
+                .seq,
+            1
+        );
+        assert_eq!(
+            c.mutate("b", &[FactOp::AddLabel(Pred::A, Node(0))])
+                .unwrap()
+                .seq,
+            1
+        );
+        assert_eq!(
+            c.mutate("a", &[FactOp::RemoveLabel(Pred::A, Node(0))])
+                .unwrap()
+                .seq,
+            2
+        );
+        // A reload restarts the sequence even after earlier mutations.
+        c.insert("a", st("T(u)"));
+        assert_eq!(c.get("a").unwrap().seq, 0);
+        assert_eq!(
+            c.mutate("a", &[FactOp::AddLabel(Pred::A, Node(0))])
+                .unwrap()
+                .seq,
+            1
+        );
+        // Restore re-enters mid-history: next mutation continues the count.
+        c.restore("a", st("T(u), A(u)"), 7);
+        assert_eq!(c.get("a").unwrap().seq, 7);
+        let out = c
+            .mutate("a", &[FactOp::RemoveLabel(Pred::A, Node(0))])
+            .unwrap();
+        assert_eq!(out.seq, 8);
+        c.quiesce(); // no tickets outstanding: returns immediately
     }
 
     #[test]

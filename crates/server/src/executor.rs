@@ -141,15 +141,12 @@ impl Pool {
                     let answer = match catalog.mutate_ticketed(instance, ops, *ticket) {
                         Some(out) => Answer::Applied {
                             applied: out.applied,
-                            version: out.version,
+                            seq: out.seq,
                         },
                         // Instance vanished between validation and execution
                         // (concurrent remove); the ticket is consumed either
                         // way.
-                        None => Answer::Applied {
-                            applied: 0,
-                            version: 0,
-                        },
+                        None => Answer::Applied { applied: 0, seq: 0 },
                     };
                     (answer, "mutation")
                 }
@@ -265,11 +262,11 @@ mod tests {
         assert_eq!(seen, (0..total).collect::<Vec<_>>());
         for c in &completions {
             assert_eq!(c.strategy, "mutation");
-            let Answer::Applied { applied, version } = c.answer else {
+            let Answer::Applied { applied, seq } = c.answer else {
                 panic!("mutation job answered {:?}", c.answer);
             };
             assert_eq!(applied, 1, "every alternating op must be effective");
-            assert!(version > 0);
+            assert!(seq > 0);
         }
         // Ticket order ⇒ deterministic final state: even total ends on an
         // Add, so the label is present.

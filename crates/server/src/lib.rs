@@ -2,8 +2,10 @@
 //!
 //! A concurrent certain-answer query service over the workspace's engines —
 //! the paper's one-shot library calls packaged as a multi-instance,
-//! multi-threaded service (no network layer; the in-process [`Server`] *is*
-//! the service, and `sirupctl serve`/`replay` front it).
+//! multi-threaded service. The in-process [`Server`] is the core of the
+//! service; [`wire`] adds a length-prefixed TCP front-end on top of it and
+//! [`wal`] gives it write-ahead durability (`sirupctl serve`/`connect`/
+//! `replay` front both).
 //!
 //! Three layers (see `DESIGN.md`, "Service layer" and "Incremental
 //! maintenance"):
@@ -32,6 +34,21 @@
 //!   materialised semi-naive → DPLL for disjunctive sirups), and the
 //!   answer cache is keyed by instance version so mutations invalidate it
 //!   by construction.
+//!
+//! Two service-boundary layers sit on top (see `DESIGN.md`, "Wire protocol
+//! & durability"):
+//!
+//! * [`wal`] — a **write-ahead log**: every acknowledged load/mutation/
+//!   remove is an fsync'd [`sirup_core::FactOp`] record in `wal.log`
+//!   *before* the catalog applies it, with periodic snapshot + log
+//!   compaction (`snapshot.bin`, epoch-stamped) so a `kill -9` recovers
+//!   the exact catalog — per-instance sequence numbers included;
+//! * [`wire`] — a **TCP front-end** on `std::net`: length-prefixed,
+//!   CRC-checked frames ([`sirup_core::frame`]) carrying a small text
+//!   vocabulary (`load`/`query`/`mutate`/`stats`/`tail`/...), each
+//!   connection a detached job on the *same* shared scheduler (a blocked
+//!   socket never holds a worker — connections re-spawn on a read
+//!   timeout), each request isolated by `catch_unwind`.
 //!
 //! The differential test-suite pins batched, concurrent answers — cold
 //! cache, warm cache, rewriting-served, under mutation, and with
@@ -62,6 +79,8 @@ mod executor;
 pub mod metrics;
 pub mod plan;
 pub mod server;
+pub mod wal;
+pub mod wire;
 
 pub use catalog::{Catalog, IndexedInstance, MutationOutcome};
 pub use metrics::LatencyStats;
@@ -70,3 +89,5 @@ pub use server::{
     Action, InstanceStats, ReplayMode, ReplayReport, Request, Response, Server, ServerConfig,
     ServerError,
 };
+pub use wal::{RecoveredInstance, Wal, WalRecord};
+pub use wire::{Daemon, TailEvent, WireConfig};

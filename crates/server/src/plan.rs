@@ -94,13 +94,16 @@ pub enum Answer {
     /// Unary certain answers, sorted by node (`sigma`).
     Nodes(Vec<Node>),
     /// Outcome of a mutation request: ops that changed the instance and the
-    /// new catalog version (`0` with `applied == 0` means the instance
-    /// vanished between validation and execution).
+    /// instance's new mutation sequence number (`0` with `applied == 0`
+    /// means the instance vanished between validation and execution). The
+    /// sequence is per-instance — the k-th mutation since the instance was
+    /// loaded reports `seq == k` deterministically, whatever other traffic
+    /// the catalog serves — and matches the WAL's durable numbering.
     Applied {
         /// Ops that changed the instance (set semantics).
         applied: usize,
-        /// Version of the new snapshot.
-        version: u64,
+        /// The instance's mutation sequence number after this batch.
+        seq: u64,
     },
 }
 

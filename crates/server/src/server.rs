@@ -21,15 +21,18 @@
 //! `(program, instance, version)`, so a mutation invalidates cached answers
 //! simply by bumping the version — stale entries can never be served.
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, MutationOutcome};
 use crate::executor::{Completion, Job, Pool, Work};
 use crate::metrics::LatencyStats;
 use crate::plan::{Answer, PlanCache, PlanOptions, Query};
+use crate::wal::{Wal, WalRecord};
 use sirup_core::fx::FxHashMap;
-use sirup_core::{FactOp, OneCq, Structure};
+use sirup_core::{sync, FactOp, OneCq, ParCtx, Scheduler, Structure};
 use sirup_engine::MaterializationStats;
 use sirup_workloads::traffic::{QueryKind, TrafficAction, TrafficRequest, TrafficSpec};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -281,6 +284,8 @@ pub struct InstanceStats {
     pub name: String,
     /// Current snapshot version.
     pub version: u64,
+    /// Per-instance mutation sequence number (0 = freshly loaded).
+    pub seq: u64,
     /// Nodes in the instance.
     pub nodes: usize,
     /// Unary atoms.
@@ -307,8 +312,20 @@ pub struct Server {
     /// Serialises mutation-ticket reservation with the queue append (see
     /// [`Server::enqueue`]): per instance, ticket order must equal queue
     /// order, or a worker blocked on a predecessor ticket could starve the
-    /// pool.
+    /// pool. When the server is durable, the same critical section also
+    /// appends the WAL record, so per-instance log order equals ticket
+    /// order — the recovery fold's whole correctness argument.
     mutation_order: Mutex<()>,
+    /// Write-ahead durability, present on [`Server::open_durable`] servers:
+    /// every catalog-shaping event (load, mutate, remove) is fsync'd to the
+    /// log before it applies.
+    wal: Option<Mutex<Wal>>,
+    /// Compaction cadence: snapshot after this many logged mutations
+    /// (0 disables automatic snapshots; [`Server::snapshot_now`] is always
+    /// available).
+    snapshot_every: AtomicU64,
+    /// Mutations logged since the last snapshot.
+    since_snapshot: AtomicU64,
 }
 
 /// How one submitted request executes.
@@ -333,6 +350,9 @@ impl Server {
             answers: AnswerCache::new(config.answer_cache),
             pool,
             mutation_order: Mutex::new(()),
+            wal: None,
+            snapshot_every: AtomicU64::new(0),
+            since_snapshot: AtomicU64::new(0),
             config,
         }
     }
@@ -340,6 +360,76 @@ impl Server {
     /// A server with [`ServerConfig::default`].
     pub fn with_defaults() -> Server {
         Server::new(ServerConfig::default())
+    }
+
+    /// Build a **durable** server backed by the write-ahead log in
+    /// `data_dir` (created if needed): the directory's snapshot + log are
+    /// recovered into the catalog — each instance at exactly the data and
+    /// per-instance mutation sequence it had reached — and every later
+    /// load/mutate/remove is fsync'd to the log before it applies.
+    pub fn open_durable(
+        config: ServerConfig,
+        data_dir: impl Into<PathBuf>,
+    ) -> std::io::Result<Server> {
+        let (wal, recovered) = Wal::open(data_dir)?;
+        let mut server = Server::new(config);
+        for inst in recovered {
+            server.catalog.restore(inst.name, inst.data, inst.seq);
+        }
+        server.wal = Some(Mutex::new(wal));
+        Ok(server)
+    }
+
+    /// Is this server writing a WAL?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Snapshot automatically after every `ops` logged mutations (0
+    /// disables). The daemon's housekeeping thread polls
+    /// [`Server::snapshot_due`] — mutation paths only bump a counter, so a
+    /// worker thread never blocks inside compaction's quiesce.
+    pub fn set_snapshot_every(&self, ops: u64) {
+        self.snapshot_every.store(ops, Ordering::Relaxed);
+    }
+
+    /// Has the auto-snapshot threshold been crossed?
+    pub fn snapshot_due(&self) -> bool {
+        let every = self.snapshot_every.load(Ordering::Relaxed);
+        every > 0 && self.since_snapshot.load(Ordering::Relaxed) >= every
+    }
+
+    /// Snapshot the catalog and compact the log now. Blocks new mutation
+    /// reservations, waits for in-flight tickets to apply (so the snapshot
+    /// reflects every logged record), then writes snapshot + truncated log
+    /// atomically (see `wal` module docs for the crash windows). No-op on a
+    /// non-durable server.
+    ///
+    /// Prefer calling from a plain thread (the daemon's housekeeping
+    /// loop): the quiesce wait is satisfied by scheduler workers applying
+    /// outstanding tickets, so a scheduler worker blocking here while
+    /// ticketed batch jobs sit queued could starve the very jobs it waits
+    /// on. Wire-only traffic is safe either way — connection jobs reserve
+    /// and apply their ticket in one un-yielding step, so every
+    /// outstanding ticket is held by a *running* worker.
+    pub fn snapshot_now(&self) -> std::io::Result<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let _order = sync::lock(&self.mutation_order);
+        self.catalog.quiesce();
+        let names = self.catalog.names();
+        let insts: Vec<_> = names.iter().filter_map(|n| self.catalog.get(n)).collect();
+        let entries: Vec<(String, u64, &Structure)> = insts
+            .iter()
+            .map(|i| (i.name.clone(), i.seq, &i.data))
+            .collect();
+        sync::lock(wal).compact(&entries)?;
+        self.since_snapshot.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The shared work-stealing scheduler (connection jobs ride on it).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        self.pool.scheduler()
     }
 
     /// The instance catalog.
@@ -368,21 +458,137 @@ impl Server {
         self.pool.stats()
     }
 
-    /// Load (or replace) a named instance.
+    /// Load (or replace) a named instance. On a durable server the load is
+    /// logged first: the critical section waits for in-flight mutations to
+    /// the whole catalog to apply (a load resets the instance's mutation
+    /// sequence, so logged-but-unapplied mutations must not straddle it).
     pub fn load_instance(&self, name: impl Into<String>, data: Structure) -> bool {
-        self.catalog.insert(name, data)
+        let name = name.into();
+        if let Some(wal) = &self.wal {
+            let _order = sync::lock(&self.mutation_order);
+            self.catalog.quiesce();
+            sync::lock(wal)
+                .append(&WalRecord::Load {
+                    name: name.clone(),
+                    nodes: data.node_count() as u32,
+                    ops: data.to_ops(),
+                })
+                .expect("wal append (load)");
+            self.catalog.insert(name, data)
+        } else {
+            self.catalog.insert(name, data)
+        }
+    }
+
+    /// Drop a named instance (logged first on a durable server).
+    pub fn remove_instance(&self, name: &str) -> bool {
+        if let Some(wal) = &self.wal {
+            let _order = sync::lock(&self.mutation_order);
+            self.catalog.quiesce();
+            sync::lock(wal)
+                .append(&WalRecord::Remove {
+                    name: name.to_owned(),
+                })
+                .expect("wal append (remove)");
+        }
+        self.catalog.remove(name)
     }
 
     /// Apply a mutation batch directly (outside any request batch), in
-    /// ticket order with respect to concurrent mutation requests.
+    /// ticket order with respect to concurrent mutation requests. On a
+    /// durable server the record is fsync'd to the WAL — under the same
+    /// critical section that reserves the ticket, so per-instance log
+    /// order equals apply order — *before* the catalog changes: by the
+    /// time the caller sees the outcome, the mutation is recoverable.
     pub fn mutate_instance(
         &self,
         name: &str,
         ops: &[FactOp],
-    ) -> Result<crate::catalog::MutationOutcome, ServerError> {
+    ) -> Result<MutationOutcome, ServerError> {
+        if self.catalog.get(name).is_none() {
+            return Err(ServerError::UnknownInstance(name.to_owned()));
+        }
+        let ticket = {
+            let _order = sync::lock(&self.mutation_order);
+            let ticket = self.catalog.reserve_ticket(name);
+            if let Some(wal) = &self.wal {
+                sync::lock(wal)
+                    .append(&WalRecord::Mutate {
+                        name: name.to_owned(),
+                        seq: ticket + 1,
+                        ops: ops.to_vec(),
+                    })
+                    .expect("wal append (mutate)");
+                self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+            }
+            ticket
+        };
         self.catalog
-            .mutate(name, ops)
+            .mutate_ticketed(name, ops, ticket)
             .ok_or_else(|| ServerError::UnknownInstance(name.to_owned()))
+    }
+
+    /// Answer one request **inline on the calling thread** — the wire
+    /// front-end's entry point. Connection handlers already run as
+    /// detached scheduler jobs, so they must not round-trip through
+    /// [`Server::submit`]'s reply channel (a worker blocking on work that
+    /// sits behind it in the injector is a deadlock); instead they
+    /// evaluate here, with intra-request parallelism still fanning out to
+    /// the other workers when configured.
+    ///
+    /// Inline mutations stay deadlock-free under the ticket discipline
+    /// because reservation, WAL append, and apply happen in one
+    /// un-yielding step: every earlier-ticket holder is simultaneously
+    /// *running* on some worker (never parked in a queue), so the wait in
+    /// `mutate_ticketed` always bottoms out at the next-to-apply ticket
+    /// making progress.
+    pub fn answer_one(&self, req: &Request) -> Result<Response, ServerError> {
+        let started = Instant::now();
+        match &req.action {
+            Action::Mutate(ops) => {
+                let out = self.mutate_instance(&req.instance, ops)?;
+                Ok(Response {
+                    answer: Answer::Applied {
+                        applied: out.applied,
+                        seq: out.seq,
+                    },
+                    strategy: "mutation",
+                    latency: started.elapsed(),
+                })
+            }
+            Action::Query(query) => {
+                let inst = self
+                    .catalog
+                    .get(&req.instance)
+                    .ok_or_else(|| ServerError::UnknownInstance(req.instance.clone()))?;
+                let cache_key = query.cache_key();
+                let answer_key = self
+                    .answers
+                    .enabled()
+                    .then(|| format!("{cache_key}|{}#{}", inst.name, inst.version));
+                if let Some(key) = &answer_key {
+                    if let Some(answer) = self.answers.get(key) {
+                        return Ok(Response {
+                            answer,
+                            strategy: "cached",
+                            latency: started.elapsed(),
+                        });
+                    }
+                }
+                let plan = self.plans.get_or_build(query, &self.config.plan);
+                let par = (self.config.parallelism > 1)
+                    .then(|| ParCtx::new(self.pool.scheduler(), self.config.par_threshold));
+                let answer = plan.answer_ctx(&inst, par);
+                if let Some(key) = answer_key {
+                    self.answers.insert(key, answer.clone());
+                }
+                Ok(Response {
+                    answer,
+                    strategy: plan.strategy.name(),
+                    latency: started.elapsed(),
+                })
+            }
+        }
     }
 
     /// Stats of one live instance.
@@ -391,6 +597,7 @@ impl Server {
         Some(InstanceStats {
             name: inst.name.clone(),
             version: inst.version,
+            seq: inst.seq,
             nodes: inst.data.node_count(),
             unary_atoms: inst.data.label_count(),
             binary_atoms: inst.data.edge_count(),
@@ -477,8 +684,18 @@ impl Server {
                 ops,
                 ..
             } => {
-                let _order = self.mutation_order.lock().unwrap();
+                let _order = sync::lock(&self.mutation_order);
                 let ticket = self.catalog.reserve_ticket(&instance);
+                if let Some(wal) = &self.wal {
+                    sync::lock(wal)
+                        .append(&WalRecord::Mutate {
+                            name: instance.clone(),
+                            seq: ticket + 1,
+                            ops: ops.as_ref().clone(),
+                        })
+                        .expect("wal append (batch mutate)");
+                    self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+                }
                 self.pool.submit(job(Work::Mutate {
                     catalog,
                     instance,
@@ -710,11 +927,11 @@ mod tests {
         // and the fresh evaluation sees the new data.
         let m = Request::mutation(vec![FactOp::RemoveLabel(Pred::T, Node(1))], "yes");
         let out = s.submit(std::slice::from_ref(&m)).unwrap();
-        let Answer::Applied { applied, version } = out[0].answer else {
+        let Answer::Applied { applied, seq } = out[0].answer else {
             panic!("mutation got {:?}", out[0].answer);
         };
         assert_eq!((applied, out[0].strategy), (1, "mutation"));
-        assert!(version > 0);
+        assert_eq!(seq, 1, "first mutation of the instance");
         let third = s.submit(std::slice::from_ref(&r)).unwrap();
         assert_ne!(third[0].strategy, "cached");
         assert_eq!(third[0].answer, Answer::Bool(false));

@@ -347,27 +347,13 @@ fn parallel_mutation_replay_matches_engine() {
     });
     let report = s.replay(&spec, ReplayMode::Closed).unwrap();
     assert!(report.mutations > 0);
-    // Sequential reference replay. Version stamps are drawn from the
-    // catalog-wide counter, so mutations on *different* instances race for
-    // them — normalise mutation answers to their deterministic `applied`
-    // field before comparing (mirrors `replay --dump-answers`).
-    let normalise = |answers: &[Answer]| -> Vec<Answer> {
-        answers
-            .iter()
-            .map(|a| match a {
-                Answer::Applied { applied, .. } => Answer::Applied {
-                    applied: *applied,
-                    version: 0,
-                },
-                other => other.clone(),
-            })
-            .collect()
-    };
+    // Sequential reference replay. Mutation answers carry *per-instance*
+    // sequence numbers (ticket order), so they are deterministic across
+    // thread counts and compare exactly — no normalisation.
     let oracle = server(4, 0);
     let oracle_report = oracle.replay(&spec, ReplayMode::Closed).unwrap();
     assert_eq!(
-        normalise(&report.answers),
-        normalise(&oracle_report.answers),
+        report.answers, oracle_report.answers,
         "parallel replay answers diverged from the sequential server"
     );
     for (name, expected) in spec.final_instances() {

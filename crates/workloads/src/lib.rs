@@ -12,13 +12,17 @@
 //!   and data instances, used by property tests and benchmarks;
 //! * [`traffic`]: mixed request streams over the paper's named programs and
 //!   random instances, plus the workload text format replayed by
-//!   `sirup-server` and `sirupctl serve`/`replay`.
+//!   `sirup-server` and `sirupctl serve`/`replay`;
+//! * [`wire`]: a std-only client for the sirup wire protocol — connect to
+//!   a `sirupctl serve` daemon, replay a [`TrafficSpec`] over TCP, tail
+//!   mutation streams.
 
 pub mod appendix_e;
 pub mod paper;
 pub mod random;
 pub mod reach;
 pub mod traffic;
+pub mod wire;
 
 pub use appendix_e::appendix_e_instance;
 pub use paper::{d1, d2, q1, q2, q2_cq, q3, q3_cq, q4, q4_cq, q5, q6, q7, q8};
@@ -27,3 +31,4 @@ pub use traffic::{
     mixed_traffic, parse_workload, render_workload, scaling_traffic, QueryKind, TrafficAction,
     TrafficParams, TrafficRequest, TrafficSpec,
 };
+pub use wire::{replay_over_wire, WireClient};

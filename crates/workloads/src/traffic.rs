@@ -408,8 +408,9 @@ pub fn render_workload(spec: &TrafficSpec) -> String {
 }
 
 /// Split an op list on top-level commas (commas inside `(...)` separate
-/// atom arguments, not ops).
-fn split_ops(body: &str) -> Vec<&str> {
+/// atom arguments, not ops). Shared with the wire protocol's `mutate` and
+/// `query` verbs, which carry the same comma-separated vocabulary.
+pub fn split_ops(body: &str) -> Vec<&str> {
     let mut parts = Vec::new();
     let (mut depth, mut start) = (0usize, 0usize);
     for (i, c) in body.char_indices() {

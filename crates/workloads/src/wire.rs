@@ -1,0 +1,173 @@
+//! A minimal client for the sirup wire protocol (`sirup-server::wire`).
+//!
+//! The protocol is deliberately small: length-prefixed, CRC-checked frames
+//! ([`sirup_core::frame`]) carrying UTF-8 request/reply text. This module
+//! gives workloads (and the `sirupctl` CLI) everything needed to drive a
+//! daemon without depending on the server crate: a blocking [`WireClient`],
+//! renderers that turn workload objects into request payloads, and
+//! [`replay_over_wire`], which replays a [`TrafficSpec`] over a live
+//! connection and returns the raw reply lines (the differential oracle for
+//! the crash-recovery check compares those against a second replay after a
+//! `kill -9` + restart).
+//!
+//! Only `std::net` and `sirup-core::frame` are used — the client compiles
+//! wherever the workloads crate does.
+
+use crate::traffic::{TrafficAction, TrafficSpec};
+use sirup_core::frame;
+use sirup_core::{FactOp, Structure};
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking connection to a sirup daemon.
+///
+/// One frame out, one frame in: [`WireClient::request`] is the whole
+/// protocol for everything except `tail`, where pushed `op ...` frames
+/// arrive between replies and are read with [`WireClient::next_frame`].
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream })
+    }
+
+    /// Connect to `addr`, retrying until `deadline` elapses — for racing a
+    /// daemon that is still binding its listener (child-process tests).
+    pub fn connect_retry(addr: &str, deadline: Duration) -> io::Result<WireClient> {
+        let start = Instant::now();
+        loop {
+            match WireClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Send one request payload (no reply expected yet).
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        frame::write_frame(&mut self.stream, payload.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Read the next frame as UTF-8 text; `Ok(None)` on clean EOF.
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        match frame::read_frame(&mut self.stream)? {
+            Some(payload) => String::from_utf8(payload)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            None => Ok(None),
+        }
+    }
+
+    /// One request/reply round trip.
+    pub fn request(&mut self, payload: &str) -> io::Result<String> {
+        self.send(payload)?;
+        self.next_frame()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the reply",
+            )
+        })
+    }
+
+    /// Set the read timeout for pushed frames (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+}
+
+/// Render a `load` request for `data` under `name`: the declared node
+/// count keeps trailing isolated nodes, the body lists every atom as an
+/// insert op in canonical `n<i>` names.
+pub fn load_request(name: &str, data: &Structure) -> String {
+    let mut out = format!("load {name} {}", data.node_count());
+    for op in data.to_ops() {
+        out.push('\n');
+        write!(out, "{op}").unwrap();
+    }
+    out
+}
+
+/// Render a `query` request (`query <kind> <inst> = <atoms>`).
+pub fn query_request(kind: &str, instance: &str, cq: &Structure) -> String {
+    format!("query {kind} {instance} = {cq}")
+}
+
+/// Render a `mutate` request (`mutate <inst> = <ops>`).
+pub fn mutate_request(instance: &str, ops: &[FactOp]) -> String {
+    let rendered: Vec<String> = ops.iter().map(|op| op.to_string()).collect();
+    format!("mutate {instance} = {}", rendered.join(","))
+}
+
+/// Replay `spec` over a fresh connection to `addr`: load every instance,
+/// then send the request stream in order, collecting one reply line per
+/// request (loads are checked, not collected). Any `error ...` reply to a
+/// load aborts; request-stream errors are collected verbatim so the caller
+/// can diff them.
+pub fn replay_over_wire(spec: &TrafficSpec, addr: &str) -> io::Result<Vec<String>> {
+    let mut client = WireClient::connect(addr)?;
+    for (name, data) in &spec.instances {
+        let reply = client.request(&load_request(name, data))?;
+        if !reply.starts_with("ok ") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("load {name} failed: {reply}"),
+            ));
+        }
+    }
+    let mut replies = Vec::with_capacity(spec.requests.len());
+    for r in &spec.requests {
+        let payload = match &r.action {
+            TrafficAction::Query { kind, cq } => query_request(kind.keyword(), &r.instance, cq),
+            TrafficAction::Mutate { ops } => mutate_request(&r.instance, ops),
+        };
+        replies.push(client.request(&payload)?);
+    }
+    Ok(replies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirup_core::parse::st;
+    use sirup_core::{Node, Pred};
+
+    #[test]
+    fn request_renderers_use_canonical_names() {
+        let data = st("F(a), R(a,b), T(b)");
+        assert_eq!(
+            load_request("d", &data),
+            "load d 2\n+F(n0)\n+T(n1)\n+R(n0,n1)"
+        );
+        assert_eq!(
+            query_request("pi", "d", &st("F(x), R(x,y)")),
+            "query pi d = F(n0), R(n0,n1)"
+        );
+        assert_eq!(
+            mutate_request(
+                "d",
+                &[
+                    FactOp::AddLabel(Pred::T, Node(4)),
+                    FactOp::RemoveEdge(Pred::R, Node(0), Node(1)),
+                ]
+            ),
+            "mutate d = +T(n4),-R(n0,n1)"
+        );
+    }
+
+    #[test]
+    fn load_request_preserves_isolated_nodes() {
+        let mut data = Structure::with_nodes(5);
+        data.apply_all(&[FactOp::AddLabel(Pred::F, Node(1))]);
+        assert_eq!(load_request("iso", &data), "load iso 5\n+F(n1)");
+    }
+}

@@ -16,12 +16,17 @@
 #     large-instance exists and fixpoint points must run ≥
 #     BENCH_PARALLEL_MIN_SPEEDUP (default 2.0) x faster at 4 scheduler
 #     workers than at 1 — the intra-request-parallelism acceptance bar.
-#     On smaller hosts the ratio is reported informationally (a 1-core
-#     machine cannot exhibit wall-clock speedup).
+#     On smaller hosts the bar cannot be measured here; it is then only
+#     acceptable if the *committed* BENCH_parallel.json proves the bar was
+#     demonstrated on capable hardware (meta.host_cores ≥ 4). A small host
+#     checking against a small-host baseline means the ≥2x bar has never
+#     been enforced anywhere — that is a hard failure, not a silent skip
+#     (set BENCH_PARALLEL_ACCEPT_STALE=1 to downgrade it to a warning
+#     while a multicore re-record is pending).
 #
 # Usage: scripts/bench_check.sh
 #   env: BENCH_CHECK_FACTOR=2.0  BENCH_PARALLEL_MIN_SPEEDUP=2.0
-#        CRITERION_SHIM_MEASURE_MS=25
+#        CRITERION_SHIM_MEASURE_MS=25  BENCH_PARALLEL_ACCEPT_STALE=1
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,9 +118,15 @@ for layers in ("8", "24"):
     if speedup < 5.0:
         failures.append(f"{bar}: only {speedup:.1f}x faster than from-scratch (bar: 5x)")
 
-# Intra-request parallel scaling, gated only where the hardware can show
-# it: 4 scheduler workers vs 1 on the same run's large-instance points.
+# Intra-request parallel scaling: 4 scheduler workers vs 1 on the same
+# run's large-instance points. Enforced directly on hosts with >= 4 CPUs.
+# On smaller hosts the run itself cannot show wall-clock speedup, so the
+# bar falls back to the committed baseline's provenance: if that was also
+# recorded on a small host (meta.host_cores < 4), the >= par_bar claim has
+# never been checked anywhere — fail loudly instead of skipping silently.
 cores = os.cpu_count() or 1
+baseline_cores = json.load(open("BENCH_parallel.json"))["meta"].get("host_cores", 0)
+accept_stale = os.environ.get("BENCH_PARALLEL_ACCEPT_STALE", "") == "1"
 for point in ("exists", "fixpoint"):
     bar = f"[parallel] {point} 4-vs-1-worker speedup"
     one = fresh.get(f"parallel/{point}/1")
@@ -129,8 +140,20 @@ for point in ("exists", "fixpoint"):
         print(f"  {verdict:>10}  {bar}: {speedup:.2f}x (bar: {par_bar}x, {cores} cores)")
         if speedup < par_bar:
             failures.append(f"{bar}: {speedup:.2f}x < {par_bar}x on a {cores}-core host")
+    elif baseline_cores >= 4:
+        print(f"      info  {bar}: {speedup:.2f}x (not gated: only {cores} core(s) here; "
+              f"bar last demonstrated by BENCH_parallel.json @ {baseline_cores} cores)")
+    elif accept_stale:
+        print(f"   WARNING  {bar}: UNENFORCED — this host has {cores} core(s) and the "
+              f"committed BENCH_parallel.json was recorded on {baseline_cores} core(s); "
+              f"accepted because BENCH_PARALLEL_ACCEPT_STALE=1")
     else:
-        print(f"      info  {bar}: {speedup:.2f}x (not gated: only {cores} core(s))")
+        failures.append(
+            f"{bar}: NEVER ENFORCED — this host has {cores} core(s) and the committed "
+            f"BENCH_parallel.json was recorded on {baseline_cores} core(s), so the "
+            f">= {par_bar}x bar has been checked nowhere. Re-record BENCH_parallel.json "
+            f"on a >= 4-core machine (see its meta.note), or set "
+            f"BENCH_PARALLEL_ACCEPT_STALE=1 to acknowledge the gap")
 
 if failures:
     print("\nbench_check FAILED — the bars that regressed:")
