@@ -60,6 +60,30 @@ fn server_throughput(c: &mut Criterion) {
         );
     }
 
+    // Telemetry overhead: the same warm batch at 4 threads with the
+    // metrics registry switched off. The telemetry-spine acceptance bar is
+    // <5% on/off overhead on this point; bench_check gates the ratio
+    // within the run (noise-padded in quick mode) and the committed
+    // BENCH_server.json records the demonstrated figure.
+    {
+        let s = server(4);
+        s.replay(&spec, ReplayMode::Closed).unwrap();
+        let requests: Vec<Request> = spec
+            .requests
+            .iter()
+            .map(|r| Request::from_traffic(r).unwrap())
+            .collect();
+        sirup_core::telemetry::set_enabled(false);
+        g.bench_with_input(
+            BenchmarkId::new("submit_warm_96req_telemetry_off", 4),
+            &requests,
+            |b, reqs| {
+                b.iter(|| s.submit(reqs).unwrap());
+            },
+        );
+        sirup_core::telemetry::set_enabled(true);
+    }
+
     // Cold plan build vs warm cache fetch for a bounded (rewriting) and an
     // unbounded (semi-naive) program.
     let q5 = Query::PiGoal(paper::q5());

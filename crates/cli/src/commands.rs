@@ -19,7 +19,8 @@ use sirup_fo::{render_sql, ucq_to_fo, SqlDialect};
 use sirup_schemaorg::SchemaOrgQuery;
 use sirup_server::{Daemon, PlanOptions, ReplayMode, Server, ServerConfig, WireConfig};
 use sirup_workloads::traffic::{
-    mixed_traffic, parse_workload, render_workload, TrafficParams, TrafficSpec,
+    mixed_traffic, parse_workload, render_workload, QueryKind, TrafficAction, TrafficParams,
+    TrafficRequest, TrafficSpec,
 };
 use sirup_workloads::wire::{replay_over_wire, WireClient};
 use std::fmt;
@@ -76,6 +77,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "load" => cmd_load(args),
         "query" => cmd_query(args),
         "tail" => cmd_tail(args),
+        "top" => cmd_top(args),
+        "trace" => cmd_trace(args),
         "crash-check" => cmd_crash_check(args),
         "zoo" => Ok(cmd_zoo()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
@@ -105,6 +108,12 @@ COMMANDS
   dot <structure>               Graphviz DOT of a structure
   program <cq>                  print the programs Π_q and Σ_q (rules (5)–(7))
   schemaorg <cq>                the Δ'_q presentation (Prop. 5) in DL-Lite syntax
+  schemaorg --traffic [--instances N] [--nodes N] [--edges N] [--requests N]
+        [--gap-us N] [--seed N] [--emit] [SERVICE FLAGS]
+                                generate the Schema.org / OBDA workload instead:
+                                random instances pushed through the Prop. 5
+                                D ↦ D′ translation (this is the
+                                workloads/obda.sirupload generator)
   serve [--requests N] [--instances N] [--nodes N] [--edges N] [--gap-us N]
         [--random-cqs N] [--seed N] [--mutation-ratio F] [--hot F] [--emit]
         [--scaling] [SERVICE FLAGS]
@@ -127,7 +136,7 @@ COMMANDS
                                 --snapshot-every N compacts the log after N
                                 logged mutations
   replay <file> [--threads-sweep 1,2,4,8] [--dump-answers] [--connect ADDR]
-        [SERVICE FLAGS]
+        [--metrics] [SERVICE FLAGS]
                                 replay a .sirupload workload file (queries and
                                 mutations); reports throughput, mutation rate,
                                 and p50/p99 latency. --threads-sweep replays
@@ -135,12 +144,18 @@ COMMANDS
                                 table (req/s, p95); --dump-answers prints only
                                 the answer stream (for determinism diffing);
                                 --connect ADDR replays over the wire against a
-                                running daemon instead of in-process
+                                running daemon instead of in-process;
+                                --metrics appends the Prometheus exposition of
+                                the telemetry registry after the summary
   stats <file> [--instance NAME] [SERVICE FLAGS]
                                 replay a workload, then dump each live instance
                                 (catalog version, materialized-predicate sizes,
-                                support-count memory) and the shared scheduler's
-                                counters (tasks spawned, steals, queue depth)
+                                support-count memory), the shared scheduler's
+                                counters (tasks spawned, steals, queue depth),
+                                and the telemetry registry snapshot (request
+                                totals, cache hit/miss ratios, WAL epoch/size)
+  stats --connect ADDR          the same registry snapshot scraped from a
+                                running daemon's `metrics` verb
 
   SERVICE FLAGS (serve, replay, stats): --threads N, --parallelism N
     (intra-request fan-out on the shared scheduler; 1 = sequential requests),
@@ -160,6 +175,16 @@ COMMANDS
                                 subscribe to an instance's mutation stream and
                                 print each `op <inst> <seq> = <ops>` push
                                 (--count N exits after N events)
+  top --connect ADDR [--count N] [--interval-ms N]
+                                live per-(program, instance) table from the
+                                daemon's metrics — requests, serving strategies,
+                                result cardinality, p50/p99 latency; polls N
+                                rounds (default 1) every interval
+  trace --connect ADDR [--slow-ms N]
+                                span trees of recent requests at least N ms
+                                long, from the daemon's trace rings (plan
+                                compile, AC-3, backtracking, DPLL, semi-naive
+                                rounds, WAL appends, ... as timed children)
   crash-check <file> [--kill-after N]
                                 durability acceptance: start a durable daemon
                                 as a child process, stream the workload's
@@ -492,12 +517,83 @@ fn cmd_program(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_schemaorg(args: &Args) -> Result<String, CliError> {
+    if args.flag_bool("traffic") {
+        let spec = schemaorg_traffic(args)?;
+        if args.flag_bool("emit") {
+            return Ok(render_workload(&spec));
+        }
+        return run_spec(&spec, args);
+    }
     let s = structure_arg(args)?;
     let q = SchemaOrgQuery::new(s);
     let mut out = String::new();
     writeln!(out, "Δ'_q presentation (Prop. 5), DL-Lite_bool syntax:").unwrap();
     writeln!(out, "{}", q.dl_lite_syntax()).unwrap();
     Ok(out)
+}
+
+/// `schemaorg --traffic`: generate the Schema.org / OBDA seed workload.
+///
+/// Instances are random `A`-covered structures pushed through the forward
+/// `D ↦ D′` translation of Prop. 5, so they carry the `R'` range-covering
+/// edges of the DL-Lite presentation. The stream cycles the four query
+/// kinds over a small CQ pool and periodically mutates a covered `A`-atom
+/// back in (exercising the disjunctive evaluator on the translated data).
+/// The bundled `workloads/obda.sirupload` is this spec at its defaults
+/// (`--emit` renders it).
+fn schemaorg_traffic(args: &Args) -> Result<TrafficSpec, CliError> {
+    use sirup_core::{FactOp, Node, Pred};
+    use sirup_schemaorg::to_schemaorg_instance;
+    use sirup_workloads::random::random_instance;
+    let instances = args.flag_usize("instances", 3).map_err(CliError::BadFlag)?;
+    let nodes = args.flag_usize("nodes", 20).map_err(CliError::BadFlag)?;
+    let edges = args.flag_usize("edges", 36).map_err(CliError::BadFlag)?;
+    let requests = args.flag_usize("requests", 24).map_err(CliError::BadFlag)?;
+    let gap = args.flag_u32("gap-us", 200).map_err(CliError::BadFlag)? as u64;
+    let seed = args.flag_u32("seed", 5).map_err(CliError::BadFlag)? as u64;
+    if instances == 0 {
+        return Err(CliError::BadFlag(
+            "--traffic needs at least one instance".to_owned(),
+        ));
+    }
+    let mut spec = TrafficSpec::default();
+    for i in 0..instances {
+        let d = random_instance(nodes, edges, 0.55, 0.35, seed + i as u64);
+        spec.instances
+            .push((format!("obda{i}"), to_schemaorg_instance(&d)));
+    }
+    let pool = [
+        sirup_core::parse::st("T(x), R(x,y), F(y)"),
+        sirup_core::parse::st("F(x), R(x,y), T(y)"),
+        sirup_core::parse::st("T(x), R(x,y), R(y,z), F(z)"),
+    ];
+    let kinds = [
+        QueryKind::Delta,
+        QueryKind::SigmaAnswers,
+        QueryKind::PiGoal,
+        QueryKind::DeltaPlus,
+    ];
+    for r in 0..requests {
+        let instance = format!("obda{}", r % instances);
+        let action = if r % 6 == 5 {
+            // Re-cover a node: the range axiom says every R'-range element
+            // is T or F; an explicit A-atom makes it a branching point.
+            TrafficAction::Mutate {
+                ops: vec![FactOp::AddLabel(Pred::A, Node((r % nodes.max(1)) as u32))],
+            }
+        } else {
+            TrafficAction::Query {
+                kind: kinds[r % kinds.len()],
+                cq: pool[r % pool.len()].clone(),
+            }
+        };
+        spec.requests.push(TrafficRequest {
+            action,
+            instance,
+            arrival_us: gap * r as u64,
+        });
+    }
+    Ok(spec)
 }
 
 /// Parse the shared SERVICE FLAGS into a [`ServerConfig`]; `threads`
@@ -577,6 +673,12 @@ fn run_spec(spec: &TrafficSpec, args: &Args) -> Result<String, CliError> {
     )
     .unwrap();
     out.push_str(&report.summary());
+    if args.flag_bool("metrics") {
+        // Full registry exposition after the human summary — `replay
+        // --metrics` is the scriptable way to scrape a one-shot run.
+        out.push('\n');
+        out.push_str(&server.metrics_text());
+    }
     Ok(out)
 }
 
@@ -733,6 +835,9 @@ fn cmd_threads_sweep(spec: &TrafficSpec, list: &str, args: &Args) -> Result<Stri
 /// instance — catalog version, sizes, attached materialisations with their
 /// derived-set sizes and support-count memory.
 fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    if args.flag("connect").is_some() {
+        return cmd_stats_wire(args);
+    }
     let path = args
         .positional
         .first()
@@ -822,6 +927,48 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
         sched.max_queue_depth
     )
     .unwrap();
+    let snap = server.telemetry_snapshot();
+    out.push_str(&registry_section(
+        snap.counter("sirup_requests_total"),
+        sched.workers as u64,
+        sched.steals,
+        snap.counter("sirup_scheduler_parks_total"),
+        sched.max_queue_depth,
+        report.plan_cache,
+        report.answer_cache,
+        server.wal_stats(),
+    ));
+    Ok(out)
+}
+
+/// `stats --connect ADDR`: the same registry snapshot, scraped from a
+/// running daemon's `metrics` verb instead of a local replay.
+fn cmd_stats_wire(args: &Args) -> Result<String, CliError> {
+    let mut client = connect_flag(args)?;
+    let body = scrape_metrics(&mut client)?;
+    let value = |name: &str| metric_value(&body, name);
+    let wal = body
+        .lines()
+        .filter_map(parse_sample)
+        .any(|(n, _, _)| n == "sirup_wal_epoch")
+        .then(|| (value("sirup_wal_epoch"), value("sirup_wal_log_bytes")));
+    let mut out = format!("daemon {}:", args.flag("connect").unwrap_or("?"));
+    out.push_str(&registry_section(
+        value("sirup_requests_total"),
+        value("sirup_scheduler_workers"),
+        value("sirup_scheduler_steals_total"),
+        value("sirup_scheduler_parks_total"),
+        value("sirup_scheduler_queue_depth_max"),
+        (
+            value("sirup_plan_cache_hits_total"),
+            value("sirup_plan_cache_misses_total"),
+        ),
+        (
+            value("sirup_answer_cache_hits_total"),
+            value("sirup_answer_cache_misses_total"),
+        ),
+        wal,
+    ));
     Ok(out)
 }
 
@@ -958,6 +1105,308 @@ fn cmd_tail(args: &Args) -> Result<String, CliError> {
             Err(e) => return Err(CliError::Workload(format!("tail stream: {e}"))),
         }
     }
+}
+
+/// Fetch the `metrics` exposition body from a connected daemon.
+fn scrape_metrics(client: &mut WireClient) -> Result<String, CliError> {
+    let reply = client
+        .request("metrics")
+        .map_err(|e| CliError::Workload(e.to_string()))?;
+    match reply.strip_prefix("ok metrics\n") {
+        Some(body) => Ok(body.to_owned()),
+        None => Err(CliError::Workload(format!(
+            "unexpected metrics reply: {reply}"
+        ))),
+    }
+}
+
+/// One `key="value"` label list of a Prometheus sample.
+type Labels = Vec<(String, String)>;
+
+/// Parse one Prometheus sample line into `(name, labels, value)`; comments
+/// and blanks yield `None`. Label values are unescaped (`\\`, `\"`, `\n`).
+fn parse_sample(line: &str) -> Option<(&str, Labels, u64)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: u64 = value.parse().ok()?;
+    match head.split_once('{') {
+        None => Some((head, Vec::new(), value)),
+        Some((name, rest)) => Some((name, parse_labels(rest.strip_suffix('}')?), value)),
+    }
+}
+
+/// Parse `k="v",k="v"` Prometheus labels (values may contain escaped
+/// quotes, backslashes, and commas — program keys do).
+fn parse_labels(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    'outer: loop {
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('=') => break,
+                Some(c) => key.push(c),
+                None => break 'outer,
+            }
+        }
+        if chars.next() != Some('"') {
+            break;
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => val.push('\n'),
+                    Some(c) => val.push(c),
+                    None => break 'outer,
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => break 'outer,
+            }
+        }
+        out.push((key, val));
+        match chars.next() {
+            Some(',') => continue,
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Value of an **unlabelled** sample in an exposition body (0 if absent).
+fn metric_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .filter_map(parse_sample)
+        .find(|(n, labels, _)| *n == name && labels.is_empty())
+        .map_or(0, |(_, _, v)| v)
+}
+
+/// The registry snapshot section shared by `stats` in file mode (values
+/// from in-process handles) and wire mode (values scraped from the
+/// `metrics` exposition) — one format, pinned by the stats test.
+#[allow(clippy::too_many_arguments)]
+fn registry_section(
+    requests: u64,
+    workers: u64,
+    steals: u64,
+    parks: u64,
+    queue_max: u64,
+    plan: (u64, u64),
+    answer: (u64, u64),
+    wal: Option<(u64, u64)>,
+) -> String {
+    let ratio = |(h, m): (u64, u64)| {
+        let total = h + m;
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 * 100.0 / total as f64
+        }
+    };
+    let mut out = String::from("\ntelemetry registry:\n");
+    writeln!(out, "  requests total : {requests}").unwrap();
+    writeln!(
+        out,
+        "  scheduler      : {workers} worker(s) registered, {steals} steal(s), \
+         {parks} park(s), max queue depth {queue_max}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  plan cache     : {} hit(s) / {} miss(es) ({:.1}% hit rate)",
+        plan.0,
+        plan.1,
+        ratio(plan)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  answer cache   : {} hit(s) / {} miss(es) ({:.1}% hit rate)",
+        answer.0,
+        answer.1,
+        ratio(answer)
+    )
+    .unwrap();
+    match wal {
+        Some((epoch, bytes)) => {
+            writeln!(out, "  wal            : epoch {epoch}, log {bytes} B").unwrap()
+        }
+        None => writeln!(out, "  wal            : (not durable)").unwrap(),
+    }
+    out
+}
+
+/// One row of the `top` table, accumulated from the `sirup_program_*`
+/// families of a metrics exposition.
+#[derive(Debug, Default, Clone)]
+struct TopRow {
+    requests: u64,
+    cardinality: u64,
+    p50_us: u64,
+    p99_us: u64,
+    strategies: Vec<(String, u64)>,
+}
+
+/// Render the live per-(program, instance) table from an exposition body.
+fn render_top(body: &str) -> String {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<(String, String), TopRow> = BTreeMap::new();
+    for line in body.lines() {
+        let Some((name, labels, value)) = parse_sample(line) else {
+            continue;
+        };
+        if !name.starts_with("sirup_program_") {
+            continue;
+        }
+        let label = |k: &str| {
+            labels
+                .iter()
+                .find(|(lk, _)| lk == k)
+                .map(|(_, v)| v.clone())
+        };
+        let (Some(program), Some(instance)) = (label("program"), label("instance")) else {
+            continue;
+        };
+        let row = rows.entry((program, instance)).or_default();
+        match name {
+            "sirup_program_requests_total" => {
+                row.requests += value;
+                if let Some(strategy) = label("strategy") {
+                    row.strategies.push((strategy, value));
+                }
+            }
+            "sirup_program_cardinality_total" => row.cardinality = value,
+            "sirup_program_latency_p50_us" => row.p50_us = value,
+            "sirup_program_latency_p99_us" => row.p99_us = value,
+            _ => {}
+        }
+    }
+    let mut sorted: Vec<((String, String), TopRow)> = rows.into_iter().collect();
+    sorted.sort_by(|a, b| b.1.requests.cmp(&a.1.requests).then(a.0.cmp(&b.0)));
+    let mut out = format!("top: {} live (program, instance) key(s)\n", sorted.len());
+    writeln!(
+        out,
+        "{:>7} {:>8} {:>8} {:>8}  {:<28} PROGRAM @ INSTANCE",
+        "REQS", "CARDS", "P50(µs)", "P99(µs)", "STRATEGIES"
+    )
+    .unwrap();
+    for ((program, instance), row) in sorted {
+        let mut strategies: Vec<String> = row
+            .strategies
+            .iter()
+            .map(|(s, n)| format!("{s} {n}"))
+            .collect();
+        strategies.sort_unstable();
+        writeln!(
+            out,
+            "{:>7} {:>8} {:>8} {:>8}  {:<28} {program} @ {instance}",
+            row.requests,
+            row.cardinality,
+            row.p50_us,
+            row.p99_us,
+            strategies.join(", ")
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// `top --connect ADDR [--count N] [--interval-ms N]`: poll the daemon's
+/// `metrics` verb and print the per-(program, instance) request table.
+fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let rounds = args
+        .flag_usize("count", 1)
+        .map_err(CliError::BadFlag)?
+        .max(1);
+    let interval = args
+        .flag_u32("interval-ms", 1000)
+        .map_err(CliError::BadFlag)?;
+    let mut client = connect_flag(args)?;
+    let mut out = String::new();
+    for round in 0..rounds {
+        if round > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval as u64));
+        }
+        out.push_str(&render_top(&scrape_metrics(&mut client)?));
+    }
+    Ok(out)
+}
+
+/// One span line parsed back out of a `trace` reply.
+struct SpanLine {
+    id: u64,
+    parent: u64,
+    level: String,
+    name: String,
+    dur_us: u64,
+    detail: String,
+}
+
+/// Parse a [`sirup_core::telemetry::SpanRecord::render`] line.
+fn parse_span(line: &str) -> Option<SpanLine> {
+    let rest = line.strip_prefix("span ")?;
+    // `detail` is last and may contain spaces; split it off first.
+    let (fields, detail) = rest.split_once(" detail=")?;
+    let field = |key: &str| {
+        fields
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix(key)?.strip_prefix('=').map(str::to_owned))
+    };
+    Some(SpanLine {
+        id: field("id")?.parse().ok()?,
+        parent: field("parent")?.parse().ok()?,
+        level: field("level")?,
+        name: field("name")?,
+        dur_us: field("dur_us")?.parse().ok()?,
+        detail: detail.to_owned(),
+    })
+}
+
+/// `trace --connect ADDR [--slow-ms N]`: fetch recent root spans at least
+/// N ms long and print each one's child tree, indented by span depth.
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let slow_ms = args.flag_u32("slow-ms", 0).map_err(CliError::BadFlag)?;
+    let mut client = connect_flag(args)?;
+    let reply = client
+        .request(&format!("trace {}", slow_ms as u64 * 1000))
+        .map_err(|e| CliError::Workload(e.to_string()))?;
+    let mut lines = reply.lines();
+    let head = lines.next().unwrap_or("");
+    let n: usize = head
+        .strip_prefix("ok trace ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| CliError::Workload(format!("unexpected trace reply: {head}")))?;
+    let mut out = format!("trace: {n} root span(s) with duration >= {slow_ms} ms\n");
+    // The daemon sends each tree depth-first, so a parent always precedes
+    // its children — one pass computes the indentation.
+    let mut depth: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for line in lines {
+        let Some(span) = parse_span(line) else {
+            return Err(CliError::Workload(format!("unparsable span line: {line}")));
+        };
+        let d = depth.get(&span.parent).map_or(0, |d| d + 1);
+        depth.insert(span.id, d);
+        let warn = if span.level == "warn" { " [warn]" } else { "" };
+        let detail = if span.detail == "-" {
+            String::new()
+        } else {
+            format!("  ({})", span.detail)
+        };
+        writeln!(
+            out,
+            "{:indent$}{} {}us{warn}{detail}",
+            "",
+            span.name,
+            span.dur_us,
+            indent = d * 2
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 /// Spawn `sirupctl serve --listen 127.0.0.1:0 --data-dir <dir>` as a child
@@ -1209,6 +1658,8 @@ mod tests {
             "serve",
             "replay",
             "stats",
+            "top",
+            "trace",
             "zoo",
         ] {
             assert!(h.contains(c), "help missing {c}");
@@ -1278,6 +1729,19 @@ request sigma d @20 = F(x), R(x,y), T(y)
         assert!(out.contains("supports  :"), "{out}");
         // q = F(x),R(x,y),T(y) is unbounded ⇒ semi-naive ⇒ P extension shown.
         assert!(out.contains("P "), "{out}");
+        // Registry section: all three requests share one program key, so the
+        // batch dedup compiles the plan once, and both query answers are
+        // cold (the mutation bumps the version between them).
+        assert!(out.contains("telemetry registry:"), "{out}");
+        assert!(
+            out.contains("plan cache     : 0 hit(s) / 1 miss(es)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("answer cache   : 0 hit(s) / 2 miss(es)"),
+            "{out}"
+        );
+        assert!(out.contains("wal            : (not durable)"), "{out}");
         // Filtering works, and unknown filters are reported.
         let filtered = run_line(&["stats", path.to_str().unwrap(), "--instance", "d"]).unwrap();
         assert!(filtered.contains("instance d:"), "{filtered}");
@@ -1289,6 +1753,127 @@ request sigma d @20 = F(x), R(x,y), T(y)
             run_line(&["stats"]),
             Err(CliError::MissingArgument(_))
         ));
+    }
+
+    #[test]
+    fn prometheus_sample_parsing_handles_labels_and_escapes() {
+        assert_eq!(
+            parse_sample("sirup_requests_total 7"),
+            Some(("sirup_requests_total", vec![], 7))
+        );
+        let (name, labels, v) = parse_sample(r#"x{program="a\"b\\c",instance="i"} 3"#).unwrap();
+        assert_eq!(name, "x");
+        assert_eq!(labels[0], ("program".to_owned(), "a\"b\\c".to_owned()));
+        assert_eq!(labels[1], ("instance".to_owned(), "i".to_owned()));
+        assert_eq!(v, 3);
+        assert!(parse_sample("# TYPE x counter").is_none());
+        assert!(parse_sample("").is_none());
+        let body = "a 1\na{l=\"x\"} 9\nb 2\n";
+        assert_eq!(metric_value(body, "a"), 1);
+        assert_eq!(metric_value(body, "b"), 2);
+        assert_eq!(metric_value(body, "c"), 0);
+    }
+
+    #[test]
+    fn span_line_parsing_round_trips_the_render_format() {
+        let s =
+            parse_span("span id=4 parent=1 level=info name=dpll start_us=10 dur_us=25 detail=-")
+                .unwrap();
+        assert_eq!((s.id, s.parent, s.dur_us), (4, 1, 25));
+        assert_eq!(s.name, "dpll");
+        assert_eq!(s.level, "info");
+        assert_eq!(s.detail, "-");
+        let s = parse_span(
+            "span id=9 parent=0 level=warn name=request start_us=0 dur_us=3 detail=pi @ d extra",
+        )
+        .unwrap();
+        assert_eq!(s.detail, "pi @ d extra");
+        assert!(parse_span("not a span line").is_none());
+    }
+
+    #[test]
+    fn top_trace_and_stats_read_a_live_daemon() {
+        let wire = WireConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            ..WireConfig::default()
+        };
+        let daemon = Daemon::start(
+            std::sync::Arc::new(Server::new(ServerConfig::default())),
+            wire,
+        )
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let text = "\
+instance cli_top = T(t), A(a), R(a,t)
+request sigma cli_top @0 = F(x), R(x,y), T(y)
+request sigma cli_top @1 = F(x), R(x,y), T(y)
+request mutate cli_top @2 = +A(b)
+";
+        let spec = parse_workload(text).unwrap();
+        replay_over_wire(&spec, &addr).unwrap();
+
+        let top = run_line(&["top", "--connect", &addr]).unwrap();
+        assert!(top.contains("REQS"), "{top}");
+        assert!(top.contains("PROGRAM @ INSTANCE"), "{top}");
+        assert!(top.contains("@ cli_top"), "{top}");
+
+        let trace = run_line(&["trace", "--connect", &addr]).unwrap();
+        assert!(
+            trace.contains("root span(s) with duration >= 0 ms"),
+            "{trace}"
+        );
+        assert!(trace.contains("request"), "{trace}");
+        let none = run_line(&["trace", "--connect", &addr, "--slow-ms", "3600000"]).unwrap();
+        assert!(none.starts_with("trace: 0 root span(s)"), "{none}");
+
+        let stats = run_line(&["stats", "--connect", &addr]).unwrap();
+        assert!(stats.contains("telemetry registry:"), "{stats}");
+        assert!(stats.contains("requests total :"), "{stats}");
+        assert!(stats.contains("plan cache"), "{stats}");
+        assert!(stats.contains("wal            : (not durable)"), "{stats}");
+
+        // The client subcommands all require --connect.
+        for cmd in ["top", "trace"] {
+            assert!(matches!(
+                run_line(&[cmd]),
+                Err(CliError::MissingArgument(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn obda_workload_is_pinned_to_its_generator() {
+        let emitted = run_line(&["schemaorg", "--traffic", "true", "--emit", "true"]).unwrap();
+        // The generated stream carries the Prop. 5 presentation.
+        assert!(emitted.contains("Rprime("), "{emitted}");
+        assert!(emitted.contains("request mutate obda"), "{emitted}");
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/obda.sirupload"
+        );
+        let checked_in = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            emitted, checked_in,
+            "workloads/obda.sirupload drifted from its generator; regenerate with \
+             `sirupctl schemaorg --traffic --emit > workloads/obda.sirupload`"
+        );
+        // And the seed replays cleanly end to end.
+        let out = run_line(&["replay", path, "--threads", "2"]).unwrap();
+        assert!(out.contains("24 request(s)"), "{out}");
+        assert!(!out.contains("mutations : 0"), "{out}");
+    }
+
+    #[test]
+    fn replay_metrics_appends_the_exposition() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/smoke.sirupload"
+        );
+        let out = run_line(&["replay", path, "--metrics", "true"]).unwrap();
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("# TYPE sirup_requests_total counter"), "{out}");
+        assert!(out.contains("sirup_program_latency_us_bucket"), "{out}");
+        assert!(out.contains("sirup_plan_cache_hits_total"), "{out}");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! The checksum is CRC-32 (IEEE, the zlib/PNG polynomial), table-driven and
 //! computed at compile time — no dependency.
 
+use crate::telemetry::{self, Counter, Family};
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Hard cap on a single frame's payload (16 MiB). Both the reader and the
 /// writer enforce it, so a corrupt length prefix can never provoke a huge
@@ -57,9 +59,11 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// [`write_frame`], used by the WAL's batch appends).
 pub fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
     assert!(payload.len() <= MAX_FRAME_LEN, "frame payload over the cap");
+    let _t = telemetry::timed(Family::FrameEncode, "frame_encode");
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
+    telemetry::counter_add(Counter::FramesEncoded, 1);
 }
 
 /// Write one frame around `payload`.
@@ -70,9 +74,12 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
             format!("frame payload of {} bytes over the cap", payload.len()),
         ));
     }
+    let _t = telemetry::timed(Family::FrameEncode, "frame_encode");
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&crc32(payload).to_le_bytes())?;
-    w.write_all(payload)
+    w.write_all(payload)?;
+    telemetry::counter_add(Counter::FramesEncoded, 1);
+    Ok(())
 }
 
 /// Read one complete frame. `Ok(None)` is a clean end of stream (EOF at a
@@ -97,6 +104,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
+    // Time the decode from the completed header: the wait for the first
+    // header byte is connection idle time, not decode work.
+    let started = telemetry::enabled().then(Instant::now);
     let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
     let want_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
     if len > MAX_FRAME_LEN {
@@ -112,6 +122,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             io::ErrorKind::InvalidData,
             "frame checksum mismatch",
         ));
+    }
+    if let Some(at) = started {
+        telemetry::observe(Family::FrameDecode, at.elapsed());
+        telemetry::counter_add(Counter::FramesDecoded, 1);
     }
     Ok(Some(payload))
 }

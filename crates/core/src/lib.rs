@@ -23,6 +23,8 @@
 //! * length-prefixed checksummed byte frames ([`frame`]) carrying both the
 //!   TCP wire protocol and the WAL's on-disk records,
 //! * poison-recovering lock helpers ([`sync`]) for long-lived service state,
+//! * a process-wide metrics registry and request-tracing facility
+//!   ([`telemetry`]) every layer reports into,
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
@@ -40,6 +42,7 @@ pub mod shape;
 pub mod structure;
 pub mod symbols;
 pub mod sync;
+pub mod telemetry;
 
 pub use bitset::NodeSet;
 pub use cq::OneCq;
@@ -49,3 +52,4 @@ pub use program::{Atom, Program, Rule, Term};
 pub use sched::{CancelToken, ParCtx, SchedStats, Scheduler};
 pub use structure::{Node, Structure};
 pub use symbols::Pred;
+pub use telemetry::TelemetrySnapshot;

@@ -42,6 +42,7 @@
 //! path, so small instances pay nothing. The sequential paths also remain
 //! the differential-test oracle for every parallel path.
 
+use crate::telemetry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -154,6 +155,7 @@ impl Inner {
     fn note_depth(&self, depth: usize) {
         self.max_queue_depth
             .fetch_max(depth as u64, Ordering::Relaxed);
+        telemetry::gauge_max(telemetry::Gauge::QueueDepthMax, depth as u64);
     }
 
     /// The queue index this thread pushes scoped subtasks to: its own deque
@@ -189,6 +191,7 @@ impl Inner {
                 return Err(task);
             }
             self.jobs_spawned.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add(telemetry::Counter::SchedJobs, 1);
             q.push_back(task);
             self.note_depth(q.len());
         }
@@ -224,6 +227,7 @@ impl Inner {
             let victim = (own + off) % n;
             if let Some(t) = self.queues[victim].lock().unwrap().pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add(telemetry::Counter::SchedSteals, 1);
                 return Some(t);
             }
         }
@@ -268,10 +272,14 @@ impl Inner {
             }
             // The timeout is a belt-and-braces re-poll; notify() serialises
             // with this wait, so wakeups are not normally missed.
-            let _ = self
+            telemetry::counter_add(telemetry::Counter::SchedParks, 1);
+            telemetry::gauge_add(telemetry::Gauge::WorkersParked, 1);
+            let parked = self
                 .cv
                 .wait_timeout(guard, Duration::from_millis(20))
                 .unwrap();
+            telemetry::gauge_sub(telemetry::Gauge::WorkersParked, 1);
+            let _ = parked;
         }
     }
 }
@@ -355,6 +363,7 @@ impl Scheduler {
             steals: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
         });
+        telemetry::gauge_add(telemetry::Gauge::WorkersTotal, workers as u64);
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);

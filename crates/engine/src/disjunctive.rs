@@ -17,6 +17,7 @@
 //! label so the search itself is unchanged.
 
 use sirup_core::program::DSirup;
+use sirup_core::telemetry;
 use sirup_core::{Node, ParCtx, Pred, Structure};
 use sirup_hom::QueryPlan;
 
@@ -84,6 +85,8 @@ fn certain_answer_inner(
         &dsirup.cq,
         "plan was not compiled from this d-sirup's CQ"
     );
+    telemetry::counter_add(telemetry::Counter::DpllChecks, 1);
+    let _t = telemetry::traced(telemetry::Family::Dpll, "dpll");
     let mut stats = DisjunctiveStats::default();
     if dsirup.disjoint {
         // Δ⁺ is inconsistent over data containing an FT-twin: entails G.

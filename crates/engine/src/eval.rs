@@ -17,6 +17,7 @@
 
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
+use sirup_core::telemetry;
 use sirup_core::{Node, ParCtx, Pred, PredIndex, Structure, Term};
 use sirup_hom::QueryPlan;
 
@@ -198,6 +199,7 @@ impl CompiledProgram {
         index: Option<&PredIndex>,
         par: Option<ParCtx<'_>>,
     ) -> Evaluation {
+        let _t = telemetry::traced(telemetry::Family::SemiNaiveFixpoint, "seminaive_fixpoint");
         // Working structure: data plus derived labels.
         let mut work = data.clone();
         let mut nullary: Vec<Pred> = Vec::new();
@@ -225,6 +227,7 @@ impl CompiledProgram {
         while changed {
             changed = false;
             rounds += 1;
+            telemetry::counter_add(telemetry::Counter::SemiNaiveRounds, 1);
             for (c, seed) in self.rules.iter().zip(&seeds) {
                 match c.head_node {
                     None => {

@@ -59,6 +59,7 @@
 use crate::eval::{CompiledProgram, Evaluation};
 use sirup_core::fx::{FxHashMap, FxHashSet};
 use sirup_core::program::Program;
+use sirup_core::telemetry;
 use sirup_core::{FactOp, Node, NodeSet, Pred, Structure};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
@@ -314,6 +315,8 @@ impl MaterializedFixpoint {
     /// test pins this. Retracts flush the pending batch first and cascade
     /// individually (DRed overdeletion is order-sensitive).
     pub fn apply(&mut self, ops: &[FactOp]) -> usize {
+        telemetry::counter_add(telemetry::Counter::IncrementalCascades, 1);
+        let _t = telemetry::traced(telemetry::Family::IncrementalCascade, "incremental_cascade");
         self.ensure_supports_seeded();
         let mut applied = 0usize;
         let mut seeds: Vec<Fact> = Vec::new();

@@ -29,6 +29,7 @@
 //! same pinning (`fix`), exclusion (`forbid`), and injectivity modes as the
 //! legacy finder, which is kept as the differential-test oracle.
 
+use sirup_core::telemetry;
 use sirup_core::{CancelToken, Node, NodeSet, ParCtx, Pred, PredIndex, Structure};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -332,6 +333,13 @@ pub struct PlanExec<'a> {
     cancel: Option<&'a CancelToken>,
 }
 
+/// Count a backtracking search and open its trace span (inert unless
+/// tracing is on).
+fn backtrack_span() -> telemetry::SpanGuard {
+    telemetry::counter_add(telemetry::Counter::BacktrackSearches, 1);
+    telemetry::traced(telemetry::Family::Backtrack, "backtrack")
+}
+
 /// The outcome of domain seeding + the AC-3 prefilter.
 enum Prep {
     /// Empty pattern: exactly one (empty) homomorphism.
@@ -418,6 +426,7 @@ impl<'a> PlanExec<'a> {
             Prep::EmptyPattern => true,
             Prep::NoMatch => false,
             Prep::Domains(domains) => {
+                let _t = backtrack_span();
                 if let Some(chunks) = self.par_chunks(&domains) {
                     return self.par_exists(&domains, chunks);
                 }
@@ -443,6 +452,7 @@ impl<'a> PlanExec<'a> {
             Prep::EmptyPattern => vec![Vec::new()],
             Prep::NoMatch => Vec::new(),
             Prep::Domains(domains) => {
+                let _t = backtrack_span();
                 if cap > 1 {
                     if let Some(chunks) = self.par_chunks(&domains) {
                         return self.par_find_up_to(&domains, chunks, cap);
@@ -469,7 +479,10 @@ impl<'a> PlanExec<'a> {
         match self.prepare() {
             Prep::EmptyPattern => f(&[]),
             Prep::NoMatch => true,
-            Prep::Domains(domains) => self.enumerate(&domains, self.cancel, &mut f),
+            Prep::Domains(domains) => {
+                let _t = backtrack_span();
+                self.enumerate(&domains, self.cancel, &mut f)
+            }
         }
     }
 
@@ -484,7 +497,12 @@ impl<'a> PlanExec<'a> {
         let Some(mut domains) = self.initial_domains() else {
             return Prep::NoMatch;
         };
-        if !self.ac3(&mut domains) {
+        telemetry::counter_add(telemetry::Counter::Ac3Runs, 1);
+        let ac3_ok = {
+            let _t = telemetry::traced(telemetry::Family::Ac3, "ac3");
+            self.ac3(&mut domains)
+        };
+        if !ac3_ok {
             return Prep::NoMatch;
         }
         Prep::Domains(domains)

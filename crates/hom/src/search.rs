@@ -15,6 +15,7 @@
 //! Pinning (`fix`) restricts domains before filtering; `injective` makes the
 //! search look for injective homomorphisms (used for isomorphisms).
 
+use sirup_core::telemetry;
 use sirup_core::{Node, Pred, PredIndex, Structure};
 
 /// Configurable homomorphism search from `pattern` into `target`.
@@ -106,9 +107,15 @@ impl<'a> HomFinder<'a> {
         let Some(mut domains) = self.initial_domains() else {
             return true;
         };
-        if !ac3(self.pattern, self.target, &mut domains) {
-            return true;
+        {
+            telemetry::counter_add(telemetry::Counter::Ac3Runs, 1);
+            let _t = telemetry::traced(telemetry::Family::Ac3, "ac3");
+            if !ac3(self.pattern, self.target, &mut domains) {
+                return true;
+            }
         }
+        telemetry::counter_add(telemetry::Counter::BacktrackSearches, 1);
+        let _t = telemetry::traced(telemetry::Family::Backtrack, "backtrack");
         let mut assignment: Vec<Option<Node>> = vec![None; np];
         let mut used: Vec<u32> = vec![0; nt];
         self.backtrack(&mut domains, &mut assignment, &mut used, &mut f)

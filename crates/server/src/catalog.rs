@@ -31,6 +31,7 @@
 use crate::cache::StampedLru;
 use sirup_core::fx::{FxHashMap, FxHasher};
 use sirup_core::sync;
+use sirup_core::telemetry;
 use sirup_core::{FactOp, PredIndex, Scheduler, Structure};
 use sirup_engine::{MaterializationStats, MaterializedFixpoint};
 use std::hash::Hasher as _;
@@ -276,6 +277,7 @@ impl Catalog {
         ticket: u64,
     ) -> Option<MutationOutcome> {
         {
+            let _t = telemetry::timed(telemetry::Family::TicketWait, "ticket_wait");
             let mut t = sync::lock(&self.tickets);
             while *t.applied.get(name).unwrap_or(&0) != ticket {
                 t = sync::wait(&self.ticket_cv, t);
@@ -302,6 +304,8 @@ impl Catalog {
     /// lock except for the final swap; same-instance ordering is the ticket
     /// sequencer's job.
     fn apply_mutation(&self, name: &str, ops: &[FactOp]) -> Option<MutationOutcome> {
+        telemetry::counter_add(telemetry::Counter::MutationsApplied, 1);
+        let _apply_t = telemetry::timed(telemetry::Family::MutationApply, "mutation_apply");
         let old = self.get(name)?;
         let mut data = old.data.clone();
         let applied = data.apply_all(ops);
@@ -310,6 +314,8 @@ impl Catalog {
         debug_assert_eq!(applied, index_applied, "index deltas diverged from data");
         let mats = StampedLru::new(MAX_LIVE_MATERIALIZATIONS);
         let entries = old.mats.entries();
+        let mat_t = (!entries.is_empty())
+            .then(|| telemetry::timed(telemetry::Family::MatCarry, "materialisation_carry"));
         match &self.mat_sched {
             Some(sched) if entries.len() >= 2 => {
                 // Independent per-program maintenance: one subtask per
@@ -337,6 +343,7 @@ impl Catalog {
                 }
             }
         }
+        drop(mat_t);
         let version = self.next_version();
         let seq = old.seq + 1;
         let inst = IndexedInstance {

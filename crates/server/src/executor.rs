@@ -31,6 +31,7 @@
 
 use crate::catalog::{Catalog, IndexedInstance};
 use crate::plan::{Answer, Plan};
+use sirup_core::telemetry;
 use sirup_core::{FactOp, ParCtx, SchedStats, Scheduler};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -128,6 +129,17 @@ impl Pool {
         let threshold = self.threshold;
         self.sched.spawn(move || {
             let par = par_enabled.then(|| ParCtx::new(&sched, threshold));
+            let (program, target) = match &job.work {
+                Work::Answer { plan, instance } => (plan.key(), instance.name.as_str()),
+                Work::Mutate { instance, .. } => ("mutation", instance.as_str()),
+            };
+            // Root trace span for this request (inert unless tracing is on,
+            // so the format! is gated too).
+            let _req = if telemetry::tracing_enabled() {
+                telemetry::request_span(format!("{program} @ {target}"))
+            } else {
+                telemetry::request_span(String::new())
+            };
             let (answer, strategy) = match &job.work {
                 Work::Answer { plan, instance } => {
                     (plan.answer_ctx(instance, par), plan.strategy.name())
@@ -151,13 +163,17 @@ impl Pool {
                     (answer, "mutation")
                 }
             };
+            let latency = job.enqueued.elapsed();
+            // The per-(program, instance) observation feed: strategy,
+            // latency, result cardinality (what adaptive routing will read).
+            telemetry::record_request(program, target, strategy, latency, answer.cardinality());
             // The batch collector may have given up (panic elsewhere); a
             // closed reply channel is not this worker's problem.
             let _ = job.reply.send(Completion {
                 idx: job.idx,
                 answer,
                 strategy,
-                latency: job.enqueued.elapsed(),
+                latency,
             });
         });
     }

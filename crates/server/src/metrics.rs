@@ -1,5 +1,6 @@
 //! Latency and throughput summaries for batch runs.
 
+use sirup_core::telemetry::nearest_rank;
 use std::time::Duration;
 
 /// Order statistics over a set of request latencies.
@@ -21,16 +22,19 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Summarise a sample set (empty ⇒ all zeros).
+    ///
+    /// Percentiles use the **nearest-rank** method shared with the
+    /// telemetry registry's histogram quantiles
+    /// ([`sirup_core::telemetry::nearest_rank`]): the p-th percentile of
+    /// `n` sorted samples is the value at 1-based rank `⌈p/100 · n⌉` — an
+    /// actual sample, never an interpolation, and p100 is exactly the max.
     pub fn from_durations(samples: &[Duration]) -> LatencyStats {
         if samples.is_empty() {
             return LatencyStats::default();
         }
         let mut us: Vec<u64> = samples.iter().map(|d| d.as_micros() as u64).collect();
         us.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            let rank = (p / 100.0 * (us.len() - 1) as f64).round() as usize;
-            us[rank.min(us.len() - 1)]
-        };
+        let pct = |p: f64| -> u64 { us[nearest_rank(us.len() as u64, p) as usize - 1] };
         LatencyStats {
             count: us.len(),
             mean_us: us.iter().sum::<u64>() / us.len() as u64,
@@ -45,15 +49,16 @@ impl LatencyStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn percentiles_of_uniform_ramp() {
         let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
         let s = LatencyStats::from_durations(&samples);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_us, 51); // rank round(0.5 * 99) = 50 → value 51
-        assert_eq!(s.p95_us, 95);
-        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.p50_us, 50); // nearest rank ⌈0.50·100⌉ = 50 → value 50
+        assert_eq!(s.p95_us, 95); // ⌈0.95·100⌉ = 95
+        assert_eq!(s.p99_us, 99); // ⌈0.99·100⌉ = 99
         assert_eq!(s.max_us, 100);
         assert_eq!(s.mean_us, 50);
     }
@@ -66,5 +71,27 @@ mod tests {
         assert_eq!(s.p99_us, 7);
         assert_eq!(s.max_us, 7);
         assert_eq!(s.count, 1);
+    }
+
+    proptest! {
+        // Nearest-rank percentiles are order statistics of the sample, so
+        // they must be monotone in p, bounded by the max, and themselves
+        // members of the sample set.
+        #[test]
+        fn percentiles_are_monotone_samples(
+            raw in proptest::collection::vec(0u64..1_000_000, 1..200)
+        ) {
+            let samples: Vec<Duration> =
+                raw.iter().map(|&us| Duration::from_micros(us)).collect();
+            let s = LatencyStats::from_durations(&samples);
+            prop_assert!(s.p50_us <= s.p95_us);
+            prop_assert!(s.p95_us <= s.p99_us);
+            prop_assert!(s.p99_us <= s.max_us);
+            prop_assert_eq!(s.max_us, *raw.iter().max().unwrap());
+            prop_assert!(raw.contains(&s.p50_us));
+            prop_assert!(raw.contains(&s.p95_us));
+            prop_assert!(raw.contains(&s.p99_us));
+            prop_assert!(s.mean_us <= s.max_us);
+        }
     }
 }

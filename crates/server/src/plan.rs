@@ -34,6 +34,7 @@ use crate::catalog::IndexedInstance;
 use sirup_cactus::{find_bound, pi_rewriting, sigma_rewriting, BoundSearch, Boundedness};
 use sirup_classifier::{classify_trichotomy, TrichotomyClass};
 use sirup_core::program::{pi_q, sigma_q, DSirup};
+use sirup_core::telemetry;
 use sirup_core::{Node, OneCq, Pred, Structure};
 use sirup_engine::containment::minimise_ucq;
 use sirup_engine::linear::{linearity, Linearity};
@@ -105,6 +106,18 @@ pub enum Answer {
         /// The instance's mutation sequence number after this batch.
         seq: u64,
     },
+}
+
+impl Answer {
+    /// Result cardinality for telemetry: answer-set size for `sigma`,
+    /// 0/1 for booleans, ops applied for mutations.
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            Answer::Bool(b) => *b as u64,
+            Answer::Nodes(nodes) => nodes.len() as u64,
+            Answer::Applied { applied, .. } => *applied as u64,
+        }
+    }
 }
 
 /// How a plan answers requests. Every variant carries its *compiled*
@@ -200,8 +213,16 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// The query's cache key, rendered once at build time (also the
+    /// "program" label in telemetry's per-(program, instance) table).
+    pub fn key(&self) -> &str {
+        &self.cache_key
+    }
+
     /// Build the plan for `query`.
     pub fn build(query: Query, opts: &PlanOptions) -> Plan {
+        telemetry::counter_add(telemetry::Counter::PlanCompiles, 1);
+        let _t = telemetry::timed(telemetry::Family::PlanCompile, "plan_compile");
         let cache_key = query.cache_key();
         let (core, _) = core_of(query.cq());
         let minimal = core.node_count() == query.cq().node_count();
@@ -366,6 +387,7 @@ impl PlanCache {
     /// unrelated programs. Concurrent misses for the same key duplicate
     /// work harmlessly.
     pub fn get_or_build(&self, query: &Query, opts: &PlanOptions) -> std::sync::Arc<Plan> {
+        let _t = telemetry::timed(telemetry::Family::CacheLookup, "plan_cache_lookup");
         let key = query.cache_key();
         if let Some(plan) = self.lru.get(&key) {
             return plan;

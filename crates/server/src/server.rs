@@ -27,6 +27,7 @@ use crate::metrics::LatencyStats;
 use crate::plan::{Answer, PlanCache, PlanOptions, Query};
 use crate::wal::{Wal, WalRecord};
 use sirup_core::fx::FxHashMap;
+use sirup_core::telemetry;
 use sirup_core::{sync, FactOp, OneCq, ParCtx, Scheduler, Structure};
 use sirup_engine::MaterializationStats;
 use sirup_workloads::traffic::{QueryKind, TrafficAction, TrafficRequest, TrafficSpec};
@@ -546,14 +547,24 @@ impl Server {
         let started = Instant::now();
         match &req.action {
             Action::Mutate(ops) => {
+                let _req_span = telemetry::tracing_enabled()
+                    .then(|| telemetry::request_span(format!("mutation @ {}", req.instance)));
                 let out = self.mutate_instance(&req.instance, ops)?;
+                let latency = started.elapsed();
+                telemetry::record_request(
+                    "mutation",
+                    &req.instance,
+                    "mutation",
+                    latency,
+                    out.applied as u64,
+                );
                 Ok(Response {
                     answer: Answer::Applied {
                         applied: out.applied,
                         seq: out.seq,
                     },
                     strategy: "mutation",
-                    latency: started.elapsed(),
+                    latency,
                 })
             }
             Action::Query(query) => {
@@ -562,16 +573,26 @@ impl Server {
                     .get(&req.instance)
                     .ok_or_else(|| ServerError::UnknownInstance(req.instance.clone()))?;
                 let cache_key = query.cache_key();
+                let _req_span = telemetry::tracing_enabled()
+                    .then(|| telemetry::request_span(format!("{cache_key} @ {}", inst.name)));
                 let answer_key = self
                     .answers
                     .enabled()
                     .then(|| format!("{cache_key}|{}#{}", inst.name, inst.version));
                 if let Some(key) = &answer_key {
                     if let Some(answer) = self.answers.get(key) {
+                        let latency = started.elapsed();
+                        telemetry::record_request(
+                            &cache_key,
+                            &inst.name,
+                            "cached",
+                            latency,
+                            answer.cardinality(),
+                        );
                         return Ok(Response {
                             answer,
                             strategy: "cached",
-                            latency: started.elapsed(),
+                            latency,
                         });
                     }
                 }
@@ -582,13 +603,68 @@ impl Server {
                 if let Some(key) = answer_key {
                     self.answers.insert(key, answer.clone());
                 }
+                let latency = started.elapsed();
+                telemetry::record_request(
+                    &cache_key,
+                    &inst.name,
+                    plan.strategy.name(),
+                    latency,
+                    answer.cardinality(),
+                );
                 Ok(Response {
                     answer,
                     strategy: plan.strategy.name(),
-                    latency: started.elapsed(),
+                    latency,
                 })
             }
         }
+    }
+
+    /// A point-in-time snapshot of the process-wide telemetry registry —
+    /// counters, gauges, latency histograms, and the per-(program,
+    /// instance) request table fed by the executor and the wire path. The
+    /// `metrics` wire verb and `replay --metrics` render this as
+    /// Prometheus-style text.
+    pub fn telemetry_snapshot(&self) -> sirup_core::TelemetrySnapshot {
+        telemetry::snapshot()
+    }
+
+    /// WAL `(epoch, log bytes)` on a durable server, `None` otherwise.
+    pub fn wal_stats(&self) -> Option<(u64, u64)> {
+        self.wal.as_ref().map(|w| {
+            let w = sync::lock(w);
+            (w.epoch(), w.log_len().unwrap_or(0))
+        })
+    }
+
+    /// The full Prometheus text exposition served by the `metrics` wire
+    /// verb: the process-wide registry
+    /// ([`Server::telemetry_snapshot`]) followed by this server's own
+    /// families — plan/answer cache hit/miss counters and, on a durable
+    /// server, WAL epoch and log size gauges. The caches are per-server
+    /// state (the registry is per-process), which is why they are appended
+    /// here rather than counted globally.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.telemetry_snapshot().to_prometheus();
+        let (ph, pm) = self.plans.stats();
+        let (ah, am) = self.answers.stats();
+        for (name, v) in [
+            ("sirup_plan_cache_hits_total", ph),
+            ("sirup_plan_cache_misses_total", pm),
+            ("sirup_answer_cache_hits_total", ah),
+            ("sirup_answer_cache_misses_total", am),
+        ] {
+            writeln!(out, "# TYPE {name} counter\n{name} {v}").unwrap();
+        }
+        if let Some((epoch, bytes)) = self.wal_stats() {
+            writeln!(out, "# TYPE sirup_wal_epoch gauge\nsirup_wal_epoch {epoch}").unwrap();
+            writeln!(
+                out,
+                "# TYPE sirup_wal_log_bytes gauge\nsirup_wal_log_bytes {bytes}"
+            )
+            .unwrap();
+        }
+        out
     }
 
     /// Stats of one live instance.

@@ -42,6 +42,7 @@
 
 use sirup_core::delta::{decode_ops, encode_ops};
 use sirup_core::frame;
+use sirup_core::telemetry::{self, Counter, Family};
 use sirup_core::{FactOp, Structure};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -321,7 +322,12 @@ impl Wal {
     /// returning. Callers apply the change to the catalog only after this
     /// returns, so an acknowledged effect is always on disk.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
-        frame::write_frame(&mut self.log, &record.encode())?;
+        telemetry::counter_add(Counter::WalAppends, 1);
+        {
+            let _t = telemetry::timed(Family::WalAppend, "wal_append");
+            frame::write_frame(&mut self.log, &record.encode())?;
+        }
+        let _t = telemetry::timed(Family::WalFsync, "wal_fsync");
         self.log.sync_data()
     }
 
@@ -342,6 +348,8 @@ impl Wal {
     /// quiesced the catalog — every appended record must be reflected in
     /// `instances` — and must block appends for the duration.
     pub fn compact(&mut self, instances: &[(String, u64, &Structure)]) -> io::Result<()> {
+        telemetry::counter_add(Counter::WalCompactions, 1);
+        let _t = telemetry::timed(Family::WalCompact, "wal_compact");
         let epoch = self.epoch + 1;
         let tmp = self.dir.join("snapshot.tmp");
         {

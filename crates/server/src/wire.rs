@@ -18,6 +18,8 @@
 //! remove <inst>
 //! snapshot
 //! tail <inst>
+//! metrics
+//! trace <min_us>
 //! ```
 //!
 //! Server → client payloads start with `ok`, `answer`, `error`, or (pushed
@@ -25,10 +27,18 @@
 //!
 //! ```text
 //! ok pong | ok instances a,b | ok loaded d nodes 5 atoms 7 | ok stats ...
+//! ok metrics\n<prometheus text> | ok trace 2\nspan id=.. parent=.. ...
 //! answer bool true | answer nodes n0,n3 | answer applied 2 seq 7
 //! op <inst> <seq> = +T(n4),-R(n0,n1)
 //! error <message>
 //! ```
+//!
+//! `metrics` dumps the process-wide telemetry registry in Prometheus text
+//! exposition; `trace <min_us>` returns every recent **root** span at
+//! least `min_us` long together with its full child tree, one rendered
+//! span per line (`sirupctl trace` reassembles the tree from the
+//! `id`/`parent` fields). The daemon switches span tracing on at startup,
+//! so the rings are populated exactly while a daemon serves.
 //!
 //! Node names on the wire are **canonical**: `n<i>` maps to node index `i`
 //! verbatim (the `load` verb carries an explicit node count so trailing
@@ -58,8 +68,10 @@
 use crate::plan::{Answer, Query};
 use crate::server::{Action, Request, Server};
 use sirup_core::delta::parse_op;
+use sirup_core::fx::FxHashMap;
 use sirup_core::parse::parse_structure;
 use sirup_core::sync;
+use sirup_core::telemetry::{self, SpanRecord};
 use sirup_core::{FactOp, Node, OneCq, Structure};
 use sirup_workloads::traffic::{split_ops, QueryKind};
 use std::io::{self, Write as _};
@@ -146,6 +158,10 @@ impl Daemon {
         let stop = Arc::new(AtomicBool::new(false));
         let tails = Arc::new(TailRegistry::default());
         server.set_snapshot_every(config.snapshot_every);
+        // A daemon is the long-running, inspectable deployment shape:
+        // switch span tracing on so `trace <min_us>` has rings to read.
+        // (Embedded/bench servers leave it off — spans cost nothing there.)
+        telemetry::set_tracing(true);
 
         let accept = {
             let server = Arc::clone(&server);
@@ -405,6 +421,36 @@ fn render_answer(answer: &Answer) -> String {
     }
 }
 
+/// Render the `trace <min_us>` reply: `ok trace <n>` for `n` qualifying
+/// root spans (duration ≥ `min_us`), then every span of each root's tree —
+/// root first, descendants in depth-first order — one
+/// [`SpanRecord::render`] line each.
+fn render_trace(spans: &[SpanRecord], min_us: u64) -> String {
+    let mut children: FxHashMap<u64, Vec<&SpanRecord>> = FxHashMap::default();
+    for s in spans {
+        if s.parent != 0 {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    let roots: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.parent == 0 && s.dur_us >= min_us)
+        .collect();
+    let mut out = format!("ok trace {}", roots.len());
+    for root in roots {
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            out.push('\n');
+            out.push_str(&s.render());
+            if let Some(kids) = children.get(&s.id) {
+                // Reverse push so depth-first output keeps recording order.
+                stack.extend(kids.iter().rev());
+            }
+        }
+    }
+    out
+}
+
 /// Dispatch one request line (the connection-independent part — pure
 /// request in, reply or tail subscription out).
 fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<Handled, String> {
@@ -557,6 +603,22 @@ fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<H
                 instance: inst.to_owned(),
                 seq,
             })
+        }
+        "metrics" => Ok(Handled::Reply(format!(
+            "ok metrics\n{}",
+            server.metrics_text()
+        ))),
+        "trace" => {
+            let min_us: u64 = match words.next() {
+                Some(w) => w
+                    .parse()
+                    .map_err(|_| format!("trace threshold {w:?} is not a µs count"))?,
+                None => 0,
+            };
+            Ok(Handled::Reply(render_trace(
+                &telemetry::recent_spans(),
+                min_us,
+            )))
         }
         // Deliberate crash hook for the panic-hardening tests: proves a
         // panicking handler yields `error internal`, poisons nothing

@@ -316,6 +316,77 @@ fn wire_replay_matches_in_process_replay() {
     }
 }
 
+/// The telemetry surface over the wire: `metrics` returns a Prometheus
+/// text exposition carrying the expected families (including the
+/// per-(program, instance) table fed by this test's own traffic), and
+/// `trace` returns rendered span trees — the daemon switches tracing on at
+/// startup, so the request roots and their timed children are in the
+/// rings.
+#[test]
+fn metrics_and_trace_verbs_expose_the_registry() {
+    let d = daemon(Server::with_defaults());
+    let mut c = client(&d);
+    c.request("load telem 2\n+F(n0),+R(n0,n1),+T(n1)").unwrap();
+    for _ in 0..4 {
+        assert_eq!(
+            c.request("query pi telem = F(x), R(x,y), T(y)").unwrap(),
+            "answer bool true"
+        );
+    }
+    assert_eq!(
+        c.request("mutate telem = +A(n0)").unwrap(),
+        "answer applied 1 seq 1"
+    );
+
+    let reply = c.request("metrics").unwrap();
+    let (head, body) = reply.split_once('\n').unwrap();
+    assert_eq!(head, "ok metrics");
+    for needle in [
+        "# TYPE sirup_requests_total counter",
+        "sirup_scheduler_workers",
+        "sirup_plan_compiles_total",
+        "sirup_mutations_applied_total",
+        "sirup_frame_decode_us_bucket{le=\"+Inf\"}",
+        "instance=\"telem\"",
+        "sirup_program_cardinality_total",
+        "sirup_program_latency_us_bucket",
+        "sirup_program_latency_p99_us",
+        "sirup_plan_cache_hits_total",
+        "sirup_answer_cache_misses_total",
+    ] {
+        assert!(body.contains(needle), "metrics missing {needle}:\n{body}");
+    }
+    // The per-key table saw this test's traffic: 4 pi queries (however
+    // they were served) and 1 mutation against `telem`.
+    let telem_requests: u64 = body
+        .lines()
+        .filter(|l| {
+            l.starts_with("sirup_program_requests_total{") && l.contains("instance=\"telem\"")
+        })
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(telem_requests, 5, "per-key request count:\n{body}");
+
+    // `trace 0` returns every recent root; each line parses as a span.
+    let reply = c.request("trace 0").unwrap();
+    let mut lines = reply.lines();
+    let head = lines.next().unwrap();
+    let n: usize = head.strip_prefix("ok trace ").unwrap().parse().unwrap();
+    assert!(n >= 5, "expected at least this test's 5 roots: {head}");
+    let spans: Vec<&str> = lines.collect();
+    assert!(spans.iter().all(|l| l.starts_with("span id=")), "{reply}");
+    assert!(
+        spans
+            .iter()
+            .any(|l| l.contains("name=request") && l.contains("@ telem")),
+        "no request root for telem:\n{reply}"
+    );
+    // An impossible threshold filters everything out.
+    assert_eq!(c.request("trace 999999999").unwrap(), "ok trace 0");
+    // A bad threshold is an error reply, not a disconnect.
+    assert!(c.request("trace soon").unwrap().starts_with("error "));
+}
+
 /// Loads over the wire validate their declared node count.
 #[test]
 fn load_rejects_out_of_range_nodes_and_retracts() {
