@@ -7,10 +7,15 @@
 //! both materialisations; (2) `replay_mixed_mutations_4t` — closed-loop
 //! replay of the standing mixed read/write workload (30% mutations, hot
 //! instance skew), instances re-loaded per iteration — the headline
-//! mutation-throughput figure tracked in `BENCH_incremental.json`.
+//! mutation-throughput figure tracked in `BENCH_incremental.json`;
+//! (3) `server_mutation_scale/32req_{1x,10x,100x}` — the same 32-op
+//! single-instance mutation batch against bipartite-tangle instances of
+//! ~512, ~5k and ~51k nodes: with page-granular copy-on-write snapshots
+//! the per-op write cost must stay flat in instance size (bench_check.sh
+//! gates the 100x/1x ratio at ≤2x).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sirup_bench::bench_opts;
+use sirup_bench::{bench_opts, bipartite_tangle};
 use sirup_core::{FactOp, Node, Pred};
 use sirup_server::{Query, ReplayMode, Request, Server, ServerConfig};
 use sirup_workloads::paper;
@@ -84,6 +89,31 @@ fn server_mutation(c: &mut Criterion) {
         },
     );
 
+    g.finish();
+
+    // The flat-writes sweep: identical 32-op mutation batches against
+    // instances 1x/10x/100x the size. No materialisations attached — this
+    // isolates the snapshot path (structure clone + patch, index deltas),
+    // which used to be O(instance) and is now O(touched pages).
+    let mut g = c.benchmark_group("server_mutation_scale");
+    bench_opts(&mut g);
+    for (tag, half) in [("1x", 256usize), ("10x", 2560), ("100x", 25600)] {
+        let s = server(1);
+        s.load_instance("big", bipartite_tangle(half, 2, 77));
+        let requests: Vec<Request> = (0..32)
+            .map(|i| {
+                let op = if i % 2 == 0 {
+                    FactOp::AddEdge(Pred::S, Node(0), Node(1))
+                } else {
+                    FactOp::RemoveEdge(Pred::S, Node(0), Node(1))
+                };
+                Request::mutation(vec![op], "big")
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("32req", tag), &requests, |b, reqs| {
+            b.iter(|| s.submit(reqs).unwrap());
+        });
+    }
     g.finish();
 }
 

@@ -873,6 +873,15 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
             stats.version, stats.nodes, stats.unary_atoms, stats.binary_atoms
         )
         .unwrap();
+        writeln!(
+            out,
+            "  storage   : ~{} B retained, {}/{} page(s) shared with previous version ({:.1}%)",
+            stats.cow.retained_bytes,
+            stats.cow.shared_pages,
+            stats.cow.pages,
+            stats.cow.shared_ratio() * 100.0
+        )
+        .unwrap();
         if stats.materializations.is_empty() {
             writeln!(out, "  (no live materialisations)").unwrap();
         }
@@ -969,7 +978,47 @@ fn cmd_stats_wire(args: &Args) -> Result<String, CliError> {
         ),
         wal,
     ));
+    // Per-instance storage: the daemon's `stats <inst>` verb carries the
+    // snapshot's page/sharing/retained-bytes figures.
+    if let Ok(reply) = client.request("list") {
+        if let Some(names) = reply.strip_prefix("ok instances ") {
+            for name in names.split(',').filter(|n| !n.is_empty()) {
+                if let Ok(stats) = client.request(&format!("stats {name}")) {
+                    if let Some(line) = wire_instance_line(&stats) {
+                        out.push_str(&line);
+                    }
+                }
+            }
+        }
+    }
     Ok(out)
+}
+
+/// Render one `ok stats <inst> ...` wire reply as a per-instance storage
+/// line for `stats --connect` (`None` if the reply is not in that shape).
+fn wire_instance_line(reply: &str) -> Option<String> {
+    let words: Vec<&str> = reply.split_whitespace().collect();
+    if words.first() != Some(&"ok") || words.get(1) != Some(&"stats") {
+        return None;
+    }
+    let name = words.get(2)?;
+    let get = |key: &str| {
+        words
+            .windows(2)
+            .find(|w| w[0] == key)
+            .and_then(|w| w[1].parse::<u64>().ok())
+    };
+    let (nodes, pages) = (get("nodes")?, get("pages")?);
+    let (shared, retained) = (get("shared")?, get("retained")?);
+    let ratio = if pages == 0 {
+        0.0
+    } else {
+        shared as f64 * 100.0 / pages as f64
+    };
+    Some(format!(
+        "\ninstance {name}: {nodes} node(s), ~{retained} B retained, \
+         {shared}/{pages} page(s) shared with previous version ({ratio:.1}%)"
+    ))
 }
 
 /// `serve --listen ADDR`: run the TCP daemon (blocking; never returns on

@@ -6,34 +6,40 @@
 //! labelled `T`", "all sources of `S`-edges") has to rescan every node. A
 //! [`PredIndex`] materialises those answers once so hot paths — homomorphism
 //! domain seeding, the server's evaluation strategies, rule-candidate
-//! selection in the datalog engine — can read them as sorted slices.
+//! selection in the datalog engine — can read them as sorted views.
 //!
 //! The index is a snapshot: it is only valid for the structure it was built
 //! from, *as of the build*. Callers that mutate the structure (the engine's
 //! working copy, the DPLL labelling search) must not consult a stale index
 //! for the mutated parts; the intended pattern is to index immutable data
 //! instances (the server catalog) and pass the index alongside them.
+//!
+//! Storage is chunked ([`crate::paged::Chunked`]): every posting list is a
+//! sorted sequence of `Arc`-shared chunks, so cloning the index for a new
+//! catalog snapshot is O(chunks) pointer bumps and applying a [`FactOp`]
+//! copies only the chunk the entry lands in. Source/sink lists carry a
+//! per-node multiplicity ([`NodeCounts`]) — how many `p`-edges keep the node
+//! in that role — so edge retraction decides membership in O(log) on both
+//! sides instead of rescanning the pair list.
 
 use crate::delta::FactOp;
 use crate::fx::FxHashMap;
+use crate::paged::{Chunked, ChunkedView, NodeCounts, NodesView};
 use crate::structure::{Node, Structure};
 use crate::symbols::Pred;
 
 /// Per-predicate index over one [`Structure`]: edge pair lists, source and
 /// sink lists per binary predicate, and node lists per unary predicate. All
-/// lists are sorted and duplicate-free.
+/// lists are sorted and duplicate-free (by key).
 #[derive(Debug, Clone, Default)]
 pub struct PredIndex {
-    pairs: FxHashMap<Pred, Vec<(Node, Node)>>,
-    sources: FxHashMap<Pred, Vec<Node>>,
-    sinks: FxHashMap<Pred, Vec<Node>>,
-    labelled: FxHashMap<Pred, Vec<Node>>,
-    /// Per-predicate in-degree counts, mirroring `sinks`: membership in
-    /// the sink list ⟺ a positive count. Kept so edge *retraction* can
-    /// decide sink liveness in O(1) instead of scanning the pair list
-    /// (`pairs` is sorted by source, so only the source side is
-    /// binary-searchable).
-    indegree: FxHashMap<Pred, FxHashMap<Node, u32>>,
+    pairs: FxHashMap<Pred, Chunked<(Node, Node)>>,
+    /// Sources counted by surviving out-edges under the predicate.
+    sources: FxHashMap<Pred, NodeCounts>,
+    /// Sinks counted by surviving in-edges under the predicate.
+    sinks: FxHashMap<Pred, NodeCounts>,
+    /// Labelled nodes (set semantics: count pinned to 1).
+    labelled: FxHashMap<Pred, NodeCounts>,
     node_count: usize,
 }
 
@@ -44,34 +50,34 @@ impl PredIndex {
         let mut sources: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
         let mut sinks: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
         let mut labelled: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
-        let mut indegree: FxHashMap<Pred, FxHashMap<Node, u32>> = FxHashMap::default();
         for (p, u, v) in s.edges() {
             pairs.entry(p).or_default().push((u, v));
             sources.entry(p).or_default().push(u);
             sinks.entry(p).or_default().push(v);
-            *indegree.entry(p).or_default().entry(v).or_default() += 1;
         }
         for (p, v) in s.unary_atoms() {
             labelled.entry(p).or_default().push(v);
         }
         // `edges()` iterates nodes in order and adjacency lists sorted by
-        // (pred, node), so `pairs` is already sorted; sources/sinks need a
-        // dedup pass (a node may source many p-edges).
-        for v in pairs.values_mut() {
-            v.sort_unstable();
-        }
-        for m in [&mut sources, &mut sinks, &mut labelled] {
-            for v in m.values_mut() {
-                v.sort_unstable();
-                v.dedup();
-            }
-        }
+        // (pred, node), so `pairs` is already sorted; source/sink node
+        // streams still need a sort before run-length counting.
+        let pairs = pairs
+            .into_iter()
+            .map(|(p, v)| (p, Chunked::from_sorted(v)))
+            .collect();
+        let count = |m: FxHashMap<Pred, Vec<Node>>| -> FxHashMap<Pred, NodeCounts> {
+            m.into_iter()
+                .map(|(p, mut nodes)| {
+                    nodes.sort_unstable();
+                    (p, Chunked::from_sorted(run_length(&nodes)))
+                })
+                .collect()
+        };
         PredIndex {
             pairs,
-            sources,
-            sinks,
-            labelled,
-            indegree,
+            sources: count(sources),
+            sinks: count(sinks),
+            labelled: count(labelled),
             node_count: s.node_count(),
         }
     }
@@ -84,81 +90,71 @@ impl PredIndex {
 
     /// All `(u, v)` with `p(u, v)`, sorted.
     #[inline]
-    pub fn pairs(&self, p: Pred) -> &[(Node, Node)] {
-        self.pairs.get(&p).map_or(&[], Vec::as_slice)
+    pub fn pairs(&self, p: Pred) -> ChunkedView<'_, (Node, Node)> {
+        self.pairs
+            .get(&p)
+            .map_or_else(ChunkedView::empty, Chunked::view)
     }
 
     /// All nodes with an outgoing `p`-edge, sorted, deduplicated.
     #[inline]
-    pub fn sources(&self, p: Pred) -> &[Node] {
-        self.sources.get(&p).map_or(&[], Vec::as_slice)
+    pub fn sources(&self, p: Pred) -> NodesView<'_> {
+        self.sources
+            .get(&p)
+            .map_or_else(NodesView::empty, NodeCounts::nodes)
     }
 
     /// All nodes with an incoming `p`-edge, sorted, deduplicated.
     #[inline]
-    pub fn sinks(&self, p: Pred) -> &[Node] {
-        self.sinks.get(&p).map_or(&[], Vec::as_slice)
+    pub fn sinks(&self, p: Pred) -> NodesView<'_> {
+        self.sinks
+            .get(&p)
+            .map_or_else(NodesView::empty, NodeCounts::nodes)
     }
 
     /// All nodes labelled `p`, sorted.
     #[inline]
-    pub fn nodes_with_label(&self, p: Pred) -> &[Node] {
-        self.labelled.get(&p).map_or(&[], Vec::as_slice)
+    pub fn nodes_with_label(&self, p: Pred) -> NodesView<'_> {
+        self.labelled
+            .get(&p)
+            .map_or_else(NodesView::empty, NodeCounts::nodes)
     }
 
     /// Is node `v` labelled `p` (by the indexed snapshot)?
     #[inline]
     pub fn has_label(&self, v: Node, p: Pred) -> bool {
-        self.nodes_with_label(p).binary_search(&v).is_ok()
+        self.nodes_with_label(p).contains(v)
     }
 
     /// Apply one [`FactOp`] delta, keeping the index a current snapshot of
     /// a structure mutated by the same op (same set/no-op and node-growth
     /// semantics as [`Structure::apply`]). Returns `true` iff the index
-    /// changed. Cost is a few binary searches plus list shifts — far below
-    /// the full [`PredIndex::new`] rebuild the mutation path would
-    /// otherwise pay per catalog update.
+    /// changed. Cost is a few chunk binary searches plus one chunk copy —
+    /// far below the full [`PredIndex::new`] rebuild the mutation path
+    /// would otherwise pay per catalog update.
     pub fn apply(&mut self, op: FactOp) -> bool {
         if op.is_insert() {
             self.node_count = self.node_count.max(op.max_node().index() + 1);
         }
         match op {
-            FactOp::AddLabel(p, v) => insert_sorted(self.labelled.entry(p).or_default(), v),
-            FactOp::RemoveLabel(p, v) => self
-                .labelled
-                .get_mut(&p)
-                .is_some_and(|l| remove_sorted(l, v)),
+            FactOp::AddLabel(p, v) => self.labelled.entry(p).or_default().insert_set(v),
+            FactOp::RemoveLabel(p, v) => prune(&mut self.labelled, p, |l| l.remove_set(v)),
             FactOp::AddEdge(p, u, v) => {
-                if !insert_sorted(self.pairs.entry(p).or_default(), (u, v)) {
+                if !self.pairs.entry(p).or_default().insert((u, v)) {
                     return false;
                 }
-                insert_sorted(self.sources.entry(p).or_default(), u);
-                insert_sorted(self.sinks.entry(p).or_default(), v);
-                *self.indegree.entry(p).or_default().entry(v).or_default() += 1;
+                self.sources.entry(p).or_default().incr(u);
+                self.sinks.entry(p).or_default().incr(v);
                 true
             }
             FactOp::RemoveEdge(p, u, v) => {
-                let Some(pairs) = self.pairs.get_mut(&p) else {
-                    return false;
-                };
-                if !remove_sorted(pairs, (u, v)) {
+                if !prune(&mut self.pairs, p, |l| l.remove((u, v)).is_some()) {
                     return false;
                 }
-                // Drop u/v from the deduplicated source/sink lists only when
-                // their last p-edge in that role went away: the source side
-                // reads the sorted pair list, the sink side its in-degree
-                // count.
-                let lo = pairs.partition_point(|&(a, _)| a < u);
-                if pairs[lo..].first().is_none_or(|&(a, _)| a != u) {
-                    remove_sorted(self.sources.get_mut(&p).unwrap(), u);
-                }
-                let indeg = self.indegree.get_mut(&p).unwrap();
-                let count = indeg.get_mut(&v).expect("sink has an in-degree entry");
-                *count -= 1;
-                if *count == 0 {
-                    indeg.remove(&v);
-                    remove_sorted(self.sinks.get_mut(&p).unwrap(), v);
-                }
+                // The counted sets drop u/v exactly when their last p-edge
+                // in that role went away.
+                prune(&mut self.sources, p, |s| s.decr(u));
+                prune(&mut self.sinks, p, |s| s.decr(v));
                 true
             }
         }
@@ -183,28 +179,78 @@ impl PredIndex {
         ps.sort_unstable();
         ps
     }
-}
 
-/// Insert into a sorted, duplicate-free list. `true` iff inserted.
-fn insert_sorted<T: Ord>(list: &mut Vec<T>, x: T) -> bool {
-    match list.binary_search(&x) {
-        Ok(_) => false,
-        Err(pos) => {
-            list.insert(pos, x);
-            true
+    /// Total posting-list chunks across all predicates and roles.
+    pub fn chunk_count(&self) -> usize {
+        self.pairs.values().map(Chunked::chunk_count).sum::<usize>()
+            + [&self.sources, &self.sinks, &self.labelled]
+                .iter()
+                .flat_map(|m| m.values())
+                .map(Chunked::chunk_count)
+                .sum::<usize>()
+    }
+
+    /// Chunks physically shared with `other` (same predicate, same
+    /// position) — the structural sharing between two snapshots related by
+    /// mutation.
+    pub fn shared_chunks_with(&self, other: &PredIndex) -> usize {
+        fn shared<T: crate::paged::ChunkEntry>(
+            a: &FxHashMap<Pred, Chunked<T>>,
+            b: &FxHashMap<Pred, Chunked<T>>,
+        ) -> usize {
+            a.iter()
+                .filter_map(|(p, l)| Some(l.shared_chunks_with(b.get(p)?)))
+                .sum()
         }
+        shared(&self.pairs, &other.pairs)
+            + shared(&self.sources, &other.sources)
+            + shared(&self.sinks, &other.sinks)
+            + shared(&self.labelled, &other.labelled)
+    }
+
+    /// Approximate retained heap bytes (shared chunks counted fully).
+    pub fn retained_bytes(&self) -> usize {
+        self.pairs
+            .values()
+            .map(Chunked::retained_bytes)
+            .sum::<usize>()
+            + [&self.sources, &self.sinks, &self.labelled]
+                .iter()
+                .flat_map(|m| m.values())
+                .map(Chunked::retained_bytes)
+                .sum::<usize>()
     }
 }
 
-/// Remove from a sorted list. `true` iff removed.
-fn remove_sorted<T: Ord>(list: &mut Vec<T>, x: T) -> bool {
-    match list.binary_search(&x) {
-        Ok(pos) => {
-            list.remove(pos);
-            true
-        }
-        Err(_) => false,
+/// Run a removal against `m[p]` and drop the key when the list empties, so
+/// an applied index stays indistinguishable from a rebuild (which never has
+/// empty-keyed entries). Returns what the closure returned (`false` when
+/// the key was absent).
+fn prune<T: crate::paged::ChunkEntry>(
+    m: &mut FxHashMap<Pred, Chunked<T>>,
+    p: Pred,
+    f: impl FnOnce(&mut Chunked<T>) -> bool,
+) -> bool {
+    let Some(list) = m.get_mut(&p) else {
+        return false;
+    };
+    let changed = f(list);
+    if list.is_empty() {
+        m.remove(&p);
     }
+    changed
+}
+
+/// Run-length encode a sorted node stream into counted entries.
+fn run_length(nodes: &[Node]) -> Vec<(Node, u32)> {
+    let mut out: Vec<(Node, u32)> = Vec::new();
+    for &v in nodes {
+        match out.last_mut() {
+            Some(e) if e.0 == v => e.1 += 1,
+            _ => out.push((v, 1)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -218,14 +264,14 @@ mod tests {
         let idx = PredIndex::new(&s);
         assert_eq!(idx.node_count(), s.node_count());
         for p in s.binary_preds() {
-            assert_eq!(idx.pairs(p), s.edges_by_pred(p).as_slice());
+            assert_eq!(idx.pairs(p).to_vec(), s.edges_by_pred(p));
             let mut srcs: Vec<Node> = s.edges_by_pred(p).iter().map(|&(u, _)| u).collect();
             srcs.sort_unstable();
             srcs.dedup();
-            assert_eq!(idx.sources(p), srcs.as_slice());
+            assert_eq!(idx.sources(p).to_vec(), srcs);
         }
         for p in s.unary_preds() {
-            assert_eq!(idx.nodes_with_label(p), s.nodes_with_label(p).as_slice());
+            assert_eq!(idx.nodes_with_label(p).to_vec(), s.nodes_with_label(p));
         }
         assert_eq!(idx.binary_preds(), s.binary_preds());
         assert_eq!(idx.unary_preds(), s.unary_preds());
@@ -268,17 +314,35 @@ mod tests {
             let fresh = PredIndex::new(&s);
             assert_eq!(idx.node_count(), fresh.node_count(), "step {step}: {op}");
             for p in preds_b {
-                assert_eq!(idx.pairs(p), fresh.pairs(p), "step {step}: {op}");
-                assert_eq!(idx.sources(p), fresh.sources(p), "step {step}: {op}");
-                assert_eq!(idx.sinks(p), fresh.sinks(p), "step {step}: {op}");
-            }
-            for p in preds_u {
                 assert_eq!(
-                    idx.nodes_with_label(p),
-                    fresh.nodes_with_label(p),
+                    idx.pairs(p).to_vec(),
+                    fresh.pairs(p).to_vec(),
+                    "step {step}: {op}"
+                );
+                assert_eq!(
+                    idx.sources(p).to_vec(),
+                    fresh.sources(p).to_vec(),
+                    "step {step}: {op}"
+                );
+                assert_eq!(
+                    idx.sinks(p).to_vec(),
+                    fresh.sinks(p).to_vec(),
                     "step {step}: {op}"
                 );
             }
+            for p in preds_u {
+                assert_eq!(
+                    idx.nodes_with_label(p).to_vec(),
+                    fresh.nodes_with_label(p).to_vec(),
+                    "step {step}: {op}"
+                );
+            }
+            assert_eq!(
+                idx.binary_preds(),
+                fresh.binary_preds(),
+                "step {step}: {op}"
+            );
+            assert_eq!(idx.unary_preds(), fresh.unary_preds(), "step {step}: {op}");
         }
     }
 
@@ -289,6 +353,21 @@ mod tests {
         let idx = PredIndex::new(&s);
         assert_eq!(idx.sources(Pred::R).len(), 1);
         assert_eq!(idx.sinks(Pred::R).len(), 3);
+        assert_eq!(idx.pairs(Pred::R).len(), 3);
+    }
+
+    #[test]
+    fn cloned_index_shares_chunks() {
+        let s = st("F(a), R(a,b), T(b), R(b,c), S(c,a), A(c)");
+        let mut idx = PredIndex::new(&s);
+        let snap = idx.clone();
+        assert_eq!(idx.shared_chunks_with(&snap), idx.chunk_count());
+        idx.apply(FactOp::AddEdge(Pred::R, Node(0), Node(2)));
+        // Only the R pair/source/sink chunks diverged.
+        assert!(idx.shared_chunks_with(&snap) >= idx.chunk_count().saturating_sub(3));
+        assert!(idx.retained_bytes() > 0);
+        // The snapshot still answers from the old version.
+        assert_eq!(snap.pairs(Pred::R).len(), 2);
         assert_eq!(idx.pairs(Pred::R).len(), 3);
     }
 }

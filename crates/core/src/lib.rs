@@ -16,6 +16,9 @@
 //! * prebuilt per-predicate indexes over structures ([`index::PredIndex`]),
 //!   used by the hom engine and the query service for repeated global
 //!   per-predicate lookups,
+//! * structurally-shared paged storage ([`paged`]) backing both: O(pages)
+//!   snapshot clones with page-granular copy-on-write, so the service's
+//!   snapshot-per-mutation catalog pays O(touched) per write,
 //! * fact-level deltas over structures ([`delta::FactOp`]) — the mutation
 //!   vocabulary shared by the incremental fixpoint maintenance, the
 //!   service-layer mutation traffic, the workload file format, and (in the
@@ -35,6 +38,7 @@ pub mod delta;
 pub mod frame;
 pub mod fx;
 pub mod index;
+pub mod paged;
 pub mod parse;
 pub mod program;
 pub mod sched;

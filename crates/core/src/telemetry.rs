@@ -97,6 +97,9 @@ pub enum Counter {
     SchedParks,
     /// Scheduler jobs spawned.
     SchedJobs,
+    /// Storage pages copied on write (a shared page had to be cloned
+    /// before mutation — the catalog's per-write allocation unit).
+    PageCow,
 }
 
 const COUNTERS: &[(Counter, &str)] = &[
@@ -122,6 +125,7 @@ const COUNTERS: &[(Counter, &str)] = &[
     (Counter::SchedSteals, "sirup_scheduler_steals_total"),
     (Counter::SchedParks, "sirup_scheduler_parks_total"),
     (Counter::SchedJobs, "sirup_scheduler_jobs_total"),
+    (Counter::PageCow, "sirup_catalog_page_cow_total"),
 ];
 
 /// Instantaneous values (set / add / monotone max).
@@ -133,12 +137,16 @@ pub enum Gauge {
     WorkersParked,
     /// Worker threads started across all schedulers.
     WorkersTotal,
+    /// Heap bytes retained across catalog snapshots that are physically
+    /// shared between the live instance versions (structural sharing).
+    CatalogBytesShared,
 }
 
 const GAUGES: &[(Gauge, &str)] = &[
     (Gauge::QueueDepthMax, "sirup_scheduler_queue_depth_max"),
     (Gauge::WorkersParked, "sirup_scheduler_workers_parked"),
     (Gauge::WorkersTotal, "sirup_scheduler_workers"),
+    (Gauge::CatalogBytesShared, "sirup_catalog_bytes_shared"),
 ];
 
 /// Latency histogram families (all in microseconds).

@@ -215,7 +215,6 @@ impl CompiledProgram {
                 Some(
                     idx.nodes_with_label(first)
                         .iter()
-                        .copied()
                         .filter(|&a| rest.iter().all(|&l| idx.has_label(a, l)))
                         .collect(),
                 )

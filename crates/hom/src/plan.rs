@@ -29,6 +29,7 @@
 //! same pinning (`fix`), exclusion (`forbid`), and injectivity modes as the
 //! legacy finder, which is kept as the differential-test oracle.
 
+use sirup_core::paged::NodesView;
 use sirup_core::telemetry;
 use sirup_core::{CancelToken, Node, NodeSet, ParCtx, Pred, PredIndex, Structure};
 use std::fmt;
@@ -638,10 +639,10 @@ impl<'a> PlanExec<'a> {
 
     /// Smallest index-backed candidate list for pattern node `u`, if an
     /// index is attached and `u` is constrained at all.
-    fn seed_candidates(&self, c: &VarConstraint) -> Option<&'a [Node]> {
+    fn seed_candidates(&self, c: &VarConstraint) -> Option<NodesView<'a>> {
         let idx = self.index?;
-        let mut best: Option<&[Node]> = None;
-        let mut consider = |list: &'a [Node]| {
+        let mut best: Option<NodesView<'a>> = None;
+        let mut consider = |list: NodesView<'a>| {
             if best.is_none_or(|b| list.len() < b.len()) {
                 best = Some(list);
             }
@@ -696,7 +697,7 @@ impl<'a> PlanExec<'a> {
                 }
                 None => match self.seed_candidates(c) {
                     Some(seed) => {
-                        for &t in seed {
+                        for t in seed.iter() {
                             if admissible(t) {
                                 dom.insert(t);
                             }

@@ -15,6 +15,7 @@
 //! Pinning (`fix`) restricts domains before filtering; `injective` makes the
 //! search look for injective homomorphisms (used for isomorphisms).
 
+use sirup_core::paged::NodesView;
 use sirup_core::telemetry;
 use sirup_core::{Node, Pred, PredIndex, Structure};
 
@@ -135,10 +136,15 @@ impl<'a> HomFinder<'a> {
     /// an index is attached and `u` is constrained at all. The list is an
     /// over-approximation of the domain (one constraint, not all), so
     /// members still go through the full admissibility check.
-    fn seed_candidates(&self, u: Node, preds_out: &[Pred], preds_in: &[Pred]) -> Option<&[Node]> {
+    fn seed_candidates(
+        &self,
+        u: Node,
+        preds_out: &[Pred],
+        preds_in: &[Pred],
+    ) -> Option<NodesView<'a>> {
         let idx = self.index?;
-        let mut best: Option<&[Node]> = None;
-        let mut consider = |list: &'a [Node]| {
+        let mut best: Option<NodesView<'a>> = None;
+        let mut consider = |list: NodesView<'a>| {
             if best.is_none_or(|b| list.len() < b.len()) {
                 best = Some(list);
             }
@@ -176,7 +182,7 @@ impl<'a> HomFinder<'a> {
             let mut any = false;
             match self.seed_candidates(u, &preds_out, &preds_in) {
                 Some(seed) => {
-                    for &t in seed {
+                    for t in seed.iter() {
                         if admissible(t) {
                             dom[t.index()] = true;
                             any = true;

@@ -82,7 +82,7 @@ pub mod server;
 pub mod wal;
 pub mod wire;
 
-pub use catalog::{Catalog, IndexedInstance, MutationOutcome};
+pub use catalog::{Catalog, CowStats, IndexedInstance, MutationOutcome};
 pub use metrics::LatencyStats;
 pub use plan::{Answer, Plan, PlanCache, PlanOptions, Query, Strategy, Verdicts};
 pub use server::{

@@ -293,6 +293,9 @@ pub struct InstanceStats {
     pub unary_atoms: usize,
     /// Binary atoms.
     pub binary_atoms: usize,
+    /// Structural sharing of the live snapshot with the version it was
+    /// mutated from (zero shared pages right after a load).
+    pub cow: crate::catalog::CowStats,
     /// Per-program materialisation stats, sorted by program key.
     pub materializations: Vec<(String, MaterializationStats)>,
 }
@@ -677,6 +680,7 @@ impl Server {
             nodes: inst.data.node_count(),
             unary_atoms: inst.data.label_count(),
             binary_atoms: inst.data.edge_count(),
+            cow: inst.cow,
             materializations: inst.materialization_stats(),
         })
     }

@@ -464,6 +464,58 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_bytes_are_identical_across_mutation_histories() {
+        // Two WALs reach the same logical instance along different paths:
+        // one loads the final state directly, the other loads a precursor
+        // and mutates its way there (including retractions, so page and
+        // chunk layouts inside the paged storage differ along the way).
+        // `snapshot.bin` serialises through the canonical `to_ops` order,
+        // so compaction must produce byte-identical files — recovery and
+        // crash-check stay stable across the storage representation.
+        let final_state = {
+            let mut s = st("F(a), R(a,b), T(b), S(b,c), A(c)");
+            s.apply(FactOp::AddLabel(Pred::A, Node(0)));
+            s
+        };
+        let dir_direct = tmpdir("snap-direct");
+        let dir_mutated = tmpdir("snap-mutated");
+        {
+            let (mut wal, _) = Wal::open(&dir_direct).unwrap();
+            wal.append(&load_record("d", &final_state)).unwrap();
+            wal.compact(&[("d".to_owned(), 2, &final_state)]).unwrap();
+        }
+        {
+            let (mut wal, _) = Wal::open(&dir_mutated).unwrap();
+            let mut data = st("F(a), R(a,b), T(b), S(b,c), A(c), S(c,a)");
+            wal.append(&load_record("d", &data)).unwrap();
+            for (seq, ops) in [
+                (1u64, vec![FactOp::RemoveEdge(Pred::S, Node(2), Node(0))]),
+                (2u64, vec![FactOp::AddLabel(Pred::A, Node(0))]),
+            ] {
+                data.apply_all(&ops);
+                wal.append(&WalRecord::Mutate {
+                    name: "d".into(),
+                    seq,
+                    ops,
+                })
+                .unwrap();
+            }
+            assert_eq!(data, final_state, "histories converge logically");
+            wal.compact(&[("d".to_owned(), 2, &data)]).unwrap();
+        }
+        let direct = fs::read(dir_direct.join("snapshot.bin")).unwrap();
+        let mutated = fs::read(dir_mutated.join("snapshot.bin")).unwrap();
+        assert_eq!(direct, mutated, "snapshot bytes diverged across histories");
+        // And recovery from those bytes reproduces the instance exactly.
+        let (_, recovered) = Wal::open(&dir_mutated).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].data, final_state);
+        assert_eq!(recovered[0].seq, 2);
+        fs::remove_dir_all(&dir_direct).unwrap();
+        fs::remove_dir_all(&dir_mutated).unwrap();
+    }
+
+    #[test]
     fn torn_final_record_recovers_at_every_cut() {
         let dir = tmpdir("torn");
         {

@@ -555,7 +555,8 @@ fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<H
                 .instance_stats(inst)
                 .ok_or_else(|| format!("unknown instance {inst:?}"))?;
             Ok(Handled::Reply(format!(
-                "ok stats {} seq {} nodes {} unary {} binary {} mats {} version {}",
+                "ok stats {} seq {} nodes {} unary {} binary {} mats {} version {} \
+                 pages {} shared {} retained {}",
                 s.name,
                 s.seq,
                 s.nodes,
@@ -563,6 +564,9 @@ fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<H
                 s.binary_atoms,
                 s.materializations.len(),
                 s.version,
+                s.cow.pages,
+                s.cow.shared_pages,
+                s.cow.retained_bytes,
             )))
         }
         "dump" => {

@@ -28,11 +28,16 @@
 #     BENCH_TELEMETRY_MAX_OVERHEAD (default 1.25 in quick mode; the <5%
 #     acceptance figure is demonstrated at long windows and recorded in
 #     BENCH_server.json) of the registry-off point from the same run.
+#  5. flat writes (machine-independent): the 32-op mutation batch against
+#     a 100x-size instance must stay within BENCH_FLAT_WRITE_MAX (default
+#     2.0) of the same batch against the 1x instance, measured within the
+#     fresh run — the acceptance bar of the page-granular copy-on-write
+#     snapshot path (a reintroduced O(instance) clone fails it instantly).
 #
 # Usage: scripts/bench_check.sh
 #   env: BENCH_CHECK_FACTOR=2.0  BENCH_PARALLEL_MIN_SPEEDUP=2.0
 #        CRITERION_SHIM_MEASURE_MS=25  BENCH_PARALLEL_ACCEPT_STALE=1
-#        BENCH_TELEMETRY_MAX_OVERHEAD=1.05
+#        BENCH_TELEMETRY_MAX_OVERHEAD=1.05  BENCH_FLAT_WRITE_MAX=2.0
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,6 +87,8 @@ WATCH = {
         "incremental/maintain_cascade_pair/24",
         "server_mutation/mutation_submit_32req/4",
         "server_mutation/replay_mixed_mutations_4t",
+        "server_mutation_scale/32req/1x",
+        "server_mutation_scale/32req/100x",
     ],
     "BENCH_parallel.json": [
         "parallel/seq_exists",
@@ -149,6 +156,30 @@ else:
           f"(mean {mean_ratio:.3f}x, best-sample {min_ratio:.3f}x, bar: {tel_bar}x)")
     if ratio > tel_bar:
         failures.append(f"{bar}: {ratio:.3f}x > {tel_bar}x over the telemetry-off run")
+
+# Flat writes: identical 32-op mutation batches against 1x / 100x
+# instances from the same run. With page-granular copy-on-write snapshots
+# the per-op write cost is O(touched pages), so the ratio stays near 1;
+# any reintroduced O(instance) work in the mutation path (a full clone, a
+# per-mutation instance walk) blows straight through the 2x bar.
+flat_bar = float(os.environ.get("BENCH_FLAT_WRITE_MAX", "2.0"))
+bar = "[flat-writes] mutation batch 100x-vs-1x instance"
+one_x = fresh.get("server_mutation_scale/32req/1x")
+hundred_x = fresh.get("server_mutation_scale/32req/100x")
+if one_x is None or hundred_x is None:
+    failures.append(f"{bar}: points missing from this run")
+else:
+    mean_ratio = hundred_x / one_x
+    min_ratio = fresh_min["server_mutation_scale/32req/100x"] / \
+        fresh_min["server_mutation_scale/32req/1x"]
+    ratio = min(mean_ratio, min_ratio)  # same noise treatment as telemetry
+    verdict = "ok" if ratio <= flat_bar else "REGRESSION"
+    print(f"  {verdict:>10}  {bar}: {ratio:.2f}x "
+          f"(mean {mean_ratio:.2f}x, best-sample {min_ratio:.2f}x, bar: {flat_bar}x)")
+    if ratio > flat_bar:
+        failures.append(
+            f"{bar}: {ratio:.2f}x > {flat_bar}x — write latency is no longer "
+            f"flat in instance size (O(instance) work is back in the mutation path)")
 
 # Intra-request parallel scaling: 4 scheduler workers vs 1 on the same
 # run's large-instance points. Enforced directly on hosts with >= 4 CPUs.
