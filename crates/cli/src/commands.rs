@@ -17,7 +17,9 @@ use sirup_core::shape::{is_dag, DitreeView};
 use sirup_core::{OneCq, Structure};
 use sirup_fo::{render_sql, ucq_to_fo, SqlDialect};
 use sirup_schemaorg::SchemaOrgQuery;
-use sirup_server::{Daemon, PlanOptions, ReplayMode, Server, ServerConfig, WireConfig};
+use sirup_server::{
+    AdaptiveConfig, Daemon, PlanOptions, ReplayMode, Server, ServerConfig, WireConfig,
+};
 use sirup_workloads::traffic::{
     mixed_traffic, parse_workload, render_workload, QueryKind, TrafficAction, TrafficParams,
     TrafficRequest, TrafficSpec,
@@ -116,7 +118,7 @@ COMMANDS
                                 workloads/obda.sirupload generator)
   serve [--requests N] [--instances N] [--nodes N] [--edges N] [--gap-us N]
         [--random-cqs N] [--seed N] [--mutation-ratio F] [--hot F] [--emit]
-        [--scaling] [SERVICE FLAGS]
+        [--scaling] [--phases] [SERVICE FLAGS]
                                 generate a mixed workload and run it through the
                                 query service; --mutation-ratio F interleaves
                                 insert/retract traffic, --hot F skews towards a
@@ -124,7 +126,11 @@ COMMANDS
                                 instead of running it); --scaling generates the
                                 parallel-scaling shape instead — one large
                                 instance (--nodes) under heavy queries (this is
-                                the workloads/large.sirupload generator)
+                                the workloads/large.sirupload generator);
+                                --phases generates the write-heavy → read-heavy
+                                → write-heavy shape that exercises the adaptive
+                                controller (the workloads/phases.sirupload
+                                generator; --requests N sets requests per phase)
   serve --listen ADDR [--data-dir DIR] [--snapshot-every N] [SERVICE FLAGS]
                                 run the TCP daemon instead: bind ADDR (e.g.
                                 127.0.0.1:7407, or :0 for a free port), print
@@ -163,6 +169,14 @@ COMMANDS
     --plan-cache N, --answer-cache N (0 disables), --open (pace by arrival
     offsets), and the plan knobs --max-depth N, --horizon N, --cap N
     (Prop. 2 rewriting-adoption evidence search)
+  ADAPTIVE FLAGS (same commands): --adaptive turns the feedback controller
+    on (off by default; answers are bit-identical either way);
+    --promote-after N / --demote-after N set the read/write-run hysteresis
+    for attaching/detaching maintained materialisations; --replan-factor F /
+    --replan-samples N gate observed-selectivity re-planning; and
+    --admission-burst-us N / --admission-refill-us N configure the
+    per-instance latency token bucket (0 = admission off) whose overflow
+    sheds queries with `error overloaded:`
   connect <addr> <request...>   send one raw wire request (`ping`, `list`,
                                 `stats d`, `dump d`, `mutate d = +T(n1)`, ...)
                                 and print the reply
@@ -178,8 +192,10 @@ COMMANDS
   top --connect ADDR [--count N] [--interval-ms N]
                                 live per-(program, instance) table from the
                                 daemon's metrics — requests, serving strategies,
-                                result cardinality, p50/p99 latency; polls N
-                                rounds (default 1) every interval
+                                result cardinality, p50/p99 latency, and (on an
+                                adaptive server) the current route with its
+                                reason; polls N rounds (default 1) every
+                                interval
   trace --connect ADDR [--slow-ms N]
                                 span trees of recent requests at least N ms
                                 long, from the daemon's trace rings (plan
@@ -627,6 +643,31 @@ fn config_from_flags(args: &Args, threads: Option<usize>) -> Result<ServerConfig
             "--horizon ({horizon}) must exceed --max-depth ({max_depth})"
         )));
     }
+    let defaults = AdaptiveConfig::default();
+    let adaptive = AdaptiveConfig {
+        enabled: args.flag_bool("adaptive"),
+        promote_after_reads: args
+            .flag_u32("promote-after", defaults.promote_after_reads)
+            .map_err(CliError::BadFlag)?,
+        demote_after_writes: args
+            .flag_u32("demote-after", defaults.demote_after_writes)
+            .map_err(CliError::BadFlag)?,
+        replan_factor: args
+            .flag_f64("replan-factor", defaults.replan_factor)
+            .map_err(CliError::BadFlag)?,
+        replan_min_samples: args
+            .flag_usize("replan-samples", defaults.replan_min_samples as usize)
+            .map_err(CliError::BadFlag)? as u64,
+        admission_burst_us: args
+            .flag_usize("admission-burst-us", defaults.admission_burst_us as usize)
+            .map_err(CliError::BadFlag)? as u64,
+        admission_refill_us_per_sec: args
+            .flag_usize(
+                "admission-refill-us",
+                defaults.admission_refill_us_per_sec as usize,
+            )
+            .map_err(CliError::BadFlag)? as u64,
+    };
     Ok(ServerConfig {
         threads,
         parallelism,
@@ -634,6 +675,7 @@ fn config_from_flags(args: &Args, threads: Option<usize>) -> Result<ServerConfig
         shards,
         plan_cache,
         answer_cache,
+        adaptive,
         plan: PlanOptions {
             max_depth,
             horizon,
@@ -694,6 +736,19 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         let requests = args.flag_usize("requests", 48).map_err(CliError::BadFlag)?;
         let seed = args.flag_u32("seed", 1).map_err(CliError::BadFlag)? as u64;
         let spec = sirup_workloads::scaling_traffic(nodes, requests, seed);
+        if args.flag_bool("emit") {
+            return Ok(render_workload(&spec));
+        }
+        return run_spec(&spec, args);
+    }
+    if args.flag_bool("phases") {
+        // The phase-shifting shape for the adaptive controller: one hot
+        // instance under write-heavy → read-heavy → write-heavy traffic.
+        // `--emit` renders it (this is how the bundled
+        // workloads/phases.sirupload is generated).
+        let per_phase = args.flag_usize("requests", 24).map_err(CliError::BadFlag)?;
+        let seed = args.flag_u32("seed", 1).map_err(CliError::BadFlag)? as u64;
+        let spec = sirup_workloads::phase_traffic(per_phase, seed);
         if args.flag_bool("emit") {
             return Ok(render_workload(&spec));
         }
@@ -982,7 +1037,13 @@ fn cmd_stats_wire(args: &Args) -> Result<String, CliError> {
     // snapshot's page/sharing/retained-bytes figures.
     if let Ok(reply) = client.request("list") {
         if let Some(names) = reply.strip_prefix("ok instances ") {
-            for name in names.split(',').filter(|n| !n.is_empty()) {
+            // Sort before rendering: the daemon's `list` reply is sorted
+            // today, but the per-instance lines must stay deterministic
+            // even if a future daemon enumerates its catalog shards in
+            // hash-map order.
+            let mut names: Vec<&str> = names.split(',').filter(|n| !n.is_empty()).collect();
+            names.sort_unstable();
+            for name in names {
                 if let Ok(stats) = client.request(&format!("stats {name}")) {
                     if let Some(line) = wire_instance_line(&stats) {
                         out.push_str(&line);
@@ -1304,19 +1365,31 @@ struct TopRow {
 fn render_top(body: &str) -> String {
     use std::collections::BTreeMap;
     let mut rows: BTreeMap<(String, String), TopRow> = BTreeMap::new();
+    // Adaptive route assignments (the `sirup_adaptive_route` gauge): keyed
+    // like the rows, rendered as an extra column when present.
+    let mut routes: BTreeMap<(String, String), String> = BTreeMap::new();
     for line in body.lines() {
         let Some((name, labels, value)) = parse_sample(line) else {
             continue;
         };
-        if !name.starts_with("sirup_program_") {
-            continue;
-        }
         let label = |k: &str| {
             labels
                 .iter()
                 .find(|(lk, _)| lk == k)
                 .map(|(_, v)| v.clone())
         };
+        if name == "sirup_adaptive_route" {
+            if let (Some(program), Some(instance), Some(route)) =
+                (label("program"), label("instance"), label("route"))
+            {
+                let why = label("why").unwrap_or_default();
+                routes.insert((program, instance), format!("{route} [{why}]"));
+            }
+            continue;
+        }
+        if !name.starts_with("sirup_program_") {
+            continue;
+        }
         let (Some(program), Some(instance)) = (label("program"), label("instance")) else {
             continue;
         };
@@ -1339,8 +1412,8 @@ fn render_top(body: &str) -> String {
     let mut out = format!("top: {} live (program, instance) key(s)\n", sorted.len());
     writeln!(
         out,
-        "{:>7} {:>8} {:>8} {:>8}  {:<28} PROGRAM @ INSTANCE",
-        "REQS", "CARDS", "P50(µs)", "P99(µs)", "STRATEGIES"
+        "{:>7} {:>8} {:>8} {:>8}  {:<28} {:<34} PROGRAM @ INSTANCE",
+        "REQS", "CARDS", "P50(µs)", "P99(µs)", "STRATEGIES", "ROUTE"
     )
     .unwrap();
     for ((program, instance), row) in sorted {
@@ -1350,14 +1423,19 @@ fn render_top(body: &str) -> String {
             .map(|(s, n)| format!("{s} {n}"))
             .collect();
         strategies.sort_unstable();
+        let route = routes
+            .get(&(program.clone(), instance.clone()))
+            .map(String::as_str)
+            .unwrap_or("-");
         writeln!(
             out,
-            "{:>7} {:>8} {:>8} {:>8}  {:<28} {program} @ {instance}",
+            "{:>7} {:>8} {:>8} {:>8}  {:<28} {:<34} {program} @ {instance}",
             row.requests,
             row.cardinality,
             row.p50_us,
             row.p99_us,
-            strategies.join(", ")
+            strategies.join(", "),
+            route
         )
         .unwrap();
     }
@@ -1805,6 +1883,51 @@ request sigma d @20 = F(x), R(x,y), T(y)
     }
 
     #[test]
+    fn stats_renders_instances_in_sorted_name_order() {
+        // Two instances declared in reverse name order: both stats modes
+        // must render their per-instance lines sorted by name, never in
+        // catalog hash-map order.
+        let text = "\
+instance zeta = T(t), A(a), R(a,t)
+instance alpha = T(t), A(a), R(a,t)
+request sigma zeta @0 = F(x), R(x,y), T(y)
+request sigma alpha @1 = F(x), R(x,y), T(y)
+";
+        let dir = std::env::temp_dir().join("sirupctl-stats-order-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.sirupload");
+        std::fs::write(&path, text).unwrap();
+        let out = run_line(&["stats", path.to_str().unwrap()]).unwrap();
+        let a = out.find("instance alpha:").expect("alpha line");
+        let z = out.find("instance zeta:").expect("zeta line");
+        assert!(
+            a < z,
+            "file-mode per-instance lines must sort by name: {out}"
+        );
+
+        // Wire mode: the same pin against a live daemon.
+        let wire = WireConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            ..WireConfig::default()
+        };
+        let daemon = Daemon::start(
+            std::sync::Arc::new(Server::new(ServerConfig::default())),
+            wire,
+        )
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let spec = parse_workload(text).unwrap();
+        replay_over_wire(&spec, &addr).unwrap();
+        let stats = run_line(&["stats", "--connect", &addr]).unwrap();
+        let a = stats.find("instance alpha:").expect("alpha line");
+        let z = stats.find("instance zeta:").expect("zeta line");
+        assert!(
+            a < z,
+            "wire-mode per-instance lines must sort by name: {stats}"
+        );
+    }
+
+    #[test]
     fn prometheus_sample_parsing_handles_labels_and_escapes() {
         assert_eq!(
             parse_sample("sirup_requests_total 7"),
@@ -1961,6 +2084,145 @@ request mutate cli_top @2 = +A(b)
             run_line(&["replay", path, "--threads-sweep", "1,x"]),
             Err(CliError::BadFlag(_))
         ));
+    }
+
+    #[test]
+    fn phases_workload_is_pinned_to_its_generator() {
+        let emitted = run_line(&["serve", "--phases", "true", "--emit", "true"]).unwrap();
+        assert!(emitted.contains("instance hot ="), "{emitted}");
+        assert!(emitted.contains("request mutate hot"), "{emitted}");
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/phases.sirupload"
+        );
+        let checked_in = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            emitted, checked_in,
+            "workloads/phases.sirupload drifted from its generator; regenerate with \
+             `sirupctl serve --phases --emit > workloads/phases.sirupload`"
+        );
+        // And the seed replays cleanly end to end.
+        let out = run_line(&["replay", path, "--threads", "2"]).unwrap();
+        assert!(out.contains("72 request(s)"), "{out}");
+    }
+
+    #[test]
+    fn adaptive_replay_answers_match_the_static_router() {
+        // The tentpole invariant: answers are bit-identical whichever
+        // strategy or plan order serves them — adaptivity on vs off, at 1
+        // and 4 workers, over the phase-shifting workload.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/phases.sirupload"
+        );
+        for threads in ["1", "4"] {
+            let static_run = run_line(&[
+                "replay",
+                path,
+                "--threads",
+                threads,
+                "--dump-answers",
+                "true",
+            ])
+            .unwrap();
+            let adaptive_run = run_line(&[
+                "replay",
+                path,
+                "--threads",
+                threads,
+                "--dump-answers",
+                "true",
+                "--adaptive",
+                "true",
+                "--promote-after",
+                "2",
+                "--demote-after",
+                "1",
+                "--replan-factor",
+                "0.5",
+                "--replan-samples",
+                "1",
+            ])
+            .unwrap();
+            assert_eq!(
+                static_run, adaptive_run,
+                "adaptive routing changed an answer at --threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_replay_moves_the_feedback_counters() {
+        // Aggressive knobs so every feedback path fires on the committed
+        // phase workload: promotion after 2 reads, re-planning on any
+        // observed inversion, and a 1 µs admission burst with no refill so
+        // the bucket drains on the first completed request. The telemetry
+        // registry is process-global and monotone, so assert deltas.
+        let exposition = |out: &str, name: &str| -> u64 {
+            out.lines()
+                .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        let before = run_line(&["replay", workload_path(), "--metrics", "true"]).unwrap();
+        // Run 1: routing only — an admission bucket that sheds most of the
+        // stream would starve the read runs promotion feeds on.
+        let routed = run_line(&[
+            "replay",
+            workload_path(),
+            "--threads",
+            "2",
+            "--metrics",
+            "true",
+            "--adaptive",
+            "true",
+            "--promote-after",
+            "2",
+            "--demote-after",
+            "1",
+            "--replan-factor",
+            "0.0",
+            "--replan-samples",
+            "1",
+        ])
+        .unwrap();
+        for counter in [
+            "sirup_adaptive_promotions_total",
+            "sirup_adaptive_replans_total",
+        ] {
+            assert!(
+                exposition(&routed, counter) > exposition(&before, counter),
+                "{counter} did not move: {routed}"
+            );
+        }
+        // The route gauge explains the current assignments.
+        assert!(routed.contains("sirup_adaptive_route{"), "{routed}");
+        // Run 2: a 1 µs burst with no refill drains on the first completed
+        // request, so the rest of the stream sheds.
+        let shed = run_line(&[
+            "replay",
+            workload_path(),
+            "--threads",
+            "2",
+            "--metrics",
+            "true",
+            "--adaptive",
+            "true",
+            "--admission-burst-us",
+            "1",
+        ])
+        .unwrap();
+        assert!(
+            exposition(&shed, "sirup_admission_shed_total")
+                > exposition(&routed, "sirup_admission_shed_total"),
+            "sirup_admission_shed_total did not move: {shed}"
+        );
+    }
+
+    fn workload_path() -> &'static str {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../workloads/phases.sirupload"
+        )
     }
 
     #[test]

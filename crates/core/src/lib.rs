@@ -31,6 +31,8 @@
 //! * shape recognisers for ditrees and dags ([`shape`]),
 //! * a small text format for structures ([`parse`]).
 
+#![deny(missing_docs)]
+
 pub mod bitset;
 pub mod builder;
 pub mod cq;

@@ -109,6 +109,21 @@ struct GroupBuf<T> {
 /// `None`. Two `PagedVec`s with equal content therefore have equal
 /// page structure, so `PartialEq` can compare page-wise (with the `Arc`
 /// pointer-equality fast path at both levels).
+///
+/// ```
+/// use sirup_core::paged::PagedVec;
+///
+/// let mut v: PagedVec<u32> = PagedVec::with_len(10_000);
+/// *v.get_mut(7) = 42;
+/// // Cloning a snapshot is O(groups): refcount bumps, no element copies.
+/// let snapshot = v.clone();
+/// // A point write copies only the touched page; the snapshot keeps the
+/// // old value and every untouched page stays shared.
+/// *v.get_mut(7) = 99;
+/// assert_eq!(*snapshot.get(7), 42);
+/// assert_eq!(*v.get(7), 99);
+/// assert_eq!(*v.get(9_999), 0);
+/// ```
 #[derive(Clone, PartialEq, Eq, Default)]
 pub struct PagedVec<T> {
     groups: Vec<Arc<GroupBuf<T>>>,

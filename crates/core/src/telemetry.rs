@@ -32,6 +32,24 @@
 //! [`nearest_rank`]): the p-th percentile of n samples is the value at
 //! 1-based rank ⌈p/100·n⌉. Histogram quantiles apply the same rank to the
 //! cumulative bucket counts and report the matched bucket's upper bound.
+//!
+//! ```
+//! use sirup_core::telemetry::{self, Counter};
+//! use std::time::Duration;
+//!
+//! // Counters are process-global and monotone; snapshots are consistent
+//! // merges of the per-worker shards.
+//! let before = telemetry::snapshot().counter("sirup_requests_total");
+//! telemetry::record_request("F(x), R(x,y), T(y)", "doc", "semi-naive",
+//!                           Duration::from_micros(120), 1);
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("sirup_requests_total"), before + 1);
+//! // The per-(program, instance) table feeds `sirupctl top` and the
+//! // adaptive router.
+//! assert!(snap.keys.iter().any(|k| k.instance == "doc"));
+//! // And the whole registry renders as a Prometheus exposition.
+//! assert!(snap.to_prometheus().contains("# TYPE sirup_requests_total counter"));
+//! ```
 
 use crate::fx::FxHashMap;
 use std::cell::RefCell;
@@ -100,6 +118,17 @@ pub enum Counter {
     /// Storage pages copied on write (a shared page had to be cloned
     /// before mutation — the catalog's per-write allocation unit).
     PageCow,
+    /// Adaptive-routing promotions: a semi-naive program switched from
+    /// evaluate-from-scratch to a maintained materialisation because its
+    /// observed read run cleared the promotion threshold.
+    AdaptivePromotions,
+    /// Adaptive re-plans: a query plan was recompiled with observed
+    /// per-variable fan-out and swapped into the plan cache.
+    AdaptiveReplans,
+    /// Requests shed by per-instance admission control (the token bucket
+    /// was empty, so the request was answered `Overloaded` instead of
+    /// entering the scheduler queue).
+    AdmissionShed,
 }
 
 const COUNTERS: &[(Counter, &str)] = &[
@@ -126,6 +155,12 @@ const COUNTERS: &[(Counter, &str)] = &[
     (Counter::SchedParks, "sirup_scheduler_parks_total"),
     (Counter::SchedJobs, "sirup_scheduler_jobs_total"),
     (Counter::PageCow, "sirup_catalog_page_cow_total"),
+    (
+        Counter::AdaptivePromotions,
+        "sirup_adaptive_promotions_total",
+    ),
+    (Counter::AdaptiveReplans, "sirup_adaptive_replans_total"),
+    (Counter::AdmissionShed, "sirup_admission_shed_total"),
 ];
 
 /// Instantaneous values (set / add / monotone max).
@@ -604,11 +639,14 @@ fn key_shard(key: &str) -> usize {
 /// Severity of a span record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Level {
+    /// Normal-path span.
     Info,
+    /// Something noteworthy happened inside the span (panic, shed, retry).
     Warn,
 }
 
 impl Level {
+    /// The wire keyword (`info` / `warn`).
     pub fn as_str(self) -> &'static str {
         match self {
             Level::Info => "info",
@@ -632,6 +670,7 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Duration, microseconds (0 for instantaneous event spans).
     pub dur_us: u64,
+    /// Severity recorded when the span closed.
     pub level: Level,
 }
 
@@ -845,8 +884,12 @@ pub fn recent_spans() -> Vec<SpanRecord> {
 /// Frozen histogram state.
 #[derive(Clone, Debug)]
 pub struct HistogramSnapshot {
+    /// Family name (e.g. `sirup_request_latency_us`).
     pub name: &'static str,
+    /// Per-bucket observation counts (exponential bounds, see
+    /// [`bucket_bound`]).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observed values, microseconds.
     pub sum_us: u64,
 }
 
@@ -877,16 +920,20 @@ impl HistogramSnapshot {
 /// One per-(program, instance) row.
 #[derive(Clone, Debug)]
 pub struct KeySnapshot {
+    /// The program's cache key (its canonical CQ rendering).
     pub program: String,
+    /// Target instance name.
     pub instance: String,
     /// `(strategy name, completed requests)`; zero entries skipped.
     pub strategies: Vec<(&'static str, u64)>,
+    /// Latency distribution of this key's requests.
     pub latency: HistogramSnapshot,
     /// Sum of result cardinalities over all requests.
     pub cardinality: u64,
 }
 
 impl KeySnapshot {
+    /// Completed requests across all strategies.
     pub fn requests(&self) -> u64 {
         self.strategies.iter().map(|(_, n)| n).sum()
     }
@@ -895,13 +942,18 @@ impl KeySnapshot {
 /// A frozen copy of the whole registry.
 #[derive(Clone, Debug, Default)]
 pub struct TelemetrySnapshot {
+    /// `(name, value)` for every registered counter, in registry order.
     pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every registered gauge, in registry order.
     pub gauges: Vec<(&'static str, u64)>,
+    /// Every global histogram family.
     pub histograms: Vec<HistogramSnapshot>,
+    /// The per-(program, instance) request table, sorted by key.
     pub keys: Vec<KeySnapshot>,
 }
 
 impl TelemetrySnapshot {
+    /// Value of the counter `name` (0 if unknown).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
             .iter()
@@ -909,6 +961,7 @@ impl TelemetrySnapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// Value of the gauge `name` (0 if unknown).
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges
             .iter()
@@ -916,6 +969,7 @@ impl TelemetrySnapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// The histogram family `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }

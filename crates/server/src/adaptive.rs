@@ -1,0 +1,492 @@
+//! Feedback-driven routing: the telemetry loop closed back into execution.
+//!
+//! PR 7's registry records per-(program, instance) request counts,
+//! cardinalities, and latency histograms; this module is the *actuator*
+//! that reads those observations (and its own lightweight cells) and
+//! changes three execution decisions:
+//!
+//! 1. **Strategy promotion/demotion** — an unbounded program starts on
+//!    semi-naive *from scratch* (no maintained state, so mutations pay no
+//!    carry-forward for it) and is **promoted** to an attached
+//!    [`MaterializedFixpoint`](sirup_engine::MaterializedFixpoint) only
+//!    once a run of [`AdaptiveConfig::promote_after_reads`] reads arrives
+//!    with no intervening write. When
+//!    [`AdaptiveConfig::demote_after_writes`] writes arrive with no
+//!    intervening read, the materialisation is **demoted** — detached from
+//!    the live instance so subsequent mutations stop paying incremental
+//!    maintenance for a program nobody is reading.
+//! 2. **Plan re-ordering** — when the observed per-variable fan-out of a
+//!    compiled DPLL search plan (sampled post-AC-3 by
+//!    [`sirup_hom::PlanStats`]) shows the static order's first variable
+//!    exceeding the smallest observed domain by
+//!    [`AdaptiveConfig::replan_factor`], the plan is recompiled with the
+//!    observed estimates, differentially checked against the old plan (the
+//!    oracle), and atomically swapped into the plan cache.
+//! 3. **Admission control** — a per-instance token bucket denominated in
+//!    *microseconds of observed work*: completed requests charge their
+//!    measured latency, and when the bucket is empty new requests are shed
+//!    with [`Answer::Overloaded`] before
+//!    they enter the scheduler queue.
+//!
+//! Every decision is **answer-preserving by construction**: scratch and
+//! materialised evaluation compute the same unique fixpoint, and a
+//! re-ordered plan enumerates the same homomorphism set — the differential
+//! suite pins both, and admission shedding (the one visible behaviour
+//! change) ships disabled unless a bucket is configured.
+//!
+//! All state lives in small atomic cells behind one mutex-guarded map;
+//! routing decisions happen at *execution* time on the worker (a batch
+//! resolves its snapshots up front, so resolve-time decisions would be
+//! blind to the batch's own feedback).
+
+use crate::catalog::IndexedInstance;
+use crate::plan::{Answer, Plan, PlanCache, Strategy};
+use sirup_core::fx::FxHashMap;
+use sirup_core::sync;
+use sirup_core::telemetry::{counter_add, Counter};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Knobs of the adaptive controller. `enabled: false` (the default) keeps
+/// the server byte-for-byte on its static policy: always materialise
+/// semi-naive programs, never re-plan, never shed.
+///
+/// ```
+/// use sirup_server::adaptive::AdaptiveConfig;
+///
+/// // The default is fully static — nothing adapts.
+/// let cfg = AdaptiveConfig::default();
+/// assert!(!cfg.enabled);
+/// assert_eq!(cfg.admission_burst_us, 0); // admission disabled
+///
+/// // An adaptive config that promotes after 3 uninterrupted reads and
+/// // demotes after 2 uninterrupted writes.
+/// let cfg = AdaptiveConfig {
+///     enabled: true,
+///     promote_after_reads: 3,
+///     demote_after_writes: 2,
+///     ..AdaptiveConfig::default()
+/// };
+/// assert!(cfg.enabled);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Master switch. `false` = static routing, exactly as before.
+    pub enabled: bool,
+    /// Reads with no intervening write before a semi-naive program is
+    /// promoted to a maintained materialisation.
+    pub promote_after_reads: u32,
+    /// Writes with no intervening read before a promoted program is
+    /// demoted (its materialisation detached).
+    pub demote_after_writes: u32,
+    /// Re-plan when the static first variable's observed average domain
+    /// exceeds `replan_factor` times the smallest observed average.
+    pub replan_factor: f64,
+    /// Minimum recorded plan executions before re-planning is considered.
+    pub replan_min_samples: u64,
+    /// Admission token-bucket capacity in microseconds of observed work
+    /// per instance. `0` disables admission control entirely.
+    pub admission_burst_us: u64,
+    /// Bucket refill rate, microseconds of budget per wall-clock second.
+    pub admission_refill_us_per_sec: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            promote_after_reads: 4,
+            demote_after_writes: 2,
+            replan_factor: 4.0,
+            replan_min_samples: 8,
+            admission_burst_us: 0,
+            admission_refill_us_per_sec: 0,
+        }
+    }
+}
+
+/// Hysteresis state of one (program, instance) pair.
+#[derive(Debug, Default)]
+struct Cell {
+    /// Reads since the instance's last write.
+    reads_since_write: AtomicU32,
+    /// Writes since this program's last read on the instance.
+    writes_since_read: AtomicU32,
+    /// Whether the program is currently promoted (materialised).
+    promoted: AtomicBool,
+}
+
+/// Admission token bucket of one instance, in µs of observed work.
+#[derive(Debug)]
+struct Bucket {
+    /// Remaining budget; goes negative when a long request lands so heavy
+    /// requests push real debt.
+    tokens_us: f64,
+    /// Last refill instant.
+    refilled: Instant,
+}
+
+/// One row of the controller's route snapshot (rendered as
+/// `sirup_adaptive_route{...}` samples and by `sirupctl top`).
+#[derive(Debug, Clone)]
+pub struct RouteInfo {
+    /// The program's plan cache key.
+    pub program: String,
+    /// The instance name.
+    pub instance: String,
+    /// `"materialised"` or `"scratch"`.
+    pub route: &'static str,
+    /// Human-readable reason for the current route.
+    pub why: String,
+}
+
+/// The feedback controller. One per [`Server`](crate::Server); shared with
+/// the executor's workers, which consult it at execution time.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    /// `(program key, instance)` → hysteresis cell.
+    cells: Mutex<FxHashMap<(String, String), Arc<Cell>>>,
+    /// instance → admission bucket.
+    buckets: Mutex<FxHashMap<String, Bucket>>,
+    /// Program keys already re-planned (one-shot per program).
+    replanned: Mutex<FxHashMap<String, bool>>,
+}
+
+impl AdaptiveController {
+    /// A controller with the given knobs.
+    pub fn new(config: AdaptiveConfig) -> AdaptiveController {
+        AdaptiveController {
+            config,
+            cells: Mutex::new(FxHashMap::default()),
+            buckets: Mutex::new(FxHashMap::default()),
+            replanned: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The knobs this controller runs with.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Is adaptive routing on at all?
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    fn cell(&self, program: &str, instance: &str) -> Arc<Cell> {
+        let mut cells = sync::lock(&self.cells);
+        Arc::clone(
+            cells
+                .entry((program.to_owned(), instance.to_owned()))
+                .or_default(),
+        )
+    }
+
+    /// Record a semi-naive read of `program` on `instance` and decide the
+    /// route: `true` = serve from (and possibly attach) the maintained
+    /// materialisation, `false` = evaluate from scratch. Promotion happens
+    /// here — the read that completes an uninterrupted run of
+    /// [`AdaptiveConfig::promote_after_reads`] flips the cell and bumps
+    /// `sirup_adaptive_promotions_total`.
+    pub fn route_read(&self, program: &str, instance: &str) -> bool {
+        if !self.config.enabled {
+            return true;
+        }
+        let cell = self.cell(program, instance);
+        cell.writes_since_read.store(0, Ordering::Relaxed);
+        let reads = cell.reads_since_write.fetch_add(1, Ordering::Relaxed) + 1;
+        if cell.promoted.load(Ordering::Relaxed) {
+            return true;
+        }
+        if reads >= self.config.promote_after_reads
+            && cell
+                .promoted
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            counter_add(Counter::AdaptivePromotions, 1);
+            return true;
+        }
+        false
+    }
+
+    /// Count an answer-cache-served read toward `program`'s read run on
+    /// `instance` without using the route decision. Cache hits are still
+    /// read demand: without this, a program whose answers never leave the
+    /// cache between mutations would never accumulate a run and never
+    /// promote — yet it is exactly the read-hot shape maintenance pays off
+    /// for once a write invalidates the cache.
+    pub fn note_read(&self, program: &str, instance: &str) {
+        if self.config.enabled {
+            let _ = self.route_read(program, instance);
+        }
+    }
+
+    /// Record a write on `instance`. Returns the program keys demoted by
+    /// this write — the caller detaches their materialisations from the
+    /// live instance. A no-op (empty) when adaptive routing is off.
+    pub fn record_write(&self, instance: &str) -> Vec<String> {
+        if !self.config.enabled {
+            return Vec::new();
+        }
+        let cells = sync::lock(&self.cells);
+        let mut demoted = Vec::new();
+        for ((program, inst), cell) in cells.iter() {
+            if inst != instance {
+                continue;
+            }
+            cell.reads_since_write.store(0, Ordering::Relaxed);
+            let writes = cell.writes_since_read.fetch_add(1, Ordering::Relaxed) + 1;
+            if writes >= self.config.demote_after_writes
+                && cell
+                    .promoted
+                    .compare_exchange(true, false, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                demoted.push(program.clone());
+            }
+        }
+        demoted
+    }
+
+    /// Should `program` be re-planned given its observed inversion
+    /// `(first_var_avg, min_avg, samples)`? At most one re-plan per
+    /// program: a `true` return claims the slot.
+    pub fn try_claim_replan(
+        &self,
+        program: &str,
+        first_avg: f64,
+        min_avg: f64,
+        samples: u64,
+    ) -> bool {
+        if !self.config.enabled || samples < self.config.replan_min_samples {
+            return false;
+        }
+        if first_avg <= self.config.replan_factor * min_avg {
+            return false;
+        }
+        let mut replanned = sync::lock(&self.replanned);
+        !std::mem::replace(replanned.entry(program.to_owned()).or_insert(false), true)
+    }
+
+    /// Admission check for one request against `instance`'s token bucket.
+    /// `true` admits. Always `true` when admission is unconfigured
+    /// (`admission_burst_us == 0`). Does not charge — completed requests
+    /// charge their *observed* latency via [`AdaptiveController::charge`],
+    /// so the bucket is fed by measurement, not estimates.
+    pub fn admit(&self, instance: &str) -> bool {
+        if !self.config.enabled || self.config.admission_burst_us == 0 {
+            return true;
+        }
+        let burst = self.config.admission_burst_us as f64;
+        let mut buckets = sync::lock(&self.buckets);
+        let bucket = buckets
+            .entry(instance.to_owned())
+            .or_insert_with(|| Bucket {
+                tokens_us: burst,
+                refilled: Instant::now(),
+            });
+        let now = Instant::now();
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.refilled = now;
+        bucket.tokens_us = (bucket.tokens_us
+            + elapsed * self.config.admission_refill_us_per_sec as f64)
+            .min(burst);
+        if bucket.tokens_us > 0.0 {
+            true
+        } else {
+            counter_add(Counter::AdmissionShed, 1);
+            false
+        }
+    }
+
+    /// Charge `instance`'s bucket for `cost_us` microseconds of completed
+    /// work. No-op when admission is unconfigured or the instance has
+    /// never been admission-checked.
+    pub fn charge(&self, instance: &str, cost_us: u64) {
+        if !self.config.enabled || self.config.admission_burst_us == 0 {
+            return;
+        }
+        let mut buckets = sync::lock(&self.buckets);
+        if let Some(bucket) = buckets.get_mut(instance) {
+            bucket.tokens_us -= cost_us as f64;
+        }
+    }
+
+    /// Execute `plan` over `inst` with full adaptive feedback — the one
+    /// evaluation entry point both the worker pool and the inline wire
+    /// path use when adaptivity is on:
+    ///
+    /// 1. semi-naive programs route through
+    ///    [`AdaptiveController::route_read`] (scratch until promoted);
+    /// 2. DPLL plans whose observed fan-out inverts the static order are
+    ///    recompiled with the observed estimates, differentially checked
+    ///    against the old plan's answer **on this very instance**, and
+    ///    swapped into `plans` only when the answers agree (they always
+    ///    do — the check is the safety net, and the old plan stays the
+    ///    oracle).
+    ///
+    /// With the controller disabled this is exactly
+    /// [`Plan::answer_ctx`] — the static path, byte for byte.
+    pub fn execute(
+        &self,
+        plan: &Plan,
+        inst: &IndexedInstance,
+        plans: &PlanCache,
+        par: Option<sirup_core::ParCtx<'_>>,
+    ) -> Answer {
+        if !self.enabled() {
+            return plan.answer_ctx(inst, par);
+        }
+        let materialise = match plan.strategy {
+            Strategy::SemiNaive { .. } => self.route_read(plan.key(), &inst.name),
+            _ => true,
+        };
+        let answer = plan.answer_routed(inst, par, materialise);
+        if let Some((first_avg, min_avg, samples)) = plan.observed_inversion() {
+            if self.try_claim_replan(plan.key(), first_avg, min_avg, samples) {
+                if let Some(new_plan) = plan.replanned_with_observed() {
+                    // Differential oracle: the re-ordered plan must agree
+                    // with the old plan's answer before it may serve.
+                    if new_plan.answer(inst) == answer {
+                        plans.swap(plan.key(), Arc::new(new_plan));
+                        counter_add(Counter::AdaptiveReplans, 1);
+                    }
+                }
+            }
+        }
+        answer
+    }
+
+    /// Snapshot of every (program, instance) route for exposition, sorted
+    /// by program then instance.
+    pub fn routes(&self) -> Vec<RouteInfo> {
+        let cells = sync::lock(&self.cells);
+        let mut out: Vec<RouteInfo> = cells
+            .iter()
+            .map(|((program, instance), cell)| {
+                let promoted = cell.promoted.load(Ordering::Relaxed);
+                let reads = cell.reads_since_write.load(Ordering::Relaxed);
+                let writes = cell.writes_since_read.load(Ordering::Relaxed);
+                RouteInfo {
+                    program: program.clone(),
+                    instance: instance.clone(),
+                    route: if promoted { "materialised" } else { "scratch" },
+                    why: if promoted {
+                        format!(
+                            "reads_since_write={reads}>={}",
+                            self.config.promote_after_reads
+                        )
+                    } else {
+                        format!(
+                            "reads_since_write={reads}<{} writes_since_read={writes}",
+                            self.config.promote_after_reads
+                        )
+                    },
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.program, &a.instance).cmp(&(&b.program, &b.instance)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(promote: u32, demote: u32) -> AdaptiveController {
+        AdaptiveController::new(AdaptiveConfig {
+            enabled: true,
+            promote_after_reads: promote,
+            demote_after_writes: demote,
+            ..AdaptiveConfig::default()
+        })
+    }
+
+    #[test]
+    fn disabled_controller_always_materialises_and_admits() {
+        let c = AdaptiveController::new(AdaptiveConfig::default());
+        assert!(c.route_read("p", "i"));
+        assert!(c.admit("i"));
+        assert!(c.record_write("i").is_empty());
+        assert!(c.routes().is_empty());
+    }
+
+    #[test]
+    fn promotes_after_read_run_and_demotes_after_write_run() {
+        let c = ctrl(3, 2);
+        assert!(!c.route_read("p", "i")); // read 1 → scratch
+        assert!(!c.route_read("p", "i")); // read 2 → scratch
+        assert!(c.route_read("p", "i")); // read 3 → promoted
+        assert!(c.route_read("p", "i")); // stays promoted
+        assert!(c.record_write("i").is_empty()); // write 1: no demotion yet
+        assert_eq!(c.record_write("i"), vec!["p".to_owned()]); // write 2: demote
+        assert!(!c.route_read("p", "i")); // back to scratch, run restarts
+    }
+
+    #[test]
+    fn interleaved_writes_reset_the_read_run() {
+        let c = ctrl(2, 2);
+        assert!(!c.route_read("p", "i"));
+        c.record_write("i"); // resets the run
+        assert!(!c.route_read("p", "i")); // run restarted: read 1 again
+        assert!(c.route_read("p", "i")); // read 2 → promoted
+    }
+
+    #[test]
+    fn cells_are_per_program_and_per_instance() {
+        let c = ctrl(2, 1);
+        assert!(!c.route_read("p", "a"));
+        assert!(c.route_read("p", "a")); // p@a promoted
+        assert!(!c.route_read("q", "a")); // q@a has its own read run
+        assert!(!c.route_read("p", "b")); // p@b has its own read run
+                                          // A write on `a` demotes only `p@a` — `q@a` was never promoted and
+                                          // `p@b` lives on a different instance.
+        assert_eq!(c.record_write("a"), vec!["p".to_owned()]);
+        assert!(c.record_write("b").is_empty());
+    }
+
+    #[test]
+    fn replan_claim_is_one_shot_and_respects_thresholds() {
+        let c = AdaptiveController::new(AdaptiveConfig {
+            enabled: true,
+            replan_factor: 2.0,
+            replan_min_samples: 4,
+            ..AdaptiveConfig::default()
+        });
+        assert!(!c.try_claim_replan("p", 10.0, 1.0, 3)); // too few samples
+        assert!(!c.try_claim_replan("p", 1.5, 1.0, 10)); // under the factor
+        assert!(c.try_claim_replan("p", 10.0, 1.0, 10)); // fires once
+        assert!(!c.try_claim_replan("p", 10.0, 1.0, 10)); // never again
+        assert!(c.try_claim_replan("q", 10.0, 1.0, 10)); // other programs independent
+    }
+
+    #[test]
+    fn admission_sheds_when_the_bucket_is_drained() {
+        let c = AdaptiveController::new(AdaptiveConfig {
+            enabled: true,
+            admission_burst_us: 100,
+            admission_refill_us_per_sec: 0,
+            ..AdaptiveConfig::default()
+        });
+        assert!(c.admit("i"));
+        c.charge("i", 250); // one heavy request overdraws the bucket
+        assert!(!c.admit("i")); // shed until refilled (rate 0 → forever)
+        assert!(c.admit("other")); // buckets are per instance
+    }
+
+    #[test]
+    fn routes_snapshot_is_sorted_and_explains_itself() {
+        let c = ctrl(1, 1);
+        c.route_read("zz", "i");
+        c.route_read("aa", "i");
+        let routes = c.routes();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].program, "aa");
+        assert_eq!(routes[0].route, "materialised");
+        assert!(routes[0].why.contains("reads_since_write"));
+    }
+}

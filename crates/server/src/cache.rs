@@ -95,6 +95,22 @@ impl<V: Clone> StampedLru<V> {
         }
     }
 
+    /// Probe for `key` without refreshing its stamp or counting a hit or
+    /// miss — an observation, not a lookup. The adaptive controller peeks
+    /// at the plan cache this way to learn a cached program's strategy
+    /// without skewing the cache statistics the operator reads.
+    pub fn peek(&self, key: &str) -> Option<V> {
+        sync::lock(&self.inner).map.get(key).map(|(v, _)| v.clone())
+    }
+
+    /// Drop `key` if present, returning whether an entry was removed.
+    /// Neither a hit nor a miss is counted — removal is a policy action
+    /// (adaptive demotion detaches a materialisation this way), not a
+    /// lookup.
+    pub fn remove(&self, key: &str) -> bool {
+        sync::lock(&self.inner).map.remove(key).is_some()
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         let inner = sync::lock(&self.inner);

@@ -180,6 +180,17 @@ impl IndexedInstance {
         built
     }
 
+    /// Detach the materialisation for `key`, returning whether one was
+    /// attached. Detaching stops the incremental carry-forward cost on
+    /// every subsequent mutation — adaptive demotion calls this when
+    /// writes dominate a program's traffic. A concurrent reader holding
+    /// the `Arc` keeps its (still-correct) snapshot; a concurrent
+    /// attacher may re-attach, which is benign (the next demotion
+    /// detaches again).
+    pub fn detach_materialization(&self, key: &str) -> bool {
+        self.mats.remove(key)
+    }
+
     /// Stats of every attached materialisation, sorted by program key.
     pub fn materialization_stats(&self) -> Vec<(String, MaterializationStats)> {
         let mut out: Vec<(String, MaterializationStats)> = self

@@ -29,13 +29,23 @@
 //! and every in-flight request still gets its response — the
 //! shutdown-ordering test pins this.
 
+use crate::adaptive::AdaptiveController;
 use crate::catalog::{Catalog, IndexedInstance};
-use crate::plan::{Answer, Plan};
+use crate::plan::{Answer, Plan, PlanCache};
 use sirup_core::telemetry;
 use sirup_core::{FactOp, ParCtx, SchedStats, Scheduler};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// What a worker needs to consult the adaptive controller at execution
+/// time: the controller itself and the plan cache re-plans swap into.
+pub(crate) struct AdaptiveRuntime {
+    /// The feedback controller.
+    pub ctrl: Arc<AdaptiveController>,
+    /// The server's plan cache (re-plan swap target).
+    pub plans: Arc<PlanCache>,
+}
 
 /// What a job does when a worker picks it up.
 pub(crate) enum Work {
@@ -91,18 +101,29 @@ pub(crate) struct Pool {
     parallelism: usize,
     /// Minimum work-set size before a request-level task splits.
     threshold: usize,
+    /// Adaptive routing hooks; `None` = the static policy, untouched.
+    adaptive: Option<Arc<AdaptiveRuntime>>,
 }
 
 impl Pool {
     /// Spawn a shared scheduler with `threads` workers (at least 1).
     /// `parallelism > 1` lets each request split its own evaluation into
     /// subtasks on the same workers; work sets below `threshold` stay
-    /// sequential.
-    pub fn new(threads: usize, parallelism: usize, threshold: usize) -> Pool {
+    /// sequential. `adaptive` attaches the feedback controller workers
+    /// consult at execution time (routing decisions cannot happen at
+    /// resolve time: a closed batch resolves all its snapshots before any
+    /// observation exists).
+    pub fn new(
+        threads: usize,
+        parallelism: usize,
+        threshold: usize,
+        adaptive: Option<Arc<AdaptiveRuntime>>,
+    ) -> Pool {
         Pool {
             sched: Arc::new(Scheduler::new(threads)),
             parallelism,
             threshold,
+            adaptive,
         }
     }
 
@@ -127,6 +148,7 @@ impl Pool {
         let sched = Arc::clone(&self.sched);
         let par_enabled = self.parallelism > 1;
         let threshold = self.threshold;
+        let adaptive = self.adaptive.clone();
         self.sched.spawn(move || {
             let par = par_enabled.then(|| ParCtx::new(&sched, threshold));
             let (program, target) = match &job.work {
@@ -141,9 +163,25 @@ impl Pool {
                 telemetry::request_span(String::new())
             };
             let (answer, strategy) = match &job.work {
-                Work::Answer { plan, instance } => {
-                    (plan.answer_ctx(instance, par), plan.strategy.name())
-                }
+                Work::Answer { plan, instance } => match &adaptive {
+                    // Execution-time routing: consult the controller here,
+                    // with every observation up to this job visible —
+                    // including the admission bucket, which charges of
+                    // already-completed jobs have drained by now (a
+                    // resolve-time check alone would see a full bucket for
+                    // a whole closed batch).
+                    Some(rt) if rt.ctrl.enabled() => {
+                        if rt.ctrl.admit(&instance.name) {
+                            (
+                                rt.ctrl.execute(plan, instance, &rt.plans, par),
+                                plan.strategy.name(),
+                            )
+                        } else {
+                            (Answer::Overloaded, "shed")
+                        }
+                    }
+                    _ => (plan.answer_ctx(instance, par), plan.strategy.name()),
+                },
                 Work::Mutate {
                     catalog,
                     instance,
@@ -160,13 +198,32 @@ impl Pool {
                         // way.
                         None => Answer::Applied { applied: 0, seq: 0 },
                     };
+                    // Demotion: a write run crossing the threshold detaches
+                    // the demoted programs' materialisations from the live
+                    // (post-mutation) instance, so later mutations stop
+                    // paying carry-forward for them.
+                    if let Some(rt) = &adaptive {
+                        let demoted = rt.ctrl.record_write(instance);
+                        if !demoted.is_empty() {
+                            if let Some(fresh) = catalog.get(instance) {
+                                for key in &demoted {
+                                    fresh.detach_materialization(key);
+                                }
+                            }
+                        }
+                    }
                     (answer, "mutation")
                 }
             };
             let latency = job.enqueued.elapsed();
             // The per-(program, instance) observation feed: strategy,
-            // latency, result cardinality (what adaptive routing will read).
+            // latency, result cardinality (what adaptive routing reads).
             telemetry::record_request(program, target, strategy, latency, answer.cardinality());
+            // Admission: charge the instance's token bucket the *observed*
+            // cost of this completed request.
+            if let Some(rt) = &adaptive {
+                rt.ctrl.charge(target, latency.as_micros() as u64);
+            }
             // The batch collector may have given up (panic elsewhere); a
             // closed reply channel is not this worker's problem.
             let _ = job.reply.send(Completion {
@@ -197,7 +254,7 @@ mod tests {
 
     #[test]
     fn pool_answers_and_shuts_down() {
-        let pool = Pool::new(3, 4, 2);
+        let pool = Pool::new(3, 4, 2, None);
         assert_eq!(pool.threads(), 3);
         let plan = Arc::new(Plan::build(
             Query::Delta {
@@ -242,7 +299,7 @@ mod tests {
     fn drop_with_in_flight_mutations_drains_cleanly() {
         let catalog = Arc::new(Catalog::new(2));
         catalog.insert("d", st("T(a), A(b), R(b,a)"));
-        let pool = Pool::new(2, 1, 64);
+        let pool = Pool::new(2, 1, 64, None);
         let (reply, done) = channel();
         let total = 24usize;
         for idx in 0..total {

@@ -73,6 +73,9 @@
 //! assert_eq!(resp[0].answer, Answer::Bool(false));
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod adaptive;
 mod cache;
 pub mod catalog;
 mod executor;
@@ -82,6 +85,7 @@ pub mod server;
 pub mod wal;
 pub mod wire;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, RouteInfo};
 pub use catalog::{Catalog, CowStats, IndexedInstance, MutationOutcome};
 pub use metrics::LatencyStats;
 pub use plan::{Answer, Plan, PlanCache, PlanOptions, Query, Strategy, Verdicts};

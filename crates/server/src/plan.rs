@@ -106,16 +106,23 @@ pub enum Answer {
         /// The instance's mutation sequence number after this batch.
         seq: u64,
     },
+    /// The request was shed by per-instance admission control before it
+    /// entered the scheduler queue (the wire front-end renders this as an
+    /// `error overloaded:` reply). Only produced when the adaptive
+    /// controller's token bucket is configured and empty — never on the
+    /// default static path.
+    Overloaded,
 }
 
 impl Answer {
     /// Result cardinality for telemetry: answer-set size for `sigma`,
-    /// 0/1 for booleans, ops applied for mutations.
+    /// 0/1 for booleans, ops applied for mutations, 0 for shed requests.
     pub fn cardinality(&self) -> u64 {
         match self {
             Answer::Bool(b) => *b as u64,
             Answer::Nodes(nodes) => nodes.len() as u64,
             Answer::Applied { applied, .. } => *applied as u64,
+            Answer::Overloaded => 0,
         }
     }
 }
@@ -329,6 +336,24 @@ impl Plan {
         inst: &IndexedInstance,
         par: Option<sirup_core::ParCtx<'_>>,
     ) -> Answer {
+        self.answer_routed(inst, par, true)
+    }
+
+    /// As [`Plan::answer_ctx`], but letting the caller decide whether a
+    /// semi-naive program *attaches* a maintained materialisation
+    /// (`materialise = true`, the static default) or evaluates the
+    /// fixpoint from scratch against the snapshot without attaching
+    /// (`materialise = false` — what an adaptive controller picks while a
+    /// program's read run has not yet cleared its promotion threshold).
+    /// Both paths compute the same unique fixpoint, so the answer is
+    /// bit-identical either way; only the maintenance cost profile
+    /// differs. Non-semi-naive strategies ignore the flag.
+    pub fn answer_routed(
+        &self,
+        inst: &IndexedInstance,
+        par: Option<sirup_core::ParCtx<'_>>,
+        materialise: bool,
+    ) -> Answer {
         match (&self.strategy, &self.query) {
             (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => {
                 Answer::Bool(compiled.eval_boolean_ctx(&inst.data, Some(&inst.index), par))
@@ -337,16 +362,76 @@ impl Plan {
                 Answer::Nodes(compiled.answers_ctx(&inst.data, Some(&inst.index), par))
             }
             (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
-                Answer::Bool(self.materialization(program, inst, par).holds(Pred::GOAL))
+                if materialise {
+                    Answer::Bool(self.materialization(program, inst, par).holds(Pred::GOAL))
+                } else {
+                    Answer::Bool(
+                        program
+                            .evaluate_ctx(&inst.data, Some(&inst.index), par)
+                            .holds(Pred::GOAL),
+                    )
+                }
             }
             (Strategy::SemiNaive { program }, Query::SigmaAnswers(_)) => {
-                Answer::Nodes(self.materialization(program, inst, par).answers(Pred::P))
+                if materialise {
+                    Answer::Nodes(self.materialization(program, inst, par).answers(Pred::P))
+                } else {
+                    Answer::Nodes(
+                        program
+                            .evaluate_ctx(&inst.data, Some(&inst.index), par)
+                            .answers(Pred::P)
+                            .to_vec(),
+                    )
+                }
             }
             (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => Answer::Bool(
                 disjunctive::certain_answer_dsirup_planned_ctx(dsirup, plan, &inst.data, par),
             ),
             _ => unreachable!("strategy/query kind mismatch"),
         }
+    }
+
+    /// Observed order inversion of this plan's compiled search, if any:
+    /// `(first_var_avg, min_avg, samples)` where `first_var_avg` is the
+    /// observed average post-AC-3 domain of the variable the static order
+    /// executes *first* and `min_avg` the smallest observed average over
+    /// all variables. `None` for non-DPLL strategies or before the first
+    /// execution. A first variable whose observed domain dwarfs another
+    /// variable's is the signal adaptive re-planning acts on.
+    pub fn observed_inversion(&self) -> Option<(f64, f64, u64)> {
+        let Strategy::Dpll { plan, .. } = &self.strategy else {
+            return None;
+        };
+        let est = plan.stats().observed_domains()?;
+        let first = *plan.order().first()?;
+        let first_avg = est[first.index()];
+        let min_avg = est.iter().copied().fold(f64::INFINITY, f64::min);
+        Some((first_avg, min_avg, plan.stats().samples()))
+    }
+
+    /// Recompile this plan's DPLL search with the observed per-variable
+    /// domain estimates, returning a fresh [`Plan`] (same key, query,
+    /// verdicts) whose variable order follows measurement instead of the
+    /// static selectivity score. `None` for non-DPLL strategies or before
+    /// any execution was recorded. The caller is expected to differential-
+    /// check the new plan against this one before swapping it into the
+    /// cache (the old plan is the oracle).
+    pub fn replanned_with_observed(&self) -> Option<Plan> {
+        let Strategy::Dpll { dsirup, plan } = &self.strategy else {
+            return None;
+        };
+        let est = plan.stats().observed_domains()?;
+        let replanned = Box::new(QueryPlan::compile_with_domain_estimates(&dsirup.cq, &est));
+        Some(Plan {
+            cache_key: self.cache_key.clone(),
+            query: self.query.clone(),
+            strategy: Strategy::Dpll {
+                dsirup: dsirup.clone(),
+                plan: replanned,
+            },
+            verdicts: self.verdicts.clone(),
+            fo: self.fo.clone(),
+        })
     }
 
     /// The live materialisation of this plan's program over `inst`.
@@ -395,6 +480,28 @@ impl PlanCache {
         let plan = std::sync::Arc::new(Plan::build(query.clone(), opts));
         self.lru.insert(key, plan.clone());
         plan
+    }
+
+    /// The cached plan for `key`, if present (refreshes its LRU stamp and
+    /// counts a hit/miss like any lookup).
+    pub fn get(&self, key: &str) -> Option<std::sync::Arc<Plan>> {
+        self.lru.get(key)
+    }
+
+    /// Probe for `key` without counting a hit or miss and without touching
+    /// recency — used by the adaptive read-run accounting on answer-cache
+    /// hits, which must not skew the plan-cache statistics.
+    pub fn peek(&self, key: &str) -> Option<std::sync::Arc<Plan>> {
+        self.lru.peek(key)
+    }
+
+    /// Atomically replace the plan under `key` (insert if absent). This is
+    /// the adaptive re-planning swap: requests already holding the old
+    /// `Arc` finish on it — answers are order-independent, so the
+    /// interleaving is invisible — and every later fetch gets the new
+    /// plan.
+    pub fn swap(&self, key: &str, plan: std::sync::Arc<Plan>) {
+        self.lru.insert(key.to_owned(), plan);
     }
 
     /// `(hits, misses)` so far.

@@ -21,10 +21,11 @@
 //! `(program, instance, version)`, so a mutation invalidates cached answers
 //! simply by bumping the version — stale entries can never be served.
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::catalog::{Catalog, MutationOutcome};
-use crate::executor::{Completion, Job, Pool, Work};
+use crate::executor::{AdaptiveRuntime, Completion, Job, Pool, Work};
 use crate::metrics::LatencyStats;
-use crate::plan::{Answer, PlanCache, PlanOptions, Query};
+use crate::plan::{Answer, PlanCache, PlanOptions, Query, Strategy};
 use crate::wal::{Wal, WalRecord};
 use sirup_core::fx::FxHashMap;
 use sirup_core::telemetry;
@@ -65,6 +66,8 @@ pub struct ServerConfig {
     pub answer_cache: usize,
     /// Plan construction knobs.
     pub plan: PlanOptions,
+    /// Adaptive routing knobs (disabled by default — the static policy).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +80,7 @@ impl Default for ServerConfig {
             plan_cache: 64,
             answer_cache: 256,
             plan: PlanOptions::default(),
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -310,9 +314,12 @@ type AnswerCache = crate::cache::StampedLru<Answer>;
 pub struct Server {
     config: ServerConfig,
     catalog: Arc<Catalog>,
-    plans: PlanCache,
+    plans: Arc<PlanCache>,
     answers: AnswerCache,
     pool: Pool,
+    /// The feedback controller (inert when [`AdaptiveConfig::enabled`] is
+    /// off — every consultation short-circuits to the static policy).
+    adaptive: Arc<AdaptiveController>,
     /// Serialises mutation-ticket reservation with the queue append (see
     /// [`Server::enqueue`]): per instance, ticket order must equal queue
     /// order, or a worker blocked on a predecessor ticket could starve the
@@ -336,6 +343,9 @@ pub struct Server {
 enum Route {
     /// Serve from the answer cache (hit at submission time).
     Cached(Answer),
+    /// Shed by admission control: answered [`Answer::Overloaded`] without
+    /// ever touching the pool.
+    Shed,
     /// Evaluate on the pool; remember the answer under this key (if some).
     Evaluate(Work, Option<String>),
 }
@@ -343,16 +353,30 @@ enum Route {
 impl Server {
     /// Build a server (spawns the shared scheduler's workers immediately).
     pub fn new(config: ServerConfig) -> Server {
-        let pool = Pool::new(config.threads, config.parallelism, config.par_threshold);
+        let plans = Arc::new(PlanCache::new(config.plan_cache));
+        let adaptive = Arc::new(AdaptiveController::new(config.adaptive));
+        let hooks = config.adaptive.enabled.then(|| {
+            Arc::new(AdaptiveRuntime {
+                ctrl: Arc::clone(&adaptive),
+                plans: Arc::clone(&plans),
+            })
+        });
+        let pool = Pool::new(
+            config.threads,
+            config.parallelism,
+            config.par_threshold,
+            hooks,
+        );
         let mut catalog = Catalog::new(config.shards);
         if config.parallelism > 1 {
             catalog = catalog.with_mat_parallelism(Arc::clone(pool.scheduler()));
         }
         Server {
             catalog: Arc::new(catalog),
-            plans: PlanCache::new(config.plan_cache),
+            plans,
             answers: AnswerCache::new(config.answer_cache),
             pool,
+            adaptive,
             mutation_order: Mutex::new(()),
             wal: None,
             snapshot_every: AtomicU64::new(0),
@@ -584,6 +608,7 @@ impl Server {
                     .then(|| format!("{cache_key}|{}#{}", inst.name, inst.version));
                 if let Some(key) = &answer_key {
                     if let Some(answer) = self.answers.get(key) {
+                        self.note_cached_read(&cache_key, &inst.name);
                         let latency = started.elapsed();
                         telemetry::record_request(
                             &cache_key,
@@ -599,14 +624,24 @@ impl Server {
                         });
                     }
                 }
+                if !self.adaptive.admit(&inst.name) {
+                    let latency = started.elapsed();
+                    telemetry::record_request(&cache_key, &inst.name, "shed", latency, 0);
+                    return Ok(Response {
+                        answer: Answer::Overloaded,
+                        strategy: "shed",
+                        latency,
+                    });
+                }
                 let plan = self.plans.get_or_build(query, &self.config.plan);
                 let par = (self.config.parallelism > 1)
                     .then(|| ParCtx::new(self.pool.scheduler(), self.config.par_threshold));
-                let answer = plan.answer_ctx(&inst, par);
+                let answer = self.adaptive.execute(&plan, &inst, &self.plans, par);
                 if let Some(key) = answer_key {
                     self.answers.insert(key, answer.clone());
                 }
                 let latency = started.elapsed();
+                self.adaptive.charge(&inst.name, latency.as_micros() as u64);
                 telemetry::record_request(
                     &cache_key,
                     &inst.name,
@@ -667,7 +702,49 @@ impl Server {
             )
             .unwrap();
         }
+        let routes = self.adaptive.routes();
+        if !routes.is_empty() {
+            let esc = |s: &str| {
+                s.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            };
+            writeln!(out, "# TYPE sirup_adaptive_route gauge").unwrap();
+            for r in routes {
+                writeln!(
+                    out,
+                    "sirup_adaptive_route{{program=\"{}\",instance=\"{}\",route=\"{}\",why=\"{}\"}} 1",
+                    esc(&r.program),
+                    esc(&r.instance),
+                    r.route,
+                    esc(&r.why)
+                )
+                .unwrap();
+            }
+        }
         out
+    }
+
+    /// The adaptive feedback controller (inert unless enabled in the
+    /// config).
+    pub fn adaptive(&self) -> &AdaptiveController {
+        &self.adaptive
+    }
+
+    /// Feed an answer-cache hit into the adaptive read-run accounting. An
+    /// answer-cache hit implies the program was evaluated under this
+    /// instance version, so its plan is (almost always) still in the plan
+    /// cache — `peek` avoids skewing the hit/miss statistics. Only
+    /// semi-naive programs have a promotion decision to inform.
+    fn note_cached_read(&self, cache_key: &str, instance: &str) {
+        if !self.adaptive.enabled() {
+            return;
+        }
+        if let Some(plan) = self.plans.peek(cache_key) {
+            if matches!(plan.strategy, Strategy::SemiNaive { .. }) {
+                self.adaptive.note_read(cache_key, instance);
+            }
+        }
     }
 
     /// Stats of one live instance.
@@ -711,8 +788,16 @@ impl Server {
                         .then(|| format!("{cache_key}|{}#{}", inst.name, inst.version));
                     if let Some(key) = &answer_key {
                         if let Some(answer) = self.answers.get(key) {
+                            self.note_cached_read(&cache_key, &inst.name);
                             return Route::Cached(answer);
                         }
+                    }
+                    // Admission control (inert unless a token bucket is
+                    // configured): shed queries *before* they reach the
+                    // scheduler queue. Mutations are never shed — they are
+                    // durable writes the client was promised ordering for.
+                    if !self.adaptive.admit(&inst.name) {
+                        return Route::Shed;
                     }
                     let plan = by_key
                         .entry(cache_key)
@@ -797,7 +882,11 @@ impl Server {
     ) {
         for c in done {
             if let Some(key) = keys.remove(&c.idx) {
-                self.answers.insert(key, c.answer.clone());
+                // Never cache a shed marker: `Overloaded` reflects this
+                // instant's bucket, not the query's answer at this version.
+                if c.answer != Answer::Overloaded {
+                    self.answers.insert(key, c.answer.clone());
+                }
             }
             responses[c.idx] = Some(Response {
                 answer: c.answer,
@@ -825,6 +914,13 @@ impl Server {
                     responses[idx] = Some(Response {
                         answer,
                         strategy: "cached",
+                        latency: submitted.elapsed(),
+                    });
+                }
+                Route::Shed => {
+                    responses[idx] = Some(Response {
+                        answer: Answer::Overloaded,
+                        strategy: "shed",
                         latency: submitted.elapsed(),
                     });
                 }
@@ -940,6 +1036,13 @@ impl Server {
             match routes[i].take().expect("each request submits once") {
                 Route::Cached(_) => {
                     unreachable!("resolve(probe_cache = false) never produces cached routes")
+                }
+                Route::Shed => {
+                    responses[i] = Some(Response {
+                        answer: Answer::Overloaded,
+                        strategy: "shed",
+                        latency: start.elapsed(),
+                    });
                 }
                 Route::Evaluate(work, key) => {
                     if let Some(key) = key {
@@ -1117,6 +1220,105 @@ mod tests {
             .any(|(k, n)| k == "mutation" && *n == report.mutations));
         let text = report.summary();
         assert!(text.contains("op(s) applied"), "{text}");
+    }
+
+    #[test]
+    fn adaptive_hysteresis_promotes_demotes_and_never_lies() {
+        use crate::adaptive::AdaptiveConfig;
+        // Single worker + no answer cache: every read evaluates, so the
+        // read runs the controller feeds on are exactly the submits below.
+        let adaptive = Server::new(ServerConfig {
+            threads: 1,
+            shards: 2,
+            plan_cache: 8,
+            answer_cache: 0,
+            adaptive: AdaptiveConfig {
+                enabled: true,
+                promote_after_reads: 2,
+                demote_after_writes: 2,
+                ..AdaptiveConfig::default()
+            },
+            ..ServerConfig::default()
+        });
+        // The oracle is the same server with the static router — every
+        // answer must match it, whichever route served.
+        let oracle = Server::new(ServerConfig {
+            threads: 1,
+            shards: 2,
+            plan_cache: 8,
+            answer_cache: 0,
+            ..ServerConfig::default()
+        });
+        let data = st("F(u), R(v,u), R(v,w), T(w)");
+        adaptive.load_instance("d", data.clone());
+        oracle.load_instance("d", data);
+        // q4 is unbounded: the semi-naive strategy, where routing matters.
+        let read = || {
+            Request::query(
+                Query::PiGoal(OneCq::parse("F(x), R(y,x), R(y,z), T(z)")),
+                "d",
+            )
+        };
+        let write = |i: u32| Request::mutation(vec![FactOp::AddLabel(Pred::A, Node(10 + i))], "d");
+        let mats = || {
+            adaptive
+                .instance_stats("d")
+                .expect("instance d is loaded")
+                .materializations
+                .len()
+        };
+        let check = |req: Request| {
+            let a = adaptive.submit(std::slice::from_ref(&req)).unwrap();
+            let b = oracle.submit(&[req]).unwrap();
+            assert_eq!(a[0].answer, b[0].answer, "adaptive answer diverged");
+        };
+        let promotions_before = telemetry::snapshot().counter("sirup_adaptive_promotions_total");
+
+        // Write-heavy phase: reads interleaved with writes never clear the
+        // promotion threshold — no materialisation may attach.
+        for i in 0..3 {
+            check(read());
+            check(write(i));
+            assert_eq!(mats(), 0, "write-heavy phase must not materialise");
+        }
+
+        // Read-heavy phase: the second uninterrupted read promotes and
+        // attaches the maintained materialisation.
+        check(read());
+        assert_eq!(mats(), 0, "one read is below the promotion threshold");
+        check(read());
+        assert_eq!(mats(), 1, "the promoting read must attach");
+        assert!(
+            telemetry::snapshot().counter("sirup_adaptive_promotions_total") > promotions_before,
+            "promotion must be observable via its counter"
+        );
+        let routes = adaptive.adaptive().routes();
+        assert!(
+            routes
+                .iter()
+                .any(|r| r.instance == "d" && r.route == "materialised"),
+            "{routes:?}"
+        );
+        check(read()); // stays promoted
+        assert_eq!(mats(), 1);
+
+        // Second write-heavy phase: two consecutive writes demote and
+        // detach.
+        check(write(100));
+        assert_eq!(mats(), 1, "one write is below the demotion threshold");
+        check(write(101));
+        assert_eq!(mats(), 0, "the demoting write must detach");
+        assert!(
+            adaptive
+                .adaptive()
+                .routes()
+                .iter()
+                .any(|r| r.instance == "d" && r.route == "scratch"),
+            "demotion must be visible in the route surface"
+        );
+        // And reads start a fresh run from scratch.
+        check(read());
+        assert_eq!(mats(), 0);
     }
 
     #[test]

@@ -418,6 +418,7 @@ fn render_answer(answer: &Answer) -> String {
             format!("answer nodes {}", list.join(","))
         }
         Answer::Applied { applied, seq } => format!("answer applied {applied} seq {seq}"),
+        Answer::Overloaded => "error overloaded: request shed by admission control".to_owned(),
     }
 }
 

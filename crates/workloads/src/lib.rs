@@ -28,7 +28,7 @@ pub use appendix_e::appendix_e_instance;
 pub use paper::{d1, d2, q1, q2, q2_cq, q3, q3_cq, q4, q4_cq, q5, q6, q7, q8};
 pub use reach::{dag_reduction_instance, undirected_reduction_instance, Digraph};
 pub use traffic::{
-    mixed_traffic, parse_workload, render_workload, scaling_traffic, QueryKind, TrafficAction,
-    TrafficParams, TrafficRequest, TrafficSpec,
+    mixed_traffic, parse_workload, phase_traffic, render_workload, scaling_traffic, QueryKind,
+    TrafficAction, TrafficParams, TrafficRequest, TrafficSpec,
 };
 pub use wire::{replay_over_wire, WireClient};

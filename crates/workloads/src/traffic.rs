@@ -374,6 +374,77 @@ pub fn scaling_traffic(nodes: usize, requests: usize, seed: u64) -> TrafficSpec 
     spec
 }
 
+/// A **phase-shifting** workload for the adaptive controller: one hot
+/// instance under three consecutive traffic phases —
+///
+/// 1. **write-heavy**: mutations dominate with occasional interleaved
+///    reads, so an adaptive server keeps evaluating from scratch (a
+///    maintained materialisation would churn on every write);
+/// 2. **read-heavy**: an uninterrupted run of unbounded semi-naive reads
+///    (`q4` as Π/Σ) plus disjunctive DPLL reads (`q2` as Δ/Δ⁺), the shape
+///    that clears the promotion threshold and feeds re-planning samples;
+/// 3. **write-heavy again**: the demotion phase — writes dominate once
+///    more, so promoted programs detach their materialisations.
+///
+/// `sirupctl serve --phases --emit` renders it (the bundled
+/// `workloads/phases.sirupload` is this spec at its committed size), and
+/// the CI adaptive smoke replays it with `--adaptive` asserting the
+/// promotion/re-plan/shed counters move. Deterministic in
+/// `(per_phase, seed)`; arrivals are strictly nondecreasing.
+pub fn phase_traffic(per_phase: usize, seed: u64) -> TrafficSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_phase = per_phase.max(4);
+    let hot = random_instance(48, 96, 0.45, 0.25, seed);
+    let mut spec = TrafficSpec {
+        instances: vec![("hot".to_owned(), hot)],
+        requests: Vec::new(),
+    };
+    let mut shadow = spec.instances[0].1.clone();
+    let reads: [(QueryKind, Structure); 4] = [
+        (QueryKind::PiGoal, paper::q4_cq().structure().clone()),
+        (QueryKind::SigmaAnswers, paper::q4_cq().structure().clone()),
+        (QueryKind::Delta, paper::q2()),
+        (QueryKind::DeltaPlus, paper::q2()),
+    ];
+    let mut arrival = 0u64;
+    for phase in 0..3usize {
+        let write_heavy = phase != 1;
+        for i in 0..per_phase {
+            arrival += 40;
+            // Write phases: 3 mutations to every read. Read phase: pure
+            // reads cycling the pool, so each program's run is unbroken.
+            if write_heavy && i % 4 != 0 {
+                let batch = rng.gen_range(1..=2usize);
+                let mut ops = Vec::with_capacity(batch);
+                for _ in 0..batch {
+                    if let Some(op) = random_op(&shadow, &mut rng) {
+                        ops.push(op);
+                    }
+                }
+                if !ops.is_empty() {
+                    shadow.apply_all(&ops);
+                    spec.requests.push(TrafficRequest {
+                        action: TrafficAction::Mutate { ops },
+                        instance: "hot".to_owned(),
+                        arrival_us: arrival,
+                    });
+                    continue;
+                }
+            }
+            let (kind, cq) = &reads[i % reads.len()];
+            spec.requests.push(TrafficRequest {
+                action: TrafficAction::Query {
+                    kind: *kind,
+                    cq: cq.clone(),
+                },
+                instance: "hot".to_owned(),
+                arrival_us: arrival,
+            });
+        }
+    }
+    spec
+}
+
 /// Render a spec in the workload text format.
 pub fn render_workload(spec: &TrafficSpec) -> String {
     let mut out = String::from("# sirup workload v1\n");
@@ -627,6 +698,41 @@ mod tests {
         // All four heavy kinds cycle through the stream.
         for kind in [QueryKind::PiGoal, QueryKind::SigmaAnswers, QueryKind::Delta] {
             assert!(a.requests.iter().any(|r| query_kind(r) == Some(kind)));
+        }
+        // And the rendering round-trips through the file format.
+        assert!(parse_workload(&render_workload(&a)).is_ok());
+    }
+
+    #[test]
+    fn phase_traffic_is_deterministic_and_phase_shaped() {
+        let a = phase_traffic(16, 11);
+        let b = phase_traffic(16, 11);
+        assert_eq!(render_workload(&a), render_workload(&b));
+        assert_eq!(a.instances.len(), 1);
+        assert_eq!(a.instances[0].0, "hot");
+        assert_eq!(a.requests.len(), 48);
+        assert!(a.requests.iter().all(|r| r.instance == "hot"));
+        // Arrivals are nondecreasing (open-loop pacing needs this).
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
+        // The middle third is pure reads; the outer thirds are
+        // write-dominated.
+        let thirds: Vec<&[TrafficRequest]> = a.requests.chunks(16).collect();
+        let writes = |reqs: &[TrafficRequest]| reqs.iter().filter(|r| r.is_mutation()).count();
+        assert_eq!(writes(thirds[1]), 0, "read phase must be pure reads");
+        assert!(writes(thirds[0]) > 8, "first phase must be write-heavy");
+        assert!(writes(thirds[2]) > 8, "last phase must be write-heavy");
+        // The read phase exercises both the semi-naive kinds (promotion)
+        // and the disjunctive kinds (re-planning).
+        for kind in [
+            QueryKind::PiGoal,
+            QueryKind::SigmaAnswers,
+            QueryKind::Delta,
+            QueryKind::DeltaPlus,
+        ] {
+            assert!(thirds[1].iter().any(|r| query_kind(r) == Some(kind)));
         }
         // And the rendering round-trips through the file format.
         assert!(parse_workload(&render_workload(&a)).is_ok());
