@@ -11,10 +11,15 @@
 //! * `*_enumerate` — capped enumeration of all homomorphisms.
 //!
 //! `compile/{depth}` isolates the one-off compilation cost being amortised.
+//! Since the CSR-substrate PR the `planned_*` points attach a
+//! [`FrozenStructure`] snapshot of the target, frozen once outside the
+//! loop — the amortisation the engine's fixpoint and the server's catalog
+//! perform; `freeze/{depth}` isolates that one-off cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sirup_bench::bench_opts;
 use sirup_cactus::enumerate::full_cactus;
+use sirup_core::FrozenStructure;
 use sirup_hom::{HomFinder, QueryPlan};
 use sirup_workloads::paper;
 
@@ -29,11 +34,24 @@ fn hom_plan(c: &mut Criterion) {
             b.iter(|| HomFinder::new(small.structure(), big.structure()).exists());
         });
         let plan = QueryPlan::compile(small.structure());
+        let frozen = FrozenStructure::freeze(big.structure());
         g.bench_with_input(BenchmarkId::new("planned_exists", depth), &depth, |b, _| {
-            b.iter(|| plan.on(big.structure()).exists());
+            b.iter(|| plan.on(big.structure()).target_frozen(&frozen).exists());
         });
+        // The same executions on live paged reads — the within-run control
+        // that isolates the CSR substrate's gain from machine drift.
+        g.bench_with_input(
+            BenchmarkId::new("planned_exists_live", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| plan.on(big.structure()).exists());
+            },
+        );
         g.bench_with_input(BenchmarkId::new("compile", depth), &depth, |b, _| {
             b.iter(|| QueryPlan::compile(big.structure()).order().len());
+        });
+        g.bench_with_input(BenchmarkId::new("freeze", depth), &depth, |b, _| {
+            b.iter(|| FrozenStructure::freeze(big.structure()).edge_count());
         });
     }
 
@@ -54,7 +72,21 @@ fn hom_plan(c: &mut Criterion) {
         });
     });
     let plan = QueryPlan::compile(small.structure());
+    let frozen = FrozenStructure::freeze(big.structure());
     g.bench_function("planned_pinned_sweep", |b| {
+        b.iter(|| {
+            big.structure()
+                .nodes()
+                .filter(|&a| {
+                    plan.on(big.structure())
+                        .target_frozen(&frozen)
+                        .fix(root, a)
+                        .exists()
+                })
+                .count()
+        });
+    });
+    g.bench_function("planned_pinned_sweep_live", |b| {
         b.iter(|| {
             big.structure()
                 .nodes()
@@ -74,8 +106,15 @@ fn hom_plan(c: &mut Criterion) {
         });
     });
     let enum_plan = QueryPlan::compile(c0.structure());
+    let frozen3 = FrozenStructure::freeze(c3.structure());
     g.bench_function("planned_enumerate", |b| {
-        b.iter(|| enum_plan.on(c3.structure()).find_up_to(256).len());
+        b.iter(|| {
+            enum_plan
+                .on(c3.structure())
+                .target_frozen(&frozen3)
+                .find_up_to(256)
+                .len()
+        });
     });
     g.finish();
 }

@@ -1,0 +1,103 @@
+//! Microbenches of the read-optimized execution substrate (the CSR
+//! snapshots / widened-kernel PR), folded into `BENCH_hom.json` next to
+//! the plan-vs-legacy points they accelerate.
+//!
+//! * `intersect/{bits}`, `difference/{bits}`, `count_and/{bits}` — the
+//!   widened (4-words-per-step) `NodeSet` kernels on half-full operands,
+//!   the inner ops of AC-3 revise, domain seeding, and delta-scan skips;
+//! * `first_common/{bits}` — the early-exit common-bit probe (the
+//!   FT-twin inconsistency check of the disjunctive search);
+//! * `csr_out_scan` vs `paged_out_scan` — summing one predicate's
+//!   out-neighbours over every node of a 4096-node instance through the
+//!   frozen CSR rows vs. the live paged `NodeRec` chase (the adjacency
+//!   read both the AC-3 prefilter and the backtracking join perform);
+//! * `freeze_4096` — the one-off snapshot build those scans amortise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirup_bench::bench_opts;
+use sirup_core::{FrozenStructure, Node, NodeSet, Pred, Structure};
+
+/// A half-full set over `bits` nodes (every other bit, so the popcount
+/// work is realistic and neither operand short-circuits).
+fn half_full(bits: usize, phase: usize) -> NodeSet {
+    let mut s = NodeSet::empty(bits);
+    for i in (phase..bits).step_by(2) {
+        s.insert(Node(i as u32));
+    }
+    s
+}
+
+/// `n`-node instance with ring + skip `R`-edges (avg out-degree 2) and a
+/// sparse label sprinkle — big enough that adjacency spans many pages.
+fn ring_instance(n: usize) -> Structure {
+    let mut s = Structure::with_nodes(n);
+    for i in 0..n as u32 {
+        s.add_edge(Pred::R, Node(i), Node((i + 1) % n as u32));
+        s.add_edge(Pred::R, Node(i), Node((i + 7) % n as u32));
+        if i % 5 == 0 {
+            s.add_label(Node(i), Pred::T);
+        }
+    }
+    s
+}
+
+fn kernel_hot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_hot");
+    bench_opts(&mut g);
+
+    for bits in [1024usize, 16384] {
+        let a = half_full(bits, 0);
+        let b = half_full(bits, 1);
+        let same = half_full(bits, 0);
+        g.bench_with_input(BenchmarkId::new("intersect", bits), &bits, |bch, _| {
+            let mut dst = NodeSet::empty(bits);
+            bch.iter(|| {
+                dst.copy_from(&a);
+                dst.intersect_with(&same)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("difference", bits), &bits, |bch, _| {
+            let mut dst = NodeSet::empty(bits);
+            bch.iter(|| {
+                dst.copy_from(&a);
+                dst.difference_with(&b)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("count_and", bits), &bits, |bch, _| {
+            bch.iter(|| a.count_and(&same));
+        });
+        // Disjoint operands: first_common scans the whole set (worst case).
+        g.bench_with_input(BenchmarkId::new("first_common", bits), &bits, |bch, _| {
+            bch.iter(|| a.first_common(&b).is_none());
+        });
+    }
+
+    let n = 4096usize;
+    let inst = ring_instance(n);
+    let frozen = FrozenStructure::freeze(&inst);
+    g.bench_function("csr_out_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for u in inst.nodes() {
+                acc += frozen.out(Pred::R, u).len();
+            }
+            acc
+        });
+    });
+    g.bench_function("paged_out_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for u in inst.nodes() {
+                acc += inst.out(u).iter().filter(|&&(p, _)| p == Pred::R).count();
+            }
+            acc
+        });
+    });
+    g.bench_function("freeze_4096", |b| {
+        b.iter(|| FrozenStructure::freeze(&inst).edge_count());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernel_hot);
+criterion_main!(benches);

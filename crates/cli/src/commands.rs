@@ -937,6 +937,17 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
             stats.cow.shared_ratio() * 100.0
         )
         .unwrap();
+        // Retained vs live: how much of the retained storage is versioning
+        // overhead (reclaimable by a version-GC pass at most), and how much
+        // extra the cached CSR read snapshot holds on top.
+        writeln!(
+            out,
+            "  live      : ~{} B live facts (~{} B version overhead), csr snapshot ~{} B",
+            stats.live_bytes,
+            stats.cow.retained_bytes.saturating_sub(stats.live_bytes),
+            stats.frozen_bytes
+        )
+        .unwrap();
         if stats.materializations.is_empty() {
             writeln!(out, "  (no live materialisations)").unwrap();
         }
@@ -1076,9 +1087,18 @@ fn wire_instance_line(reply: &str) -> Option<String> {
     } else {
         shared as f64 * 100.0 / pages as f64
     };
+    // `live`/`frozen` arrived with the CSR-snapshot work; tolerate replies
+    // from daemons that predate them.
+    let live_part = match (get("live"), get("frozen")) {
+        (Some(live), Some(frozen)) => format!(
+            ", ~{live} B live (~{} B version overhead), csr ~{frozen} B",
+            retained.saturating_sub(live)
+        ),
+        _ => String::new(),
+    };
     Some(format!(
         "\ninstance {name}: {nodes} node(s), ~{retained} B retained, \
-         {shared}/{pages} page(s) shared with previous version ({ratio:.1}%)"
+         {shared}/{pages} page(s) shared with previous version ({ratio:.1}%){live_part}"
     ))
 }
 

@@ -1,0 +1,256 @@
+//! Per-worker reusable evaluation buffers (`EvalScratch`).
+//!
+//! The hot evaluation loops — AC-3 propagation, backtracking search, the
+//! semi-naive round loop, UCQ disjunct sweeps, DPLL bound checks — all
+//! need short-lived working memory: candidate-domain bitsets, node
+//! vectors, visited flags, worklist queues. Allocating these per call
+//! puts `malloc`/`free` on paths that run thousands of times per request.
+//! This module keeps a small pool of such buffers in a thread-local
+//! [`EvalScratch`] arena: a worker *takes* a buffer (reusing a pooled
+//! allocation when one is available), uses it, and *puts* it back cleared.
+//!
+//! **Lifecycle and isolation.** The pool is `thread_local!`, so "per
+//! worker" falls out for free: the scheduler's workers are OS threads
+//! (plus the helping owner thread), and each one only ever touches its
+//! own pool — no locks, no sharing, no cross-worker contention. State
+//! cannot leak across requests because buffers are cleared on `put` (and
+//! bitsets are re-dimensioned on `take`): a request observes either a
+//! fresh allocation or a zeroed recycled one, never another request's
+//! contents. A buffer that is *not* returned (e.g. a panic unwound past
+//! the `put`) is simply dropped and the pool re-grows on demand — leaking
+//! capacity, never data.
+//!
+//! **Re-entrancy.** Each take/put borrows the thread-local `RefCell` only
+//! for the duration of one `Vec::pop`/`push`, never across user code, so
+//! nested evaluations (a plan executed from inside a fixpoint round from
+//! inside a server job) cannot hit a double borrow — inner calls just
+//! take further buffers from the same pool.
+
+use crate::bitset::NodeSet;
+use crate::structure::Node;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Pool of reusable evaluation buffers for one worker thread.
+///
+/// Usually consumed through the free functions in this module
+/// ([`take_set`], [`put_set`], …) which operate on the calling thread's
+/// pool; the struct is public so callers can size or inspect a pool
+/// explicitly in tests.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Recycled bitsets (candidate domains, support accumulators).
+    sets: Vec<NodeSet>,
+    /// Recycled bitset vectors (one domain per query variable).
+    set_vecs: Vec<Vec<NodeSet>>,
+    /// Recycled node vectors (candidate lists, assignments, deltas).
+    node_vecs: Vec<Vec<Node>>,
+    /// Recycled flag vectors (visited/used/queued marks).
+    bool_vecs: Vec<Vec<bool>>,
+    /// Recycled worklist queues (AC-3 arc agendas).
+    queues: Vec<VecDeque<usize>>,
+}
+
+/// Cap on pooled buffers per kind, so a one-off huge evaluation does not
+/// pin its peak memory on the worker forever.
+const POOL_CAP: usize = 16;
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// Take a bitset dimensioned for a universe of `n` nodes (all bits
+/// cleared). Return it with [`put_set`].
+pub fn take_set(n: usize) -> NodeSet {
+    let recycled = SCRATCH.with(|s| s.borrow_mut().sets.pop());
+    match recycled {
+        Some(mut set) => {
+            set.reset(n);
+            set
+        }
+        None => NodeSet::empty(n),
+    }
+}
+
+/// Return a bitset taken with [`take_set`] to the calling thread's pool.
+pub fn put_set(set: NodeSet) {
+    SCRATCH.with(|s| {
+        let pool = &mut s.borrow_mut().sets;
+        if pool.len() < POOL_CAP {
+            pool.push(set);
+        }
+    });
+}
+
+/// Take an empty vector of bitsets (for per-variable domain stacks).
+/// Return it with [`put_set_vec`].
+pub fn take_set_vec() -> Vec<NodeSet> {
+    SCRATCH
+        .with(|s| s.borrow_mut().set_vecs.pop())
+        .unwrap_or_default()
+}
+
+/// Return a domain vector: its bitsets drain into the set pool and the
+/// emptied vector goes back to the vector pool.
+pub fn put_set_vec(mut v: Vec<NodeSet>) {
+    SCRATCH.with(|s| {
+        let mut pool = s.borrow_mut();
+        for set in v.drain(..) {
+            if pool.sets.len() < POOL_CAP {
+                pool.sets.push(set);
+            }
+        }
+        if pool.set_vecs.len() < POOL_CAP {
+            pool.set_vecs.push(v);
+        }
+    });
+}
+
+/// Take an empty node vector. Return it with [`put_node_vec`].
+pub fn take_node_vec() -> Vec<Node> {
+    SCRATCH
+        .with(|s| s.borrow_mut().node_vecs.pop())
+        .unwrap_or_default()
+}
+
+/// Return a node vector to the calling thread's pool (cleared here).
+pub fn put_node_vec(mut v: Vec<Node>) {
+    v.clear();
+    SCRATCH.with(|s| {
+        let pool = &mut s.borrow_mut().node_vecs;
+        if pool.len() < POOL_CAP {
+            pool.push(v);
+        }
+    });
+}
+
+/// Take a flag vector of length `n`, all `false`. Return it with
+/// [`put_bool_vec`].
+pub fn take_bool_vec(n: usize) -> Vec<bool> {
+    let mut v = SCRATCH
+        .with(|s| s.borrow_mut().bool_vecs.pop())
+        .unwrap_or_default();
+    v.clear();
+    v.resize(n, false);
+    v
+}
+
+/// Return a flag vector to the calling thread's pool (cleared here).
+pub fn put_bool_vec(mut v: Vec<bool>) {
+    v.clear();
+    SCRATCH.with(|s| {
+        let pool = &mut s.borrow_mut().bool_vecs;
+        if pool.len() < POOL_CAP {
+            pool.push(v);
+        }
+    });
+}
+
+/// Take an empty worklist queue. Return it with [`put_queue`].
+pub fn take_queue() -> VecDeque<usize> {
+    SCRATCH
+        .with(|s| s.borrow_mut().queues.pop())
+        .unwrap_or_default()
+}
+
+/// Return a worklist queue to the calling thread's pool (cleared here).
+pub fn put_queue(mut q: VecDeque<usize>) {
+    q.clear();
+    SCRATCH.with(|s| {
+        let pool = &mut s.borrow_mut().queues;
+        if pool.len() < POOL_CAP {
+            pool.push(q);
+        }
+    });
+}
+
+impl EvalScratch {
+    /// Number of buffers currently pooled on the calling thread, by kind
+    /// `(sets, set_vecs, node_vecs, bool_vecs, queues)` — test/debug aid.
+    pub fn pooled() -> (usize, usize, usize, usize, usize) {
+        SCRATCH.with(|s| {
+            let p = s.borrow();
+            (
+                p.sets.len(),
+                p.set_vecs.len(),
+                p.node_vecs.len(),
+                p.bool_vecs.len(),
+                p.queues.len(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_cleared() {
+        let mut set = take_set(100);
+        set.insert(Node(7));
+        put_set(set);
+        let set = take_set(100);
+        assert!(
+            !set.contains(Node(7)),
+            "recycled set must come back cleared"
+        );
+        assert!(set.is_empty());
+        put_set(set);
+
+        // Re-dimensioning: a set pooled at universe 100 can be retaken
+        // at a larger universe and index the full range.
+        let mut set = take_set(1000);
+        set.insert(Node(999));
+        assert!(set.contains(Node(999)));
+        put_set(set);
+
+        let mut v = take_node_vec();
+        v.push(Node(1));
+        put_node_vec(v);
+        assert!(take_node_vec().is_empty());
+
+        let flags = take_bool_vec(10);
+        assert_eq!(flags.len(), 10);
+        assert!(flags.iter().all(|&b| !b));
+        put_bool_vec(flags);
+
+        let mut q = take_queue();
+        q.push_back(3);
+        put_queue(q);
+        assert!(take_queue().is_empty());
+    }
+
+    #[test]
+    fn set_vec_drains_into_set_pool() {
+        let mut doms = take_set_vec();
+        assert!(doms.is_empty());
+        doms.push(take_set(50));
+        doms.push(take_set(50));
+        let before = EvalScratch::pooled().0;
+        put_set_vec(doms);
+        let after = EvalScratch::pooled().0;
+        assert!(after >= before, "drained sets should land in the set pool");
+    }
+
+    #[test]
+    fn nested_take_does_not_double_borrow() {
+        // Simulates a nested evaluation: taking while holding other
+        // taken buffers must not panic (no RefCell borrow held across
+        // user code).
+        let a = take_set(10);
+        let b = take_set(10);
+        let q = take_queue();
+        put_queue(q);
+        put_set(b);
+        put_set(a);
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        for _ in 0..64 {
+            put_node_vec(Vec::new());
+        }
+        assert!(EvalScratch::pooled().2 <= super::POOL_CAP);
+    }
+}

@@ -1,0 +1,275 @@
+//! CSR-style frozen read snapshots of a [`Structure`].
+//!
+//! The paged [`Structure`] is the right layout for *writes* (a point
+//! mutation copies one page) but every adjacency read pays a page chase:
+//! group spine → page `Arc` → `NodeRec` → `Vec` heap block. The hot read
+//! loops — AC-3 revise, backtracking joins, fixpoint delta scans — walk
+//! adjacency millions of times per request, so PR 8's snapshot-clone win
+//! cost them 3–22% (measured in `BENCH_hom.json`'s PR 8 meta note).
+//!
+//! A [`FrozenStructure`] is the classic columnar answer: one contiguous
+//! **CSR array pair per (predicate, direction)** — `offsets[n + 1]` into a
+//! flat node-sorted `targets` array — plus one [`NodeSet`] bitmap row per
+//! unary predicate and per binary-predicate endpoint role (sources/sinks).
+//! Freezing is one pass over the structure's atoms; reads are then two
+//! array indexes with no pointer chasing, and domain seeding is a handful
+//! of word-parallel row intersections instead of a per-node admissibility
+//! scan.
+//!
+//! A frozen snapshot is **immutable and tied to the structure it was built
+//! from, as of the build** (the same contract as [`crate::index::PredIndex`]).
+//! The server catalog builds one lazily per instance version and shares it
+//! across requests; the datalog engine freezes its (edge-immutable) working
+//! instance once per evaluation and consults only the edge side while
+//! labels accrue — see the `labels_current` flag on the consumers in
+//! `sirup-hom`.
+
+use crate::bitset::NodeSet;
+use crate::fx::FxHashMap;
+use crate::structure::{Node, Structure};
+use crate::symbols::Pred;
+
+/// One direction's compressed adjacency for one predicate: node `u`'s
+/// neighbours are `targets[offsets[u] .. offsets[u + 1]]`, sorted.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// `node_count + 1` prefix offsets into `targets`.
+    offsets: Vec<u32>,
+    /// Flat neighbour array, grouped by source node, sorted within a group.
+    targets: Vec<Node>,
+}
+
+impl Csr {
+    /// Build from `(key, neighbour)` pairs sorted by key (then neighbour).
+    fn from_sorted(n: usize, pairs: &[(Node, Node)]) -> Csr {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(pairs.len());
+        let mut i = 0usize;
+        offsets.push(0);
+        for u in 0..n as u32 {
+            while i < pairs.len() && pairs[i].0 == Node(u) {
+                targets.push(pairs[i].1);
+                i += 1;
+            }
+            offsets.push(targets.len() as u32);
+        }
+        debug_assert_eq!(i, pairs.len(), "pairs reference nodes beyond n");
+        Csr { offsets, targets }
+    }
+
+    #[inline]
+    fn row(&self, u: Node) -> &[Node] {
+        let i = u.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<Node>()
+    }
+}
+
+/// An immutable, cache-friendly read snapshot of a [`Structure`]: per-pred
+/// CSR adjacency in both directions, plus bitmap rows for labels and edge
+/// endpoints. See the module docs for the staleness contract.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenStructure {
+    node_count: usize,
+    edge_count: usize,
+    out: FxHashMap<Pred, Csr>,
+    inn: FxHashMap<Pred, Csr>,
+    /// Nodes carrying each unary predicate.
+    labels: FxHashMap<Pred, NodeSet>,
+    /// Nodes with ≥1 outgoing edge of each binary predicate.
+    sources: FxHashMap<Pred, NodeSet>,
+    /// Nodes with ≥1 incoming edge of each binary predicate.
+    sinks: FxHashMap<Pred, NodeSet>,
+    /// Shared empty row returned for predicates absent from the snapshot,
+    /// dimensioned to the node universe so row intersections stay exact.
+    empty_row: NodeSet,
+}
+
+impl FrozenStructure {
+    /// Freeze `s`: one pass over its atoms into contiguous arrays.
+    pub fn freeze(s: &Structure) -> FrozenStructure {
+        let n = s.node_count();
+        // `Structure::edges()` yields (pred, u, v) in u-order with each
+        // node's out-list sorted by (pred, target) — so grouping by pred
+        // preserves (u, v) sort order for the out CSRs; the in side needs
+        // a sort.
+        let mut out_pairs: FxHashMap<Pred, Vec<(Node, Node)>> = FxHashMap::default();
+        let mut inn_pairs: FxHashMap<Pred, Vec<(Node, Node)>> = FxHashMap::default();
+        let mut sources: FxHashMap<Pred, NodeSet> = FxHashMap::default();
+        let mut sinks: FxHashMap<Pred, NodeSet> = FxHashMap::default();
+        let mut edge_count = 0usize;
+        for (p, u, v) in s.edges() {
+            edge_count += 1;
+            out_pairs.entry(p).or_default().push((u, v));
+            inn_pairs.entry(p).or_default().push((v, u));
+            sources
+                .entry(p)
+                .or_insert_with(|| NodeSet::empty(n))
+                .insert(u);
+            sinks
+                .entry(p)
+                .or_insert_with(|| NodeSet::empty(n))
+                .insert(v);
+        }
+        let mut labels: FxHashMap<Pred, NodeSet> = FxHashMap::default();
+        for (p, v) in s.unary_atoms() {
+            labels
+                .entry(p)
+                .or_insert_with(|| NodeSet::empty(n))
+                .insert(v);
+        }
+        let out = out_pairs
+            .into_iter()
+            .map(|(p, pairs)| (p, Csr::from_sorted(n, &pairs)))
+            .collect();
+        let inn = inn_pairs
+            .into_iter()
+            .map(|(p, mut pairs)| {
+                pairs.sort_unstable();
+                (p, Csr::from_sorted(n, &pairs))
+            })
+            .collect();
+        FrozenStructure {
+            node_count: n,
+            edge_count,
+            out,
+            inn,
+            labels,
+            sources,
+            sinks,
+            empty_row: NodeSet::empty(n),
+        }
+    }
+
+    /// Node count of the frozen snapshot (for staleness assertions).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of binary atoms in the snapshot.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All `v` with `p(u, v)`, sorted — a contiguous slice, no page chase.
+    #[inline]
+    pub fn out(&self, p: Pred, u: Node) -> &[Node] {
+        self.out.get(&p).map_or(&[], |c| c.row(u))
+    }
+
+    /// All `u` with `p(u, v)`, sorted.
+    #[inline]
+    pub fn inn(&self, p: Pred, v: Node) -> &[Node] {
+        self.inn.get(&p).map_or(&[], |c| c.row(v))
+    }
+
+    /// Does `p(u, v)` hold (by the frozen snapshot)?
+    #[inline]
+    pub fn has_edge(&self, p: Pred, u: Node, v: Node) -> bool {
+        self.out(p, u).binary_search(&v).is_ok()
+    }
+
+    /// Is node `v` labelled `p` (by the frozen snapshot)?
+    #[inline]
+    pub fn has_label(&self, v: Node, p: Pred) -> bool {
+        self.labels.get(&p).is_some_and(|row| row.contains(v))
+    }
+
+    /// Bitmap row of nodes labelled `p` (empty row if the predicate is
+    /// absent). Dimensioned to the node universe, so it can be intersected
+    /// directly into a candidate domain.
+    #[inline]
+    pub fn label_row(&self, p: Pred) -> &NodeSet {
+        self.labels.get(&p).unwrap_or(&self.empty_row)
+    }
+
+    /// Bitmap row of nodes with an outgoing `p`-edge.
+    #[inline]
+    pub fn source_row(&self, p: Pred) -> &NodeSet {
+        self.sources.get(&p).unwrap_or(&self.empty_row)
+    }
+
+    /// Bitmap row of nodes with an incoming `p`-edge.
+    #[inline]
+    pub fn sink_row(&self, p: Pred) -> &NodeSet {
+        self.sinks.get(&p).unwrap_or(&self.empty_row)
+    }
+
+    /// Approximate heap bytes held by the frozen arrays — what the catalog
+    /// reports as "CSR cache" next to the copy-on-write sharing stats.
+    pub fn retained_bytes(&self) -> usize {
+        let csr: usize = self
+            .out
+            .values()
+            .chain(self.inn.values())
+            .map(Csr::heap_bytes)
+            .sum();
+        let rows: usize = [&self.labels, &self.sources, &self.sinks]
+            .iter()
+            .flat_map(|m| m.values())
+            .chain(std::iter::once(&self.empty_row))
+            .map(|row| row.heap_bytes())
+            .sum();
+        csr + rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::st;
+
+    #[test]
+    fn freeze_matches_structure_reads() {
+        let s = st("F(a), T(c), R(a,b), R(a,c), R(b,c), S(c,a)");
+        let f = FrozenStructure::freeze(&s);
+        assert_eq!(f.node_count(), s.node_count());
+        assert_eq!(f.edge_count(), s.edge_count());
+        for v in s.nodes() {
+            for p in [Pred::F, Pred::T, Pred::A] {
+                assert_eq!(f.has_label(v, p), s.has_label(v, p));
+                assert_eq!(f.label_row(p).contains(v), s.has_label(v, p));
+            }
+            for p in [Pred::R, Pred::S] {
+                let out: Vec<Node> = s.out_pred(v, p).iter().map(|&(_, t)| t).collect();
+                assert_eq!(f.out(p, v), out.as_slice());
+                let inn: Vec<Node> = s.inn_pred(v, p).iter().map(|&(_, t)| t).collect();
+                assert_eq!(f.inn(p, v), inn.as_slice());
+                assert_eq!(f.source_row(p).contains(v), !out.is_empty());
+                assert_eq!(f.sink_row(p).contains(v), !inn.is_empty());
+                for w in s.nodes() {
+                    assert_eq!(f.has_edge(p, v, w), s.has_edge(p, v, w));
+                }
+            }
+        }
+        assert!(f.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn absent_predicates_read_empty() {
+        let f = FrozenStructure::freeze(&st("T(a)"));
+        assert!(f.out(Pred::R, Node(0)).is_empty());
+        assert!(f.inn(Pred::R, Node(0)).is_empty());
+        assert!(!f.has_edge(Pred::R, Node(0), Node(0)));
+        assert!(f.source_row(Pred::R).is_empty());
+        assert!(f.label_row(Pred::F).is_empty());
+        // Out-of-range nodes (stale callers) read empty, not panic.
+        assert!(f.out(Pred::R, Node(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_structure_freezes() {
+        let f = FrozenStructure::freeze(&Structure::new());
+        assert_eq!(f.node_count(), 0);
+        assert_eq!(f.edge_count(), 0);
+    }
+}

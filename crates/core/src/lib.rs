@@ -16,6 +16,11 @@
 //! * prebuilt per-predicate indexes over structures ([`index::PredIndex`]),
 //!   used by the hom engine and the query service for repeated global
 //!   per-predicate lookups,
+//! * CSR-style frozen read snapshots ([`csr::FrozenStructure`]) — contiguous
+//!   per-predicate adjacency arrays and label bitmap rows for the hot
+//!   evaluation loops, built once per catalog snapshot,
+//! * per-worker reusable evaluation buffers ([`arena`]) so the inner loops
+//!   of plan execution and fixpoint rounds stop allocating,
 //! * structurally-shared paged storage ([`paged`]) backing both: O(pages)
 //!   snapshot clones with page-granular copy-on-write, so the service's
 //!   snapshot-per-mutation catalog pays O(touched) per write,
@@ -33,9 +38,11 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod bitset;
 pub mod builder;
 pub mod cq;
+pub mod csr;
 pub mod delta;
 pub mod frame;
 pub mod fx;
@@ -52,6 +59,7 @@ pub mod telemetry;
 
 pub use bitset::NodeSet;
 pub use cq::OneCq;
+pub use csr::FrozenStructure;
 pub use delta::FactOp;
 pub use index::PredIndex;
 pub use program::{Atom, Program, Rule, Term};

@@ -103,6 +103,17 @@ impl<'a> ParCtx<'a> {
     pub fn fanout(&self) -> usize {
         (self.sched.workers() + 1) * 2
     }
+
+    /// Take a node buffer from the executing worker's scratch arena
+    /// ([`crate::arena`]). Scratch is thread-local, so a `ParCtx` flowing
+    /// through scoped subtasks hands each worker its *own* pool — this
+    /// method just makes the arena discoverable from the context that
+    /// evaluation code already threads everywhere. Return the buffer with
+    /// [`crate::arena::put_node_vec`].
+    #[inline]
+    pub fn scratch_node_vec(&self) -> Vec<crate::structure::Node> {
+        crate::arena::take_node_vec()
+    }
 }
 
 /// Point-in-time scheduler counters (for `sirupctl stats`).

@@ -144,6 +144,20 @@ impl Structure {
         pages + atoms
     }
 
+    /// Approximate heap bytes the *live* facts would occupy stored flat —
+    /// atom payloads plus one record header per node, with no page
+    /// granularity and no copy-on-write retention. The gap between
+    /// [`Structure::retained_bytes`] (what a snapshot actually holds, with
+    /// shared pages counted fully) and this figure is the storage cost of
+    /// versioning: what a version-GC pass could reclaim at most. O(1) from
+    /// the maintained counters.
+    pub fn live_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * size_of::<NodeRec>()
+            + self.label_count * size_of::<Pred>()
+            + 2 * self.edge_count * size_of::<(Pred, Node)>()
+    }
+
     /// Add `k` fresh nodes, returning the first.
     pub fn add_nodes(&mut self, k: usize) -> Node {
         let first = Node(self.nodes.len() as u32);

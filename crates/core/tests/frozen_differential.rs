@@ -1,0 +1,224 @@
+//! Differential proptests for the read-optimized execution substrate.
+//!
+//! * The CSR [`FrozenStructure`] snapshot is pinned against live
+//!   `Structure` + `PredIndex` reads: random `FactOp` sequences build an
+//!   instance, a freeze of the result must agree with the live containers
+//!   on every read surface (per-pred adjacency rows, edge membership,
+//!   labels, label/source/sink bitmap rows).
+//! * The widened (4-words-per-step) `NodeSet` kernels are pinned against a
+//!   deliberately scalar one-bit-at-a-time oracle, including ragged tail
+//!   words and operands of different universe sizes.
+
+use proptest::prelude::*;
+use sirup_core::{FactOp, FrozenStructure, Node, NodeSet, Pred, PredIndex, Structure};
+
+const PREDS_U: [Pred; 3] = [Pred::F, Pred::T, Pred::A];
+const PREDS_B: [Pred; 2] = [Pred::R, Pred::S];
+
+/// Strategy: one random op over a node universe of `n` (same shape as the
+/// paged-storage differential, so the two suites explore comparable
+/// instance populations).
+fn arb_op(n: u32) -> impl Strategy<Value = FactOp> {
+    (0..4u32, 0..3usize, 0..n, 0..n).prop_map(|(kind, pi, a, b)| match kind {
+        0 => FactOp::AddLabel(PREDS_U[pi], Node(a)),
+        1 => FactOp::RemoveLabel(PREDS_U[pi], Node(a)),
+        2 => FactOp::AddEdge(PREDS_B[pi % 2], Node(a), Node(b)),
+        _ => FactOp::RemoveEdge(PREDS_B[pi % 2], Node(a), Node(b)),
+    })
+}
+
+/// Every read surface of a freeze of `s` must agree with live reads.
+fn assert_frozen_agrees(s: &Structure, idx: &PredIndex) {
+    let f = FrozenStructure::freeze(s);
+    assert_eq!(f.node_count(), s.node_count());
+    assert_eq!(f.edge_count(), s.edge_count());
+    for u in s.nodes() {
+        for p in PREDS_B {
+            let out: Vec<Node> = s
+                .out(u)
+                .iter()
+                .filter(|&&(q, _)| q == p)
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(f.out(p, u), out.as_slice(), "out({p}, {u:?})");
+            let inn: Vec<Node> = s
+                .inn(u)
+                .iter()
+                .filter(|&&(q, _)| q == p)
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(f.inn(p, u), inn.as_slice(), "inn({p}, {u:?})");
+            for v in s.nodes() {
+                assert_eq!(f.has_edge(p, u, v), s.has_edge(p, u, v), "{p}({u:?},{v:?})");
+            }
+        }
+        for p in PREDS_U {
+            assert_eq!(f.has_label(u, p), s.has_label(u, p), "{p}({u:?})");
+        }
+    }
+    // Bitmap rows agree with the index postings (both sorted ascending).
+    for p in PREDS_U {
+        let row: Vec<Node> = f.label_row(p).iter().collect();
+        assert_eq!(row, idx.nodes_with_label(p).to_vec(), "label row {p}");
+    }
+    for p in PREDS_B {
+        let sources: Vec<Node> = f.source_row(p).iter().collect();
+        assert_eq!(sources, idx.sources(p).to_vec(), "source row {p}");
+        let sinks: Vec<Node> = f.sink_row(p).iter().collect();
+        assert_eq!(sinks, idx.sinks(p).to_vec(), "sink row {p}");
+    }
+    // Out-of-universe probes are safe and empty.
+    let ghost = Node(s.node_count() as u32 + 7);
+    for p in PREDS_B {
+        assert!(f.out(p, ghost).is_empty());
+        assert!(f.inn(p, ghost).is_empty());
+    }
+}
+
+/// The scalar one-bit oracle: a `Vec<bool>` per set, every kernel spelled
+/// out bit by bit. `n` is the universe in *bits*, deliberately not a
+/// multiple of 64 in most generated cases so ragged tail words are the
+/// norm, not the exception.
+#[derive(Clone, Debug, PartialEq)]
+struct ScalarSet {
+    bits: Vec<bool>,
+}
+
+impl ScalarSet {
+    fn from_members(n: usize, members: &[u32]) -> (ScalarSet, NodeSet) {
+        let mut bits = vec![false; n];
+        let mut set = NodeSet::empty(n);
+        for &m in members {
+            let m = m as usize % n.max(1);
+            if n > 0 {
+                bits[m] = true;
+                set.insert(Node(m as u32));
+            }
+        }
+        (ScalarSet { bits }, set)
+    }
+
+    /// The word-universe of the packed set this models (bits rounded up).
+    fn word_bits(&self) -> usize {
+        self.bits.len().div_ceil(64) * 64
+    }
+
+    fn members(&self) -> Vec<u32> {
+        (0..self.bits.len() as u32)
+            .filter(|&i| self.bits[i as usize])
+            .collect()
+    }
+
+    fn intersect(&mut self, other: &ScalarSet) {
+        // Bits past `other`'s *word* universe clear; bits inside its tail
+        // word but past its bit universe were never set on either side.
+        let ow = other.word_bits();
+        for i in 0..self.bits.len() {
+            self.bits[i] &= i < ow && other.bits.get(i).copied().unwrap_or(false);
+        }
+    }
+
+    fn difference(&mut self, other: &ScalarSet) {
+        // Overhang past `other` is untouched (absent there removes nothing).
+        for i in 0..self.bits.len() {
+            self.bits[i] &= !other.bits.get(i).copied().unwrap_or(false);
+        }
+    }
+
+    fn union(&mut self, other: &ScalarSet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), false);
+        }
+        for i in 0..other.bits.len() {
+            self.bits[i] |= other.bits[i];
+        }
+    }
+
+    fn count_and(&self, other: &ScalarSet) -> usize {
+        (0..self.bits.len().min(other.bits.len()))
+            .filter(|&i| self.bits[i] && other.bits[i])
+            .count()
+    }
+
+    fn first_common(&self, other: &ScalarSet) -> Option<u32> {
+        (0..self.bits.len().min(other.bits.len()) as u32)
+            .find(|&i| self.bits[i as usize] && other.bits[i as usize])
+    }
+}
+
+/// Collect a packed set's members for comparison with the oracle.
+fn packed_members(s: &NodeSet) -> Vec<u32> {
+    s.iter().map(|v| v.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random instance builds: a freeze of the result agrees with live
+    /// `Structure`/`PredIndex` reads on every surface, both at the end and
+    /// at an interior prefix (so frozen-of-mutated states are covered, not
+    /// just frozen-of-fresh-folds).
+    #[test]
+    fn frozen_matches_live_reads_over_random_ops(
+        ops in proptest::collection::vec(arb_op(24), 60..=120),
+        cut in 10..50usize,
+    ) {
+        let mut s = Structure::new();
+        let mut idx = PredIndex::new(&s);
+        for (step, &op) in ops.iter().enumerate() {
+            s.apply(op);
+            idx.apply(op);
+            if step == cut {
+                assert_frozen_agrees(&s, &idx);
+            }
+        }
+        assert_frozen_agrees(&s, &idx);
+    }
+
+    /// Widened kernels equal the scalar one-bit oracle on ragged universes
+    /// of different sizes (including the degenerate word counts 0 and 1 and
+    /// sizes straddling the 4-word lane width).
+    #[test]
+    fn widened_kernels_match_scalar_oracle(
+        na in 1..400usize,
+        nb in 1..400usize,
+        a_members in proptest::collection::vec(0..400u32, 0..64),
+        b_members in proptest::collection::vec(0..400u32, 0..64),
+    ) {
+        let (oracle_a, set_a) = ScalarSet::from_members(na, &a_members);
+        let (oracle_b, set_b) = ScalarSet::from_members(nb, &b_members);
+
+        // intersect_with: result + change bit.
+        let mut s = set_a.clone();
+        let mut o = oracle_a.clone();
+        let changed = s.intersect_with(&set_b);
+        o.intersect(&oracle_b);
+        prop_assert_eq!(packed_members(&s), o.members(), "intersect {} {}", na, nb);
+        prop_assert_eq!(changed, packed_members(&set_a) != o.members(), "intersect changed");
+
+        // difference_with keeps the overhang.
+        let mut s = set_a.clone();
+        let mut o = oracle_a.clone();
+        let changed = s.difference_with(&set_b);
+        o.difference(&oracle_b);
+        prop_assert_eq!(packed_members(&s), o.members(), "difference {} {}", na, nb);
+        prop_assert_eq!(changed, packed_members(&set_a) != o.members(), "difference changed");
+
+        // union_with grows to cover the larger operand.
+        let mut s = set_a.clone();
+        let mut o = oracle_a.clone();
+        let changed = s.union_with(&set_b);
+        o.union(&oracle_b);
+        prop_assert_eq!(packed_members(&s), o.members(), "union {} {}", na, nb);
+        prop_assert_eq!(changed, packed_members(&set_a) != o.members(), "union changed");
+
+        // count_and and first_common read without mutating.
+        prop_assert_eq!(set_a.count_and(&set_b), oracle_a.count_and(&oracle_b));
+        prop_assert_eq!(
+            set_a.first_common(&set_b).map(|v| v.0),
+            oracle_a.first_common(&oracle_b)
+        );
+        // Batched len agrees with the popcount of the oracle.
+        prop_assert_eq!(set_a.len(), oracle_a.members().len());
+    }
+}

@@ -16,9 +16,10 @@
 //! an inconsistent program entails everything; labellings assign exactly one
 //! label so the search itself is unchanged.
 
+use crate::eval::FREEZE_EDGE_THRESHOLD;
 use sirup_core::program::DSirup;
 use sirup_core::telemetry;
-use sirup_core::{Node, ParCtx, Pred, Structure};
+use sirup_core::{FrozenStructure, Node, ParCtx, Pred, Structure};
 use sirup_hom::QueryPlan;
 
 /// Statistics from a disjunctive evaluation (for the benchmark harness).
@@ -61,7 +62,23 @@ pub fn certain_answer_dsirup_planned_ctx(
     data: &Structure,
     par: Option<ParCtx<'_>>,
 ) -> bool {
-    certain_answer_inner(dsirup, plan, data, par).0
+    certain_answer_inner(dsirup, plan, data, None, par).0
+}
+
+/// As [`certain_answer_dsirup_planned_ctx`], additionally reading adjacency
+/// through a prebuilt [`FrozenStructure`] CSR snapshot of `data` (the
+/// server's catalog instances cache one). The DPLL search mutates only
+/// *labels* on its bound structures — edges are invariant — so the
+/// snapshot's edge side stays valid down every branch and the per-branch
+/// bound checks attach it in edges-only mode.
+pub fn certain_answer_dsirup_planned_snap(
+    dsirup: &DSirup,
+    plan: &QueryPlan,
+    data: &Structure,
+    frozen: Option<&FrozenStructure>,
+    par: Option<ParCtx<'_>>,
+) -> bool {
+    certain_answer_inner(dsirup, plan, data, frozen, par).0
 }
 
 /// As [`certain_answer_dsirup_stats`], with a precompiled plan for
@@ -71,13 +88,14 @@ pub fn certain_answer_dsirup_planned_stats(
     plan: &QueryPlan,
     data: &Structure,
 ) -> (bool, DisjunctiveStats) {
-    certain_answer_inner(dsirup, plan, data, None)
+    certain_answer_inner(dsirup, plan, data, None, None)
 }
 
 fn certain_answer_inner(
     dsirup: &DSirup,
     plan: &QueryPlan,
     data: &Structure,
+    frozen: Option<&FrozenStructure>,
     par: Option<ParCtx<'_>>,
 ) -> (bool, DisjunctiveStats) {
     assert_eq!(
@@ -85,24 +103,54 @@ fn certain_answer_inner(
         &dsirup.cq,
         "plan was not compiled from this d-sirup's CQ"
     );
+    if let Some(f) = frozen {
+        assert_eq!(
+            f.node_count(),
+            data.node_count(),
+            "FrozenStructure is not a snapshot of this data instance"
+        );
+    }
     telemetry::counter_add(telemetry::Counter::DpllChecks, 1);
     let _t = telemetry::traced(telemetry::Family::Dpll, "dpll");
+    // A search explores up to 2^|A| branches with two bound checks each, so
+    // freezing once pays for itself quickly on non-trivial instances.
+    let own: Option<FrozenStructure> = (frozen.is_none()
+        && data.edge_count() >= FREEZE_EDGE_THRESHOLD)
+        .then(|| FrozenStructure::freeze(data));
+    let frozen = frozen.or(own.as_ref());
     let mut stats = DisjunctiveStats::default();
     if dsirup.disjoint {
         // Δ⁺ is inconsistent over data containing an FT-twin: entails G.
-        let inconsistent = data
-            .nodes()
-            .any(|v| data.has_label(v, Pred::T) && data.has_label(v, Pred::F));
+        // With a snapshot, that is one word-level bitmap-row probe.
+        let inconsistent = match frozen {
+            Some(f) => f
+                .label_row(Pred::T)
+                .first_common(f.label_row(Pred::F))
+                .is_some(),
+            None => data
+                .nodes()
+                .any(|v| data.has_label(v, Pred::T) && data.has_label(v, Pred::F)),
+        };
         if inconsistent {
             return (true, stats);
         }
     }
-    let a_nodes: Vec<Node> = data
-        .nodes()
-        .filter(|&v| data.has_label(v, Pred::A))
-        // Nodes already labelled both ways cannot change anything.
-        .filter(|&v| !(data.has_label(v, Pred::T) && data.has_label(v, Pred::F)))
-        .collect();
+    // Both paths enumerate in increasing node order, so the branch order
+    // (and hence the pruning behaviour) is identical with and without a
+    // snapshot.
+    let a_nodes: Vec<Node> = match frozen {
+        Some(f) => f
+            .label_row(Pred::A)
+            .iter()
+            .filter(|&v| !(f.has_label(v, Pred::T) && f.has_label(v, Pred::F)))
+            .collect(),
+        None => data
+            .nodes()
+            .filter(|&v| data.has_label(v, Pred::A))
+            // Nodes already labelled both ways cannot change anything.
+            .filter(|&v| !(data.has_label(v, Pred::T) && data.has_label(v, Pred::F)))
+            .collect(),
+    };
 
     // Lower bound instance: assigned labels only.
     let mut low = data.clone();
@@ -113,29 +161,44 @@ fn certain_answer_inner(
         high.add_label(v, Pred::F);
     }
 
-    let found_counter = search(plan, &a_nodes, 0, &mut low, &mut high, par, &mut stats);
+    let found_counter = search(
+        plan, &a_nodes, 0, &mut low, &mut high, frozen, par, &mut stats,
+    );
     (!found_counter, stats)
 }
 
 /// Returns true iff some completion of the current partial labelling has no
-/// `q`-match (a countermodel exists below this branch).
+/// `q`-match (a countermodel exists below this branch). `frozen`, when
+/// present, is an edges-valid CSR snapshot of both bound structures (they
+/// differ from the base data by labels only).
+#[allow(clippy::too_many_arguments)]
 fn search(
     q: &QueryPlan,
     a_nodes: &[Node],
     next: usize,
     low: &mut Structure,
     high: &mut Structure,
+    frozen: Option<&FrozenStructure>,
     par: Option<ParCtx<'_>>,
     stats: &mut DisjunctiveStats,
 ) -> bool {
     stats.branches += 1;
     stats.hom_checks += 1;
-    if q.on(low).maybe_parallel(par).exists() {
+    if q.on(low)
+        .maybe_frozen_edges(frozen)
+        .maybe_parallel(par)
+        .exists()
+    {
         // Every completion embeds q: no countermodel here.
         return false;
     }
     stats.hom_checks += 1;
-    if !q.on(high).maybe_parallel(par).exists() {
+    if !q
+        .on(high)
+        .maybe_frozen_edges(frozen)
+        .maybe_parallel(par)
+        .exists()
+    {
         // No completion embeds q: the all-unassigned-free completion — e.g.
         // assign every remaining node T — is a countermodel.
         return true;
@@ -149,7 +212,7 @@ fn search(
         let other = if label == Pred::T { Pred::F } else { Pred::T };
         let low_added = low.add_label(v, label);
         let high_removed = high.remove_label(v, other);
-        let found = search(q, a_nodes, next + 1, low, high, par, stats);
+        let found = search(q, a_nodes, next + 1, low, high, frozen, par, stats);
         if low_added {
             low.remove_label(v, label);
         }

@@ -17,9 +17,15 @@
 
 use sirup_core::fx::FxHashMap;
 use sirup_core::program::{Program, Rule};
-use sirup_core::telemetry;
-use sirup_core::{Node, ParCtx, Pred, PredIndex, Structure, Term};
+use sirup_core::{arena, telemetry};
+use sirup_core::{FrozenStructure, Node, NodeSet, ParCtx, Pred, PredIndex, Structure, Term};
 use sirup_hom::QueryPlan;
+
+/// Self-freeze gate: below this many edges a CSR snapshot costs more to
+/// build than the page chases it saves, so small instances stay on live
+/// reads. Shared by the fixpoint, the DPLL search, UCQ answer sweeps, and
+/// the server's per-snapshot frozen cache.
+pub const FREEZE_EDGE_THRESHOLD: usize = 64;
 
 /// Result of evaluating a program over a data instance.
 #[derive(Debug, Clone)]
@@ -150,7 +156,7 @@ impl CompiledProgram {
 
     /// Evaluate over `data`, returning all derived IDB facts.
     pub fn evaluate(&self, data: &Structure) -> Evaluation {
-        self.evaluate_inner(data, None, None)
+        self.evaluate_snapshot(data, None, None, None)
     }
 
     /// As [`CompiledProgram::evaluate`], but seeded from a prebuilt
@@ -160,12 +166,7 @@ impl CompiledProgram {
     /// labels are invariant during evaluation (only IDB labels are added),
     /// so the seeding is exact and the result identical to `evaluate`'s.
     pub fn evaluate_with_index(&self, data: &Structure, index: &PredIndex) -> Evaluation {
-        assert_eq!(
-            index.node_count(),
-            data.node_count(),
-            "PredIndex is not a snapshot of this data instance"
-        );
-        self.evaluate_inner(data, Some(index), None)
+        self.evaluate_snapshot(data, Some(index), None, None)
     }
 
     /// Evaluate with optional index seeding **and** optional intra-request
@@ -183,6 +184,23 @@ impl CompiledProgram {
         index: Option<&PredIndex>,
         par: Option<ParCtx<'_>>,
     ) -> Evaluation {
+        self.evaluate_snapshot(data, index, None, par)
+    }
+
+    /// As [`CompiledProgram::evaluate_ctx`], additionally reading target
+    /// adjacency through a prebuilt [`FrozenStructure`] CSR snapshot of
+    /// `data` (the server's catalog instances cache one). The fixpoint only
+    /// ever *adds labels* to its working copy — edges are invariant — so
+    /// the snapshot's edge side stays valid for the whole evaluation and
+    /// plans attach it in edges-only mode. With no snapshot supplied, one
+    /// is built locally when `data` is large enough to repay the build.
+    pub fn evaluate_snapshot(
+        &self,
+        data: &Structure,
+        index: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
+        par: Option<ParCtx<'_>>,
+    ) -> Evaluation {
         if let Some(idx) = index {
             assert_eq!(
                 idx.node_count(),
@@ -190,37 +208,76 @@ impl CompiledProgram {
                 "PredIndex is not a snapshot of this data instance"
             );
         }
-        self.evaluate_inner(data, index, par)
+        if let Some(f) = frozen {
+            assert_eq!(
+                f.node_count(),
+                data.node_count(),
+                "FrozenStructure is not a snapshot of this data instance"
+            );
+        }
+        let own: Option<FrozenStructure> = (frozen.is_none()
+            && data.edge_count() >= FREEZE_EDGE_THRESHOLD)
+            .then(|| FrozenStructure::freeze(data));
+        self.evaluate_inner(data, index, frozen.or(own.as_ref()), par)
     }
 
     fn evaluate_inner(
         &self,
         data: &Structure,
         index: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
         par: Option<ParCtx<'_>>,
     ) -> Evaluation {
         let _t = telemetry::traced(telemetry::Family::SemiNaiveFixpoint, "seminaive_fixpoint");
+        let n = data.node_count();
         // Working structure: data plus derived labels.
         let mut work = data.clone();
         let mut nullary: Vec<Pred> = Vec::new();
-        // Per-rule candidate seeds from the index: nodes carrying every EDB
-        // label the body places on the head variable (`None` = all nodes).
-        let seeds: Vec<Option<Vec<Node>>> = self
+        // Per-rule candidate seeds: nodes carrying every EDB label the body
+        // places on the head variable (`None` = all nodes), as a bitmap
+        // with its cardinality. Read off the index postings or, failing
+        // that, the frozen label rows (both snapshots of the base data, and
+        // EDB labels never change during evaluation — the seeding is exact).
+        let seeds: Vec<Option<(NodeSet, usize)>> = self
             .rules
             .iter()
             .map(|c| {
-                let idx = index?;
                 c.head_node?;
                 let (&first, rest) = c.head_edb_labels.split_first()?;
-                Some(
-                    idx.nodes_with_label(first)
-                        .iter()
-                        .filter(|&a| rest.iter().all(|&l| idx.has_label(a, l)))
-                        .collect(),
-                )
+                let mut set = NodeSet::empty(n);
+                match (index, frozen) {
+                    (Some(idx), _) => {
+                        for a in idx.nodes_with_label(first).iter() {
+                            if rest.iter().all(|&l| idx.has_label(a, l)) {
+                                set.insert(a);
+                            }
+                        }
+                    }
+                    (None, Some(f)) => {
+                        set.copy_from(f.label_row(first));
+                        for &l in rest {
+                            set.intersect_with(f.label_row(l));
+                        }
+                    }
+                    (None, None) => return None,
+                }
+                let len = set.len();
+                Some((set, len))
             })
             .collect();
+        // Maintained closure extension per IDB predicate, seeded from the
+        // base data in one pass and updated on every derivation — replaces
+        // the per-round / final O(n · |IDB|) label rescans.
+        let mut derived: FxHashMap<Pred, NodeSet> =
+            self.idbs.iter().map(|&p| (p, NodeSet::empty(n))).collect();
+        for (p, a) in data.unary_atoms() {
+            if let Some(set) = derived.get_mut(&p) {
+                set.insert(a);
+            }
+        }
 
+        let mut cands = arena::take_node_vec();
+        let mut cand_set = arena::take_set(n);
         let mut rounds = 0usize;
         let mut changed = true;
         while changed {
@@ -234,7 +291,11 @@ impl CompiledProgram {
                         // itself splits its root domain when a context is
                         // attached.
                         if nullary.binary_search(&c.head_pred).is_err()
-                            && c.plan.on(&work).maybe_parallel(par).exists()
+                            && c.plan
+                                .on(&work)
+                                .maybe_frozen_edges(frozen)
+                                .maybe_parallel(par)
+                                .exists()
                         {
                             let pos = nullary.binary_search(&c.head_pred).unwrap_err();
                             nullary.insert(pos, c.head_pred);
@@ -243,15 +304,21 @@ impl CompiledProgram {
                     }
                     Some(head_node) => {
                         let p = c.head_pred;
-                        // Candidates not yet carrying p.
-                        let cands: Vec<Node> = match seed {
-                            Some(seed) => seed
-                                .iter()
-                                .copied()
-                                .filter(|&a| !work.has_label(a, p))
-                                .collect(),
-                            None => work.nodes().filter(|&a| !work.has_label(a, p)).collect(),
-                        };
+                        let derived_p = &derived[&p];
+                        // Candidates not yet carrying p, computed word-wise:
+                        // (seed | universe) \ derived.
+                        if let Some((seed, seed_len)) = seed {
+                            if seed.count_and(derived_p) == *seed_len {
+                                // Every seeded candidate already derived.
+                                continue;
+                            }
+                            cand_set.copy_from(seed);
+                        } else {
+                            cand_set.fill(n);
+                        }
+                        cand_set.difference_with(derived_p);
+                        cands.clear();
+                        cands.extend(cand_set.iter());
                         match par {
                             Some(ctx) if ctx.should_split(cands.len()) => {
                                 // Check every candidate against the
@@ -259,25 +326,36 @@ impl CompiledProgram {
                                 // merge the per-chunk derivation buffers in
                                 // chunk order (deterministic) and apply.
                                 let work_ref = &work;
-                                let derived: Vec<Vec<Node>> =
+                                let derived_now: Vec<Vec<Node>> =
                                     ctx.sched.map_chunks(&cands, ctx.fanout(), |slice| {
                                         slice
                                             .iter()
                                             .copied()
                                             .filter(|&a| {
-                                                c.plan.on(work_ref).fix(head_node, a).exists()
+                                                c.plan
+                                                    .on(work_ref)
+                                                    .maybe_frozen_edges(frozen)
+                                                    .fix(head_node, a)
+                                                    .exists()
                                             })
                                             .collect()
                                     });
-                                for a in derived.into_iter().flatten() {
+                                for a in derived_now.into_iter().flatten() {
                                     work.add_label(a, p);
+                                    derived.get_mut(&p).expect("head pred is IDB").insert(a);
                                     changed = true;
                                 }
                             }
                             _ => {
-                                for a in cands {
-                                    if c.plan.on(&work).fix(head_node, a).exists() {
+                                for &a in cands.iter() {
+                                    if c.plan
+                                        .on(&work)
+                                        .maybe_frozen_edges(frozen)
+                                        .fix(head_node, a)
+                                        .exists()
+                                    {
                                         work.add_label(a, p);
+                                        derived.get_mut(&p).expect("head pred is IDB").insert(a);
                                         changed = true;
                                     }
                                 }
@@ -287,16 +365,18 @@ impl CompiledProgram {
                 }
             }
         }
+        arena::put_node_vec(cands);
+        arena::put_set(cand_set);
 
         // Report the full extension of each IDB predicate in the closure:
         // facts already present in the data under an IDB predicate (e.g.
         // T-facts when P's rule (6) fires) count just like derived ones.
-        let mut unary: FxHashMap<Pred, Vec<Node>> = FxHashMap::default();
-        for &p in &self.idbs {
-            let mut full: Vec<Node> = work.nodes().filter(|&a| work.has_label(a, p)).collect();
-            full.sort_unstable();
-            unary.insert(p, full);
-        }
+        // The maintained bitsets iterate in increasing node order, so the
+        // lists arrive sorted.
+        let unary: FxHashMap<Pred, Vec<Node>> = derived
+            .into_iter()
+            .map(|(p, set)| (p, set.iter().collect()))
+            .collect();
         Evaluation {
             nullary,
             unary,

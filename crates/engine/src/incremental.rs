@@ -61,7 +61,6 @@ use sirup_core::fx::{FxHashMap, FxHashSet};
 use sirup_core::program::Program;
 use sirup_core::telemetry;
 use sirup_core::{FactOp, Node, NodeSet, Pred, Structure};
-use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
 /// A fact of the working instance: a unary label or a binary edge.
@@ -439,16 +438,17 @@ impl MaterializedFixpoint {
     }
 
     /// All distinct body homomorphisms of rule `r` into the current working
-    /// instance that use `fact` at one or more atoms.
-    fn homs_using(&self, r: usize, fact: Fact) -> BTreeSet<Vec<Node>> {
+    /// instance that use `fact` at one or more atoms. Sorted and deduplicated
+    /// (a hom found via two pinned atoms must count support once).
+    fn homs_using(&self, r: usize, fact: Fact) -> Vec<Vec<Node>> {
         let plan = &self.program.compiled_rules()[r].plan;
-        let mut homs = BTreeSet::new();
+        let mut homs: Vec<Vec<Node>> = Vec::new();
         match fact {
             Fact::Label(p, a) => {
                 if let Some(vars) = self.pins[r].unary.get(&p) {
                     for &t in vars {
                         plan.on(&self.work).fix(t, a).for_each(|h| {
-                            homs.insert(h.to_vec());
+                            homs.push(h.to_vec());
                             true
                         });
                     }
@@ -458,13 +458,17 @@ impl MaterializedFixpoint {
                 if let Some(atoms) = self.pins[r].binary.get(&p) {
                     for &(t1, t2) in atoms {
                         plan.on(&self.work).fix(t1, a).fix(t2, b).for_each(|h| {
-                            homs.insert(h.to_vec());
+                            homs.push(h.to_vec());
                             true
                         });
                     }
                 }
             }
         }
+        // Same iteration order the previous ordered-set representation gave,
+        // without its per-insert rebalancing.
+        homs.sort_unstable();
+        homs.dedup();
         homs
     }
 

@@ -10,7 +10,8 @@
 //! `eval_*` methods on [`Ucq`] compile on the fly, long-lived callers (the
 //! server's rewriting strategy) keep the [`CompiledUcq`].
 
-use sirup_core::{CancelToken, Node, ParCtx, PredIndex, Structure};
+use crate::eval::FREEZE_EDGE_THRESHOLD;
+use sirup_core::{arena, CancelToken, FrozenStructure, Node, ParCtx, PredIndex, Structure};
 use sirup_hom::QueryPlan;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -140,12 +141,25 @@ impl CompiledUcq {
         idx: Option<&PredIndex>,
         par: Option<ParCtx<'_>>,
     ) -> bool {
+        self.eval_boolean_snap(data, idx, None, par)
+    }
+
+    /// As [`CompiledUcq::eval_boolean_ctx`], additionally reading `data`
+    /// through a prebuilt [`FrozenStructure`] CSR snapshot (full mode:
+    /// labels and edges). The snapshot must be current for `data`.
+    pub fn eval_boolean_snap(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
+        par: Option<ParCtx<'_>>,
+    ) -> bool {
         match par {
-            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, ctx, None),
+            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, frozen, ctx, None),
             // Single disjunct: no disjunct-level fan-out, but the one
             // plan's root domain still splits.
             _ => self.disjuncts.iter().any(|(plan, _)| {
-                let mut exec = plan.on(data).maybe_parallel(par);
+                let mut exec = plan.on(data).maybe_frozen(frozen).maybe_parallel(par);
                 if let Some(i) = idx {
                     exec = exec.target_index(i);
                 }
@@ -157,16 +171,7 @@ impl CompiledUcq {
     /// Unary evaluation at `a`, optionally index-seeded. Boolean disjuncts
     /// count as matching any `a`.
     pub fn eval_at(&self, data: &Structure, idx: Option<&PredIndex>, a: Node) -> bool {
-        self.disjuncts.iter().any(|(plan, free)| {
-            let mut exec = plan.on(data);
-            if let Some(i) = idx {
-                exec = exec.target_index(i);
-            }
-            match free {
-                Some(x) => exec.fix(*x, a).exists(),
-                None => exec.exists(),
-            }
-        })
+        self.eval_at_snap(data, idx, None, a, None)
     }
 
     /// As [`CompiledUcq::eval_at`], with concurrent disjuncts and
@@ -178,10 +183,23 @@ impl CompiledUcq {
         a: Node,
         par: Option<ParCtx<'_>>,
     ) -> bool {
+        self.eval_at_snap(data, idx, None, a, par)
+    }
+
+    /// As [`CompiledUcq::eval_at_ctx`], additionally reading `data` through
+    /// a prebuilt [`FrozenStructure`] snapshot (full mode).
+    pub fn eval_at_snap(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
+        a: Node,
+        par: Option<ParCtx<'_>>,
+    ) -> bool {
         match par {
-            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, ctx, Some(a)),
+            Some(ctx) if self.disjuncts.len() > 1 => self.par_any(data, idx, frozen, ctx, Some(a)),
             _ => self.disjuncts.iter().any(|(plan, free)| {
-                let mut exec = plan.on(data).maybe_parallel(par);
+                let mut exec = plan.on(data).maybe_frozen(frozen).maybe_parallel(par);
                 if let Some(i) = idx {
                     exec = exec.target_index(i);
                 }
@@ -198,6 +216,7 @@ impl CompiledUcq {
         &self,
         data: &Structure,
         idx: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
         ctx: ParCtx<'_>,
         at: Option<Node>,
     ) -> bool {
@@ -210,7 +229,11 @@ impl CompiledUcq {
                     if token.is_cancelled() {
                         return;
                     }
-                    let mut exec = plan.on(data).cancel_token(token).parallel(ctx);
+                    let mut exec = plan
+                        .on(data)
+                        .maybe_frozen(frozen)
+                        .cancel_token(token)
+                        .parallel(ctx);
                     if let Some(i) = idx {
                         exec = exec.target_index(i);
                     }
@@ -242,25 +265,48 @@ impl CompiledUcq {
         idx: Option<&PredIndex>,
         par: Option<ParCtx<'_>>,
     ) -> Vec<Node> {
-        let nodes: Vec<Node> = data.nodes().collect();
-        match par {
+        self.answers_snap(data, idx, None, par)
+    }
+
+    /// As [`CompiledUcq::answers_ctx`], additionally reading `data` through
+    /// a [`FrozenStructure`] snapshot. When none is supplied and the
+    /// instance is large enough, a snapshot is built once here and amortised
+    /// over the whole node sweep (`data` is immutable for its duration, so
+    /// full mode — labels included — is sound).
+    pub fn answers_snap(
+        &self,
+        data: &Structure,
+        idx: Option<&PredIndex>,
+        frozen: Option<&FrozenStructure>,
+        par: Option<ParCtx<'_>>,
+    ) -> Vec<Node> {
+        let own: Option<FrozenStructure> = (frozen.is_none()
+            && data.edge_count() >= FREEZE_EDGE_THRESHOLD)
+            .then(|| FrozenStructure::freeze(data));
+        let frozen = frozen.or(own.as_ref());
+        let mut nodes = arena::take_node_vec();
+        nodes.extend(data.nodes());
+        let out = match par {
             Some(ctx) if ctx.should_split(nodes.len()) => ctx
                 .sched
                 .map_chunks(&nodes, ctx.fanout(), |slice| {
                     slice
                         .iter()
                         .copied()
-                        .filter(|&a| self.eval_at(data, idx, a))
+                        .filter(|&a| self.eval_at_snap(data, idx, frozen, a, None))
                         .collect::<Vec<Node>>()
                 })
                 .into_iter()
                 .flatten()
                 .collect(),
             _ => nodes
-                .into_iter()
-                .filter(|&a| self.eval_at(data, idx, a))
+                .iter()
+                .copied()
+                .filter(|&a| self.eval_at_snap(data, idx, frozen, a, None))
                 .collect(),
-        }
+        };
+        arena::put_node_vec(nodes);
+        out
     }
 }
 

@@ -30,8 +30,8 @@
 //! legacy finder, which is kept as the differential-test oracle.
 
 use sirup_core::paged::NodesView;
-use sirup_core::telemetry;
-use sirup_core::{CancelToken, Node, NodeSet, ParCtx, Pred, PredIndex, Structure};
+use sirup_core::{arena, telemetry};
+use sirup_core::{CancelToken, FrozenStructure, Node, NodeSet, ParCtx, Pred, PredIndex, Structure};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -317,6 +317,8 @@ impl QueryPlan {
             plan: self,
             target,
             index: None,
+            frozen: None,
+            frozen_labels: false,
             fixed: Vec::new(),
             forbidden: Vec::new(),
             injective: false,
@@ -416,6 +418,15 @@ pub struct PlanExec<'a> {
     plan: &'a QueryPlan,
     target: &'a Structure,
     index: Option<&'a PredIndex>,
+    /// CSR read snapshot of the target's *edges* (and, when
+    /// `frozen_labels`, its labels too): adjacency reads become contiguous
+    /// slice scans and domain seeding becomes bitmap-row intersections.
+    frozen: Option<&'a FrozenStructure>,
+    /// Are the frozen snapshot's label rows current? The engine's fixpoint
+    /// and DPLL's bound structures mutate labels (never edges) mid-search,
+    /// so they attach a snapshot in edges-only mode and labels stay on the
+    /// live target.
+    frozen_labels: bool,
     fixed: Vec<(Node, Node)>,
     forbidden: Vec<(Node, Node)>,
     injective: bool,
@@ -444,8 +455,65 @@ enum Prep {
     EmptyPattern,
     /// Some domain is empty: no homomorphism exists.
     NoMatch,
-    /// Consistent per-variable domains, ready to backtrack over.
+    /// Consistent per-variable domains, ready to backtrack over. Taken
+    /// from the worker's scratch arena — the consuming public method
+    /// returns them with [`arena::put_set_vec`].
     Domains(Vec<NodeSet>),
+}
+
+/// One adjacency list of the target, whichever backing store it came from:
+/// `(pred, node)` pairs off the paged [`Structure`], or a flat contiguous
+/// node slice off a [`FrozenStructure`] CSR row.
+enum Adj<'a> {
+    /// A `Structure::out_pred`/`inn_pred` slice (pred is constant).
+    Pairs(&'a [(Pred, Node)]),
+    /// A CSR row: just the neighbour nodes.
+    Flat(&'a [Node]),
+}
+
+impl<'a> Adj<'a> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Adj::Pairs(s) => s.len(),
+            Adj::Flat(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    fn iter(&self) -> AdjIter<'a> {
+        match self {
+            Adj::Pairs(s) => AdjIter::Pairs(s.iter()),
+            Adj::Flat(s) => AdjIter::Flat(s.iter()),
+        }
+    }
+
+    /// Does any listed neighbour fall in `set`?
+    #[inline]
+    fn any_in(&self, set: &NodeSet) -> bool {
+        match self {
+            Adj::Pairs(s) => s.iter().any(|&(_, b)| set.contains(b)),
+            Adj::Flat(s) => s.iter().any(|&b| set.contains(b)),
+        }
+    }
+}
+
+/// Iterator over an [`Adj`]'s neighbour nodes.
+enum AdjIter<'a> {
+    Pairs(std::slice::Iter<'a, (Pred, Node)>),
+    Flat(std::slice::Iter<'a, Node>),
+}
+
+impl Iterator for AdjIter<'_> {
+    type Item = Node;
+
+    #[inline]
+    fn next(&mut self) -> Option<Node> {
+        match self {
+            AdjIter::Pairs(i) => i.next().map(|&(_, t)| t),
+            AdjIter::Flat(i) => i.next().copied(),
+        }
+    }
 }
 
 impl<'a> PlanExec<'a> {
@@ -459,6 +527,55 @@ impl<'a> PlanExec<'a> {
         );
         self.index = Some(idx);
         self
+    }
+
+    /// Read target adjacency **and labels** through a CSR snapshot (must be
+    /// a current snapshot of the target — the server's read path, where the
+    /// instance is immutable for the request's lifetime). Domain seeding
+    /// becomes word-parallel bitmap-row intersections and every adjacency
+    /// walk a contiguous slice scan.
+    pub fn target_frozen(mut self, f: &'a FrozenStructure) -> Self {
+        assert_eq!(
+            f.node_count(),
+            self.target.node_count(),
+            "FrozenStructure is not a snapshot of this target"
+        );
+        self.frozen = Some(f);
+        self.frozen_labels = true;
+        self
+    }
+
+    /// Read target adjacency through a CSR snapshot whose **labels may be
+    /// stale**: only the edge side (adjacency, source/sink rows) is
+    /// consulted; label tests stay on the live target. This is the mode for
+    /// the datalog fixpoint and DPLL search, which derive new labels
+    /// mid-evaluation but never touch edges.
+    pub fn target_frozen_edges(mut self, f: &'a FrozenStructure) -> Self {
+        assert_eq!(
+            f.node_count(),
+            self.target.node_count(),
+            "FrozenStructure is not a snapshot of this target"
+        );
+        self.frozen = Some(f);
+        self.frozen_labels = false;
+        self
+    }
+
+    /// As [`PlanExec::target_frozen`], taking the optional snapshot callers
+    /// thread through the evaluation stack (`None` keeps live reads).
+    pub fn maybe_frozen(self, f: Option<&'a FrozenStructure>) -> Self {
+        match f {
+            Some(f) => self.target_frozen(f),
+            None => self,
+        }
+    }
+
+    /// As [`PlanExec::target_frozen_edges`], for an optional snapshot.
+    pub fn maybe_frozen_edges(self, f: Option<&'a FrozenStructure>) -> Self {
+        match f {
+            Some(f) => self.target_frozen_edges(f),
+            None => self,
+        }
     }
 
     /// Require `h(u) = v`.
@@ -525,14 +642,17 @@ impl<'a> PlanExec<'a> {
             Prep::NoMatch => false,
             Prep::Domains(domains) => {
                 let _t = backtrack_span();
-                if let Some(chunks) = self.par_chunks(&domains) {
-                    return self.par_exists(&domains, chunks);
-                }
-                let mut found = false;
-                self.enumerate(&domains, self.cancel, &mut |_| {
-                    found = true;
-                    false
-                });
+                let found = if let Some(chunks) = self.par_chunks(&domains) {
+                    self.par_exists(&domains, chunks)
+                } else {
+                    let mut found = false;
+                    self.enumerate(&domains, self.cancel, &mut |_| {
+                        found = true;
+                        false
+                    });
+                    found
+                };
+                arena::put_set_vec(domains);
                 found
             }
         }
@@ -551,16 +671,23 @@ impl<'a> PlanExec<'a> {
             Prep::NoMatch => Vec::new(),
             Prep::Domains(domains) => {
                 let _t = backtrack_span();
-                if cap > 1 {
-                    if let Some(chunks) = self.par_chunks(&domains) {
-                        return self.par_find_up_to(&domains, chunks, cap);
+                let par_chunks = if cap > 1 {
+                    self.par_chunks(&domains)
+                } else {
+                    None
+                };
+                let out = match par_chunks {
+                    Some(chunks) => self.par_find_up_to(&domains, chunks, cap),
+                    None => {
+                        let mut out = Vec::new();
+                        self.enumerate(&domains, self.cancel, &mut |h| {
+                            out.push(h.to_vec());
+                            out.len() < cap
+                        });
+                        out
                     }
-                }
-                let mut out = Vec::new();
-                self.enumerate(&domains, self.cancel, &mut |h| {
-                    out.push(h.to_vec());
-                    out.len() < cap
-                });
+                };
+                arena::put_set_vec(domains);
                 out
             }
         }
@@ -579,7 +706,9 @@ impl<'a> PlanExec<'a> {
             Prep::NoMatch => true,
             Prep::Domains(domains) => {
                 let _t = backtrack_span();
-                self.enumerate(&domains, self.cancel, &mut f)
+                let completed = self.enumerate(&domains, self.cancel, &mut f);
+                arena::put_set_vec(domains);
+                completed
             }
         }
     }
@@ -712,12 +841,15 @@ impl<'a> PlanExec<'a> {
     ) -> bool {
         let np = self.plan.pattern.node_count();
         let nt = self.target.node_count();
-        let mut assignment: Vec<Node> = vec![Node(0); np];
-        let mut used: Vec<bool> = vec![false; nt];
+        let mut assignment = arena::take_node_vec();
+        assignment.resize(np, Node(0));
+        let mut used = arena::take_bool_vec(nt);
         let root = self.plan.order[0];
+        let mut completed = true;
         for t in roots.iter() {
             if cancel.is_some_and(CancelToken::is_cancelled) || self.externally_cancelled() {
-                return false;
+                completed = false;
+                break;
             }
             // Position 0 has no joins into a prefix except self-loops,
             // which `joins_hold` covers.
@@ -729,10 +861,51 @@ impl<'a> PlanExec<'a> {
             let keep_going = self.backtrack(1, domains, &mut assignment, &mut used, cancel, f);
             used[t.index()] = false;
             if !keep_going {
-                return false;
+                completed = false;
+                break;
             }
         }
-        true
+        arena::put_node_vec(assignment);
+        arena::put_bool_vec(used);
+        completed
+    }
+
+    /// Outgoing `p`-adjacency of target node `u`, CSR-backed when frozen.
+    #[inline]
+    fn adj_out(&self, u: Node, p: Pred) -> Adj<'a> {
+        match self.frozen {
+            Some(f) => Adj::Flat(f.out(p, u)),
+            None => Adj::Pairs(self.target.out_pred(u, p)),
+        }
+    }
+
+    /// Incoming `p`-adjacency of target node `v`, CSR-backed when frozen.
+    #[inline]
+    fn adj_inn(&self, v: Node, p: Pred) -> Adj<'a> {
+        match self.frozen {
+            Some(f) => Adj::Flat(f.inn(p, v)),
+            None => Adj::Pairs(self.target.inn_pred(v, p)),
+        }
+    }
+
+    /// Does `p(u, v)` hold in the target (edges are never stale in a
+    /// frozen snapshot, so this always prefers the CSR)?
+    #[inline]
+    fn edge_holds(&self, p: Pred, u: Node, v: Node) -> bool {
+        match self.frozen {
+            Some(f) => f.has_edge(p, u, v),
+            None => self.target.has_edge(p, u, v),
+        }
+    }
+
+    /// Is `t` labelled `l`? Reads the frozen label row only when it is
+    /// declared current; otherwise the live target.
+    #[inline]
+    fn label_ok(&self, t: Node, l: Pred) -> bool {
+        match self.frozen {
+            Some(f) if self.frozen_labels => f.has_label(t, l),
+            _ => self.target.has_label(t, l),
+        }
     }
 
     /// Smallest index-backed candidate list for pattern node `u`, if an
@@ -758,8 +931,22 @@ impl<'a> PlanExec<'a> {
     }
 
     /// Per-node candidate domains after unary/degree filtering and pinning.
-    /// `None` means some domain is empty (no homomorphism exists).
+    /// `None` means some domain is empty (no homomorphism exists). The
+    /// returned buffers come from the worker's scratch arena; callers
+    /// return them with [`arena::put_set_vec`].
     fn initial_domains(&self) -> Option<Vec<NodeSet>> {
+        let mut domains = arena::take_set_vec();
+        if self.seed_domains(&mut domains) {
+            Some(domains)
+        } else {
+            arena::put_set_vec(domains);
+            None
+        }
+    }
+
+    /// Fill `domains` with one seeded candidate set per pattern variable;
+    /// `false` means some domain came up empty.
+    fn seed_domains(&self, domains: &mut Vec<NodeSet>) -> bool {
         let np = self.plan.pattern.node_count();
         let nt = self.target.node_count();
         // Resolve pins first: a pinned variable's domain is a singleton, so
@@ -771,63 +958,120 @@ impl<'a> PlanExec<'a> {
             match pinned[u.index()] {
                 None => pinned[u.index()] = Some(v),
                 Some(w) if w == v => {}
-                Some(_) => return None, // conflicting pins
+                Some(_) => return false, // conflicting pins
             }
         }
-        let mut domains: Vec<NodeSet> = Vec::with_capacity(np);
         for u in self.plan.pattern.nodes() {
             let c = &self.plan.constraints[u.index()];
             let admissible = |t: Node| {
-                c.labels.iter().all(|&l| self.target.has_label(t, l))
-                    && c.preds_out
-                        .iter()
-                        .all(|&p| !self.target.out_pred(t, p).is_empty())
-                    && c.preds_in
-                        .iter()
-                        .all(|&p| !self.target.inn_pred(t, p).is_empty())
+                c.labels.iter().all(|&l| self.label_ok(t, l))
+                    && c.preds_out.iter().all(|&p| self.adj_out(t, p).len() > 0)
+                    && c.preds_in.iter().all(|&p| self.adj_in_nonempty(t, p))
             };
-            let mut dom = NodeSet::empty(nt);
+            let mut dom = arena::take_set(nt);
             match pinned[u.index()] {
                 Some(v) => {
                     if admissible(v) {
                         dom.insert(v);
                     }
                 }
-                None => match self.seed_candidates(c) {
-                    Some(seed) => {
-                        for t in seed.iter() {
-                            if admissible(t) {
-                                dom.insert(t);
+                None => {
+                    if !self.seed_domain_rows(c, &mut dom) {
+                        match self.seed_candidates(c) {
+                            Some(seed) => {
+                                for t in seed.iter() {
+                                    if admissible(t) {
+                                        dom.insert(t);
+                                    }
+                                }
+                            }
+                            None => {
+                                for t in self.target.nodes() {
+                                    if admissible(t) {
+                                        dom.insert(t);
+                                    }
+                                }
                             }
                         }
                     }
-                    None => {
-                        for t in self.target.nodes() {
-                            if admissible(t) {
-                                dom.insert(t);
-                            }
-                        }
-                    }
-                },
+                }
             }
             if dom.is_empty() {
-                return None;
+                arena::put_set(dom);
+                return false;
             }
             domains.push(dom);
         }
         for &(u, v) in &self.forbidden {
             domains[u.index()].remove(v);
             if domains[u.index()].is_empty() {
-                return None;
+                return false;
             }
         }
-        Some(domains)
+        true
+    }
+
+    #[inline]
+    fn adj_in_nonempty(&self, t: Node, p: Pred) -> bool {
+        self.adj_inn(t, p).len() > 0
+    }
+
+    /// Try to seed a domain by intersecting frozen bitmap rows — the
+    /// word-parallel path that replaces the per-node admissibility scan.
+    /// Returns `false` when no frozen snapshot is attached or no row is
+    /// usable (then the caller falls back to seed/scan). In edges-only
+    /// mode the label rows may be stale, so the row-AND covers only the
+    /// source/sink rows and labels are re-checked against the live target
+    /// over the (already small) candidate set.
+    fn seed_domain_rows(&self, c: &VarConstraint, dom: &mut NodeSet) -> bool {
+        let Some(f) = self.frozen else {
+            return false;
+        };
+        let rowable = c.preds_out.len()
+            + c.preds_in.len()
+            + if self.frozen_labels {
+                c.labels.len()
+            } else {
+                0
+            };
+        if rowable == 0 && !c.labels.is_empty() {
+            // Edges-only mode with label-only constraints: the rows say
+            // nothing; use the index/scan path with live labels.
+            return false;
+        }
+        let nt = self.target.node_count();
+        dom.fill(nt);
+        for &p in &c.preds_out {
+            dom.intersect_with(f.source_row(p));
+        }
+        for &p in &c.preds_in {
+            dom.intersect_with(f.sink_row(p));
+        }
+        if self.frozen_labels {
+            for &l in &c.labels {
+                dom.intersect_with(f.label_row(l));
+            }
+        } else if !c.labels.is_empty() {
+            let mut drop = arena::take_node_vec();
+            for t in dom.iter() {
+                if !c.labels.iter().all(|&l| self.target.has_label(t, l)) {
+                    drop.push(t);
+                }
+            }
+            for &t in &drop {
+                dom.remove(t);
+            }
+            arena::put_node_vec(drop);
+        }
+        true
     }
 
     /// AC-3 arc consistency over the compiled pattern edges: a worklist of
     /// directed arcs, where a shrunk domain re-enqueues only the arcs whose
     /// support sets read it (precomputed per node at compile time). Returns
-    /// `false` if some domain becomes empty.
+    /// `false` if some domain becomes empty. Worklist state comes from the
+    /// worker's scratch arena; with a frozen snapshot attached, large
+    /// revisions run word-parallel (see [`PlanExec::revise`]).
     fn ac3(&self, domains: &mut [NodeSet]) -> bool {
         let edges = &self.plan.edges;
         if edges.is_empty() {
@@ -835,33 +1079,32 @@ impl<'a> PlanExec<'a> {
         }
         // Arc encoding: edge index * 2, +0 forward (revise u against v),
         // +1 backward (revise v against u).
-        let mut queued = vec![true; 2 * edges.len()];
-        let mut queue: std::collections::VecDeque<usize> = (0..2 * edges.len()).collect();
-        let mut removals: Vec<Node> = Vec::new();
+        let mut queued = arena::take_bool_vec(2 * edges.len());
+        queued.iter_mut().for_each(|q| *q = true);
+        let mut queue = arena::take_queue();
+        queue.extend(0..2 * edges.len());
+        let mut removals = arena::take_node_vec();
+        let mut support = arena::take_set(self.target.node_count());
+        let mut ok = true;
         while let Some(arc) = queue.pop_front() {
             queued[arc] = false;
             let (p, u, v) = edges[arc / 2];
             let forward = arc % 2 == 0;
             let (revised, other) = if forward { (u, v) } else { (v, u) };
-            removals.clear();
-            for a in domains[revised.index()].iter() {
-                let adj = if forward {
-                    self.target.out_pred(a, p)
-                } else {
-                    self.target.inn_pred(a, p)
-                };
-                if !adj.iter().any(|&(_, b)| domains[other.index()].contains(b)) {
-                    removals.push(a);
-                }
-            }
-            if removals.is_empty() {
+            if !self.revise(
+                p,
+                forward,
+                revised,
+                other,
+                domains,
+                &mut removals,
+                &mut support,
+            ) {
                 continue;
             }
-            for &a in &removals {
-                domains[revised.index()].remove(a);
-            }
             if domains[revised.index()].is_empty() {
-                return false;
+                ok = false;
+                break;
             }
             for &(ej, forward_j) in &self.plan.dependents[revised.index()] {
                 let arc2 = (ej as usize) * 2 + usize::from(!forward_j);
@@ -871,7 +1114,68 @@ impl<'a> PlanExec<'a> {
                 }
             }
         }
-        true
+        arena::put_bool_vec(queued);
+        arena::put_queue(queue);
+        arena::put_node_vec(removals);
+        arena::put_set(support);
+        ok
+    }
+
+    /// One AC-3 revision: shrink `dom[revised]` to the candidates with a
+    /// `p`-edge into `dom[other]` (edge direction per `forward`). Returns
+    /// `true` iff the domain changed.
+    ///
+    /// Two strategies compute the identical result set:
+    ///
+    /// * **scalar** — per candidate `a`, scan its adjacency for a supported
+    ///   neighbour; cost `O(Σ_{a ∈ dom[revised]} deg(a))`. Wins when the
+    ///   revised domain is small (the fixpoint's pinned-singleton shape).
+    /// * **word-parallel** (frozen snapshot only) — union the *other*
+    ///   side's CSR rows into one support bitmap, then
+    ///   [`NodeSet::intersect_with`] the revised domain against it, 4 words
+    ///   per step; cost `O(Σ_{b ∈ dom[other]} deg(b) + n/64)`. Wins when
+    ///   both domains are large, where per-bit membership probes thrash.
+    #[allow(clippy::too_many_arguments)]
+    fn revise(
+        &self,
+        p: Pred,
+        forward: bool,
+        revised: Node,
+        other: Node,
+        domains: &mut [NodeSet],
+        removals: &mut Vec<Node>,
+        support: &mut NodeSet,
+    ) -> bool {
+        let rlen = domains[revised.index()].len();
+        if let Some(f) = self.frozen {
+            if rlen > 32 && rlen >= domains[other.index()].len() {
+                support.reset(self.target.node_count());
+                for b in domains[other.index()].iter() {
+                    // Support for the revised side = everything with an
+                    // edge *to* (forward) / *from* (backward) some live b.
+                    let row = if forward { f.inn(p, b) } else { f.out(p, b) };
+                    for &a in row {
+                        support.insert(a);
+                    }
+                }
+                return domains[revised.index()].intersect_with(support);
+            }
+        }
+        removals.clear();
+        for a in domains[revised.index()].iter() {
+            let adj = if forward {
+                self.adj_out(a, p)
+            } else {
+                self.adj_inn(a, p)
+            };
+            if !adj.any_in(&domains[other.index()]) {
+                removals.push(a);
+            }
+        }
+        for &a in removals.iter() {
+            domains[revised.index()].remove(a);
+        }
+        !removals.is_empty()
     }
 
     /// Does candidate `t` for the variable at position `k` satisfy every
@@ -884,9 +1188,9 @@ impl<'a> PlanExec<'a> {
                 assignment[j.other.index()]
             };
             if j.out {
-                self.target.has_edge(j.pred, t, other_img)
+                self.edge_holds(j.pred, t, other_img)
             } else {
-                self.target.has_edge(j.pred, other_img, t)
+                self.edge_holds(j.pred, other_img, t)
             }
         })
     }
@@ -916,17 +1220,16 @@ impl<'a> PlanExec<'a> {
                 let img = assignment[j.other.index()];
                 // Candidates must have an edge *to* img (j.out) — read
                 // img's in-list; or an edge *from* img — read its out-list.
-                let adj = if j.out {
-                    self.target.inn_pred(img, j.pred)
+                if j.out {
+                    self.adj_inn(img, j.pred)
                 } else {
-                    self.target.out_pred(img, j.pred)
-                };
-                adj
+                    self.adj_out(img, j.pred)
+                }
             })
-            .min_by_key(|adj| adj.len());
+            .min_by_key(Adj::len);
         match best_join {
             Some(adj) => {
-                for &(_, t) in adj {
+                for t in adj.iter() {
                     if !domains[u.index()].contains(t)
                         || (self.injective && used[t.index()])
                         || !self.joins_hold(k, u, t, assignment)
@@ -1097,6 +1400,91 @@ mod tests {
         assert_eq!(n, 2);
         let empty = QueryPlan::compile(&Structure::new());
         assert_eq!(empty.on(&t).find_up_to(10).len(), 1);
+    }
+
+    #[test]
+    fn frozen_snapshot_agrees_with_live_reads() {
+        let patterns = [
+            st("F(a), R(a,b), T(b)"),
+            st("R(a,b), R(b,c), T(c)"),
+            st("T(a), T(b)"),
+            st("S(a,b)"),
+            st("R(a,a)"),
+            st("T(a), R(b,c)"),
+        ];
+        let targets = [
+            st("F(x), R(x,y), T(y), R(y,z), T(z)"),
+            st("R(x,y), R(y,x), T(x), T(y), R(y,z), T(z)"),
+            st("R(x,x), T(x), F(x)"),
+        ];
+        for p in &patterns {
+            let plan = QueryPlan::compile(p);
+            for t in &targets {
+                let f = FrozenStructure::freeze(t);
+                let live = sorted(plan.on(t).find_up_to(100_000));
+                let full = sorted(plan.on(t).target_frozen(&f).find_up_to(100_000));
+                assert_eq!(live, full, "frozen full: pattern {p} target {t}");
+                let edges = sorted(plan.on(t).target_frozen_edges(&f).find_up_to(100_000));
+                assert_eq!(live, edges, "frozen edges: pattern {p} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_agrees_under_pins_forbids_injective() {
+        let p = st("F(a), R(a,b), R(b,c), T(c)");
+        let t = st("F(x), R(x,y), R(y,z), T(z), R(x,z), T(y), F(y)");
+        let plan = QueryPlan::compile(&p);
+        let f = FrozenStructure::freeze(&t);
+        for u in p.nodes() {
+            for v in t.nodes() {
+                let live = plan.on(&t).fix(u, v).exists();
+                let froz = plan.on(&t).target_frozen(&f).fix(u, v).exists();
+                assert_eq!(live, froz, "pin n{} -> n{}", u.0, v.0);
+                let live_f = plan.on(&t).forbid(u, v).exists();
+                let froz_f = plan.on(&t).target_frozen(&f).forbid(u, v).exists();
+                assert_eq!(live_f, froz_f, "forbid n{} -> n{}", u.0, v.0);
+            }
+        }
+        assert_eq!(
+            plan.on(&t).injective().exists(),
+            plan.on(&t).target_frozen(&f).injective().exists()
+        );
+    }
+
+    #[test]
+    fn frozen_edges_mode_tracks_live_labels() {
+        // The engine's shape: labels accrue on the target after the freeze,
+        // edges never change. Edges-only mode must see the *live* labels.
+        let p = st("T(a), R(a,b), T(b)");
+        let base = st("R(x,y), T(x)");
+        let f = FrozenStructure::freeze(&base);
+        let mut grown = base.clone();
+        assert!(!p
+            .nodes()
+            .next()
+            .map(|_| QueryPlan::compile(&p)
+                .on(&grown)
+                .target_frozen_edges(&f)
+                .exists())
+            .unwrap());
+        grown.add_label(Node(1), Pred::T); // now T(x), T(y), R(x,y)
+        let plan = QueryPlan::compile(&p);
+        assert!(plan.on(&grown).target_frozen_edges(&f).exists());
+        assert_eq!(
+            sorted(plan.on(&grown).find_up_to(100)),
+            sorted(plan.on(&grown).target_frozen_edges(&f).find_up_to(100))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn stale_frozen_is_rejected() {
+        let t = st("R(x,y)");
+        let f = FrozenStructure::freeze(&t);
+        let bigger = st("R(x,y), R(y,z)");
+        let plan = QueryPlan::compile(&st("R(a,b)"));
+        let _ = plan.on(&bigger).target_frozen(&f).exists();
     }
 
     #[test]

@@ -37,11 +37,11 @@ use crate::cache::StampedLru;
 use sirup_core::fx::{FxHashMap, FxHasher};
 use sirup_core::sync;
 use sirup_core::telemetry;
-use sirup_core::{FactOp, PredIndex, Scheduler, Structure};
-use sirup_engine::{MaterializationStats, MaterializedFixpoint};
+use sirup_core::{FactOp, FrozenStructure, PredIndex, Scheduler, Structure};
+use sirup_engine::{MaterializationStats, MaterializedFixpoint, FREEZE_EDGE_THRESHOLD};
 use std::hash::Hasher as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 /// Most live materialisations one instance retains (LRU beyond this):
 /// every mutation carries each attached materialisation forward, so an
@@ -128,6 +128,13 @@ pub struct IndexedInstance {
     /// Structural sharing of this snapshot with the version it was mutated
     /// from (zero sharing after a fresh load).
     pub cow: CowStats,
+    /// Lazily built CSR read snapshot of `data` (see
+    /// [`sirup_core::csr::FrozenStructure`]): contiguous per-predicate
+    /// adjacency plus label bitmap rows, shared by every strategy that
+    /// evaluates against this version. Built at most once per snapshot on
+    /// first use, and only for instances above the engine's freeze gate —
+    /// the snapshot is immutable, so the frozen view can never go stale.
+    frozen: OnceLock<Option<FrozenStructure>>,
 }
 
 impl IndexedInstance {
@@ -161,7 +168,31 @@ impl IndexedInstance {
             seq,
             mats: StampedLru::new(MAX_LIVE_MATERIALIZATIONS),
             cow,
+            frozen: OnceLock::new(),
         }
+    }
+
+    /// The CSR read snapshot of this version's data, building it on first
+    /// use. Returns `None` for instances below the engine's freeze gate
+    /// (where building costs more than it saves). Concurrent first calls
+    /// race on the build; `OnceLock` keeps the first and drops the rest,
+    /// which is sound because both are frozen from the same immutable data.
+    pub fn frozen(&self) -> Option<&FrozenStructure> {
+        self.frozen
+            .get_or_init(|| {
+                (self.data.edge_count() >= FREEZE_EDGE_THRESHOLD)
+                    .then(|| FrozenStructure::freeze(&self.data))
+            })
+            .as_ref()
+    }
+
+    /// Heap bytes held by the frozen CSR snapshot, if one has been built
+    /// (0 otherwise — querying this never forces a build).
+    pub fn frozen_bytes(&self) -> usize {
+        self.frozen
+            .get()
+            .and_then(|f| f.as_ref())
+            .map_or(0, |f| f.retained_bytes())
     }
 
     /// The materialisation for `key`, building it with `build` on first
@@ -427,6 +458,7 @@ impl Catalog {
             seq,
             mats,
             cow,
+            frozen: OnceLock::new(),
         };
         sync::write(self.shard_of(name)).insert(name.to_owned(), Arc::new(inst));
         Some(MutationOutcome { applied, seq })
@@ -664,6 +696,38 @@ mod tests {
             .unwrap();
         assert_eq!(out.seq, 8);
         c.quiesce(); // no tickets outstanding: returns immediately
+    }
+
+    #[test]
+    fn frozen_snapshot_is_gated_and_cached() {
+        let c = Catalog::new(1);
+        // Below the freeze gate: no CSR view, and asking costs nothing.
+        c.insert("small", st("F(a), R(a,b), T(b)"));
+        let small = c.get("small").unwrap();
+        assert!(small.frozen().is_none());
+        assert_eq!(small.frozen_bytes(), 0);
+        // Above the gate: built lazily, once, and consistent with the data.
+        let mut s = Structure::with_nodes(200);
+        for i in 0..199u32 {
+            s.add_edge(Pred::R, Node(i), Node(i + 1));
+        }
+        s.add_label(Node(0), Pred::F);
+        c.insert("big", s);
+        let big = c.get("big").unwrap();
+        assert_eq!(big.frozen_bytes(), 0, "no build before first use");
+        let f = big.frozen().expect("above the freeze gate");
+        assert_eq!(f.edge_count(), 199);
+        assert!(f.has_label(Node(0), Pred::F));
+        assert_eq!(f.out(Pred::R, Node(7)), &[Node(8)]);
+        assert!(std::ptr::eq(f, big.frozen().unwrap()), "built once");
+        assert!(big.frozen_bytes() > 0);
+        // A mutation's fresh snapshot re-freezes lazily — never stale.
+        c.mutate("big", &[FactOp::AddEdge(Pred::S, Node(3), Node(9))])
+            .unwrap();
+        let next = c.get("big").unwrap();
+        let f2 = next.frozen().unwrap();
+        assert_eq!(f2.out(Pred::S, Node(3)), &[Node(9)]);
+        assert!(f.out(Pred::S, Node(3)).is_empty(), "old view untouched");
     }
 
     #[test]

@@ -354,20 +354,25 @@ impl Plan {
         par: Option<sirup_core::ParCtx<'_>>,
         materialise: bool,
     ) -> Answer {
+        // Every direct-evaluation path reads through the snapshot's cached
+        // CSR view (built lazily, `None` below the freeze gate). The
+        // instance is immutable, so full mode — labels included — is sound
+        // everywhere; the materialised path maintains its own fixpoint
+        // state and does not consult the frozen view.
         match (&self.strategy, &self.query) {
-            (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => {
-                Answer::Bool(compiled.eval_boolean_ctx(&inst.data, Some(&inst.index), par))
-            }
-            (Strategy::Rewriting { compiled, .. }, Query::SigmaAnswers(_)) => {
-                Answer::Nodes(compiled.answers_ctx(&inst.data, Some(&inst.index), par))
-            }
+            (Strategy::Rewriting { compiled, .. }, Query::PiGoal(_)) => Answer::Bool(
+                compiled.eval_boolean_snap(&inst.data, Some(&inst.index), inst.frozen(), par),
+            ),
+            (Strategy::Rewriting { compiled, .. }, Query::SigmaAnswers(_)) => Answer::Nodes(
+                compiled.answers_snap(&inst.data, Some(&inst.index), inst.frozen(), par),
+            ),
             (Strategy::SemiNaive { program }, Query::PiGoal(_)) => {
                 if materialise {
                     Answer::Bool(self.materialization(program, inst, par).holds(Pred::GOAL))
                 } else {
                     Answer::Bool(
                         program
-                            .evaluate_ctx(&inst.data, Some(&inst.index), par)
+                            .evaluate_snapshot(&inst.data, Some(&inst.index), inst.frozen(), par)
                             .holds(Pred::GOAL),
                     )
                 }
@@ -378,15 +383,21 @@ impl Plan {
                 } else {
                     Answer::Nodes(
                         program
-                            .evaluate_ctx(&inst.data, Some(&inst.index), par)
+                            .evaluate_snapshot(&inst.data, Some(&inst.index), inst.frozen(), par)
                             .answers(Pred::P)
                             .to_vec(),
                     )
                 }
             }
-            (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => Answer::Bool(
-                disjunctive::certain_answer_dsirup_planned_ctx(dsirup, plan, &inst.data, par),
-            ),
+            (Strategy::Dpll { dsirup, plan }, Query::Delta { .. }) => {
+                Answer::Bool(disjunctive::certain_answer_dsirup_planned_snap(
+                    dsirup,
+                    plan,
+                    &inst.data,
+                    inst.frozen(),
+                    par,
+                ))
+            }
             _ => unreachable!("strategy/query kind mismatch"),
         }
     }

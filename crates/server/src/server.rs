@@ -300,6 +300,13 @@ pub struct InstanceStats {
     /// Structural sharing of the live snapshot with the version it was
     /// mutated from (zero shared pages right after a load).
     pub cow: crate::catalog::CowStats,
+    /// Bytes the live facts would occupy stored flat (no page granularity,
+    /// no copy-on-write retention). `cow.retained_bytes - live_bytes` is
+    /// the versioning overhead a version-GC pass could reclaim at most.
+    pub live_bytes: usize,
+    /// Heap bytes of the snapshot's cached CSR read view, 0 if none has
+    /// been built (small instance, or no query has touched this version).
+    pub frozen_bytes: usize,
     /// Per-program materialisation stats, sorted by program key.
     pub materializations: Vec<(String, MaterializationStats)>,
 }
@@ -758,6 +765,8 @@ impl Server {
             unary_atoms: inst.data.label_count(),
             binary_atoms: inst.data.edge_count(),
             cow: inst.cow,
+            live_bytes: inst.data.live_bytes(),
+            frozen_bytes: inst.frozen_bytes(),
             materializations: inst.materialization_stats(),
         })
     }

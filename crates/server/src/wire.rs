@@ -557,7 +557,7 @@ fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<H
                 .ok_or_else(|| format!("unknown instance {inst:?}"))?;
             Ok(Handled::Reply(format!(
                 "ok stats {} seq {} nodes {} unary {} binary {} mats {} version {} \
-                 pages {} shared {} retained {}",
+                 pages {} shared {} retained {} live {} frozen {}",
                 s.name,
                 s.seq,
                 s.nodes,
@@ -568,6 +568,8 @@ fn handle_request(server: &Server, tails: &TailRegistry, text: &str) -> Result<H
                 s.cow.pages,
                 s.cow.shared_pages,
                 s.cow.retained_bytes,
+                s.live_bytes,
+                s.frozen_bytes,
             )))
         }
         "dump" => {
